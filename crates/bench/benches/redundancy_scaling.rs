@@ -1,0 +1,68 @@
+//! Scaling behaviour behind Figures 4–6: how inference time grows with
+//! data redundancy `r` and with dataset size.
+//!
+//! Two sweeps:
+//!
+//! - `redundancy/*` — fix the dataset, vary `r` (the x-axis of the
+//!   paper's figures); iterative methods scale linearly in `|V| = r·n`.
+//! - `tasks/*` — fix redundancy, vary the task count (the ablation for
+//!   the survey's "large in task size" dataset-selection criterion).
+//!
+//! Run with: `cargo bench -p crowd-bench --bench redundancy_scaling`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use crowd_core::{InferenceOptions, Method};
+use crowd_data::datasets::PaperDataset;
+use crowd_data::subsample_redundancy;
+
+fn bench_redundancy(c: &mut Criterion) {
+    let dataset = PaperDataset::DPosSent.generate(0.3, 7);
+    let mut group = c.benchmark_group("redundancy/D_PosSent");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for r in [1usize, 5, 10, 20] {
+        let sub = subsample_redundancy(&dataset, r, 11);
+        group.throughput(Throughput::Elements(sub.num_answers() as u64));
+        for method in [Method::Mv, Method::Ds, Method::Zc] {
+            let instance = method.build();
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), r),
+                &sub,
+                |b, d| {
+                    let opts = InferenceOptions::seeded(7);
+                    b.iter(|| black_box(instance.infer(black_box(d), &opts).unwrap().iterations));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_task_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tasks/D_Product");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for scale in [0.05, 0.1, 0.2, 0.4] {
+        let dataset = PaperDataset::DProduct.generate(scale, 7);
+        group.throughput(Throughput::Elements(dataset.num_answers() as u64));
+        for method in [Method::Ds, Method::Pm] {
+            let instance = method.build();
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), dataset.num_tasks()),
+                &dataset,
+                |b, d| {
+                    let opts = InferenceOptions::seeded(7);
+                    b.iter(|| black_box(instance.infer(black_box(d), &opts).unwrap().iterations));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_redundancy, bench_task_count);
+criterion_main!(benches);

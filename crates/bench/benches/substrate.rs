@@ -1,0 +1,65 @@
+//! Micro-benchmarks of the numerical substrate the methods sit on:
+//! chi-squared quantiles (CATD's per-worker coefficient), Dirichlet/Gamma
+//! sampling (the Gibbs samplers' inner loop), digamma (VI's expected-log
+//! weights), and the redundancy sub-sampler (run 30× per sweep point in
+//! Figures 4–6).
+//!
+//! Run with: `cargo bench -p crowd-bench --bench substrate`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use crowd_data::datasets::PaperDataset;
+use crowd_data::subsample_redundancy;
+use crowd_stats::{chi2_quantile_975, digamma, sample_dirichlet, sample_gamma};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_special_functions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("special");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("chi2_quantile_975/k=20", |b| {
+        b.iter(|| black_box(chi2_quantile_975(black_box(20))))
+    });
+    group.bench_function("chi2_quantile_975/k=2000", |b| {
+        b.iter(|| black_box(chi2_quantile_975(black_box(2000))))
+    });
+    group.bench_function("digamma", |b| {
+        b.iter(|| black_box(digamma(black_box(3.7))))
+    });
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("gamma/shape=2", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(sample_gamma(&mut rng, 2.0, 1.0)))
+    });
+    group.bench_function("dirichlet/4", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let alpha = [2.0, 1.0, 1.0, 1.0];
+        b.iter(|| black_box(sample_dirichlet(&mut rng, &alpha)))
+    });
+    group.finish();
+}
+
+fn bench_subsample(c: &mut Criterion) {
+    let dataset = PaperDataset::SRel.generate(0.2, 7);
+    let mut group = c.benchmark_group("subsample");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for r in [1usize, 3, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| black_box(subsample_redundancy(&dataset, r, 9).num_answers()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_special_functions, bench_sampling, bench_subsample);
+criterion_main!(benches);

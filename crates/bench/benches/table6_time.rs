@@ -1,0 +1,53 @@
+//! The running-time column of Table 6: wall-clock inference time of every
+//! method on (scaled) versions of all five datasets.
+//!
+//! The paper's absolute numbers come from Python on a 2.4 GHz server; the
+//! *relative tiers* are algorithmic and must survive the port:
+//! direct computation (MV/Mean/Median) ≪ light EM (ZC/D&S/LFC/CATD/PM/
+//! LFC_N) < sampling & message passing (BCC/CBCC/KOS/VI-MF/Multi) <
+//! gradient-heavy methods (GLAD/Minimax/VI-BP).
+//!
+//! Run with: `cargo bench -p crowd-bench --bench table6_time`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use crowd_core::{InferenceOptions, Method};
+use crowd_data::datasets::PaperDataset;
+
+/// Scale for the benchmark instances. Keeps the full sweep (17 methods ×
+/// 5 datasets) in minutes; the time *ratios* between methods are stable
+/// across scales (see the `redundancy_scaling` bench for the growth
+/// curves).
+const SCALE: f64 = 0.1;
+
+fn bench_table6(c: &mut Criterion) {
+    for dataset_id in PaperDataset::ALL {
+        let dataset = dataset_id.generate(SCALE, 7);
+        let mut group = c.benchmark_group(format!("table6/{}", dataset_id.name()));
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_millis(300));
+        group.measurement_time(std::time::Duration::from_secs(2));
+        for method in Method::ALL {
+            let instance = method.build();
+            if !instance.supports(dataset.task_type()) {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::from_parameter(method.name()),
+                &dataset,
+                |b, d| {
+                    let opts = InferenceOptions::seeded(7);
+                    b.iter(|| {
+                        let r = instance.infer(black_box(d), &opts).expect("method runs");
+                        black_box(r.truths.len())
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_table6);
+criterion_main!(benches);

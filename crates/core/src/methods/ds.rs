@@ -1,0 +1,308 @@
+//! D&S — Dawid & Skene (Applied Statistics, 1979).
+//!
+//! The classical confusion-matrix EM (Section 5.3(2)): each worker is an
+//! `ℓ × ℓ` row-stochastic matrix `q^w` with `q^w[j][k] = Pr(answer k |
+//! truth j)`, plus a class prior. The paper's headline recommendation:
+//! "we recommend the classical method D&S, which is robust in practice"
+//! (Section 7).
+//!
+//! The implementation is shared with [`super::Lfc`], which is D&S plus
+//! Dirichlet (Beta) priors on the confusion rows; D&S itself uses a tiny
+//! symmetric smoothing count purely for numerical safety.
+
+use crowd_data::{Dataset, TaskType};
+use crowd_stats::{dist::log_normalize, ConvergenceTracker};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::framework::{
+    validate_common, InferenceError, InferenceOptions, InferenceResult, QualityInit,
+    TruthInference, WorkerQuality,
+};
+use crate::views::{initial_accuracy, Cat};
+
+/// Shared EM engine for D&S-family methods.
+///
+/// `diag_prior`/`off_prior` are Dirichlet pseudo-counts added to the
+/// diagonal/off-diagonal confusion cells in the M-step; `prior_strength`
+/// scales both.
+pub(crate) struct DsEngine {
+    pub method: &'static str,
+    pub diag_prior: f64,
+    pub off_prior: f64,
+}
+
+impl DsEngine {
+    pub fn run(
+        &self,
+        dataset: &Dataset,
+        options: &InferenceOptions,
+    ) -> Result<InferenceResult, InferenceError> {
+        let cat = Cat::build(self.method, dataset, options, true)?;
+        let l = cat.l;
+
+        // Initial posteriors: majority vote; with qualification scores we
+        // instead seed per-worker confusion matrices and run an E-step
+        // first (the worker knowledge arrives through the matrices).
+        let mut post = cat.majority_posteriors();
+        let mut confusion: Vec<Vec<Vec<f64>>> = match &options.quality_init {
+            QualityInit::Uniform => Vec::new(),
+            QualityInit::Qualification(_) => {
+                let acc = initial_accuracy(options, cat.m, 0.7);
+                let matrices = acc
+                    .iter()
+                    .map(|&a| {
+                        let off = (1.0 - a) / (l - 1).max(1) as f64;
+                        (0..l)
+                            .map(|j| (0..l).map(|k| if j == k { a } else { off }).collect())
+                            .collect()
+                    })
+                    .collect::<Vec<Vec<Vec<f64>>>>();
+                matrices
+            }
+        };
+        let mut class_prior = vec![1.0 / l as f64; l];
+
+        let mut tracker = ConvergenceTracker::new(options.tolerance, options.max_iterations);
+        let mut iterations = 0usize;
+        let converged;
+
+        // When qualification matrices exist, run an E-step before the
+        // first M-step so the seeded qualities matter.
+        let mut need_estep_first = !confusion.is_empty();
+
+        loop {
+            if need_estep_first {
+                self.e_step(&cat, &confusion, &class_prior, &mut post);
+                need_estep_first = false;
+            }
+
+            // M-step: confusion matrices and class prior from expected
+            // counts.
+            confusion = (0..cat.m)
+                .map(|w| {
+                    let mut counts = vec![vec![self.off_prior; l]; l];
+                    for (j, row) in counts.iter_mut().enumerate() {
+                        row[j] = self.diag_prior;
+                    }
+                    for &(task, label) in &cat.by_worker[w] {
+                        for j in 0..l {
+                            counts[j][label as usize] += post[task][j];
+                        }
+                    }
+                    for row in &mut counts {
+                        let total: f64 = row.iter().sum();
+                        row.iter_mut().for_each(|c| *c /= total);
+                    }
+                    counts
+                })
+                .collect();
+            for z in 0..l {
+                class_prior[z] =
+                    post.iter().map(|p| p[z]).sum::<f64>() / cat.n.max(1) as f64;
+            }
+            // Guard against a degenerate all-zero prior.
+            let prior_sum: f64 = class_prior.iter().sum();
+            if prior_sum <= 0.0 {
+                class_prior.fill(1.0 / l as f64);
+            }
+
+            // E-step.
+            self.e_step(&cat, &confusion, &class_prior, &mut post);
+
+            // Track convergence on the flattened confusion parameters.
+            let flat: Vec<f64> =
+                confusion.iter().flat_map(|m| m.iter().flatten().copied()).collect();
+            iterations += 1;
+            if tracker.step(&flat) {
+                converged = tracker.converged();
+                break;
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let labels = cat.decode(&post, &mut rng);
+        Ok(InferenceResult {
+            truths: Cat::answers(&labels),
+            worker_quality: confusion.into_iter().map(WorkerQuality::Confusion).collect(),
+            iterations,
+            converged,
+            posteriors: Some(post),
+        })
+    }
+
+    fn e_step(
+        &self,
+        cat: &Cat,
+        confusion: &[Vec<Vec<f64>>],
+        class_prior: &[f64],
+        post: &mut [Vec<f64>],
+    ) {
+        for task in 0..cat.n {
+            if cat.golden[task].is_some() || cat.by_task[task].is_empty() {
+                continue;
+            }
+            let mut logp: Vec<f64> =
+                class_prior.iter().map(|&p| p.max(1e-12).ln()).collect();
+            for &(worker, label) in &cat.by_task[task] {
+                let m = &confusion[worker];
+                for (j, lp) in logp.iter_mut().enumerate() {
+                    *lp += m[j][label as usize].max(1e-12).ln();
+                }
+            }
+            log_normalize(&mut logp);
+            post[task] = logp;
+        }
+        cat.clamp_golden(post);
+    }
+}
+
+/// Dawid–Skene EM.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ds;
+
+impl TruthInference for Ds {
+    fn name(&self) -> &'static str {
+        "D&S"
+    }
+
+    fn supports(&self, task_type: TaskType) -> bool {
+        task_type.is_categorical()
+    }
+
+    fn supports_qualification(&self) -> bool {
+        true
+    }
+
+    fn supports_golden(&self) -> bool {
+        true
+    }
+
+    fn infer(
+        &self,
+        dataset: &Dataset,
+        options: &InferenceOptions,
+    ) -> Result<InferenceResult, InferenceError> {
+        validate_common(self.name(), dataset, options, self.supports(dataset.task_type()))?;
+        // Near-zero symmetric smoothing: plain maximum likelihood.
+        DsEngine { method: self.name(), diag_prior: 0.01, off_prior: 0.01 }.run(dataset, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::test_support::*;
+    use crowd_data::{Answer, GoldenSplit};
+
+    #[test]
+    fn reasonable_on_toy_example() {
+        // The toy admits a competing EM optimum; D&S must at least match
+        // majority-vote quality (4/6).
+        let d = toy();
+        let r = Ds.infer(&d, &InferenceOptions::seeded(1)).unwrap();
+        assert_result_sane(&d, &r);
+        let acc = accuracy(&d, &r);
+        assert!(acc >= 4.0 / 6.0, "toy accuracy {acc}");
+    }
+
+    #[test]
+    fn confusion_matrices_are_row_stochastic() {
+        let d = small_decision();
+        let r = Ds.infer(&d, &InferenceOptions::seeded(1)).unwrap();
+        for q in &r.worker_quality {
+            let WorkerQuality::Confusion(m) = q else { panic!("expected confusion") };
+            assert_eq!(m.len(), 2);
+            for row in m {
+                let s: f64 = row.iter().sum();
+                assert!((s - 1.0).abs() < 1e-9, "row sums to {s}");
+                assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            }
+        }
+    }
+
+    #[test]
+    fn strong_on_decision_data() {
+        let d = small_decision();
+        assert_accuracy_at_least(&Ds, &d, 0.85);
+    }
+
+    #[test]
+    fn captures_asymmetric_error_structure() {
+        // On D_Product-like data the simulator makes class 1 ('F') easier
+        // than class 0 ('T'); D&S should recover diag[1] > diag[0] on
+        // average — the very capability the paper credits for its win.
+        let d = small_decision();
+        let r = Ds.infer(&d, &InferenceOptions::seeded(1)).unwrap();
+        let mut diag0 = 0.0;
+        let mut diag1 = 0.0;
+        let mut count = 0.0;
+        for q in &r.worker_quality {
+            if let WorkerQuality::Confusion(m) = q {
+                diag0 += m[0][0];
+                diag1 += m[1][1];
+                count += 1.0;
+            }
+        }
+        assert!(
+            diag1 / count > diag0 / count,
+            "expected q_FF > q_TT on average: {} vs {}",
+            diag1 / count,
+            diag0 / count
+        );
+    }
+
+    #[test]
+    fn single_choice_beats_mv() {
+        use crate::methods::Mv;
+        let d = small_single();
+        let ds = Ds.infer(&d, &InferenceOptions::seeded(2)).unwrap();
+        let mv = Mv.infer(&d, &InferenceOptions::seeded(2)).unwrap();
+        let (a_ds, a_mv) = (accuracy(&d, &ds), accuracy(&d, &mv));
+        assert!(
+            a_ds + 0.02 >= a_mv,
+            "D&S {a_ds} should not lose clearly to MV {a_mv} on S_Rel-like data"
+        );
+    }
+
+    #[test]
+    fn golden_tasks_clamped() {
+        let d = small_decision();
+        let split = GoldenSplit::sample(&d, 0.2, 4);
+        let opts = InferenceOptions {
+            golden: Some(split.revealed.clone()),
+            ..InferenceOptions::seeded(4)
+        };
+        let r = Ds.infer(&d, &opts).unwrap();
+        for &t in &split.golden {
+            assert_eq!(Some(r.truths[t]), d.truth(t));
+        }
+    }
+
+    #[test]
+    fn qualification_init_runs() {
+        let d = small_decision();
+        let q = crowd_data::bootstrap_qualification(&d, 20, 5);
+        let opts = InferenceOptions {
+            quality_init: crate::framework::QualityInit::Qualification(q.accuracy),
+            ..InferenceOptions::seeded(5)
+        };
+        let r = Ds.infer(&d, &opts).unwrap();
+        let acc = accuracy(&d, &r);
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn handles_task_with_no_answers() {
+        use crowd_data::{DatasetBuilder, TaskType};
+        let mut b = DatasetBuilder::new("gap", TaskType::DecisionMaking, 3, 2);
+        b.add_label(0, 0, 0).unwrap();
+        b.add_label(0, 1, 0).unwrap();
+        b.add_label(2, 0, 1).unwrap();
+        // task 1 receives no answers
+        let d = b.build();
+        let r = Ds.infer(&d, &InferenceOptions::seeded(0)).unwrap();
+        assert_eq!(r.truths.len(), 3);
+        assert!(matches!(r.truths[1], Answer::Label(_)));
+    }
+}

@@ -1,0 +1,243 @@
+//! GLAD — Whitehill et al. (NIPS 2009): "Whose vote should count more".
+//!
+//! The only method in the benchmark with a *task model* besides Minimax:
+//! each task has a difficulty `1/β_i` (`β_i > 0`, larger = easier) and
+//! each worker an ability `α_w ∈ ℝ`; the probability a worker answers
+//! correctly is `σ(α_w · β_i)` (Section 4.1.1). Errors spread uniformly
+//! over the remaining `ℓ − 1` choices (the standard multi-class
+//! generalisation). Inference is EM with gradient ascent in the M-step —
+//! which is also why GLAD is orders of magnitude slower than D&S in
+//! Table 6.
+
+use crowd_data::{Dataset, TaskType};
+use crowd_stats::{dist::log_normalize, ConvergenceTracker};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::framework::{
+    validate_common, InferenceError, InferenceOptions, InferenceResult, TruthInference,
+    WorkerQuality,
+};
+use crate::views::{initial_accuracy, Cat};
+
+/// GLAD: worker ability × task difficulty EM.
+#[derive(Debug, Clone, Copy)]
+pub struct Glad {
+    /// Gradient-ascent learning rate in the M-step.
+    pub learning_rate: f64,
+    /// Gradient steps per M-step.
+    pub gradient_steps: usize,
+    /// Gaussian prior precision pulling `α_w` toward 1 and `ln β_i`
+    /// toward 0 (regularisation used in the reference implementation).
+    pub prior_precision: f64,
+}
+
+impl Default for Glad {
+    fn default() -> Self {
+        Self { learning_rate: 0.05, gradient_steps: 12, prior_precision: 0.01 }
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl TruthInference for Glad {
+    fn name(&self) -> &'static str {
+        "GLAD"
+    }
+
+    fn supports(&self, task_type: TaskType) -> bool {
+        task_type.is_categorical()
+    }
+
+    fn supports_qualification(&self) -> bool {
+        true
+    }
+
+    fn supports_golden(&self) -> bool {
+        true
+    }
+
+    fn infer(
+        &self,
+        dataset: &Dataset,
+        options: &InferenceOptions,
+    ) -> Result<InferenceResult, InferenceError> {
+        validate_common(self.name(), dataset, options, self.supports(dataset.task_type()))?;
+        let cat = Cat::build(self.name(), dataset, options, true)?;
+        let lm1 = (cat.l - 1).max(1) as f64;
+
+        // α_w from qualification accuracy via the inverse of σ at β = 1
+        // (log-odds against uniform error), else 1.0.
+        let init_acc = initial_accuracy(options, cat.m, sigmoid(1.0));
+        let mut alpha: Vec<f64> = init_acc
+            .iter()
+            .map(|&a| (a / (1.0 - a)).ln().clamp(-4.0, 4.0))
+            .collect();
+        // ln β_i = 0 (difficulty 1).
+        let mut log_beta = vec![0.0f64; cat.n];
+
+        let mut post = cat.majority_posteriors();
+        let mut tracker = ConvergenceTracker::new(options.tolerance, options.max_iterations);
+
+        loop {
+            // E-step: Pr(z | answers, α, β).
+            for task in 0..cat.n {
+                if cat.golden[task].is_some() || cat.by_task[task].is_empty() {
+                    continue;
+                }
+                let beta = log_beta[task].exp();
+                let mut logp = vec![0.0f64; cat.l];
+                for &(worker, label) in &cat.by_task[task] {
+                    let p_correct = sigmoid(alpha[worker] * beta).clamp(1e-9, 1.0 - 1e-9);
+                    for (z, lp) in logp.iter_mut().enumerate() {
+                        let p = if z == label as usize { p_correct } else { (1.0 - p_correct) / lm1 };
+                        *lp += p.ln();
+                    }
+                }
+                log_normalize(&mut logp);
+                post[task] = logp;
+            }
+            cat.clamp_golden(&mut post);
+
+            // M-step: gradient ascent on the expected complete-data
+            // log-likelihood Q(α, ln β).
+            //
+            // With p_iw = Pr(worker w correct on i | posterior) =
+            // post[i][v_iw], and s = σ(α_w β_i):
+            //   ∂Q/∂α_w    = Σ_i β_i (p_iw − s_iw) − λ(α_w − 1)
+            //   ∂Q/∂ln β_i = β_i Σ_w α_w (p_iw − s_iw) − λ ln β_i
+            for _ in 0..self.gradient_steps {
+                let mut grad_alpha = vec![0.0f64; cat.m];
+                let mut grad_logbeta = vec![0.0f64; cat.n];
+                for task in 0..cat.n {
+                    let beta = log_beta[task].exp();
+                    for &(worker, label) in &cat.by_task[task] {
+                        let s = sigmoid(alpha[worker] * beta);
+                        let p = post[task][label as usize];
+                        grad_alpha[worker] += beta * (p - s);
+                        grad_logbeta[task] += beta * alpha[worker] * (p - s);
+                    }
+                }
+                for (w, g) in grad_alpha.iter().enumerate() {
+                    alpha[w] += self.learning_rate
+                        * (g - self.prior_precision * (alpha[w] - 1.0));
+                    alpha[w] = alpha[w].clamp(-8.0, 8.0);
+                }
+                for (t, g) in grad_logbeta.iter().enumerate() {
+                    log_beta[t] +=
+                        self.learning_rate * (g - self.prior_precision * log_beta[t]);
+                    log_beta[t] = log_beta[t].clamp(-4.0, 4.0);
+                }
+            }
+
+            let mut params = alpha.clone();
+            params.extend_from_slice(&log_beta);
+            if tracker.step(&params) {
+                break;
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let labels = cat.decode(&post, &mut rng);
+        Ok(InferenceResult {
+            truths: Cat::answers(&labels),
+            // Report σ(α) — the worker's correctness probability on a
+            // difficulty-1 task — as the scalar quality.
+            worker_quality: alpha
+                .into_iter()
+                .map(|a| WorkerQuality::Probability(sigmoid(a)))
+                .collect(),
+            iterations: tracker.iterations(),
+            converged: tracker.converged(),
+            posteriors: Some(post),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::test_support::*;
+
+    #[test]
+    fn reasonable_on_toy_example() {
+        let d = toy();
+        let r = Glad::default().infer(&d, &InferenceOptions::seeded(2)).unwrap();
+        assert_result_sane(&d, &r);
+        let acc = accuracy(&d, &r);
+        assert!(acc >= 4.0 / 6.0, "toy accuracy {acc}");
+    }
+
+    #[test]
+    fn good_on_decision_data() {
+        let d = small_decision();
+        assert_accuracy_at_least(&Glad::default(), &d, 0.77);
+    }
+
+    #[test]
+    fn ranks_better_workers_higher() {
+        let d = small_decision();
+        let r = Glad::default().infer(&d, &InferenceOptions::seeded(2)).unwrap();
+        // Correlate estimated quality with empirical accuracy.
+        let mut pairs = Vec::new();
+        for w in 0..d.num_workers() {
+            let mut total = 0usize;
+            let mut correct = 0usize;
+            for rec in d.answers_by_worker(w) {
+                if let Some(t) = d.truth(rec.task) {
+                    total += 1;
+                    if rec.answer == t {
+                        correct += 1;
+                    }
+                }
+            }
+            if total >= 10 {
+                let emp = correct as f64 / total as f64;
+                pairs.push((r.worker_quality[w].scalar().unwrap(), emp));
+            }
+        }
+        // Spearman-ish check: split on empirical median, compare means.
+        let med = {
+            let mut e: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            e.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            e[e.len() / 2]
+        };
+        let hi: Vec<f64> = pairs.iter().filter(|p| p.1 > med).map(|p| p.0).collect();
+        let lo: Vec<f64> = pairs.iter().filter(|p| p.1 <= med).map(|p| p.0).collect();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(
+            mean(&hi) > mean(&lo),
+            "estimated quality not ordered: hi {} lo {}",
+            mean(&hi),
+            mean(&lo)
+        );
+    }
+
+    #[test]
+    fn golden_clamped() {
+        use crowd_data::GoldenSplit;
+        let d = small_decision();
+        let split = GoldenSplit::sample(&d, 0.25, 8);
+        let opts = InferenceOptions {
+            golden: Some(split.revealed.clone()),
+            ..InferenceOptions::seeded(8)
+        };
+        let r = Glad::default().infer(&d, &opts).unwrap();
+        for &t in &split.golden {
+            assert_eq!(Some(r.truths[t]), d.truth(t));
+        }
+    }
+
+    #[test]
+    fn rejects_numeric() {
+        let d = small_numeric();
+        assert!(Glad::default().infer(&d, &InferenceOptions::default()).is_err());
+    }
+}

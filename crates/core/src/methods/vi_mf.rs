@@ -1,0 +1,222 @@
+//! VI-MF — Variational inference with mean field (Liu, Peng & Ihler,
+//! NIPS 2012).
+//!
+//! Decision-making tasks (Table 4). Unlike ZC/D&S, which point-estimate
+//! worker parameters, VI methods are *Bayesian estimators* (Section
+//! 5.3(1), Equation 2): they integrate over worker confusion matrices
+//! under Dirichlet priors. Mean field approximates the joint posterior as
+//! `q(z) Π_i q(z_i) Π_w q(π^w)` with closed-form coordinate updates:
+//!
+//! - `q(π^w_j) = Dirichlet(α_j + expected counts of w's answers given
+//!   truth j)`;
+//! - `q(z_i = j) ∝ exp( Σ_{w∈W_i} E[ln π^w_j,v_iw] )` where
+//!   `E[ln π_jk] = ψ(α̂_jk) − ψ(Σ_k α̂_jk)`.
+
+use crowd_data::{Dataset, TaskType};
+use crowd_stats::special::digamma;
+use crowd_stats::{dist::log_normalize, ConvergenceTracker};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::framework::{
+    validate_common, InferenceError, InferenceOptions, InferenceResult, TruthInference,
+    WorkerQuality,
+};
+use crate::views::{initial_accuracy, Cat};
+
+/// Mean-field variational inference over the confusion-matrix model.
+#[derive(Debug, Clone, Copy)]
+pub struct ViMf {
+    /// Dirichlet prior pseudo-count on diagonal cells.
+    pub diag_prior: f64,
+    /// Dirichlet prior pseudo-count on off-diagonal cells.
+    pub off_prior: f64,
+}
+
+impl Default for ViMf {
+    fn default() -> Self {
+        // The "workers are better than chance" prior used by Liu et al.
+        Self { diag_prior: 2.0, off_prior: 1.0 }
+    }
+}
+
+impl TruthInference for ViMf {
+    fn name(&self) -> &'static str {
+        "VI-MF"
+    }
+
+    fn supports(&self, task_type: TaskType) -> bool {
+        task_type == TaskType::DecisionMaking
+    }
+
+    fn supports_qualification(&self) -> bool {
+        true
+    }
+
+    fn supports_golden(&self) -> bool {
+        true
+    }
+
+    fn infer(
+        &self,
+        dataset: &Dataset,
+        options: &InferenceOptions,
+    ) -> Result<InferenceResult, InferenceError> {
+        validate_common(self.name(), dataset, options, self.supports(dataset.task_type()))?;
+        let cat = Cat::build(self.name(), dataset, options, true)?;
+        let l = cat.l;
+
+        // Initial posteriors: majority vote, possibly sharpened by
+        // qualification-test accuracies via one weighted-vote pass.
+        let mut post = cat.majority_posteriors();
+        if let crate::framework::QualityInit::Qualification(_) = &options.quality_init {
+            let acc = initial_accuracy(options, cat.m, 0.7);
+            for task in 0..cat.n {
+                if cat.golden[task].is_some() || cat.by_task[task].is_empty() {
+                    continue;
+                }
+                let mut logp = vec![0.0f64; l];
+                for &(worker, label) in &cat.by_task[task] {
+                    let a = acc[worker];
+                    for (z, lp) in logp.iter_mut().enumerate() {
+                        let p = if z == label as usize { a } else { (1.0 - a) / (l - 1) as f64 };
+                        *lp += p.max(1e-9).ln();
+                    }
+                }
+                log_normalize(&mut logp);
+                post[task] = logp;
+            }
+            cat.clamp_golden(&mut post);
+        }
+
+        // Variational Dirichlet parameters per worker row.
+        let mut alpha_hat = vec![vec![vec![0.0f64; l]; l]; cat.m];
+        let mut tracker = ConvergenceTracker::new(options.tolerance, options.max_iterations);
+
+        loop {
+            // Update q(π^w): prior + expected counts.
+            for w in 0..cat.m {
+                for j in 0..l {
+                    for k in 0..l {
+                        alpha_hat[w][j][k] =
+                            if j == k { self.diag_prior } else { self.off_prior };
+                    }
+                }
+                for &(task, label) in &cat.by_worker[w] {
+                    for j in 0..l {
+                        alpha_hat[w][j][label as usize] += post[task][j];
+                    }
+                }
+            }
+
+            // Expected log-confusions.
+            let eln: Vec<Vec<Vec<f64>>> = alpha_hat
+                .iter()
+                .map(|rows| {
+                    rows.iter()
+                        .map(|row| {
+                            let total: f64 = row.iter().sum();
+                            let d_total = digamma(total);
+                            row.iter().map(|&a| digamma(a) - d_total).collect()
+                        })
+                        .collect()
+                })
+                .collect();
+
+            // Update q(z_i).
+            for task in 0..cat.n {
+                if cat.golden[task].is_some() || cat.by_task[task].is_empty() {
+                    continue;
+                }
+                let mut logp = vec![0.0f64; l];
+                for &(worker, label) in &cat.by_task[task] {
+                    for (j, lp) in logp.iter_mut().enumerate() {
+                        *lp += eln[worker][j][label as usize];
+                    }
+                }
+                log_normalize(&mut logp);
+                post[task] = logp;
+            }
+            cat.clamp_golden(&mut post);
+
+            let flat: Vec<f64> = post.iter().flatten().copied().collect();
+            if tracker.step(&flat) {
+                break;
+            }
+        }
+
+        // Posterior-mean confusion matrices for reporting.
+        let confusion: Vec<Vec<Vec<f64>>> = alpha_hat
+            .iter()
+            .map(|rows| {
+                rows.iter()
+                    .map(|row| {
+                        let total: f64 = row.iter().sum();
+                        row.iter().map(|&a| a / total).collect()
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let labels = cat.decode(&post, &mut rng);
+        Ok(InferenceResult {
+            truths: Cat::answers(&labels),
+            worker_quality: confusion.into_iter().map(WorkerQuality::Confusion).collect(),
+            iterations: tracker.iterations(),
+            converged: tracker.converged(),
+            posteriors: Some(post),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::test_support::*;
+
+    #[test]
+    fn reasonable_on_toy_example() {
+        let d = toy();
+        let r = ViMf::default().infer(&d, &InferenceOptions::seeded(2)).unwrap();
+        assert_result_sane(&d, &r);
+        let acc = accuracy(&d, &r);
+        assert!(acc >= 4.0 / 6.0, "toy accuracy {acc}");
+    }
+
+    #[test]
+    fn strong_on_balanced_decision_data() {
+        let d = crowd_data::datasets::PaperDataset::DPosSent.generate(0.2, 31);
+        assert_accuracy_at_least(&ViMf::default(), &d, 0.90);
+    }
+
+    #[test]
+    fn reasonable_on_imbalanced_data() {
+        // Table 6 shape: VI-MF (83.9%) lands *below* MV (89.7%) on the
+        // imbalanced D_Product; our simulator reproduces that gap.
+        let d = small_decision();
+        assert_accuracy_at_least(&ViMf::default(), &d, 0.70);
+    }
+
+    #[test]
+    fn golden_clamped() {
+        use crowd_data::GoldenSplit;
+        let d = small_decision();
+        let split = GoldenSplit::sample(&d, 0.25, 2);
+        let opts = InferenceOptions {
+            golden: Some(split.revealed.clone()),
+            ..InferenceOptions::seeded(2)
+        };
+        let r = ViMf::default().infer(&d, &opts).unwrap();
+        for &t in &split.golden {
+            assert_eq!(Some(r.truths[t]), d.truth(t));
+        }
+    }
+
+    #[test]
+    fn rejects_single_choice() {
+        // Table 4 lists VI methods under decision-making only.
+        let d = small_single();
+        assert!(ViMf::default().infer(&d, &InferenceOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,222 @@
+//! ZC — ZenCrowd (Demartini, Difallah, Cudré-Mauroux, WWW 2012).
+//!
+//! The basic worker-probability PGM (Section 5.3(1)): each worker is a
+//! single reliability `q^w ∈ [0, 1]`; a correct answer is emitted with
+//! probability `q^w` and errors spread uniformly over the other `ℓ − 1`
+//! choices. Truths are latent; the likelihood `Pr(V | {q^w})` (Equation 1)
+//! is maximised with EM.
+//!
+//! Supports qualification-test initialisation (`q^w` ← test accuracy) and
+//! hidden-test golden tasks (posterior clamped at the revealed truth),
+//! matching the paper's §6.3.2–6.3.3 method lists.
+
+use crowd_data::{Dataset, TaskType};
+use crowd_stats::{dist::log_normalize, ConvergenceTracker};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::framework::{
+    validate_common, InferenceError, InferenceOptions, InferenceResult, TruthInference,
+    WorkerQuality,
+};
+use crate::views::{initial_accuracy, Cat};
+
+/// ZenCrowd: EM over one-probability workers.
+#[derive(Debug, Clone, Copy)]
+pub struct Zc {
+    /// Pseudo-count smoothing of the M-step (Beta(α, α) prior on `q^w`);
+    /// keeps qualities off the 0/1 boundary.
+    pub smoothing: f64,
+}
+
+impl Default for Zc {
+    fn default() -> Self {
+        Self { smoothing: 1.0 }
+    }
+}
+
+impl TruthInference for Zc {
+    fn name(&self) -> &'static str {
+        "ZC"
+    }
+
+    fn supports(&self, task_type: TaskType) -> bool {
+        task_type.is_categorical()
+    }
+
+    fn supports_qualification(&self) -> bool {
+        true
+    }
+
+    fn supports_golden(&self) -> bool {
+        true
+    }
+
+    fn infer(
+        &self,
+        dataset: &Dataset,
+        options: &InferenceOptions,
+    ) -> Result<InferenceResult, InferenceError> {
+        validate_common(self.name(), dataset, options, self.supports(dataset.task_type()))?;
+        let cat = Cat::build(self.name(), dataset, options, true)?;
+        let lm1 = (cat.l - 1).max(1) as f64;
+
+        let mut quality = initial_accuracy(options, cat.m, 0.7);
+        let mut post = cat.majority_posteriors();
+        let mut tracker = ConvergenceTracker::new(options.tolerance, options.max_iterations);
+
+        loop {
+            // E-step: posterior over each task's truth under current q.
+            for task in 0..cat.n {
+                if cat.golden[task].is_some() {
+                    continue; // stays clamped
+                }
+                if cat.by_task[task].is_empty() {
+                    continue; // stays uniform
+                }
+                let mut logp = vec![0.0f64; cat.l];
+                for &(worker, label) in &cat.by_task[task] {
+                    let q = quality[worker];
+                    for (z, lp) in logp.iter_mut().enumerate() {
+                        let p = if z == label as usize { q } else { (1.0 - q) / lm1 };
+                        *lp += p.max(1e-12).ln();
+                    }
+                }
+                log_normalize(&mut logp);
+                post[task] = logp;
+            }
+            cat.clamp_golden(&mut post);
+
+            // M-step: expected fraction of correct answers per worker,
+            // smoothed by a symmetric Beta prior.
+            for w in 0..cat.m {
+                let mut expected_correct = 0.0;
+                for &(task, label) in &cat.by_worker[w] {
+                    expected_correct += post[task][label as usize];
+                }
+                let denom = cat.by_worker[w].len() as f64 + 2.0 * self.smoothing;
+                quality[w] = (expected_correct + self.smoothing) / denom;
+            }
+
+            if tracker.step(&quality) {
+                break;
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let labels = cat.decode(&post, &mut rng);
+        Ok(InferenceResult {
+            truths: Cat::answers(&labels),
+            worker_quality: quality.into_iter().map(WorkerQuality::Probability).collect(),
+            iterations: tracker.iterations(),
+            converged: tracker.converged(),
+            posteriors: Some(post),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::QualityInit;
+    use crate::methods::test_support::*;
+    use crowd_data::{Answer, GoldenSplit};
+
+    #[test]
+    fn reasonable_on_toy_example() {
+        // The 6-task example admits a second EM optimum (treating w2 as
+        // the oracle); the paper only demonstrates exact recovery for PM.
+        // ZC must at least match majority-vote quality and recover t1 as
+        // 'T' (it breaks the tie through worker weighting).
+        let d = toy();
+        let r = Zc::default().infer(&d, &InferenceOptions::seeded(5)).unwrap();
+        assert_result_sane(&d, &r);
+        assert_eq!(r.truths[0], Answer::Label(0), "t1 should resolve to T");
+        let acc = accuracy(&d, &r);
+        assert!(acc >= 4.0 / 6.0, "toy accuracy {acc}");
+    }
+
+    #[test]
+    fn quality_estimates_track_empirical_accuracy() {
+        let d = small_decision();
+        let r = Zc::default().infer(&d, &InferenceOptions::seeded(5)).unwrap();
+        // Workers with high empirical accuracy should get high estimated
+        // quality (compare top and bottom halves).
+        let mut pairs = Vec::new();
+        for w in 0..d.num_workers() {
+            let (mut total, mut correct) = (0usize, 0usize);
+            for rec in d.answers_by_worker(w) {
+                if let Some(t) = d.truth(rec.task) {
+                    total += 1;
+                    if rec.answer == t {
+                        correct += 1;
+                    }
+                }
+            }
+            if total >= 10 {
+                pairs.push((r.worker_quality[w].scalar().unwrap(), correct as f64 / total as f64));
+            }
+        }
+        pairs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let half = pairs.len() / 2;
+        let lo: f64 = pairs[..half].iter().map(|p| p.0).sum::<f64>() / half as f64;
+        let hi: f64 =
+            pairs[half..].iter().map(|p| p.0).sum::<f64>() / (pairs.len() - half) as f64;
+        assert!(hi > lo, "estimated quality not ordered: hi {hi} lo {lo}");
+    }
+
+    #[test]
+    fn beats_mv_on_small_decision_sim() {
+        let d = small_decision();
+        let zc = assert_accuracy_at_least(&Zc::default(), &d, 0.80);
+        assert!(zc.converged, "ZC did not converge in 100 iterations");
+    }
+
+    #[test]
+    fn qualification_initialisation_is_accepted_and_sane() {
+        let d = small_decision();
+        let q = crowd_data::bootstrap_qualification(&d, 20, 3);
+        let opts = InferenceOptions {
+            quality_init: QualityInit::Qualification(q.accuracy),
+            ..InferenceOptions::seeded(3)
+        };
+        let r = Zc::default().infer(&d, &opts).unwrap();
+        assert_result_sane(&d, &r);
+        let acc = accuracy(&d, &r);
+        assert!(acc > 0.8, "accuracy with qualification {acc}");
+    }
+
+    #[test]
+    fn golden_tasks_are_clamped_and_help() {
+        let d = small_single();
+        let split = GoldenSplit::sample(&d, 0.3, 9);
+        let opts = InferenceOptions {
+            golden: Some(split.revealed.clone()),
+            ..InferenceOptions::seeded(9)
+        };
+        let r = Zc::default().infer(&d, &opts).unwrap();
+        // Golden truths must come back verbatim.
+        for &t in &split.golden {
+            assert_eq!(Some(r.truths[t]), d.truth(t), "golden task {t} not clamped");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_qualification_length() {
+        let d = toy();
+        let opts = InferenceOptions {
+            quality_init: QualityInit::Qualification(vec![Some(0.9)]),
+            ..Default::default()
+        };
+        assert!(matches!(
+            Zc::default().infer(&d, &opts),
+            Err(InferenceError::BadOptions { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_numeric() {
+        let d = small_numeric();
+        assert!(Zc::default().infer(&d, &InferenceOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! Name-based method registry used by the experiment harness and CLI.
+
+use crowd_data::TaskType;
+
+use crate::framework::TruthInference;
+use crate::methods::{
+    Bcc, Catd, Cbcc, Ds, Glad, Kos, Lfc, LfcN, MeanAgg, MedianAgg, Minimax, Multi, Mv, Pm, ViBp,
+    ViMf, Zc,
+};
+
+/// Enumeration of the seventeen benchmark methods (Table 4 order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variants mirror the paper's method names
+pub enum Method {
+    Mv,
+    Zc,
+    Glad,
+    Ds,
+    Minimax,
+    Bcc,
+    Cbcc,
+    Lfc,
+    Catd,
+    Pm,
+    Multi,
+    Kos,
+    ViBp,
+    ViMf,
+    LfcN,
+    Mean,
+    Median,
+}
+
+impl Method {
+    /// All seventeen methods, in the paper's Table 4 / Table 6 order.
+    pub const ALL: [Method; 17] = [
+        Method::Mv,
+        Method::Zc,
+        Method::Glad,
+        Method::Ds,
+        Method::Minimax,
+        Method::Bcc,
+        Method::Cbcc,
+        Method::Lfc,
+        Method::Catd,
+        Method::Pm,
+        Method::Multi,
+        Method::Kos,
+        Method::ViBp,
+        Method::ViMf,
+        Method::LfcN,
+        Method::Mean,
+        Method::Median,
+    ];
+
+    /// The paper's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Mv => "MV",
+            Self::Zc => "ZC",
+            Self::Glad => "GLAD",
+            Self::Ds => "D&S",
+            Self::Minimax => "Minimax",
+            Self::Bcc => "BCC",
+            Self::Cbcc => "CBCC",
+            Self::Lfc => "LFC",
+            Self::Catd => "CATD",
+            Self::Pm => "PM",
+            Self::Multi => "Multi",
+            Self::Kos => "KOS",
+            Self::ViBp => "VI-BP",
+            Self::ViMf => "VI-MF",
+            Self::LfcN => "LFC_N",
+            Self::Mean => "Mean",
+            Self::Median => "Median",
+        }
+    }
+
+    /// Parse a method from its (case-insensitive) display name. Accepts a
+    /// few aliases (`DS`, `D&S`, `LFCN`).
+    pub fn parse(name: &str) -> Option<Method> {
+        let lower = name.to_ascii_lowercase().replace(['&', '-', '_'], "");
+        Some(match lower.as_str() {
+            "mv" | "majorityvoting" | "majority" => Self::Mv,
+            "zc" | "zencrowd" => Self::Zc,
+            "glad" => Self::Glad,
+            "ds" | "dawidskene" => Self::Ds,
+            "minimax" => Self::Minimax,
+            "bcc" => Self::Bcc,
+            "cbcc" => Self::Cbcc,
+            "lfc" => Self::Lfc,
+            "catd" => Self::Catd,
+            "pm" | "crh" => Self::Pm,
+            "multi" => Self::Multi,
+            "kos" => Self::Kos,
+            "vibp" => Self::ViBp,
+            "vimf" => Self::ViMf,
+            "lfcn" => Self::LfcN,
+            "mean" => Self::Mean,
+            "median" => Self::Median,
+            _ => return None,
+        })
+    }
+
+    /// Instantiate the method with its default hyperparameters.
+    pub fn build(&self) -> Box<dyn TruthInference + Send + Sync> {
+        match self {
+            Self::Mv => Box::new(Mv),
+            Self::Zc => Box::new(Zc::default()),
+            Self::Glad => Box::new(Glad::default()),
+            Self::Ds => Box::new(Ds),
+            Self::Minimax => Box::new(Minimax::default()),
+            Self::Bcc => Box::new(Bcc::default()),
+            Self::Cbcc => Box::new(Cbcc::default()),
+            Self::Lfc => Box::new(Lfc::default()),
+            Self::Catd => Box::new(Catd::default()),
+            Self::Pm => Box::new(Pm::default()),
+            Self::Multi => Box::new(Multi::default()),
+            Self::Kos => Box::new(Kos::default()),
+            Self::ViBp => Box::new(ViBp::default()),
+            Self::ViMf => Box::new(ViMf::default()),
+            Self::LfcN => Box::new(LfcN::default()),
+            Self::Mean => Box::new(MeanAgg),
+            Self::Median => Box::new(MedianAgg),
+        }
+    }
+
+    /// Whether the method handles a task type (Table 4's first column).
+    pub fn supports(&self, task_type: TaskType) -> bool {
+        self.build().supports(task_type)
+    }
+
+    /// The methods applicable to a task type, in Table 4 order — e.g. the
+    /// 14 decision-making methods of Figure 4, the 10 single-choice
+    /// methods of Figure 5, the 5 numeric methods of Figure 6.
+    pub fn for_task_type(task_type: TaskType) -> Vec<Method> {
+        Self::ALL.iter().copied().filter(|m| m.supports(task_type)).collect()
+    }
+}
+
+/// Convenience module-level function mirroring [`Method::parse`].
+pub fn registry(name: &str) -> Option<Box<dyn TruthInference + Send + Sync>> {
+    Method::parse(name).map(|m| m.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seventeen_methods() {
+        assert_eq!(Method::ALL.len(), 17);
+        // Names are unique.
+        let mut names: Vec<&str> = Method::ALL.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 17);
+    }
+
+    #[test]
+    fn parse_roundtrips_display_names() {
+        for m in Method::ALL {
+            assert_eq!(Method::parse(m.name()), Some(m), "failed on {}", m.name());
+        }
+        assert_eq!(Method::parse("dawid-skene"), Some(Method::Ds));
+        assert_eq!(Method::parse("nope"), None);
+    }
+
+    #[test]
+    fn task_type_counts_match_paper_figures() {
+        // Figure 4 compares 14 methods on decision-making tasks.
+        assert_eq!(Method::for_task_type(TaskType::DecisionMaking).len(), 14);
+        // Figure 5 compares 10 methods on single-choice tasks.
+        assert_eq!(
+            Method::for_task_type(TaskType::SingleChoice { choices: 4 }).len(),
+            10
+        );
+        // Figure 6 compares 5 methods on numeric tasks.
+        assert_eq!(Method::for_task_type(TaskType::Numeric).len(), 5);
+    }
+
+    #[test]
+    fn build_matches_name() {
+        for m in Method::ALL {
+            assert_eq!(m.build().name(), m.name());
+        }
+    }
+
+    #[test]
+    fn qualification_and_golden_counts_match_paper() {
+        // §6.3.2: 8 methods accept qualification-test initialisation.
+        let qual = Method::ALL.iter().filter(|m| m.build().supports_qualification()).count();
+        assert_eq!(qual, 8);
+        // §6.3.3: 9 methods incorporate golden tasks.
+        let gold = Method::ALL.iter().filter(|m| m.build().supports_golden()).count();
+        assert_eq!(gold, 9);
+    }
+}

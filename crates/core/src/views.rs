@@ -1,0 +1,203 @@
+//! Internal dense views of a dataset, shared by the method
+//! implementations.
+//!
+//! Methods iterate the answer log thousands of times; these views extract
+//! the labels/values once, keep the task- and worker-adjacency as flat
+//! index lists, and carry the golden-task clamps from the options.
+
+use crowd_data::{Answer, Dataset};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::framework::{InferenceError, InferenceOptions};
+
+/// Dense categorical view: every answer as `(task, worker, label)` plus
+/// adjacency and golden clamps.
+pub(crate) struct Cat {
+    /// Number of tasks.
+    pub n: usize,
+    /// Number of workers.
+    pub m: usize,
+    /// Number of choices ℓ.
+    pub l: usize,
+    /// Per-task answers: `(worker, label)`.
+    pub by_task: Vec<Vec<(usize, u8)>>,
+    /// Per-worker answers: `(task, label)`.
+    pub by_worker: Vec<Vec<(usize, u8)>>,
+    /// Golden clamp per task (from `InferenceOptions::golden`).
+    pub golden: Vec<Option<u8>>,
+}
+
+impl Cat {
+    /// Build the view; fails on numeric datasets or malformed options.
+    pub fn build(
+        method: &'static str,
+        dataset: &Dataset,
+        options: &InferenceOptions,
+        use_golden: bool,
+    ) -> Result<Self, InferenceError> {
+        let l = dataset.num_choices().ok_or(InferenceError::UnsupportedTaskType {
+            method,
+            task_type: dataset.task_type(),
+        })? as usize;
+        let n = dataset.num_tasks();
+        let m = dataset.num_workers();
+        let mut by_task: Vec<Vec<(usize, u8)>> = vec![Vec::new(); n];
+        let mut by_worker: Vec<Vec<(usize, u8)>> = vec![Vec::new(); m];
+        for r in dataset.records() {
+            let label = r.answer.label().expect("categorical dataset holds labels");
+            by_task[r.task].push((r.worker, label));
+            by_worker[r.worker].push((r.task, label));
+        }
+        let golden = match (&options.golden, use_golden) {
+            (Some(g), true) => g
+                .iter()
+                .map(|t| t.as_ref().and_then(Answer::label))
+                .collect(),
+            _ => vec![None; n],
+        };
+        Ok(Self { n, m, l, by_task, by_worker, golden })
+    }
+
+    /// Soft majority-vote posteriors: per-task normalized label counts
+    /// (uniform when a task has no answers), with golden clamps applied.
+    /// The standard initialisation for EM-style methods.
+    pub fn majority_posteriors(&self) -> Vec<Vec<f64>> {
+        let mut post = vec![vec![0.0; self.l]; self.n];
+        for (task, answers) in self.by_task.iter().enumerate() {
+            if let Some(g) = self.golden[task] {
+                post[task][g as usize] = 1.0;
+                continue;
+            }
+            if answers.is_empty() {
+                post[task].fill(1.0 / self.l as f64);
+                continue;
+            }
+            for &(_, label) in answers {
+                post[task][label as usize] += 1.0;
+            }
+            let total: f64 = post[task].iter().sum();
+            post[task].iter_mut().for_each(|p| *p /= total);
+        }
+        post
+    }
+
+    /// Clamp golden tasks in a posterior matrix (delta at the truth).
+    pub fn clamp_golden(&self, post: &mut [Vec<f64>]) {
+        for (task, g) in self.golden.iter().enumerate() {
+            if let Some(truth) = g {
+                post[task].fill(0.0);
+                post[task][*truth as usize] = 1.0;
+            }
+        }
+    }
+
+    /// Decode MAP labels from posteriors, breaking exact ties uniformly
+    /// at random (the paper's MV behaviour on ties).
+    pub fn decode(&self, post: &[Vec<f64>], rng: &mut StdRng) -> Vec<u8> {
+        post.iter()
+            .map(|p| {
+                let best = p.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let ties: Vec<u8> = p
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| (v - best).abs() < 1e-12)
+                    .map(|(i, _)| i as u8)
+                    .collect();
+                if ties.len() == 1 {
+                    ties[0]
+                } else {
+                    ties[rng.gen_range(0..ties.len())]
+                }
+            })
+            .collect()
+    }
+
+    /// Convert decoded labels into `Answer`s.
+    pub fn answers(labels: &[u8]) -> Vec<Answer> {
+        labels.iter().map(|&l| Answer::Label(l)).collect()
+    }
+}
+
+/// Dense numeric view.
+pub(crate) struct Num {
+    /// Number of tasks.
+    pub n: usize,
+    /// Number of workers.
+    pub m: usize,
+    /// Per-task answers: `(worker, value)`.
+    pub by_task: Vec<Vec<(usize, f64)>>,
+    /// Per-worker answers: `(task, value)`.
+    pub by_worker: Vec<Vec<(usize, f64)>>,
+    /// Golden clamp per task.
+    pub golden: Vec<Option<f64>>,
+}
+
+impl Num {
+    /// Build the view; fails on categorical datasets.
+    pub fn build(
+        method: &'static str,
+        dataset: &Dataset,
+        options: &InferenceOptions,
+        use_golden: bool,
+    ) -> Result<Self, InferenceError> {
+        if dataset.task_type().is_categorical() {
+            return Err(InferenceError::UnsupportedTaskType {
+                method,
+                task_type: dataset.task_type(),
+            });
+        }
+        let n = dataset.num_tasks();
+        let m = dataset.num_workers();
+        let mut by_task: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        let mut by_worker: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+        for r in dataset.records() {
+            let v = r.answer.numeric().expect("numeric dataset holds numeric answers");
+            by_task[r.task].push((r.worker, v));
+            by_worker[r.worker].push((r.task, v));
+        }
+        let golden = match (&options.golden, use_golden) {
+            (Some(g), true) => g.iter().map(|t| t.as_ref().and_then(Answer::numeric)).collect(),
+            _ => vec![None; n],
+        };
+        Ok(Self { n, m, by_task, by_worker, golden })
+    }
+
+    /// Per-task mean (0.0 for unanswered tasks), golden clamps applied.
+    pub fn mean_estimates(&self) -> Vec<f64> {
+        (0..self.n)
+            .map(|t| {
+                if let Some(g) = self.golden[t] {
+                    return g;
+                }
+                let answers = &self.by_task[t];
+                if answers.is_empty() {
+                    0.0
+                } else {
+                    answers.iter().map(|&(_, v)| v).sum::<f64>() / answers.len() as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Convert estimates into `Answer`s.
+    pub fn answers(estimates: &[f64]) -> Vec<Answer> {
+        estimates.iter().map(|&v| Answer::Numeric(v)).collect()
+    }
+}
+
+/// Initial per-worker accuracy from the options: qualification scores
+/// where available, `default` elsewhere.
+pub(crate) fn initial_accuracy(
+    options: &InferenceOptions,
+    m: usize,
+    default: f64,
+) -> Vec<f64> {
+    match &options.quality_init {
+        crate::framework::QualityInit::Uniform => vec![default; m],
+        crate::framework::QualityInit::Qualification(q) => q
+            .iter()
+            .map(|s| s.unwrap_or(default).clamp(0.02, 0.98))
+            .collect(),
+    }
+}

@@ -1,0 +1,428 @@
+//! Online task assignment — the paper's future direction §7(6).
+//!
+//! The benchmark treats truth inference as a *static* problem over a
+//! fixed answer log. The paper points out that how answers are
+//! *collected* matters: "it is interesting to see how the answers
+//! collected by different task assignment strategies can affect the
+//! truth inference quality". This module implements that experiment: a
+//! platform simulator that spends a fixed answer budget under different
+//! assignment strategies, producing logs the inference methods can then
+//! be compared on.
+//!
+//! Strategies:
+//!
+//! - [`AssignmentStrategy::Uniform`] — the paper's default: every task
+//!   gets the same redundancy.
+//! - [`AssignmentStrategy::QualityFocused`] — route work to the workers
+//!   with the best running quality estimate (greedy exploitation with an
+//!   ε floor for exploration), as quality-aware platforms do.
+//! - [`AssignmentStrategy::UncertaintyAdaptive`] — QASCA-flavoured: a
+//!   baseline pass of `base` answers per task, then the remaining budget
+//!   goes to the tasks whose current answer distribution has the highest
+//!   entropy.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::DatasetBuilder;
+use crate::generator::{CrowdSimulator, SimulatorConfig, WorkerParams};
+use crate::model::{Answer, Dataset};
+
+/// How the platform decides who answers what.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AssignmentStrategy {
+    /// Fixed redundancy `budget / n` per task, workers drawn by
+    /// participation weight (the paper's data-collection model).
+    Uniform,
+    /// Tasks still visited uniformly, but each answer is requested from
+    /// the best available worker by running empirical agreement, with
+    /// probability `explore` of a uniformly random worker instead.
+    QualityFocused {
+        /// Exploration probability in `[0, 1]`.
+        explore: f64,
+    },
+    /// `base` answers per task first, then the remaining budget is spent
+    /// on the highest-entropy tasks, one extra answer at a time.
+    UncertaintyAdaptive {
+        /// Baseline answers per task before adaptation.
+        base: usize,
+    },
+}
+
+/// The outcome of a simulated collection run: the answer log plus how
+/// many answers were actually spent.
+#[derive(Debug)]
+pub struct CollectionRun {
+    /// The collected dataset (with ground truth attached for scoring).
+    pub dataset: Dataset,
+    /// Answers spent (≤ budget; bounded by `n × m`).
+    pub spent: usize,
+}
+
+/// Simulate collecting `budget` answers for `config`'s task universe
+/// under the given strategy.
+///
+/// Worker behaviour (qualities, spammers) comes from the same
+/// [`CrowdSimulator`] machinery as the static datasets, so a strategy
+/// comparison isolates the *assignment* effect.
+pub fn collect(
+    config: &SimulatorConfig,
+    strategy: AssignmentStrategy,
+    budget: usize,
+    seed: u64,
+) -> CollectionRun {
+    assert!(
+        config.task_type.is_categorical(),
+        "assignment simulation covers categorical tasks"
+    );
+    let l = config.task_type.num_choices().expect("categorical") as usize;
+    let n = config.num_tasks;
+    let m = config.num_workers;
+
+    // Reuse the simulator for worker parameters and truths by generating
+    // a throwaway run with redundancy 1, then re-drawing answers under
+    // our own assignment policy.
+    let mut sim_cfg = config.clone();
+    sim_cfg.redundancy = 1;
+    let mut sim = CrowdSimulator::new(sim_cfg, seed);
+    let reference = sim.generate();
+    let truths: Vec<u8> = (0..n)
+        .map(|t| reference.truth(t).and_then(|a| a.label()).unwrap_or(0))
+        .collect();
+
+    let worker_accuracy: Vec<f64> = (0..m)
+        .map(|w| match sim.worker_params(w) {
+            WorkerParams::OneCoin { accuracy } => *accuracy,
+            WorkerParams::ClassConditional { diag } => {
+                diag.iter().sum::<f64>() / diag.len() as f64
+            }
+            WorkerParams::ConfusionMatrix { rows } => {
+                rows.iter().enumerate().map(|(j, r)| r[j]).sum::<f64>() / rows.len() as f64
+            }
+            WorkerParams::Numeric { .. } => 0.5,
+            WorkerParams::Spammer => 1.0 / l as f64,
+        })
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x5eed));
+    let mut builder = DatasetBuilder::new(
+        format!("{}-{:?}", config.name, strategy_tag(strategy)),
+        config.task_type,
+        n,
+        m,
+    );
+    let mut answered: Vec<Vec<bool>> = vec![vec![false; m]; n];
+    let mut counts: Vec<Vec<f64>> = vec![vec![0.0; l]; n];
+    // Running per-worker agreement estimate for QualityFocused:
+    // (agreements + 1, answers + 2) Laplace.
+    let mut agree = vec![1.0f64; m];
+    let mut total = vec![2.0f64; m];
+    let mut spent = 0usize;
+
+    let draw_answer = |rng: &mut StdRng, worker: usize, task: usize| -> u8 {
+        let truth = truths[task];
+        if rng.gen_range(0.0..1.0) < worker_accuracy[worker] {
+            truth
+        } else {
+            let r = rng.gen_range(0..l - 1) as u8;
+            if r >= truth {
+                r + 1
+            } else {
+                r
+            }
+        }
+    };
+
+    let pick_any_free = |rng: &mut StdRng, answered: &[bool]| -> Option<usize> {
+        let free: Vec<usize> =
+            (0..m).filter(|&w| !answered[w]).collect();
+        if free.is_empty() {
+            None
+        } else {
+            Some(free[rng.gen_range(0..free.len())])
+        }
+    };
+
+    let assign_one = |rng: &mut StdRng,
+                          task: usize,
+                          answered: &mut Vec<Vec<bool>>,
+                          counts: &mut Vec<Vec<f64>>,
+                          agree: &mut Vec<f64>,
+                          total: &mut Vec<f64>,
+                          builder: &mut DatasetBuilder,
+                          quality_focused: Option<f64>|
+     -> bool {
+        let worker = match quality_focused {
+            Some(explore) if rng.gen_range(0.0..1.0) >= explore => {
+                // Best estimated worker among the free ones.
+                (0..m)
+                    .filter(|&w| !answered[task][w])
+                    .max_by(|&a, &b| {
+                        (agree[a] / total[a])
+                            .partial_cmp(&(agree[b] / total[b]))
+                            .expect("finite estimates")
+                    })
+            }
+            _ => pick_any_free(rng, &answered[task]),
+        };
+        let Some(worker) = worker else { return false };
+        let label = draw_answer(rng, worker, task);
+        answered[task][worker] = true;
+        // Agreement bookkeeping: score the answer against the task's
+        // current plurality, but only once at least two prior answers
+        // exist — judging against a single prior answer (or nothing)
+        // would dilute the estimates with coin flips.
+        if counts[task].iter().sum::<f64>() >= 2.0 {
+            let plurality = counts[task]
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(k, _)| k as u8)
+                .expect("non-empty counts");
+            if label == plurality {
+                agree[worker] += 1.0;
+            }
+            total[worker] += 1.0;
+        }
+        counts[task][label as usize] += 1.0;
+        builder.add_label(task, worker, label).expect("fresh (task, worker) pair");
+        true
+    };
+
+    match strategy {
+        AssignmentStrategy::Uniform => {
+            'outer: loop {
+                for task in 0..n {
+                    if spent >= budget {
+                        break 'outer;
+                    }
+                    if assign_one(
+                        &mut rng, task, &mut answered, &mut counts, &mut agree, &mut total,
+                        &mut builder, None,
+                    ) {
+                        spent += 1;
+                    } else if (0..n).all(|t| answered[t].iter().all(|&a| a)) {
+                        break 'outer; // universe exhausted
+                    }
+                }
+            }
+        }
+        AssignmentStrategy::QualityFocused { explore } => {
+            // Calibration: two uniform rounds so every task has a
+            // plurality to score against.
+            let calibration = 2.min(budget / n.max(1));
+            'cal: for _ in 0..calibration {
+                for task in 0..n {
+                    if spent >= budget {
+                        break 'cal;
+                    }
+                    if assign_one(
+                        &mut rng, task, &mut answered, &mut counts, &mut agree, &mut total,
+                        &mut builder, None,
+                    ) {
+                        spent += 1;
+                    }
+                }
+            }
+            // Batch re-score the calibration answers against the settled
+            // pluralities (the online scorer skipped the first two
+            // answers of every task).
+            let interim = builder.snapshot_records();
+            for (task, worker, label) in interim {
+                let plurality = counts[task]
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .map(|(k, _)| k as u8)
+                    .expect("non-empty");
+                if label == plurality {
+                    agree[worker] += 1.0;
+                }
+                total[worker] += 1.0;
+            }
+            // Exploitation rounds.
+            'exploit: loop {
+                for task in 0..n {
+                    if spent >= budget {
+                        break 'exploit;
+                    }
+                    if assign_one(
+                        &mut rng, task, &mut answered, &mut counts, &mut agree, &mut total,
+                        &mut builder, Some(explore),
+                    ) {
+                        spent += 1;
+                    } else if (0..n).all(|t| answered[t].iter().all(|&a| a)) {
+                        break 'exploit;
+                    }
+                }
+            }
+        }
+        AssignmentStrategy::UncertaintyAdaptive { base } => {
+            // Phase 1: uniform base pass.
+            'base: for _ in 0..base {
+                for task in 0..n {
+                    if spent >= budget {
+                        break 'base;
+                    }
+                    if assign_one(
+                        &mut rng, task, &mut answered, &mut counts, &mut agree, &mut total,
+                        &mut builder, None,
+                    ) {
+                        spent += 1;
+                    }
+                }
+            }
+            // Phase 2: entropy-greedy.
+            while spent < budget {
+                let task = (0..n)
+                    .filter(|&t| answered[t].iter().any(|&a| !a))
+                    .max_by(|&a, &b| {
+                        entropy(&counts[a])
+                            .partial_cmp(&entropy(&counts[b]))
+                            .expect("finite entropy")
+                    });
+                let Some(task) = task else { break };
+                if assign_one(
+                    &mut rng, task, &mut answered, &mut counts, &mut agree, &mut total,
+                    &mut builder, None,
+                ) {
+                    spent += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    for (t, &truth) in truths.iter().enumerate() {
+        if reference.truth(t).is_some() {
+            builder.set_truth(t, Answer::Label(truth)).expect("valid truth");
+        }
+    }
+    CollectionRun { dataset: builder.build(), spent }
+}
+
+fn strategy_tag(s: AssignmentStrategy) -> &'static str {
+    match s {
+        AssignmentStrategy::Uniform => "uniform",
+        AssignmentStrategy::QualityFocused { .. } => "quality",
+        AssignmentStrategy::UncertaintyAdaptive { .. } => "adaptive",
+    }
+}
+
+/// Shannon entropy of an unnormalized count vector (0 for empty).
+fn entropy(counts: &[f64]) -> f64 {
+    let total: f64 = counts.iter().sum();
+    if total <= 0.0 {
+        return f64::INFINITY; // unanswered tasks are maximally uncertain
+    }
+    let mut h = 0.0;
+    for &c in counts {
+        if c > 0.0 {
+            let p = c / total;
+            h -= p * p.ln();
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkerModel;
+    use crate::model::TaskType;
+
+    fn base_config() -> SimulatorConfig {
+        SimulatorConfig {
+            name: "assign".into(),
+            task_type: TaskType::DecisionMaking,
+            num_tasks: 150,
+            num_workers: 25,
+            redundancy: 1, // overridden by the collector
+            truth_prior: vec![0.5, 0.5],
+            worker_model: WorkerModel::OneCoin { alpha: 5.0, beta: 3.0 }, // wide skills
+            spammer_fraction: 0.15,
+            zipf_exponent: 0.0,
+            truth_fraction: 1.0,
+            numeric_task_offset_std: 0.0,
+            hard_task_fraction: 0.0,
+            hard_task_accuracy: 0.5,
+            hard_task_mode: crate::generator::HardTaskMode::Flatten,
+            truth_only_on_hard: false,
+            heavy_worker_model: None,
+        }
+    }
+
+    #[test]
+    fn budget_is_respected_by_all_strategies() {
+        let cfg = base_config();
+        for strategy in [
+            AssignmentStrategy::Uniform,
+            AssignmentStrategy::QualityFocused { explore: 0.1 },
+            AssignmentStrategy::UncertaintyAdaptive { base: 2 },
+        ] {
+            let run = collect(&cfg, strategy, 600, 9);
+            assert_eq!(run.spent, 600, "{strategy:?}");
+            assert_eq!(run.dataset.num_answers(), 600);
+            // No duplicate (task, worker) pairs by construction (builder
+            // would have panicked), and every answer indexes in range.
+            assert_eq!(run.dataset.num_tasks(), 150);
+        }
+    }
+
+    #[test]
+    fn uniform_spreads_answers_evenly() {
+        let run = collect(&base_config(), AssignmentStrategy::Uniform, 600, 3);
+        for t in 0..run.dataset.num_tasks() {
+            assert_eq!(run.dataset.task_degree(t), 4);
+        }
+    }
+
+    #[test]
+    fn adaptive_concentrates_on_uncertain_tasks() {
+        let run = collect(
+            &base_config(),
+            AssignmentStrategy::UncertaintyAdaptive { base: 2 },
+            600,
+            3,
+        );
+        let degrees: Vec<usize> =
+            (0..run.dataset.num_tasks()).map(|t| run.dataset.task_degree(t)).collect();
+        let max = *degrees.iter().max().unwrap();
+        let min = *degrees.iter().min().unwrap();
+        assert!(min >= 2, "baseline pass must cover everything");
+        assert!(max > 4, "adaptive phase should pile onto contested tasks, max {max}");
+    }
+
+    #[test]
+    fn quality_focused_prefers_good_workers() {
+        let cfg = base_config();
+        let run = collect(&cfg, AssignmentStrategy::QualityFocused { explore: 0.1 }, 900, 5);
+        // Per-answer accuracy under quality routing should beat uniform.
+        let acc = |d: &Dataset| {
+            let mut c = 0usize;
+            for r in d.records() {
+                if Some(r.answer) == d.truth(r.task) {
+                    c += 1;
+                }
+            }
+            c as f64 / d.num_answers() as f64
+        };
+        let uniform = collect(&cfg, AssignmentStrategy::Uniform, 900, 5);
+        assert!(
+            acc(&run.dataset) > acc(&uniform.dataset) + 0.02,
+            "quality routing {} should beat uniform {}",
+            acc(&run.dataset),
+            acc(&uniform.dataset)
+        );
+    }
+
+    #[test]
+    fn budget_capped_by_universe() {
+        let mut cfg = base_config();
+        cfg.num_tasks = 10;
+        cfg.num_workers = 4;
+        let run = collect(&cfg, AssignmentStrategy::Uniform, 10_000, 1);
+        assert_eq!(run.spent, 40, "cannot spend past n × m");
+    }
+}

@@ -1,0 +1,457 @@
+//! Statistically matched stand-ins for the paper's five datasets (Table 5).
+//!
+//! The authors' raw answer logs are no longer downloadable, so each
+//! function here configures the [`CrowdSimulator`] with the *published*
+//! marginals of the corresponding dataset:
+//!
+//! | Dataset   | n      | \|V\|   | \|V\|/n | \|W\| | type             |
+//! |-----------|--------|---------|---------|-------|------------------|
+//! | D_Product | 8,315  | 24,945  | 3       | 176   | decision-making  |
+//! | D_PosSent | 1,000  | 20,000  | 20      | 85    | decision-making  |
+//! | S_Rel     | 20,232 | 98,453  | 4.9     | 766   | single-choice (4)|
+//! | S_Adult   | 11,040 | 92,721  | 8.4     | 825   | single-choice (4)|
+//! | N_Emotion | 700    | 7,000   | 10      | 38    | numeric          |
+//!
+//! plus the qualitative structure reported in Sections 6.1–6.2 (truth
+//! balance, long-tail participation, per-worker accuracy distributions,
+//! the class-asymmetric error structure of D_Product, and S_Adult's
+//! heavy-worker pathology). See `DESIGN.md` §5 for the substitution
+//! argument. Every generator takes a `scale ∈ (0, 1]` so tests and quick
+//! runs can use proportionally smaller instances, and a seed.
+
+use crate::generator::{CrowdSimulator, HardTaskMode, SimulatorConfig, WorkerModel};
+use crate::model::{Dataset, TaskType};
+
+/// Identifier for one of the paper's five datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperDataset {
+    /// Entity resolution over product pairs (decision-making).
+    DProduct,
+    /// Tweet sentiment toward a company (decision-making).
+    DPosSent,
+    /// TREC topic/document relevance, 4 choices (single-choice).
+    SRel,
+    /// Website adult-content rating G/PG/R/X, 4 choices (single-choice).
+    SAdult,
+    /// Emotion score of a text in `[-100, 100]` (numeric).
+    NEmotion,
+}
+
+impl PaperDataset {
+    /// All five datasets, in the paper's order.
+    pub const ALL: [PaperDataset; 5] = [
+        PaperDataset::DProduct,
+        PaperDataset::DPosSent,
+        PaperDataset::SRel,
+        PaperDataset::SAdult,
+        PaperDataset::NEmotion,
+    ];
+
+    /// The paper's name for the dataset.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::DProduct => "D_Product",
+            Self::DPosSent => "D_PosSent",
+            Self::SRel => "S_Rel",
+            Self::SAdult => "S_Adult",
+            Self::NEmotion => "N_Emotion",
+        }
+    }
+
+    /// Generate the simulated dataset at the given scale.
+    pub fn generate(&self, scale: f64, seed: u64) -> Dataset {
+        match self {
+            Self::DProduct => d_product(scale, seed),
+            Self::DPosSent => d_possent(scale, seed),
+            Self::SRel => s_rel(scale, seed),
+            Self::SAdult => s_adult(scale, seed),
+            Self::NEmotion => n_emotion(scale, seed),
+        }
+    }
+
+    /// The simulator configuration at the given scale (exposed for
+    /// diagnostics and tests).
+    pub fn config(&self, scale: f64) -> SimulatorConfig {
+        match self {
+            Self::DProduct => d_product_config(scale),
+            Self::DPosSent => d_possent_config(scale),
+            Self::SRel => s_rel_config(scale),
+            Self::SAdult => s_adult_config(scale),
+            Self::NEmotion => n_emotion_config(scale),
+        }
+    }
+
+    /// The task type of this dataset.
+    pub fn task_type(&self) -> TaskType {
+        match self {
+            Self::DProduct | Self::DPosSent => TaskType::DecisionMaking,
+            Self::SRel | Self::SAdult => TaskType::SingleChoice { choices: 4 },
+            Self::NEmotion => TaskType::Numeric,
+        }
+    }
+}
+
+fn scaled(count: usize, scale: f64, min: usize) -> usize {
+    ((count as f64 * scale).round() as usize).max(min)
+}
+
+/// D_Product: entity resolution (CrowdER data). 8,315 tasks, 176 workers,
+/// redundancy 3. Truth is imbalanced — 1,101 'T' vs 7,034 'F' on the 8,135
+/// labelled pairs (prior ≈ 0.135 : 0.865). Workers have the asymmetric
+/// error profile the paper calls out in §6.3.1(4): spotting one difference
+/// settles a "different" pair (high `q_FF`), while a "same" pair needs
+/// every feature checked (low `q_TT`). Per-worker average accuracy ≈ 0.79
+/// (Figure 3a).
+fn d_product_config(scale: f64) -> SimulatorConfig {
+    SimulatorConfig {
+        name: "D_Product".into(),
+        task_type: TaskType::DecisionMaking,
+        num_tasks: scaled(8315, scale, 60),
+        num_workers: scaled(176, scale, 12),
+        redundancy: 3,
+        truth_prior: vec![0.135, 0.865],
+        // label 0 = 'T' (same entity): hard, mean diag ≈ 0.62;
+        // label 1 = 'F' (different): easy, mean diag ≈ 0.82.
+        // Average accuracy ≈ 0.135·0.62 + 0.865·0.82 ≈ 0.79.
+        // Wide spread on the hard 'T' class: some workers check every
+        // feature (q_TT near 1), many give up early (q_TT near chance).
+        // The spread is what lets confusion-matrix methods pull ahead of
+        // MV on F1 (Table 6: D&S 71.6% vs MV 59.1%).
+        worker_model: WorkerModel::ClassConditional {
+            diag: vec![(1.55, 0.95), (8.5, 1.5)],
+        },
+        spammer_fraction: 0.02,
+        zipf_exponent: 1.1,
+        truth_fraction: 1.0,
+        numeric_task_offset_std: 0.0,
+        // A small share of genuinely ambiguous pairs caps MV near the
+        // paper's 89.7%.
+        hard_task_fraction: 0.04,
+        hard_task_accuracy: 0.35,
+        hard_task_mode: HardTaskMode::Flatten,
+        truth_only_on_hard: false,
+        heavy_worker_model: None,
+    }
+}
+
+/// Build D_Product at the given scale.
+pub fn d_product(scale: f64, seed: u64) -> Dataset {
+    CrowdSimulator::new(d_product_config(scale), seed).generate()
+}
+
+/// D_PosSent: tweet sentiment. 1,000 tasks, 85 workers, redundancy 20,
+/// nearly balanced truth (528 : 472). Workers passed a qualification test,
+/// so quality is high and symmetric (average accuracy 0.79, Figure 3b);
+/// with 20 answers per task every reasonable method saturates ≈ 96%
+/// accuracy, which is exactly the paper's finding.
+fn d_possent_config(scale: f64) -> SimulatorConfig {
+    SimulatorConfig {
+        name: "D_PosSent".into(),
+        task_type: TaskType::DecisionMaking,
+        num_tasks: scaled(1000, scale, 60),
+        num_workers: scaled(85, scale, 25),
+        redundancy: 20,
+        truth_prior: vec![0.528, 0.472],
+        worker_model: WorkerModel::OneCoin { alpha: 11.1, beta: 2.9 }, // mean ≈ 0.79
+        spammer_fraction: 0.04,
+        zipf_exponent: 0.9,
+        truth_fraction: 1.0,
+        numeric_task_offset_std: 0.0,
+        // Ambiguous tweets: the crowd majority is wrong on ~4–5% of
+        // tasks, capping every method near the paper's 96% ceiling
+        // despite 20 answers per task.
+        hard_task_fraction: 0.05,
+        hard_task_accuracy: 0.30,
+        hard_task_mode: HardTaskMode::Flatten,
+        truth_only_on_hard: false,
+        // The most prolific workers are noticeably sloppier than the
+        // average (mean ≈ 0.62): per-answer agreement drops toward the
+        // paper's highly inconsistent C = 0.85 while the unweighted
+        // per-worker average stays ≈ 0.79 (Figure 3b).
+        heavy_worker_model: Some((6, WorkerModel::OneCoin { alpha: 6.2, beta: 3.8 })),
+    }
+}
+
+/// Build D_PosSent at the given scale.
+pub fn d_possent(scale: f64, seed: u64) -> Dataset {
+    CrowdSimulator::new(d_possent_config(scale), seed).generate()
+}
+
+/// S_Rel: TREC relevance judging, 4 choices. 20,232 tasks (truth published
+/// for 4,460), 766 workers, redundancy ≈ 4.9. Workers are poor — average
+/// accuracy 0.53 with a wide spread and many near-chance workers (Figure
+/// 3c) — which is why method quality tops out around 60% and methods
+/// sensitive to low-quality workers (ZC, CATD) degrade (§6.3.1).
+fn s_rel_config(scale: f64) -> SimulatorConfig {
+    SimulatorConfig {
+        name: "S_Rel".into(),
+        task_type: TaskType::SingleChoice { choices: 4 },
+        num_tasks: scaled(20232, scale, 80),
+        num_workers: scaled(766, scale, 30),
+        redundancy: 5,
+        // relevance skews toward the two "relevant" grades in TREC crowd
+        // data; mild imbalance keeps MV honest.
+        truth_prior: vec![0.35, 0.30, 0.25, 0.10],
+        // Label-asymmetric confusion: judges mix up *adjacent* relevance
+        // grades far more than distant ones, and over-call "relevant".
+        // Population accuracy ≈ 0.54 (Figure 3c's average of 0.53); the
+        // asymmetry is what confusion-matrix methods exploit and one-coin
+        // models cannot (§6.3.4).
+        worker_model: WorkerModel::ConfusionMatrix {
+            base: vec![
+                vec![0.55, 0.30, 0.12, 0.03],
+                vec![0.22, 0.45, 0.28, 0.05],
+                vec![0.05, 0.25, 0.62, 0.08],
+                vec![0.04, 0.08, 0.28, 0.60],
+            ],
+            concentration: 10.0,
+        },
+        spammer_fraction: 0.12,
+        zipf_exponent: 1.2,
+        truth_fraction: 4460.0 / 20232.0,
+        numeric_task_offset_std: 0.0,
+        // Topic/document relevance is often borderline: a third of the
+        // tasks are hard, raising the consistency statistic toward the
+        // paper's C = 0.82 and keeping method accuracy in the 45–62%
+        // band of Figure 5(a).
+        hard_task_fraction: 0.42,
+        // Scale mode: good judges stay relatively better on borderline
+        // documents, so worker-modelling methods keep their edge (the
+        // paper's D&S/LFC/BCC > MV ordering on S_Rel).
+        hard_task_accuracy: 0.55,
+        hard_task_mode: HardTaskMode::Scale,
+        truth_only_on_hard: false,
+        heavy_worker_model: None,
+    }
+}
+
+/// Build S_Rel at the given scale.
+pub fn s_rel(scale: f64, seed: u64) -> Dataset {
+    CrowdSimulator::new(s_rel_config(scale), seed).generate()
+}
+
+/// S_Adult: website adult-content rating, 4 choices. 11,040 tasks (truth
+/// for 1,517), 825 workers, redundancy ≈ 8.4. The paper's striking
+/// signature: the answer log is the *most consistent* of the four
+/// categorical datasets (C = 0.39) yet every method is stuck at ≈36%
+/// accuracy, within a 1.2-point band. That combination requires the gold
+/// subset to sit on tasks where the crowd is collectively near-blind:
+/// most pages are obvious 'G's the crowd agrees on (and which carry no
+/// gold), while the 1,517 gold tasks are the genuinely hard rating
+/// decisions where per-answer accuracy barely beats the 25% chance
+/// level — so no reweighting scheme can separate methods there.
+fn s_adult_config(scale: f64) -> SimulatorConfig {
+    SimulatorConfig {
+        name: "S_Adult".into(),
+        task_type: TaskType::SingleChoice { choices: 4 },
+        num_tasks: scaled(11040, scale, 80),
+        num_workers: scaled(825, scale, 30),
+        redundancy: 8,
+        truth_prior: vec![0.55, 0.20, 0.15, 0.10],
+        // On the easy majority of pages workers are near-unanimous.
+        worker_model: WorkerModel::OneCoin { alpha: 12.0, beta: 2.1 },
+        spammer_fraction: 0.03,
+        zipf_exponent: 1.3,
+        truth_fraction: 1.0, // unused: truth_only_on_hard
+        numeric_task_offset_std: 0.0,
+        hard_task_fraction: 1517.0 / 11040.0,
+        hard_task_accuracy: 0.31,
+        hard_task_mode: HardTaskMode::Flatten,
+        truth_only_on_hard: true,
+        heavy_worker_model: None,
+    }
+}
+
+/// Build S_Adult at the given scale.
+pub fn s_adult(scale: f64, seed: u64) -> Dataset {
+    CrowdSimulator::new(s_adult_config(scale), seed).generate()
+}
+
+/// N_Emotion: emotion scoring in `[-100, 100]`. 700 tasks, 38 workers,
+/// redundancy 10. Per-worker RMSE ranges over `[20, 45]` with average
+/// 28.9 (Figure 3e); workers carry idiosyncratic bias, which is what keeps
+/// the variance-weighting methods (LFC_N, CATD, PM) from beating plain
+/// Mean (§6.3.1 numeric summary).
+fn n_emotion_config(scale: f64) -> SimulatorConfig {
+    SimulatorConfig {
+        name: "N_Emotion".into(),
+        task_type: TaskType::Numeric,
+        num_tasks: scaled(700, scale, 50),
+        num_workers: scaled(38, scale, 12),
+        redundancy: 10,
+        truth_prior: vec![-100.0, 100.0],
+        // Noise decomposition (RMS): 12 shared per-task, 7 per-worker
+        // bias, 16–34 per-answer. This lands the paper's three anchors
+        // together — per-worker RMSE in [20, 45] averaging ≈29 (Fig 3e),
+        // Mean RMSE ≈ 15–18 (Table 6), consistency C in the low 20s
+        // (§6.2.1) — which no decomposition matches exactly (see
+        // EXPERIMENTS.md).
+        worker_model: WorkerModel::Numeric { bias_std: 8.0, sigma_lo: 18.0, sigma_hi: 36.0 },
+        spammer_fraction: 0.0,
+        zipf_exponent: 0.6,
+        truth_fraction: 1.0,
+        numeric_task_offset_std: 14.0,
+        hard_task_fraction: 0.0,
+        hard_task_accuracy: 0.5,
+        hard_task_mode: HardTaskMode::Flatten,
+        truth_only_on_hard: false,
+        heavy_worker_model: None,
+    }
+}
+
+/// Build N_Emotion at the given scale.
+pub fn n_emotion(scale: f64, seed: u64) -> Dataset {
+    CrowdSimulator::new(n_emotion_config(scale), seed).generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Answer;
+
+    #[test]
+    fn full_scale_matches_table_5() {
+        // Shapes only (cheap to verify without generating the big logs).
+        let p = d_product_config(1.0);
+        assert_eq!(p.num_tasks, 8315);
+        assert_eq!(p.num_workers, 176);
+        assert_eq!(p.redundancy, 3);
+
+        let s = d_possent_config(1.0);
+        assert_eq!(s.num_tasks, 1000);
+        assert_eq!(s.num_workers, 85);
+        assert_eq!(s.redundancy, 20);
+
+        let r = s_rel_config(1.0);
+        assert_eq!(r.num_tasks, 20232);
+        assert_eq!(r.num_workers, 766);
+
+        let a = s_adult_config(1.0);
+        assert_eq!(a.num_tasks, 11040);
+        assert_eq!(a.num_workers, 825);
+
+        let e = n_emotion_config(1.0);
+        assert_eq!(e.num_tasks, 700);
+        assert_eq!(e.num_workers, 38);
+        assert_eq!(e.redundancy, 10);
+    }
+
+    #[test]
+    fn d_product_truth_imbalance() {
+        let d = d_product(0.25, 1);
+        let pos = d
+            .truths()
+            .iter()
+            .filter(|t| matches!(t, Some(Answer::Label(0))))
+            .count();
+        let frac = pos as f64 / d.num_tasks() as f64;
+        assert!((frac - 0.135).abs() < 0.03, "positive fraction {frac}");
+    }
+
+    #[test]
+    fn d_product_worker_accuracy_near_079() {
+        let d = d_product(0.25, 2);
+        // Aggregate per-worker accuracy (unweighted mean over workers with
+        // at least one answer), as in Figure 3a.
+        let mut accs = Vec::new();
+        for w in 0..d.num_workers() {
+            let mut total = 0usize;
+            let mut correct = 0usize;
+            for r in d.answers_by_worker(w) {
+                if let Some(t) = d.truth(r.task) {
+                    total += 1;
+                    if r.answer == t {
+                        correct += 1;
+                    }
+                }
+            }
+            if total > 0 {
+                accs.push(correct as f64 / total as f64);
+            }
+        }
+        let avg = accs.iter().sum::<f64>() / accs.len() as f64;
+        assert!((avg - 0.79).abs() < 0.06, "avg worker accuracy {avg}");
+    }
+
+    #[test]
+    fn s_rel_workers_are_poor() {
+        let d = s_rel(0.1, 3);
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for r in d.records() {
+            if let Some(t) = d.truth(r.task) {
+                total += 1;
+                if r.answer == t {
+                    correct += 1;
+                }
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.35 && acc < 0.60, "per-answer accuracy {acc}");
+    }
+
+    #[test]
+    fn s_adult_gold_tasks_are_collectively_hard() {
+        let d = s_adult(0.2, 4);
+        // Per-answer accuracy *on the gold subset* is near the hard-task
+        // level — the crowd is blind exactly where the evaluation looks,
+        // which is what pins every method at ≈36% in Table 6.
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for r in d.records() {
+            if let Some(t) = d.truth(r.task) {
+                total += 1;
+                if r.answer == t {
+                    correct += 1;
+                }
+            }
+        }
+        let gold_acc = correct as f64 / total as f64;
+        assert!(gold_acc < 0.40, "gold per-answer accuracy {gold_acc} should be near 0.27");
+        // Meanwhile overall answers are highly consistent (most tasks are
+        // easy): agreement with the per-task majority is high.
+        let mut agree = 0usize;
+        let mut seen = 0usize;
+        for task in 0..d.num_tasks() {
+            let mut counts = [0usize; 4];
+            for r in d.answers_for_task(task) {
+                counts[r.answer.label().unwrap() as usize] += 1;
+            }
+            let maj = counts.iter().copied().max().unwrap();
+            let deg: usize = counts.iter().sum();
+            agree += maj;
+            seen += deg;
+        }
+        let consistency = agree as f64 / seen as f64;
+        assert!(consistency > 0.75, "majority agreement {consistency} should be high");
+    }
+
+    #[test]
+    fn n_emotion_worker_rmse_band() {
+        let d = n_emotion(1.0, 5);
+        let mut rmses = Vec::new();
+        for w in 0..d.num_workers() {
+            let mut sq = 0.0;
+            let mut c = 0usize;
+            for r in d.answers_by_worker(w) {
+                let t = d.truth(r.task).unwrap().numeric().unwrap();
+                sq += (r.answer.numeric().unwrap() - t).powi(2);
+                c += 1;
+            }
+            if c > 0 {
+                rmses.push((sq / c as f64).sqrt());
+            }
+        }
+        let avg = rmses.iter().sum::<f64>() / rmses.len() as f64;
+        assert!((avg - 28.9).abs() < 6.0, "avg worker RMSE {avg}");
+    }
+
+    #[test]
+    fn all_iterates_every_dataset() {
+        for ds in PaperDataset::ALL {
+            let d = ds.generate(0.02, 9);
+            assert!(d.num_tasks() > 0, "{} generated empty", ds.name());
+            assert_eq!(d.task_type(), ds.task_type());
+        }
+    }
+}

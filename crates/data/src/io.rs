@@ -1,0 +1,229 @@
+//! TSV IO in the format of the authors' published release.
+//!
+//! The paper's code release ships each dataset as an answer file with
+//! header `question\tworker\tanswer` and a truth file with header
+//! `question\ttruth`. This module reads and writes that format so the
+//! real datasets can replace the simulators when available, and so our
+//! simulated logs can be exported for use with the original Python code.
+//!
+//! Task and worker identifiers are arbitrary strings in the files and are
+//! densified to `0..n` indices on load (first-appearance order).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::builder::DatasetBuilder;
+use crate::error::DataError;
+use crate::model::{Answer, Dataset, TaskType};
+
+/// Read a dataset from an answer TSV and an optional truth TSV.
+///
+/// `task_type` decides how the `answer` column is parsed: as a label index
+/// for categorical types, as an `f64` for numeric. Lines are
+/// `task \t worker \t answer`; a single header line is skipped when its
+/// first field is not parseable as data (i.e. always for our files).
+pub fn read_tsv(
+    answers_path: &Path,
+    truths_path: Option<&Path>,
+    task_type: TaskType,
+    name: &str,
+) -> Result<Dataset, DataError> {
+    let answer_rows = read_rows(answers_path, 3)?;
+    let truth_rows = match truths_path {
+        Some(p) => read_rows(p, 2)?,
+        None => Vec::new(),
+    };
+
+    let mut task_ids: HashMap<String, usize> = HashMap::new();
+    let mut worker_ids: HashMap<String, usize> = HashMap::new();
+    for row in &answer_rows {
+        let next = task_ids.len();
+        task_ids.entry(row[0].clone()).or_insert(next);
+        let next = worker_ids.len();
+        worker_ids.entry(row[1].clone()).or_insert(next);
+    }
+    // Truth files may mention tasks that received no answers; they still
+    // belong to the task universe.
+    for row in &truth_rows {
+        let next = task_ids.len();
+        task_ids.entry(row[0].clone()).or_insert(next);
+    }
+
+    let mut builder = DatasetBuilder::new(name, task_type, task_ids.len(), worker_ids.len());
+    for (line, row) in answer_rows.iter().enumerate() {
+        let task = task_ids[&row[0]];
+        let worker = worker_ids[&row[1]];
+        let answer = parse_answer(&row[2], task_type, line + 2)?;
+        builder.add_answer(task, worker, answer)?;
+    }
+    for (line, row) in truth_rows.iter().enumerate() {
+        let task = task_ids[&row[0]];
+        let truth = parse_answer(&row[1], task_type, line + 2)?;
+        builder.set_truth(task, truth)?;
+    }
+    Ok(builder.build())
+}
+
+/// Write `dataset` as `answers.tsv` (+ `truths.tsv` when any truth is
+/// known) into `dir`, in the release format. Returns the answer-file path.
+pub fn write_tsv(dataset: &Dataset, dir: &Path) -> Result<std::path::PathBuf, DataError> {
+    std::fs::create_dir_all(dir)?;
+    let answers_path = dir.join("answers.tsv");
+    let mut out = BufWriter::new(std::fs::File::create(&answers_path)?);
+    writeln!(out, "question\tworker\tanswer")?;
+    for r in dataset.records() {
+        writeln!(out, "t{}\tw{}\t{}", r.task, r.worker, fmt_answer(&r.answer))?;
+    }
+    out.flush()?;
+
+    if dataset.num_truths() > 0 {
+        let truths_path = dir.join("truths.tsv");
+        let mut out = BufWriter::new(std::fs::File::create(&truths_path)?);
+        writeln!(out, "question\ttruth")?;
+        for (task, truth) in dataset.truths().iter().enumerate() {
+            if let Some(t) = truth {
+                writeln!(out, "t{}\t{}", task, fmt_answer(t))?;
+            }
+        }
+        out.flush()?;
+    }
+    Ok(answers_path)
+}
+
+fn fmt_answer(a: &Answer) -> String {
+    match a {
+        Answer::Label(l) => l.to_string(),
+        Answer::Numeric(v) => format!("{v}"),
+    }
+}
+
+fn parse_answer(s: &str, task_type: TaskType, line: usize) -> Result<Answer, DataError> {
+    if task_type.is_categorical() {
+        let label: u8 = s.parse().map_err(|_| DataError::Parse {
+            line,
+            detail: format!("expected label index, got {s:?}"),
+        })?;
+        Ok(Answer::Label(label))
+    } else {
+        let v: f64 = s.parse().map_err(|_| DataError::Parse {
+            line,
+            detail: format!("expected numeric answer, got {s:?}"),
+        })?;
+        Ok(Answer::Numeric(v))
+    }
+}
+
+/// Read the rows of a TSV file, skipping the first line if it looks like a
+/// header (non-numeric last field) and validating the column count.
+fn read_rows(path: &Path, cols: usize) -> Result<Vec<Vec<String>>, DataError> {
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    let mut rows = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<String> = trimmed.split('\t').map(|f| f.to_string()).collect();
+        if i == 0 && fields.last().map(|f| f.parse::<f64>().is_err()).unwrap_or(false) {
+            continue; // header
+        }
+        if fields.len() != cols {
+            return Err(DataError::Parse {
+                line: i + 1,
+                detail: format!("expected {cols} tab-separated fields, got {}", fields.len()),
+            });
+        }
+        rows.push(fields);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+    use crate::toy::paper_example;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("crowd_io_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip_categorical() {
+        let dir = tmpdir("cat");
+        let d = paper_example();
+        write_tsv(&d, &dir).unwrap();
+        let loaded = read_tsv(
+            &dir.join("answers.tsv"),
+            Some(&dir.join("truths.tsv")),
+            TaskType::DecisionMaking,
+            "roundtrip",
+        )
+        .unwrap();
+        assert_eq!(loaded.num_tasks(), d.num_tasks());
+        assert_eq!(loaded.num_workers(), d.num_workers());
+        assert_eq!(loaded.num_answers(), d.num_answers());
+        assert_eq!(loaded.num_truths(), d.num_truths());
+        // Answer multiset must survive (indices may permute, values not).
+        let mut a: Vec<String> = d.records().iter().map(|r| fmt_answer(&r.answer)).collect();
+        let mut b: Vec<String> = loaded.records().iter().map(|r| fmt_answer(&r.answer)).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn roundtrip_numeric() {
+        let dir = tmpdir("num");
+        let d = datasets::n_emotion(0.1, 5);
+        write_tsv(&d, &dir).unwrap();
+        let loaded = read_tsv(
+            &dir.join("answers.tsv"),
+            Some(&dir.join("truths.tsv")),
+            TaskType::Numeric,
+            "roundtrip",
+        )
+        .unwrap();
+        assert_eq!(loaded.num_answers(), d.num_answers());
+        assert_eq!(loaded.num_truths(), d.num_truths());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        let dir = tmpdir("bad");
+        let p = dir.join("answers.tsv");
+        std::fs::write(&p, "question\tworker\tanswer\nt0\tw0\n").unwrap();
+        let err = read_tsv(&p, None, TaskType::DecisionMaking, "bad");
+        assert!(matches!(err, Err(DataError::Parse { .. })));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_label() {
+        let dir = tmpdir("badlabel");
+        let p = dir.join("answers.tsv");
+        std::fs::write(&p, "question\tworker\tanswer\nt0\tw0\tseven\n").unwrap();
+        let err = read_tsv(&p, None, TaskType::DecisionMaking, "bad");
+        assert!(matches!(err, Err(DataError::Parse { .. })));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_tsv(
+            Path::new("/definitely/not/here.tsv"),
+            None,
+            TaskType::DecisionMaking,
+            "x",
+        );
+        assert!(matches!(err, Err(DataError::Io(_))));
+    }
+}

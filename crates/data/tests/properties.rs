@@ -1,0 +1,142 @@
+//! Property-based tests of the data substrate: builder/dataset adjacency
+//! invariants, redundancy sub-sampling, golden splits, and simulator
+//! marginals under arbitrary configurations.
+
+use proptest::prelude::*;
+
+use crowd_data::{
+    subsample_redundancy, CrowdSimulator, DatasetBuilder, GoldenSplit, HardTaskMode,
+    SimulatorConfig, TaskType, WorkerModel,
+};
+
+/// Random but valid simulator configurations.
+fn arb_config() -> impl Strategy<Value = SimulatorConfig> {
+    (
+        5usize..40,           // tasks
+        3usize..12,           // workers
+        1usize..3,            // redundancy (bounded below workers)
+        2u8..5,               // choices
+        0.0f64..0.3,          // spammers
+        0.0f64..1.5,          // zipf
+        0.2f64..1.0,          // truth fraction
+        0.0f64..0.5,          // hard fraction
+    )
+        .prop_map(
+            |(tasks, workers, redundancy, choices, spam, zipf, truth_frac, hard)| {
+                SimulatorConfig {
+                    name: "prop".into(),
+                    task_type: TaskType::SingleChoice { choices },
+                    num_tasks: tasks,
+                    num_workers: workers,
+                    redundancy: redundancy.min(workers),
+                    truth_prior: vec![1.0 / choices as f64; choices as usize],
+                    worker_model: WorkerModel::OneCoin { alpha: 4.0, beta: 2.0 },
+                    spammer_fraction: spam,
+                    zipf_exponent: zipf,
+                    truth_fraction: truth_frac,
+                    numeric_task_offset_std: 0.0,
+                    hard_task_fraction: hard,
+                    hard_task_accuracy: 0.3,
+                    hard_task_mode: HardTaskMode::Flatten,
+                    truth_only_on_hard: false,
+                    heavy_worker_model: None,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the configuration, the generated dataset satisfies the
+    /// structural invariants: exact redundancy, distinct workers per
+    /// task, degrees consistent with the log, labels in range.
+    #[test]
+    fn simulator_output_is_structurally_valid(cfg in arb_config(), seed in 0u64..1000) {
+        let redundancy = cfg.redundancy;
+        let choices = cfg.task_type.num_choices().unwrap();
+        let d = CrowdSimulator::new(cfg, seed).generate();
+
+        prop_assert_eq!(d.num_answers(), d.num_tasks() * redundancy);
+        let mut degree_sum = 0usize;
+        for t in 0..d.num_tasks() {
+            let mut ws: Vec<usize> = d.answers_for_task(t).map(|r| r.worker).collect();
+            prop_assert_eq!(ws.len(), redundancy);
+            ws.sort_unstable();
+            ws.dedup();
+            prop_assert_eq!(ws.len(), redundancy, "duplicate worker on task {}", t);
+        }
+        for w in 0..d.num_workers() {
+            degree_sum += d.worker_degree(w);
+        }
+        prop_assert_eq!(degree_sum, d.num_answers());
+        for r in d.records() {
+            prop_assert!(r.answer.label().unwrap() < choices);
+        }
+        for truth in d.truths().iter().flatten() {
+            prop_assert!(truth.label().unwrap() < choices);
+        }
+    }
+
+    /// Sub-sampling at any r keeps per-task degrees at min(r, degree) and
+    /// never invents records.
+    #[test]
+    fn subsample_degrees_are_capped(cfg in arb_config(), seed in 0u64..100, r in 1usize..6) {
+        let d = CrowdSimulator::new(cfg, seed).generate();
+        let sub = subsample_redundancy(&d, r, seed);
+        for t in 0..d.num_tasks() {
+            prop_assert_eq!(sub.task_degree(t), d.task_degree(t).min(r));
+        }
+        prop_assert!(sub.num_answers() <= d.num_answers());
+    }
+
+    /// Golden splits partition the truth-labelled tasks for any fraction.
+    #[test]
+    fn golden_split_partitions(cfg in arb_config(), seed in 0u64..100, frac in 0.0f64..1.0) {
+        let d = CrowdSimulator::new(cfg, seed).generate();
+        let split = GoldenSplit::sample(&d, frac, seed);
+        let total = d.num_truths();
+        prop_assert_eq!(split.golden.len() + split.eval.len(), total);
+        let mut all: Vec<usize> = split.golden.iter().chain(&split.eval).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), total, "overlap between golden and eval");
+        for &t in &split.golden {
+            prop_assert!(split.revealed[t].is_some());
+        }
+    }
+
+    /// The builder accepts any permutation of valid inserts and the
+    /// adjacency always matches the record log.
+    #[test]
+    fn builder_adjacency_matches_log(
+        edges in proptest::collection::vec((0usize..15, 0usize..8, 0u8..3), 0..80),
+    ) {
+        let mut b = DatasetBuilder::new("p", TaskType::SingleChoice { choices: 3 }, 15, 8);
+        let mut seen = std::collections::HashSet::new();
+        let mut inserted = 0usize;
+        for (t, w, l) in edges {
+            if seen.insert((t, w)) {
+                b.add_label(t, w, l).unwrap();
+                inserted += 1;
+            } else {
+                prop_assert!(b.add_label(t, w, l).is_err(), "duplicate must be rejected");
+            }
+        }
+        let d = b.build();
+        prop_assert_eq!(d.num_answers(), inserted);
+        let by_task: usize = (0..15).map(|t| d.task_degree(t)).sum();
+        let by_worker: usize = (0..8).map(|w| d.worker_degree(w)).sum();
+        prop_assert_eq!(by_task, inserted);
+        prop_assert_eq!(by_worker, inserted);
+    }
+
+    /// Simulators are pure functions of (config, seed).
+    #[test]
+    fn simulator_is_deterministic(cfg in arb_config(), seed in 0u64..200) {
+        let a = CrowdSimulator::new(cfg.clone(), seed).generate();
+        let b = CrowdSimulator::new(cfg, seed).generate();
+        prop_assert_eq!(a.records(), b.records());
+        prop_assert_eq!(a.truths(), b.truths());
+    }
+}

@@ -1,0 +1,143 @@
+//! Table 6 — quality and running time of every method on the complete
+//! data of all five datasets (§6.3.1).
+
+use crowd_core::{InferenceOptions, Method};
+use crowd_data::datasets::PaperDataset;
+
+use crate::{parallel_map, run::evaluate, EvalOutcome, ExpConfig};
+
+/// One cell of Table 6: a method's outcome on a dataset (`None` when the
+/// method does not apply — the paper's "×").
+pub type Cell = Option<EvalOutcome>;
+
+/// Table 6 in data form.
+#[derive(Debug, Clone)]
+pub struct Table6 {
+    /// The datasets evaluated (columns), in Table 5 order.
+    pub datasets: Vec<PaperDataset>,
+    /// The methods evaluated (rows), in Table 4 order.
+    pub methods: Vec<Method>,
+    /// `cells[m][d]` = method `m` on dataset `d`.
+    pub cells: Vec<Vec<Cell>>,
+}
+
+/// Run every method on the complete data of every dataset. Quality cells
+/// are averaged over `config.repeats` runs with distinct seeds; times are
+/// per-run means.
+pub fn table6(config: &ExpConfig) -> Table6 {
+    let datasets: Vec<PaperDataset> = PaperDataset::ALL.to_vec();
+    let methods: Vec<Method> = Method::ALL.to_vec();
+
+    // Generate each dataset once.
+    let data: Vec<crowd_data::Dataset> =
+        datasets.iter().map(|d| d.generate(config.scale, config.seed)).collect();
+
+    // One job per (method, dataset): runs `repeats` times internally so a
+    // single slow method does not serialise the whole table.
+    struct Slot {
+        m_idx: usize,
+        d_idx: usize,
+        cell: Cell,
+    }
+    let mut jobs: Vec<Box<dyn FnOnce() -> Slot + Send>> = Vec::new();
+    for (m_idx, &method) in methods.iter().enumerate() {
+        for (d_idx, dataset) in data.iter().enumerate() {
+            let repeats = config.repeats;
+            let base_seed = config.seed;
+            jobs.push(Box::new(move || {
+                let mut agg: Option<EvalOutcome> = None;
+                for rep in 0..repeats {
+                    let opts = InferenceOptions::seeded(base_seed + rep as u64);
+                    match evaluate(method, dataset, &opts, None) {
+                        Some(o) => {
+                            let acc = agg.get_or_insert(EvalOutcome {
+                                accuracy: 0.0,
+                                f1: 0.0,
+                                mae: 0.0,
+                                rmse: 0.0,
+                                seconds: 0.0,
+                                iterations: 0,
+                                converged: true,
+                            });
+                            acc.accuracy += o.accuracy / repeats as f64;
+                            acc.f1 += o.f1 / repeats as f64;
+                            acc.mae += o.mae / repeats as f64;
+                            acc.rmse += o.rmse / repeats as f64;
+                            acc.seconds += o.seconds / repeats as f64;
+                            acc.iterations += o.iterations;
+                            acc.converged &= o.converged;
+                        }
+                        None => return Slot { m_idx, d_idx, cell: None },
+                    }
+                }
+                Slot { m_idx, d_idx, cell: agg }
+            }));
+        }
+    }
+    let slots = parallel_map(config.threads, jobs);
+
+    let mut cells = vec![vec![None; datasets.len()]; methods.len()];
+    for s in slots {
+        cells[s.m_idx][s.d_idx] = s.cell;
+    }
+    Table6 { datasets, methods, cells }
+}
+
+impl Table6 {
+    /// Look up a cell by method and dataset.
+    pub fn cell(&self, method: Method, dataset: PaperDataset) -> &Cell {
+        let m = self.methods.iter().position(|&x| x == method).expect("method in table");
+        let d = self.datasets.iter().position(|&x| x == dataset).expect("dataset in table");
+        &self.cells[m][d]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_shape_and_applicability() {
+        let cfg = ExpConfig { scale: 0.02, repeats: 1, seed: 3, threads: 8 };
+        let t = table6(&cfg);
+        assert_eq!(t.methods.len(), 17);
+        assert_eq!(t.datasets.len(), 5);
+
+        // Numeric-only methods are × on categorical datasets and vice
+        // versa, matching the paper's × pattern.
+        assert!(t.cell(Method::Mean, PaperDataset::DProduct).is_none());
+        assert!(t.cell(Method::Mean, PaperDataset::NEmotion).is_some());
+        assert!(t.cell(Method::Mv, PaperDataset::NEmotion).is_none());
+        assert!(t.cell(Method::Kos, PaperDataset::SRel).is_none());
+        assert!(t.cell(Method::Kos, PaperDataset::DPosSent).is_some());
+        assert!(t.cell(Method::Catd, PaperDataset::NEmotion).is_some());
+
+        // Every decision-making method fills both D_ columns.
+        for m in Method::for_task_type(crowd_data::TaskType::DecisionMaking) {
+            assert!(t.cell(m, PaperDataset::DProduct).is_some(), "{} missing", m.name());
+        }
+    }
+
+    #[test]
+    fn quality_cells_are_probabilities() {
+        let cfg = ExpConfig { scale: 0.02, repeats: 1, seed: 3, threads: 8 };
+        let t = table6(&cfg);
+        for (m_idx, row) in t.cells.iter().enumerate() {
+            for (d_idx, cell) in row.iter().enumerate() {
+                if let Some(o) = cell {
+                    if t.datasets[d_idx].task_type().is_categorical() {
+                        assert!(
+                            (0.0..=1.0).contains(&o.accuracy),
+                            "{} on {}: accuracy {}",
+                            t.methods[m_idx].name(),
+                            t.datasets[d_idx].name(),
+                            o.accuracy
+                        );
+                    } else {
+                        assert!(o.mae > 0.0 && o.rmse >= o.mae);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! # crowd-experiments — the benchmark harness
+//!
+//! One runner per table/figure of the paper's evaluation (Section 6):
+//!
+//! | Runner | Paper artefact |
+//! |---|---|
+//! | [`stats_tables::table5`] | Table 5 — dataset statistics |
+//! | [`stats_tables::consistency_report`] | §6.2.1 — consistency `C` |
+//! | [`stats_tables::fig2_worker_redundancy`] | Figure 2 — redundancy histograms |
+//! | [`stats_tables::fig3_worker_quality`] | Figure 3 — quality histograms |
+//! | [`sweep::redundancy_sweep`] | Figures 4–6 — quality vs redundancy `r` |
+//! | [`full_eval::table6`] | Table 6 — quality & running time, complete data |
+//! | [`qualification::table7`] | Table 7 — qualification-test benefit |
+//! | [`hidden::hidden_sweep`] | Figures 7–9 — quality vs golden fraction `p%` |
+//!
+//! All runners are deterministic given an [`ExpConfig`] (scale, repeat
+//! count, base seed) and return plain data structures; the `crowd-repro`
+//! binary renders them as the same tables/series the paper prints.
+
+#![warn(missing_docs)]
+
+pub mod extensions;
+pub mod full_eval;
+pub mod hidden;
+pub mod qualification;
+pub mod report;
+pub mod run;
+pub mod stats_tables;
+pub mod sweep;
+
+pub use run::{evaluate, EvalOutcome};
+
+/// Global experiment configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    /// Dataset scale in `(0, 1]` — 1.0 reproduces Table 5's sizes.
+    pub scale: f64,
+    /// Repeats per configuration (the paper: 30 for redundancy sweeps,
+    /// 100 for qualification/hidden tests).
+    pub repeats: usize,
+    /// Base seed; repeat `k` of any experiment uses `seed + k`.
+    pub seed: u64,
+    /// Worker threads for repeat-level parallelism.
+    pub threads: usize,
+}
+
+impl ExpConfig {
+    /// Fast smoke configuration (~seconds): 5% scale, 2 repeats.
+    pub fn quick() -> Self {
+        Self { scale: 0.05, repeats: 2, seed: 7, threads: default_threads() }
+    }
+
+    /// Default configuration (~minutes): 20% scale, 5 repeats.
+    pub fn standard() -> Self {
+        Self { scale: 0.2, repeats: 5, seed: 7, threads: default_threads() }
+    }
+
+    /// Paper-faithful configuration: full scale, 30 repeats.
+    pub fn full() -> Self {
+        Self { scale: 1.0, repeats: 30, seed: 7, threads: default_threads() }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// Run `jobs` closures across `threads` workers with crossbeam scoped
+/// threads, preserving output order.
+pub(crate) fn parallel_map<T, F>(threads: usize, jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    // Work-stealing by atomic counter over boxed jobs.
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let queue: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = queue[i].lock().expect("job mutex").take().expect("job taken once");
+                let out = job();
+                *results[i].lock().expect("result mutex") = Some(out);
+            });
+        }
+    })
+    .expect("scoped threads must not panic");
+
+    for (slot, result) in slots.iter_mut().zip(results) {
+        *slot = result.into_inner().expect("result mutex");
+    }
+    slots.into_iter().map(|s| s.expect("every job ran")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0..32usize).map(|i| Box::new(move || i * i) as _).collect();
+        let out = parallel_map(4, jobs);
+        assert_eq!(out, (0..32usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        let empty: Vec<Box<dyn FnOnce() -> i32 + Send>> = vec![];
+        assert!(parallel_map(4, empty).is_empty());
+        let one: Vec<Box<dyn FnOnce() -> i32 + Send>> = vec![Box::new(|| 42)];
+        assert_eq!(parallel_map(8, one), vec![42]);
+    }
+
+    #[test]
+    fn configs_are_ordered_by_cost() {
+        assert!(ExpConfig::quick().scale < ExpConfig::standard().scale);
+        assert!(ExpConfig::standard().scale < ExpConfig::full().scale);
+        assert!(ExpConfig::quick().repeats <= ExpConfig::standard().repeats);
+    }
+}

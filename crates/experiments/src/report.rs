@@ -1,0 +1,138 @@
+//! Plain-text rendering of experiment outputs: aligned tables and data
+//! series in a gnuplot-friendly layout.
+
+/// Render an aligned ASCII table. `headers.len()` must equal the width of
+/// every row.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    out.push('|');
+    for (h, w) in headers.iter().zip(&widths) {
+        out.push_str(&format!(" {h:<w$} |"));
+    }
+    out.push('\n');
+    sep(&mut out);
+    for row in rows {
+        out.push('|');
+        for (cell, w) in row.iter().zip(&widths) {
+            out.push_str(&format!(" {cell:<w$} |"));
+        }
+        out.push('\n');
+    }
+    sep(&mut out);
+    out
+}
+
+/// Render an x/series data block: first column is the x value, one column
+/// per named series — the format the paper's figures plot.
+pub fn series(x_name: &str, xs: &[f64], names: &[&str], columns: &[Vec<f64>]) -> String {
+    assert_eq!(names.len(), columns.len(), "series name/data mismatch");
+    for c in columns {
+        assert_eq!(c.len(), xs.len(), "series length mismatch");
+    }
+    let mut out = format!("# {x_name}");
+    for n in names {
+        out.push('\t');
+        out.push_str(n);
+    }
+    out.push('\n');
+    for (i, x) in xs.iter().enumerate() {
+        out.push_str(&format!("{x}"));
+        for c in columns {
+            out.push_str(&format!("\t{:.4}", c[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a quality value as a percentage with two decimals (Table 6
+/// style), or a dash for missing cells.
+pub fn pct(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{:.2}%", 100.0 * v),
+        None => "×".to_string(),
+    }
+}
+
+/// Format seconds in the paper's style (e.g. `0.13s`).
+pub fn secs(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.2}s"),
+        None => "×".to_string(),
+    }
+}
+
+/// Format a raw float or a dash.
+pub fn num(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.2}"),
+        None => "×".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = table(
+            &["Method", "Accuracy"],
+            &[
+                vec!["MV".into(), "89.66%".into()],
+                vec!["Minimax".into(), "84.09%".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        // borders + header + 2 rows = 6 lines
+        assert_eq!(lines.len(), 6);
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == width), "ragged table:\n{out}");
+        assert!(out.contains("| Minimax | 84.09%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let _ = table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn series_emits_tabular_block() {
+        let out = series(
+            "r",
+            &[1.0, 2.0],
+            &["MV", "D&S"],
+            &[vec![0.8, 0.85], vec![0.82, 0.9]],
+        );
+        assert!(out.starts_with("# r\tMV\tD&S\n"));
+        assert!(out.contains("1\t0.8000\t0.8200"));
+        assert!(out.contains("2\t0.8500\t0.9000"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(Some(0.8966)), "89.66%");
+        assert_eq!(pct(None), "×");
+        assert_eq!(secs(Some(0.134)), "0.13s");
+        assert_eq!(num(Some(12.0213)), "12.02");
+    }
+}

@@ -1,0 +1,117 @@
+//! Single-run evaluation: execute one method on one dataset and score it.
+
+use std::time::Instant;
+
+use crowd_core::{InferenceOptions, Method};
+use crowd_data::{Dataset, TaskType};
+use crowd_metrics::{accuracy_on, f1_score_on, mae_on, rmse_on};
+
+/// Metrics from one inference run (the cells of Table 6).
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOutcome {
+    /// Accuracy (categorical datasets; 0 otherwise).
+    pub accuracy: f64,
+    /// F1-score on the positive class (decision-making; 0 otherwise).
+    pub f1: f64,
+    /// Mean absolute error (numeric; 0 otherwise).
+    pub mae: f64,
+    /// Root mean square error (numeric; 0 otherwise).
+    pub rmse: f64,
+    /// Wall-clock inference time in seconds.
+    pub seconds: f64,
+    /// Outer iterations the method ran.
+    pub iterations: usize,
+    /// Whether the convergence criterion was met.
+    pub converged: bool,
+}
+
+impl EvalOutcome {
+    /// The headline quality number for a task type: accuracy for
+    /// categorical datasets, MAE for numeric ones (used by sweeps).
+    pub fn headline(&self, task_type: TaskType) -> f64 {
+        if task_type.is_categorical() {
+            self.accuracy
+        } else {
+            self.mae
+        }
+    }
+}
+
+/// Run `method` on `dataset` with `options`, scoring on `eval_tasks` when
+/// given (hidden-test protocol) or on all truth-labelled tasks otherwise.
+///
+/// Returns `None` when the method does not support the dataset's task
+/// type (the paper's Table 6 marks those cells "×").
+pub fn evaluate(
+    method: Method,
+    dataset: &Dataset,
+    options: &InferenceOptions,
+    eval_tasks: Option<&[usize]>,
+) -> Option<EvalOutcome> {
+    let instance = method.build();
+    if !instance.supports(dataset.task_type()) {
+        return None;
+    }
+    let start = Instant::now();
+    let result = instance
+        .infer(dataset, options)
+        .unwrap_or_else(|e| panic!("{} failed on {}: {e}", method.name(), dataset.name()));
+    let seconds = start.elapsed().as_secs_f64();
+
+    let categorical = dataset.task_type().is_categorical();
+    Some(EvalOutcome {
+        accuracy: if categorical { accuracy_on(dataset, &result.truths, eval_tasks) } else { 0.0 },
+        f1: if dataset.task_type() == TaskType::DecisionMaking {
+            f1_score_on(dataset, &result.truths, eval_tasks)
+        } else {
+            0.0
+        },
+        mae: if categorical { 0.0 } else { mae_on(dataset, &result.truths, eval_tasks) },
+        rmse: if categorical { 0.0 } else { rmse_on(dataset, &result.truths, eval_tasks) },
+        seconds,
+        iterations: result.iterations,
+        converged: result.converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_data::datasets::PaperDataset;
+
+    #[test]
+    fn evaluates_supported_method() {
+        let d = PaperDataset::DProduct.generate(0.02, 3);
+        let out = evaluate(Method::Mv, &d, &InferenceOptions::seeded(1), None).unwrap();
+        assert!(out.accuracy > 0.5);
+        assert!(out.f1 >= 0.0);
+        assert!(out.seconds >= 0.0);
+        assert_eq!(out.iterations, 1);
+    }
+
+    #[test]
+    fn unsupported_method_returns_none() {
+        let d = PaperDataset::NEmotion.generate(0.1, 3);
+        assert!(evaluate(Method::Mv, &d, &InferenceOptions::default(), None).is_none());
+        assert!(evaluate(Method::Mean, &d, &InferenceOptions::default(), None).is_some());
+    }
+
+    #[test]
+    fn numeric_metrics_populate() {
+        let d = PaperDataset::NEmotion.generate(0.1, 3);
+        let out = evaluate(Method::Mean, &d, &InferenceOptions::default(), None).unwrap();
+        assert!(out.mae > 0.0);
+        assert!(out.rmse >= out.mae);
+        assert_eq!(out.accuracy, 0.0);
+    }
+
+    #[test]
+    fn headline_switches_by_task_type() {
+        let d = PaperDataset::DProduct.generate(0.02, 3);
+        let out = evaluate(Method::Mv, &d, &InferenceOptions::seeded(1), None).unwrap();
+        assert_eq!(out.headline(d.task_type()), out.accuracy);
+        let dn = PaperDataset::NEmotion.generate(0.1, 3);
+        let on = evaluate(Method::Mean, &dn, &InferenceOptions::default(), None).unwrap();
+        assert_eq!(on.headline(dn.task_type()), on.mae);
+    }
+}

@@ -1,0 +1,166 @@
+//! Dataset-statistics experiments: Table 5, the consistency report
+//! (§6.2.1), and the worker histograms of Figures 2 and 3.
+
+use crowd_data::datasets::PaperDataset;
+use crowd_data::Dataset;
+use crowd_metrics::{
+    consistency_categorical, consistency_numeric, worker_accuracies, worker_redundancies,
+    worker_rmses,
+};
+use crowd_stats::Histogram;
+
+use crate::ExpConfig;
+
+/// One row of Table 5.
+#[derive(Debug, Clone)]
+pub struct Table5Row {
+    /// The dataset.
+    pub dataset: PaperDataset,
+    /// Number of tasks `n`.
+    pub tasks: usize,
+    /// Number of tasks with published ground truth.
+    pub truths: usize,
+    /// Number of collected answers `|V|`.
+    pub answers: usize,
+    /// Average answers per task `|V|/n`.
+    pub redundancy: f64,
+    /// Number of workers `|W|`.
+    pub workers: usize,
+}
+
+/// Compute Table 5 on the simulated datasets.
+pub fn table5(config: &ExpConfig) -> Vec<Table5Row> {
+    PaperDataset::ALL
+        .iter()
+        .map(|&id| {
+            let d = id.generate(config.scale, config.seed);
+            Table5Row {
+                dataset: id,
+                tasks: d.num_tasks(),
+                truths: d.num_truths(),
+                answers: d.num_answers(),
+                redundancy: d.redundancy(),
+                workers: d.num_workers(),
+            }
+        })
+        .collect()
+}
+
+/// The consistency statistic `C` per dataset (§6.2.1). Categorical
+/// datasets report entropy-based `C ∈ [0,1]`; N_Emotion reports the
+/// median-deviation `C`.
+pub fn consistency_report(config: &ExpConfig) -> Vec<(PaperDataset, f64)> {
+    PaperDataset::ALL
+        .iter()
+        .map(|&id| {
+            let d = id.generate(config.scale, config.seed);
+            let c = consistency_categorical(&d)
+                .or_else(|| consistency_numeric(&d))
+                .expect("every dataset has a consistency statistic");
+            (id, c)
+        })
+        .collect()
+}
+
+/// Figure 2: the worker-redundancy histogram of one dataset.
+pub fn fig2_worker_redundancy(dataset: &Dataset, bins: usize) -> Histogram {
+    let red = worker_redundancies(dataset);
+    let max = red.iter().copied().max().unwrap_or(1) as f64;
+    let mut h = Histogram::new(0.0, max + 1.0, bins);
+    h.extend(red.iter().map(|&r| r as f64));
+    h
+}
+
+/// Figure 3: the worker-quality histogram of one dataset — accuracy in
+/// `[0, 1]` for categorical datasets, RMSE for numeric ones.
+pub fn fig3_worker_quality(dataset: &Dataset, bins: usize) -> Histogram {
+    if dataset.task_type().is_categorical() {
+        let mut h = Histogram::new(0.0, 1.0 + 1e-9, bins);
+        h.extend(worker_accuracies(dataset).iter().flatten().copied());
+        h
+    } else {
+        let rmses: Vec<f64> = worker_rmses(dataset).iter().flatten().copied().collect();
+        let hi = rmses.iter().copied().fold(1.0f64, f64::max);
+        let mut h = Histogram::new(0.0, hi + 1.0, bins);
+        h.extend(rmses);
+        h
+    }
+}
+
+/// Summary statistics the paper quotes alongside Figure 3: the average
+/// per-worker accuracy (categorical) or RMSE (numeric).
+pub fn fig3_average_quality(dataset: &Dataset) -> f64 {
+    if dataset.task_type().is_categorical() {
+        let accs: Vec<f64> = worker_accuracies(dataset).iter().flatten().copied().collect();
+        accs.iter().sum::<f64>() / accs.len().max(1) as f64
+    } else {
+        let rmses: Vec<f64> = worker_rmses(dataset).iter().flatten().copied().collect();
+        rmses.iter().sum::<f64>() / rmses.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_full_scale_matches_paper_counts() {
+        let cfg = ExpConfig { scale: 1.0, repeats: 1, seed: 7, threads: 1 };
+        let rows = table5(&cfg);
+        let by_name = |n: &str| rows.iter().find(|r| r.dataset.name() == n).unwrap();
+        let p = by_name("D_Product");
+        assert_eq!(p.tasks, 8315);
+        assert_eq!(p.answers, 24945); // 8315 × 3
+        assert_eq!(p.workers, 176);
+        let s = by_name("D_PosSent");
+        assert_eq!(s.tasks, 1000);
+        assert_eq!(s.answers, 20000);
+        let e = by_name("N_Emotion");
+        assert_eq!(e.tasks, 700);
+        assert_eq!(e.answers, 7000);
+        // Partial truth on the S_ datasets.
+        let r = by_name("S_Rel");
+        assert!(r.truths < r.tasks);
+    }
+
+    #[test]
+    fn consistency_report_covers_all_datasets() {
+        let cfg = ExpConfig { scale: 0.05, repeats: 1, seed: 7, threads: 1 };
+        let rows = consistency_report(&cfg);
+        assert_eq!(rows.len(), 5);
+        for (id, c) in &rows {
+            if id.task_type().is_categorical() {
+                assert!((0.0..=1.0).contains(c), "{}: C {c}", id.name());
+            } else {
+                assert!(*c > 5.0, "{}: numeric C {c}", id.name());
+            }
+        }
+    }
+
+    #[test]
+    fn fig2_histogram_is_long_tailed() {
+        let d = PaperDataset::SRel.generate(0.1, 7);
+        let h = fig2_worker_redundancy(&d, 20);
+        assert_eq!(h.total() as usize, d.num_workers());
+        // Long tail: the first bin (few tasks) holds the most workers.
+        let first = h.count(0);
+        let peak = h.counts().iter().copied().max().unwrap();
+        assert_eq!(first, peak, "redundancy histogram should peak at the light end");
+    }
+
+    #[test]
+    fn fig3_histogram_counts_workers() {
+        let d = PaperDataset::DProduct.generate(0.1, 7);
+        let h = fig3_worker_quality(&d, 10);
+        assert!(h.total() > 0);
+        let avg = fig3_average_quality(&d);
+        assert!((avg - 0.79).abs() < 0.08, "avg accuracy {avg} vs paper 0.79");
+    }
+
+    #[test]
+    fn fig3_numeric_average_near_paper() {
+        let d = PaperDataset::NEmotion.generate(1.0, 7);
+        let avg = fig3_average_quality(&d);
+        assert!((avg - 28.9).abs() < 6.0, "avg worker RMSE {avg} vs paper 28.9");
+    }
+}

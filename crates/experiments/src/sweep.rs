@@ -1,0 +1,188 @@
+//! Redundancy sweeps — Figures 4, 5 and 6 (§6.3.1).
+//!
+//! For each redundancy `r`, sub-sample `r` answers per task, run every
+//! applicable method, and average quality over repeated draws (the paper
+//! repeats 30 times).
+
+use crowd_core::{InferenceOptions, Method};
+use crowd_data::datasets::PaperDataset;
+use crowd_data::subsample_redundancy;
+
+use crate::{parallel_map, run::evaluate, ExpConfig};
+
+/// One method's quality curve over redundancy values.
+#[derive(Debug, Clone)]
+pub struct SweepCurve {
+    /// The method.
+    pub method: Method,
+    /// Mean accuracy per redundancy point (categorical) — empty for
+    /// numeric datasets.
+    pub accuracy: Vec<f64>,
+    /// Mean F1 per redundancy point (decision-making only).
+    pub f1: Vec<f64>,
+    /// Mean MAE per redundancy point (numeric only).
+    pub mae: Vec<f64>,
+    /// Mean RMSE per redundancy point (numeric only).
+    pub rmse: Vec<f64>,
+}
+
+/// Result of a full redundancy sweep on one dataset.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The dataset swept.
+    pub dataset: PaperDataset,
+    /// The redundancy values (x axis).
+    pub redundancies: Vec<usize>,
+    /// One curve per applicable method, Table 4 order.
+    pub curves: Vec<SweepCurve>,
+}
+
+/// Run the redundancy sweep of Figures 4–6 on one dataset.
+///
+/// `redundancies` defaults (when `None`) to the paper's x-axes:
+/// `1..=3` for D_Product, `1..=20` for D_PosSent, `1..=5` / `1..=9` for
+/// S_Rel / S_Adult, `1..=10` for N_Emotion.
+pub fn redundancy_sweep(
+    dataset_id: PaperDataset,
+    redundancies: Option<Vec<usize>>,
+    config: &ExpConfig,
+) -> SweepResult {
+    let dataset = dataset_id.generate(config.scale, config.seed);
+    let max_r = dataset.redundancy().round() as usize;
+    let redundancies =
+        redundancies.unwrap_or_else(|| default_redundancies(dataset_id, max_r));
+    let methods = Method::for_task_type(dataset.task_type());
+
+    // Jobs: one per (repeat, redundancy); each runs all methods on the
+    // same sub-sample so methods are compared on identical data, exactly
+    // as in the paper.
+    struct Cell {
+        r_idx: usize,
+        outcomes: Vec<Option<crate::EvalOutcome>>,
+    }
+    let mut jobs: Vec<Box<dyn FnOnce() -> Cell + Send>> = Vec::new();
+    for rep in 0..config.repeats {
+        for (r_idx, &r) in redundancies.iter().enumerate() {
+            let dataset = &dataset;
+            let methods = &methods;
+            let seed = config.seed.wrapping_add(1000 * rep as u64 + r_idx as u64);
+            jobs.push(Box::new(move || {
+                let sub = subsample_redundancy(dataset, r, seed);
+                let opts = InferenceOptions::seeded(seed);
+                let outcomes =
+                    methods.iter().map(|&m| evaluate(m, &sub, &opts, None)).collect();
+                Cell { r_idx, outcomes }
+            }));
+        }
+    }
+    let cells = parallel_map(config.threads, jobs);
+
+    // Aggregate means.
+    let nr = redundancies.len();
+    let nm = methods.len();
+    let mut acc = vec![vec![0.0; nr]; nm];
+    let mut f1 = vec![vec![0.0; nr]; nm];
+    let mut mae = vec![vec![0.0; nr]; nm];
+    let mut rmse = vec![vec![0.0; nr]; nm];
+    let mut counts = vec![vec![0usize; nr]; nm];
+    for cell in cells {
+        for (m_idx, outcome) in cell.outcomes.iter().enumerate() {
+            if let Some(o) = outcome {
+                acc[m_idx][cell.r_idx] += o.accuracy;
+                f1[m_idx][cell.r_idx] += o.f1;
+                mae[m_idx][cell.r_idx] += o.mae;
+                rmse[m_idx][cell.r_idx] += o.rmse;
+                counts[m_idx][cell.r_idx] += 1;
+            }
+        }
+    }
+    let curves = methods
+        .iter()
+        .enumerate()
+        .map(|(m_idx, &method)| {
+            let norm = |v: &[f64]| {
+                v.iter()
+                    .zip(&counts[m_idx])
+                    .map(|(&x, &c)| if c > 0 { x / c as f64 } else { 0.0 })
+                    .collect::<Vec<f64>>()
+            };
+            SweepCurve {
+                method,
+                accuracy: norm(&acc[m_idx]),
+                f1: norm(&f1[m_idx]),
+                mae: norm(&mae[m_idx]),
+                rmse: norm(&rmse[m_idx]),
+            }
+        })
+        .collect();
+
+    SweepResult { dataset: dataset_id, redundancies, curves }
+}
+
+/// The paper's per-dataset x-axes, clipped to the available redundancy.
+pub fn default_redundancies(dataset: PaperDataset, max_r: usize) -> Vec<usize> {
+    let upper = match dataset {
+        PaperDataset::DProduct => 3,
+        PaperDataset::DPosSent => 20,
+        PaperDataset::SRel => 5,
+        PaperDataset::SAdult => 9,
+        PaperDataset::NEmotion => 10,
+    };
+    (1..=upper.min(max_r.max(1))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ExpConfig {
+        ExpConfig { scale: 0.03, repeats: 2, seed: 5, threads: 4 }
+    }
+
+    #[test]
+    fn decision_sweep_shape() {
+        let res =
+            redundancy_sweep(PaperDataset::DProduct, Some(vec![1, 3]), &tiny_config());
+        assert_eq!(res.redundancies, vec![1, 3]);
+        assert_eq!(res.curves.len(), 14, "Figure 4 compares 14 methods");
+        for c in &res.curves {
+            assert_eq!(c.accuracy.len(), 2);
+            assert!(c.accuracy.iter().all(|&a| (0.0..=1.0).contains(&a)));
+        }
+    }
+
+    #[test]
+    fn quality_increases_with_redundancy_for_mv() {
+        let cfg = ExpConfig { scale: 0.1, repeats: 3, seed: 5, threads: 4 };
+        let res = redundancy_sweep(PaperDataset::DPosSent, Some(vec![1, 9]), &cfg);
+        let mv = res.curves.iter().find(|c| c.method == Method::Mv).unwrap();
+        assert!(
+            mv.accuracy[1] > mv.accuracy[0] + 0.02,
+            "MV accuracy should rise with r: {:?}",
+            mv.accuracy
+        );
+    }
+
+    #[test]
+    fn numeric_sweep_reports_errors() {
+        let cfg = ExpConfig { scale: 0.2, repeats: 2, seed: 5, threads: 4 };
+        let res = redundancy_sweep(PaperDataset::NEmotion, Some(vec![2, 8]), &cfg);
+        assert_eq!(res.curves.len(), 5, "Figure 6 compares 5 methods");
+        for c in &res.curves {
+            assert!(c.mae.iter().all(|&e| e > 0.0));
+            assert!(c.rmse.iter().zip(&c.mae).all(|(r, m)| r >= m));
+        }
+        // Errors should shrink with more answers for Mean.
+        let mean = res.curves.iter().find(|c| c.method == Method::Mean).unwrap();
+        assert!(mean.mae[1] < mean.mae[0], "Mean MAE should fall with r: {:?}", mean.mae);
+    }
+
+    #[test]
+    fn default_axes_match_paper() {
+        assert_eq!(default_redundancies(PaperDataset::DProduct, 3), vec![1, 2, 3]);
+        assert_eq!(default_redundancies(PaperDataset::DPosSent, 20).len(), 20);
+        assert_eq!(default_redundancies(PaperDataset::NEmotion, 10).len(), 10);
+        // Clipped when the log has fewer answers.
+        assert_eq!(default_redundancies(PaperDataset::SAdult, 4), vec![1, 2, 3, 4]);
+    }
+}

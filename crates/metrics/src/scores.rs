@@ -1,0 +1,227 @@
+//! Task-level quality metrics: Accuracy, F1, MAE, RMSE.
+
+use crowd_data::{Answer, Dataset};
+
+/// Accuracy (Equation 3): fraction of evaluated tasks whose inferred
+/// truth matches the ground truth. Tasks without ground truth are
+/// skipped; returns 0 when nothing is evaluable.
+pub fn accuracy(dataset: &Dataset, inferred: &[Answer]) -> f64 {
+    accuracy_on(dataset, inferred, None)
+}
+
+/// [`accuracy`] restricted to an evaluation subset of task indices (the
+/// hidden-test protocol evaluates on `T − T'`).
+pub fn accuracy_on(dataset: &Dataset, inferred: &[Answer], eval: Option<&[usize]>) -> f64 {
+    let mut total = 0usize;
+    let mut correct = 0usize;
+    for_each_eval_task(dataset, eval, |task, truth| {
+        total += 1;
+        if answers_equal(&inferred[task], truth) {
+            correct += 1;
+        }
+    });
+    correct as f64 / total.max(1) as f64
+}
+
+/// F1-score (Equation 4): harmonic mean of precision and recall on the
+/// positive class (label 0, 'T'). Meaningful for decision-making tasks
+/// with class imbalance such as D_Product.
+pub fn f1_score(dataset: &Dataset, inferred: &[Answer]) -> f64 {
+    f1_score_on(dataset, inferred, None)
+}
+
+/// [`f1_score`] restricted to an evaluation subset.
+pub fn f1_score_on(dataset: &Dataset, inferred: &[Answer], eval: Option<&[usize]>) -> f64 {
+    let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
+    for_each_eval_task(dataset, eval, |task, truth| {
+        let (Answer::Label(p), Answer::Label(g)) = (&inferred[task], truth) else {
+            return;
+        };
+        match (*p, *g) {
+            (0, 0) => tp += 1,
+            (0, _) => fp += 1,
+            (_, 0) => fn_ += 1,
+            _ => {}
+        }
+    });
+    let precision = tp as f64 / (tp + fp).max(1) as f64;
+    let recall = tp as f64 / (tp + fn_).max(1) as f64;
+    if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    }
+}
+
+/// Mean absolute error (Equation 5) for numeric estimates.
+pub fn mae(dataset: &Dataset, inferred: &[Answer]) -> f64 {
+    mae_on(dataset, inferred, None)
+}
+
+/// [`mae`] restricted to an evaluation subset.
+pub fn mae_on(dataset: &Dataset, inferred: &[Answer], eval: Option<&[usize]>) -> f64 {
+    let mut total = 0usize;
+    let mut err = 0.0;
+    for_each_eval_task(dataset, eval, |task, truth| {
+        let (Answer::Numeric(p), Answer::Numeric(g)) = (&inferred[task], truth) else {
+            return;
+        };
+        total += 1;
+        err += (p - g).abs();
+    });
+    err / total.max(1) as f64
+}
+
+/// Root mean square error (Equation 5) — penalises large errors more
+/// than MAE.
+pub fn rmse(dataset: &Dataset, inferred: &[Answer]) -> f64 {
+    rmse_on(dataset, inferred, None)
+}
+
+/// [`rmse`] restricted to an evaluation subset.
+pub fn rmse_on(dataset: &Dataset, inferred: &[Answer], eval: Option<&[usize]>) -> f64 {
+    let mut total = 0usize;
+    let mut err = 0.0;
+    for_each_eval_task(dataset, eval, |task, truth| {
+        let (Answer::Numeric(p), Answer::Numeric(g)) = (&inferred[task], truth) else {
+            return;
+        };
+        total += 1;
+        err += (p - g).powi(2);
+    });
+    (err / total.max(1) as f64).sqrt()
+}
+
+/// Exact comparison for labels; numeric answers compare with a tight
+/// relative tolerance (inference returns floats).
+fn answers_equal(a: &Answer, b: &Answer) -> bool {
+    match (a, b) {
+        (Answer::Label(x), Answer::Label(y)) => x == y,
+        (Answer::Numeric(x), Answer::Numeric(y)) => (x - y).abs() < 1e-9,
+        _ => false,
+    }
+}
+
+fn for_each_eval_task(
+    dataset: &Dataset,
+    eval: Option<&[usize]>,
+    mut f: impl FnMut(usize, &Answer),
+) {
+    match eval {
+        Some(tasks) => {
+            for &task in tasks {
+                if let Some(truth) = dataset.truth(task) {
+                    f(task, &truth);
+                }
+            }
+        }
+        None => {
+            for (task, truth) in dataset.truths().iter().enumerate() {
+                if let Some(t) = truth {
+                    f(task, t);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_data::{DatasetBuilder, TaskType};
+
+    fn binary_dataset() -> Dataset {
+        let mut b = DatasetBuilder::new("m", TaskType::DecisionMaking, 4, 1);
+        b.add_label(0, 0, 0).unwrap();
+        for t in 0..4 {
+            b.set_truth_label(t, if t < 2 { 0 } else { 1 }).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let d = binary_dataset();
+        let inferred = vec![
+            Answer::Label(0),
+            Answer::Label(1),
+            Answer::Label(1),
+            Answer::Label(1),
+        ];
+        assert!((accuracy(&d, &inferred) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_on_subset() {
+        let d = binary_dataset();
+        let inferred = vec![
+            Answer::Label(0),
+            Answer::Label(1),
+            Answer::Label(1),
+            Answer::Label(1),
+        ];
+        // Evaluate only on tasks {1}: wrong there.
+        assert_eq!(accuracy_on(&d, &inferred, Some(&[1])), 0.0);
+        assert_eq!(accuracy_on(&d, &inferred, Some(&[0, 2])), 1.0);
+    }
+
+    #[test]
+    fn f1_matches_hand_computation() {
+        let d = binary_dataset(); // truths: T T F F
+        let inferred = vec![
+            Answer::Label(0), // tp
+            Answer::Label(1), // fn
+            Answer::Label(0), // fp
+            Answer::Label(1), // tn
+        ];
+        // precision = 1/2, recall = 1/2 → F1 = 1/2.
+        assert!((f1_score(&d, &inferred) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_zero_when_no_positive_predictions_hit() {
+        let d = binary_dataset();
+        let inferred = vec![Answer::Label(1); 4];
+        assert_eq!(f1_score(&d, &inferred), 0.0);
+    }
+
+    #[test]
+    fn all_f_strategy_has_high_accuracy_low_f1() {
+        // The paper's motivating observation for F1 on D_Product: always
+        // answering 'F' gets 88% accuracy but finds no equal pairs.
+        let mut b = DatasetBuilder::new("imb", TaskType::DecisionMaking, 100, 1);
+        b.add_label(0, 0, 1).unwrap();
+        for t in 0..100 {
+            b.set_truth_label(t, if t < 12 { 0 } else { 1 }).unwrap();
+        }
+        let d = b.build();
+        let all_f = vec![Answer::Label(1); 100];
+        assert!((accuracy(&d, &all_f) - 0.88).abs() < 1e-12);
+        assert_eq!(f1_score(&d, &all_f), 0.0);
+    }
+
+    #[test]
+    fn mae_rmse_basics() {
+        let mut b = DatasetBuilder::new("n", TaskType::Numeric, 2, 1);
+        b.add_numeric(0, 0, 0.0).unwrap();
+        b.set_truth_numeric(0, 1.0).unwrap();
+        b.set_truth_numeric(1, -2.0).unwrap();
+        let d = b.build();
+        let inferred = vec![Answer::Numeric(2.0), Answer::Numeric(-2.0)];
+        assert!((mae(&d, &inferred) - 0.5).abs() < 1e-12);
+        assert!((rmse(&d, &inferred) - (0.5f64).sqrt()).abs() < 1e-12);
+        // RMSE >= MAE always.
+        assert!(rmse(&d, &inferred) >= mae(&d, &inferred));
+    }
+
+    #[test]
+    fn skips_tasks_without_truth() {
+        let mut b = DatasetBuilder::new("p", TaskType::DecisionMaking, 3, 1);
+        b.add_label(0, 0, 0).unwrap();
+        b.set_truth_label(0, 0).unwrap();
+        // tasks 1, 2 have no truth
+        let d = b.build();
+        let inferred = vec![Answer::Label(0), Answer::Label(1), Answer::Label(1)];
+        assert_eq!(accuracy(&d, &inferred), 1.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Per-worker statistics: redundancy (Figure 2) and quality (Figure 3).
+
+use crowd_data::{Answer, Dataset};
+
+/// Number of tasks each worker answered — the "worker redundancy" whose
+/// long-tail histogram is Figure 2.
+pub fn worker_redundancies(dataset: &Dataset) -> Vec<usize> {
+    (0..dataset.num_workers()).map(|w| dataset.worker_degree(w)).collect()
+}
+
+/// Per-worker accuracy against ground truth (Figures 3a–3d):
+/// `Σ_{t∈T^w} 1{v^w_t = v*_t} / |scorable T^w|`. `None` for workers with
+/// no answers on truth-labelled tasks.
+pub fn worker_accuracies(dataset: &Dataset) -> Vec<Option<f64>> {
+    (0..dataset.num_workers())
+        .map(|w| {
+            let mut total = 0usize;
+            let mut correct = 0usize;
+            for r in dataset.answers_by_worker(w) {
+                if let Some(truth) = dataset.truth(r.task) {
+                    total += 1;
+                    if r.answer == truth {
+                        correct += 1;
+                    }
+                }
+            }
+            if total > 0 {
+                Some(correct as f64 / total as f64)
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Per-worker RMSE against ground truth for numeric datasets (Figure 3e).
+/// `None` for workers without scorable answers or on categorical data.
+pub fn worker_rmses(dataset: &Dataset) -> Vec<Option<f64>> {
+    (0..dataset.num_workers())
+        .map(|w| {
+            let mut total = 0usize;
+            let mut sq = 0.0;
+            for r in dataset.answers_by_worker(w) {
+                if let (Answer::Numeric(v), Some(Answer::Numeric(t))) =
+                    (r.answer, dataset.truth(r.task))
+                {
+                    total += 1;
+                    sq += (v - t).powi(2);
+                }
+            }
+            if total > 0 {
+                Some((sq / total as f64).sqrt())
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_data::toy::paper_example;
+    use crowd_data::{DatasetBuilder, TaskType};
+
+    #[test]
+    fn redundancies_match_degrees() {
+        let d = paper_example();
+        assert_eq!(worker_redundancies(&d), vec![6, 5, 6]);
+    }
+
+    #[test]
+    fn toy_worker_accuracies() {
+        let d = paper_example();
+        let acc = worker_accuracies(&d);
+        assert!((acc[0].unwrap() - 2.0 / 6.0).abs() < 1e-12);
+        assert!((acc[1].unwrap() - 2.0 / 5.0).abs() < 1e-12);
+        assert!((acc[2].unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unscorable_worker_is_none() {
+        let mut b = DatasetBuilder::new("u", TaskType::DecisionMaking, 2, 2);
+        b.add_label(0, 0, 0).unwrap();
+        b.add_label(1, 1, 0).unwrap();
+        b.set_truth_label(0, 0).unwrap(); // only task 0 has truth
+        let d = b.build();
+        let acc = worker_accuracies(&d);
+        assert_eq!(acc[0], Some(1.0));
+        assert_eq!(acc[1], None);
+    }
+
+    #[test]
+    fn numeric_rmse_per_worker() {
+        let mut b = DatasetBuilder::new("n", TaskType::Numeric, 2, 2);
+        b.add_numeric(0, 0, 3.0).unwrap();
+        b.add_numeric(1, 0, -1.0).unwrap();
+        b.add_numeric(0, 1, 0.0).unwrap();
+        b.set_truth_numeric(0, 0.0).unwrap();
+        b.set_truth_numeric(1, 0.0).unwrap();
+        let d = b.build();
+        let rmse = worker_rmses(&d);
+        // worker 0: errors {3, −1} → sqrt(10/2).
+        assert!((rmse[0].unwrap() - (5.0f64).sqrt()).abs() < 1e-12);
+        assert!((rmse[1].unwrap() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_none_on_categorical() {
+        let d = paper_example();
+        assert!(worker_rmses(&d).iter().all(|r| r.is_none()));
+    }
+}

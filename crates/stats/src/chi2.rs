@@ -1,0 +1,203 @@
+//! Chi-squared distribution: CDF and inverse CDF.
+//!
+//! CATD (Li et al., PVLDB 2014) scales every worker's quality by the
+//! chi-squared quantile `X^2(0.975, |T^w|)` where `|T^w|` is the number of
+//! tasks the worker answered (Section 4.2.4 of the benchmark paper). The
+//! paper's Python code reaches for `scipy.stats.chi2.ppf`; this module is
+//! the equivalent substrate.
+
+use crate::special::{inc_gamma_p, ln_gamma};
+
+/// CDF of the chi-squared distribution with `k` degrees of freedom.
+///
+/// `F(x; k) = P(k/2, x/2)` where `P` is the regularized lower incomplete
+/// gamma function. `k` may be fractional (it never is in CATD, but the
+/// Newton solver below relies on smoothness).
+pub fn chi2_cdf(k: f64, x: f64) -> f64 {
+    debug_assert!(k > 0.0, "chi2_cdf requires k > 0");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    inc_gamma_p(k / 2.0, x / 2.0)
+}
+
+/// Log density of the chi-squared distribution, used as the derivative in
+/// the Newton refinement of [`chi2_inv_cdf`].
+fn chi2_ln_pdf(k: f64, x: f64) -> f64 {
+    let half_k = k / 2.0;
+    -half_k * 2.0_f64.ln() - ln_gamma(half_k) + (half_k - 1.0) * x.ln() - x / 2.0
+}
+
+/// Inverse CDF (quantile function) of the chi-squared distribution with `k`
+/// degrees of freedom at probability `p ∈ (0, 1)`.
+///
+/// Strategy: the Wilson–Hilferty cube approximation provides the starting
+/// point, then (damped) Newton iterations on `F(x) − p` polish to ~1e-10
+/// relative accuracy. Newton steps use the analytic density; bisection
+/// fallback guards the rare cases where Newton escapes `(0, ∞)`.
+pub fn chi2_inv_cdf(k: f64, p: f64) -> f64 {
+    assert!(k > 0.0, "chi2_inv_cdf requires k > 0, got {k}");
+    assert!((0.0..1.0).contains(&p) && p > 0.0, "chi2_inv_cdf requires p in (0,1), got {p}");
+
+    // Wilson–Hilferty: X ≈ k (1 − 2/(9k) + z sqrt(2/(9k)))^3.
+    let z = std_normal_inv_cdf(p);
+    let a = 2.0 / (9.0 * k);
+    let mut x = k * (1.0 - a + z * a.sqrt()).powi(3);
+    if x <= 0.0 || !x.is_finite() {
+        x = k.max(1e-8); // fall back to the mean
+    }
+
+    // Bracket for the bisection safety net.
+    let (mut lo, mut hi) = (0.0_f64, f64::INFINITY);
+    for _ in 0..100 {
+        let f = chi2_cdf(k, x) - p;
+        if f > 0.0 {
+            hi = hi.min(x);
+        } else {
+            lo = lo.max(x);
+        }
+        if f.abs() < 1e-13 {
+            break;
+        }
+        let pdf = chi2_ln_pdf(k, x).exp();
+        let mut next = if pdf > 1e-300 { x - f / pdf } else { x };
+        // Keep the iterate inside the bracket; halve toward the midpoint
+        // when Newton overshoots.
+        if !(next > lo && (hi.is_infinite() || next < hi)) || !next.is_finite() {
+            next = if hi.is_finite() { 0.5 * (lo + hi) } else { lo * 2.0 + 1.0 };
+        }
+        if (next - x).abs() <= 1e-14 * x.abs() {
+            x = next;
+            break;
+        }
+        x = next;
+    }
+    x
+}
+
+/// The 97.5% chi-squared quantile used by CATD, i.e. `X^2(0.975, k)`.
+///
+/// `k` is the number of tasks the worker answered; `k = 0` (a worker with
+/// no answers) is mapped to 0 so such workers get zero weight.
+pub fn chi2_quantile_975(k: usize) -> f64 {
+    if k == 0 {
+        0.0
+    } else {
+        chi2_inv_cdf(k as f64, 0.975)
+    }
+}
+
+/// Inverse CDF of the standard normal distribution (Acklam's rational
+/// approximation, |relative error| < 1.15e-9), used to seed Wilson–Hilferty.
+pub fn std_normal_inv_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "std_normal_inv_cdf domain (0,1), got {p}");
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+
+    
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        // χ²(k=1): F(1) = erf(1/√2) ≈ 0.682689
+        close(chi2_cdf(1.0, 1.0), 0.682_689_492_137_086, 1e-10);
+        // χ²(k=2) is Exp(1/2): F(x) = 1 − e^{−x/2}
+        close(chi2_cdf(2.0, 3.0), 1.0 - (-1.5_f64).exp(), 1e-12);
+        close(chi2_cdf(10.0, 10.0), 0.559_506_714_934_787_5, 1e-9);
+    }
+
+    #[test]
+    fn inverse_cdf_round_trips() {
+        for &k in &[1.0, 2.0, 3.0, 7.0, 20.0, 150.0, 2000.0] {
+            for &p in &[0.01, 0.1, 0.5, 0.9, 0.975, 0.999] {
+                let x = chi2_inv_cdf(k, p);
+                close(chi2_cdf(k, x), p, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_975_matches_tables() {
+        // Standard table values for X^2(0.975, k).
+        close(chi2_quantile_975(1), 5.023_886, 1e-4);
+        close(chi2_quantile_975(2), 7.377_759, 1e-4);
+        close(chi2_quantile_975(5), 12.832_50, 1e-3);
+        close(chi2_quantile_975(10), 20.483_18, 1e-3);
+        close(chi2_quantile_975(100), 129.561, 1e-2);
+    }
+
+    #[test]
+    fn quantile_975_is_monotone_in_k() {
+        // The paper's argument: a worker who answered more tasks gets a
+        // larger scaling coefficient. Guard that property directly.
+        let mut prev = 0.0;
+        for k in 1..200 {
+            let q = chi2_quantile_975(k);
+            assert!(q > prev, "not monotone at k={k}: {q} <= {prev}");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn zero_answer_worker_gets_zero_weight() {
+        assert_eq!(chi2_quantile_975(0), 0.0);
+    }
+
+    #[test]
+    fn normal_inverse_known_values() {
+        close(std_normal_inv_cdf(0.5), 0.0, 1e-9);
+        close(std_normal_inv_cdf(0.975), 1.959_963_984_540_054, 1e-7);
+        close(std_normal_inv_cdf(0.025), -1.959_963_984_540_054, 1e-7);
+        close(std_normal_inv_cdf(0.841_344_746_068_543), 1.0, 1e-7);
+    }
+}

@@ -1,0 +1,163 @@
+//! Fixed-bin histograms.
+//!
+//! Figures 2 and 3 of the paper are histograms of worker redundancy
+//! (#tasks answered per worker) and worker quality (accuracy / RMSE per
+//! worker). This module provides the binning and a terminal renderer the
+//! experiment harness uses to print the same shapes.
+
+/// A histogram over `[lo, hi)` with equally sized bins.
+///
+/// Values below `lo` clamp into the first bin and values at or above `hi`
+/// clamp into the last, so totals are preserved (the paper's figures also
+/// show every worker somewhere).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi` or either bound is not finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range [{lo}, {hi})");
+        Self { lo, hi, counts: vec![0; bins] }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Lower bound of the histogram range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the histogram range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Index of the bin a value falls into (with clamping at the edges).
+    pub fn bin_index(&self, value: f64) -> usize {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let raw = ((value - self.lo) / width).floor();
+        raw.clamp(0.0, (self.counts.len() - 1) as f64) as usize
+    }
+
+    /// Record one observation.
+    pub fn add(&mut self, value: f64) {
+        let idx = self.bin_index(value);
+        self.counts[idx] += 1;
+    }
+
+    /// Record many observations.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Count in bin `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// All bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Inclusive-exclusive bounds `[lo_i, hi_i)` of bin `i`.
+    pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
+    }
+
+    /// Midpoint of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let (a, b) = self.bin_bounds(i);
+        0.5 * (a + b)
+    }
+
+    /// Render as an ASCII bar chart with the given maximum bar width,
+    /// one bin per line: `"[lo, hi)  count  ####"`.
+    pub fn render(&self, max_bar: usize) -> String {
+        let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for i in 0..self.counts.len() {
+            let (a, b) = self.bin_bounds(i);
+            let c = self.counts[i];
+            let bar_len = ((c as f64 / peak as f64) * max_bar as f64).round() as usize;
+            out.push_str(&format!(
+                "[{a:>9.2}, {b:>9.2})  {c:>7}  {}\n",
+                "#".repeat(bar_len)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_the_range() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.extend([0.0, 0.24, 0.25, 0.5, 0.74, 0.75, 0.99]);
+        assert_eq!(h.counts(), &[2, 1, 2, 2]);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.add(-3.0);
+        h.add(10.0);
+        h.add(999.0);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(4), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn bounds_and_centers() {
+        let h = Histogram::new(0.0, 100.0, 10);
+        assert_eq!(h.bin_bounds(0), (0.0, 10.0));
+        assert_eq!(h.bin_bounds(9), (90.0, 100.0));
+        assert!((h.bin_center(4) - 45.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_is_proportional() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        for _ in 0..10 {
+            h.add(0.5);
+        }
+        for _ in 0..5 {
+            h.add(1.5);
+        }
+        let r = h.render(20);
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].matches('#').count(), 20);
+        assert_eq!(lines[1].matches('#').count(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,348 @@
+//! Special functions: log-gamma, digamma, trigamma, error function, and the
+//! regularized incomplete gamma and beta functions.
+//!
+//! Accuracy targets are what the benchmark needs (absolute error well below
+//! 1e-9 over the argument ranges that arise), not full `libm` rigor. Each
+//! routine documents its method and domain.
+
+/// Lanczos coefficients for `g = 7`, `n = 9` (Godfrey / Numerical Recipes).
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS_COEF: [f64; 9] = [
+    0.999_999_999_999_809_9,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural log of the gamma function for `x > 0`.
+///
+/// Uses the Lanczos approximation with reflection for `x < 0.5`. Relative
+/// error is below 1e-13 over the positive reals.
+///
+/// # Panics
+/// Panics in debug builds if `x` is NaN.
+pub fn ln_gamma(x: f64) -> f64 {
+    debug_assert!(!x.is_nan(), "ln_gamma(NaN)");
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1−x) = π / sin(πx).
+        let s = (std::f64::consts::PI * x).sin();
+        if s == 0.0 {
+            return f64::INFINITY; // pole at non-positive integers
+        }
+        return std::f64::consts::PI.ln() - s.abs().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = LANCZOS_COEF[0];
+    for (i, &c) in LANCZOS_COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + LANCZOS_G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Digamma function ψ(x) = d/dx ln Γ(x) for `x > 0`.
+///
+/// Recurrence to push the argument above 6, then the standard asymptotic
+/// expansion. Absolute error below 1e-12 for `x > 1e-4`.
+pub fn digamma(x: f64) -> f64 {
+    debug_assert!(x > 0.0, "digamma requires x > 0, got {x}");
+    let mut x = x;
+    let mut result = 0.0;
+    // ψ(x) = ψ(x+1) − 1/x
+    while x < 6.0 {
+        result -= 1.0 / x;
+        x += 1.0;
+    }
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    // Asymptotic series: ln x − 1/(2x) − Σ B_{2n} / (2n x^{2n})
+    result += x.ln() - 0.5 * inv
+        - inv2
+            * (1.0 / 12.0
+                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0 - inv2 / 132.0))));
+    result
+}
+
+/// Trigamma function ψ₁(x) = d²/dx² ln Γ(x) for `x > 0`.
+pub fn trigamma(x: f64) -> f64 {
+    debug_assert!(x > 0.0, "trigamma requires x > 0, got {x}");
+    let mut x = x;
+    let mut result = 0.0;
+    // ψ₁(x) = ψ₁(x+1) + 1/x²
+    while x < 10.0 {
+        result += 1.0 / (x * x);
+        x += 1.0;
+    }
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    result += inv
+        * (1.0
+            + 0.5 * inv
+            + inv2 * (1.0 / 6.0 - inv2 * (1.0 / 30.0 - inv2 * (1.0 / 42.0 - inv2 / 30.0))));
+    result
+}
+
+/// Log of the beta function `B(a, b) = Γ(a)Γ(b)/Γ(a+b)`.
+pub fn ln_beta(a: f64, b: f64) -> f64 {
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// Regularized lower incomplete gamma `P(a, x) = γ(a,x) / Γ(a)`.
+///
+/// Series expansion for `x < a + 1`, Lentz continued fraction for the
+/// complement otherwise (Numerical Recipes 6.2). Domain: `a > 0`, `x ≥ 0`.
+pub fn inc_gamma_p(a: f64, x: f64) -> f64 {
+    debug_assert!(a > 0.0 && x >= 0.0, "inc_gamma_p domain: a>0, x>=0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_series(a, x)
+    } else {
+        1.0 - gamma_cont_frac(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma `Q(a, x) = 1 − P(a, x)`.
+pub fn inc_gamma_q(a: f64, x: f64) -> f64 {
+    debug_assert!(a > 0.0 && x >= 0.0, "inc_gamma_q domain: a>0, x>=0");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_series(a, x)
+    } else {
+        gamma_cont_frac(a, x)
+    }
+}
+
+/// Series representation of `P(a, x)`, converges quickly for `x < a + 1`.
+fn gamma_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-16 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Modified Lentz continued fraction for `Q(a, x)`, converges for `x ≥ a + 1`.
+fn gamma_cont_frac(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// Error function, computed from the incomplete gamma:
+/// `erf(x) = sign(x) · P(1/2, x²)`.
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        0.0
+    } else {
+        x.signum() * inc_gamma_p(0.5, x * x)
+    }
+}
+
+/// Complementary error function `erfc(x) = 1 − erf(x)`.
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        1.0 + inc_gamma_p(0.5, x * x)
+    } else {
+        inc_gamma_q(0.5, x * x)
+    }
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` for `a, b > 0`,
+/// `0 ≤ x ≤ 1` (Numerical Recipes `betai`, Lentz continued fraction).
+pub fn inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    debug_assert!(a > 0.0 && b > 0.0, "inc_beta domain: a,b > 0");
+    debug_assert!((0.0..=1.0).contains(&x), "inc_beta domain: 0 <= x <= 1");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b);
+    let front = ln_front.exp();
+    // Use the continued fraction on whichever side converges faster.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cont_frac(a, b, x) / a
+    } else {
+        1.0 - front * beta_cont_frac(b, a, 1.0 - x) / b
+    }
+}
+
+/// Lentz continued fraction for the incomplete beta function.
+fn beta_cont_frac(a: f64, b: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..300 {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        close(ln_gamma(1.0), 0.0, 1e-12);
+        close(ln_gamma(2.0), 0.0, 1e-12);
+        close(ln_gamma(5.0), 24.0_f64.ln(), 1e-12); // Γ(5) = 4! = 24
+        close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-12);
+        close(ln_gamma(10.5), 13.940_625_219_403_763, 1e-9);
+    }
+
+    #[test]
+    fn ln_gamma_reflection_negative_half() {
+        // Γ(−0.5) = −2√π, so ln|Γ(−0.5)| = ln(2√π).
+        close(ln_gamma(-0.5), (2.0 * std::f64::consts::PI.sqrt()).ln(), 1e-10);
+    }
+
+    #[test]
+    fn digamma_matches_known_values() {
+        const EULER: f64 = 0.577_215_664_901_532_9;
+        close(digamma(1.0), -EULER, 1e-10);
+        close(digamma(2.0), 1.0 - EULER, 1e-10);
+        close(digamma(0.5), -EULER - 2.0 * 2.0_f64.ln(), 1e-10);
+    }
+
+    #[test]
+    fn digamma_is_derivative_of_ln_gamma() {
+        for &x in &[0.3, 1.7, 4.2, 11.0, 40.0] {
+            let h = 1e-6;
+            let numeric = (ln_gamma(x + h) - ln_gamma(x - h)) / (2.0 * h);
+            close(digamma(x), numeric, 1e-6);
+        }
+    }
+
+    #[test]
+    fn trigamma_matches_known_values() {
+        close(trigamma(1.0), std::f64::consts::PI.powi(2) / 6.0, 1e-10);
+        close(trigamma(0.5), std::f64::consts::PI.powi(2) / 2.0, 1e-10);
+    }
+
+    #[test]
+    fn inc_gamma_complements_sum_to_one() {
+        for &(a, x) in &[(0.5, 0.3), (2.0, 1.0), (5.0, 9.0), (30.0, 22.0)] {
+            close(inc_gamma_p(a, x) + inc_gamma_q(a, x), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn inc_gamma_exponential_special_case() {
+        // P(1, x) = 1 − e^{−x}.
+        for &x in &[0.1, 1.0, 3.0, 10.0] {
+            close(inc_gamma_p(1.0, x), 1.0 - (-x).exp(), 1e-12);
+        }
+    }
+
+    #[test]
+    fn erf_known_values() {
+        close(erf(0.0), 0.0, 1e-15);
+        close(erf(1.0), 0.842_700_792_949_714_9, 1e-10);
+        close(erf(-1.0), -0.842_700_792_949_714_9, 1e-10);
+        close(erf(2.0), 0.995_322_265_018_952_7, 1e-10);
+        close(erfc(1.0), 0.157_299_207_050_285_1, 1e-10);
+    }
+
+    #[test]
+    fn inc_beta_uniform_special_case() {
+        // I_x(1, 1) = x.
+        for &x in &[0.0, 0.25, 0.5, 0.99, 1.0] {
+            close(inc_beta(1.0, 1.0, x), x, 1e-12);
+        }
+    }
+
+    #[test]
+    fn inc_beta_symmetry() {
+        // I_x(a, b) = 1 − I_{1−x}(b, a).
+        for &(a, b, x) in &[(2.0, 3.0, 0.4), (0.5, 0.5, 0.7), (8.0, 2.0, 0.9)] {
+            close(inc_beta(a, b, x), 1.0 - inc_beta(b, a, 1.0 - x), 1e-12);
+        }
+    }
+
+    #[test]
+    fn inc_beta_known_value() {
+        // I_{0.5}(2, 2) = 0.5 by symmetry; I_{0.3}(2, 5) computed externally.
+        close(inc_beta(2.0, 2.0, 0.5), 0.5, 1e-12);
+        close(inc_beta(2.0, 5.0, 0.3), 0.579_825_2, 1e-6);
+    }
+}

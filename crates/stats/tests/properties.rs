@@ -1,0 +1,167 @@
+//! Property-based tests of the numerical substrate.
+
+use proptest::prelude::*;
+
+use crowd_stats::{
+    chi2_cdf, chi2_inv_cdf, digamma, erf, erfc, inc_beta, inc_gamma_p, inc_gamma_q, ln_beta,
+    ln_gamma, log_sum_exp, normalize, quantile, sample_beta, sample_categorical,
+    sample_dirichlet, sample_gaussian, trigamma, ConvergenceTracker, Histogram,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Γ(x+1) = x·Γ(x) ⇔ lnΓ(x+1) = ln x + lnΓ(x).
+    #[test]
+    fn ln_gamma_recurrence(x in 0.05f64..80.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    /// ψ(x+1) = ψ(x) + 1/x.
+    #[test]
+    fn digamma_recurrence(x in 0.05f64..60.0) {
+        let lhs = digamma(x + 1.0);
+        let rhs = digamma(x) + 1.0 / x;
+        prop_assert!((lhs - rhs).abs() < 1e-9, "{lhs} vs {rhs}");
+    }
+
+    /// ψ₁ is positive and decreasing on the positive reals.
+    #[test]
+    fn trigamma_positive_decreasing(x in 0.1f64..50.0, dx in 0.01f64..5.0) {
+        let a = trigamma(x);
+        let b = trigamma(x + dx);
+        prop_assert!(a > 0.0 && b > 0.0);
+        prop_assert!(a > b, "trigamma must decrease: ψ₁({x})={a} vs ψ₁({})={b}", x + dx);
+    }
+
+    /// P(a,x) + Q(a,x) = 1, both in [0,1], P monotone in x.
+    #[test]
+    fn incomplete_gamma_complement(a in 0.05f64..50.0, x in 0.0f64..100.0, dx in 0.01f64..10.0) {
+        let p = inc_gamma_p(a, x);
+        let q = inc_gamma_q(a, x);
+        prop_assert!((p + q - 1.0).abs() < 1e-10);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(inc_gamma_p(a, x + dx) >= p - 1e-12, "P must be nondecreasing in x");
+    }
+
+    /// erf² + erfc relationship and oddness.
+    #[test]
+    fn erf_identities(x in -5.0f64..5.0) {
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-10);
+        prop_assert!((erf(-x) + erf(x)).abs() < 1e-10, "erf must be odd");
+        prop_assert!(erf(x).abs() <= 1.0);
+    }
+
+    /// I_x(a,b) ∈ [0,1], monotone in x, symmetric: I_x(a,b) = 1 − I_{1−x}(b,a).
+    #[test]
+    fn incomplete_beta_properties(
+        a in 0.1f64..20.0,
+        b in 0.1f64..20.0,
+        x in 0.0f64..1.0,
+    ) {
+        let v = inc_beta(a, b, x);
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&v));
+        let sym = 1.0 - inc_beta(b, a, 1.0 - x);
+        prop_assert!((v - sym).abs() < 1e-9, "symmetry: {v} vs {sym}");
+    }
+
+    /// ln B(a,b) is symmetric and satisfies B(a,1) = 1/a.
+    #[test]
+    fn ln_beta_identities(a in 0.1f64..50.0, b in 0.1f64..50.0) {
+        prop_assert!((ln_beta(a, b) - ln_beta(b, a)).abs() < 1e-9);
+        prop_assert!((ln_beta(a, 1.0) - (1.0 / a).ln()).abs() < 1e-9);
+    }
+
+    /// chi2 CDF/quantile are inverse bijections and the CDF is monotone
+    /// in both arguments the right way.
+    #[test]
+    fn chi2_bijection(k in 0.5f64..300.0, p in 0.005f64..0.995) {
+        let x = chi2_inv_cdf(k, p);
+        prop_assert!((chi2_cdf(k, x) - p).abs() < 1e-7);
+        // More degrees of freedom shift mass right: CDF decreases in k.
+        prop_assert!(chi2_cdf(k + 1.0, x) <= chi2_cdf(k, x) + 1e-9);
+    }
+
+    /// Samplers stay in their supports.
+    #[test]
+    fn samplers_respect_supports(seed in 0u64..500, a in 0.2f64..8.0, b in 0.2f64..8.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let beta = sample_beta(&mut rng, a, b);
+        prop_assert!((0.0..=1.0).contains(&beta));
+        let g = sample_gaussian(&mut rng, 0.0, 1.0);
+        prop_assert!(g.is_finite());
+        let d = sample_dirichlet(&mut rng, &[a, b, 1.0]);
+        prop_assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(d.iter().all(|&x| x >= 0.0));
+        let c = sample_categorical(&mut rng, &[a, 0.0, b]);
+        prop_assert!(c == 0 || c == 2, "zero-weight bucket sampled");
+    }
+
+    /// log_sum_exp ≥ max element; exp-normalisation sums to one.
+    #[test]
+    fn log_sum_exp_bounds(xs in proptest::collection::vec(-500.0f64..500.0, 1..30)) {
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let lse = log_sum_exp(&xs);
+        prop_assert!(lse >= max - 1e-12);
+        prop_assert!(lse <= max + (xs.len() as f64).ln() + 1e-12);
+    }
+
+    /// normalize() always emits a probability vector.
+    #[test]
+    fn normalize_total_is_one(mut xs in proptest::collection::vec(0.0f64..1e6, 1..20)) {
+        normalize(&mut xs);
+        prop_assert!((xs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    /// Histogram totals are conserved regardless of value range.
+    #[test]
+    fn histogram_conserves_mass(values in proptest::collection::vec(-1e4f64..1e4, 0..200)) {
+        let mut h = Histogram::new(-100.0, 100.0, 7);
+        h.extend(values.iter().copied());
+        prop_assert_eq!(h.total() as usize, values.len());
+    }
+
+    /// Quantiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn quantiles_are_monotone(
+        xs in proptest::collection::vec(-1e3f64..1e3, 1..50),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let a = quantile(&xs, lo);
+        let b = quantile(&xs, hi);
+        prop_assert!(a <= b + 1e-12);
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min - 1e-12 && b <= max + 1e-12);
+    }
+
+    /// The convergence tracker stops within the iteration budget for any
+    /// parameter stream, and immediately on a repeated vector.
+    #[test]
+    fn tracker_always_terminates(
+        streams in proptest::collection::vec(
+            proptest::collection::vec(-10.0f64..10.0, 3), 1..40
+        ),
+        cap in 1usize..20,
+    ) {
+        let mut t = ConvergenceTracker::new(1e-6, cap);
+        let mut stopped_at = None;
+        for (i, params) in streams.iter().enumerate() {
+            if t.step(params) {
+                stopped_at = Some(i + 1);
+                break;
+            }
+        }
+        if let Some(n) = stopped_at {
+            prop_assert!(n <= cap);
+        } else {
+            prop_assert!(streams.len() < cap);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Entity resolution at scale: the D_Product scenario.
+//!
+//! The paper's introduction motivates truth inference with crowdsourced
+//! entity resolution — "are these two product listings the same item?" —
+//! where 'same' pairs are rare (≈13%) and workers are much better at
+//! spotting differences than confirming sameness. This example:
+//!
+//! 1. simulates a D_Product-style answer log,
+//! 2. runs the direct baseline (MV), a worker-probability method (ZC),
+//!    and two confusion-matrix methods (D&S, LFC),
+//! 3. reports Accuracy *and* F1 — the metric that actually matters under
+//!    class imbalance — reproducing the paper's headline finding that
+//!    confusion-matrix methods win on F1,
+//! 4. inspects a learned confusion matrix to show the asymmetry
+//!    (`q_FF > q_TT`) the paper explains in §6.3.1,
+//! 5. exports the log in the authors' TSV format.
+//!
+//! Run with: `cargo run --release --example entity_resolution`
+
+use crowd_truth::data::datasets::PaperDataset;
+use crowd_truth::prelude::*;
+
+fn main() {
+    // 20% scale keeps this example snappy; pass full 1.0 for Table 5 sizes.
+    let dataset = PaperDataset::DProduct.generate(0.2, 42);
+    println!(
+        "D_Product (simulated): {} pairs, {} workers, {} answers, redundancy {:.0}",
+        dataset.num_tasks(),
+        dataset.num_workers(),
+        dataset.num_answers(),
+        dataset.redundancy()
+    );
+    let positives = dataset
+        .truths()
+        .iter()
+        .filter(|t| matches!(t, Some(crowd_truth::data::Answer::Label(0))))
+        .count();
+    println!(
+        "truth balance: {} same / {} different\n",
+        positives,
+        dataset.num_truths() - positives
+    );
+
+    let options = InferenceOptions::seeded(7);
+    println!("{:10} {:>9} {:>9}", "method", "Accuracy", "F1-score");
+    let methods: Vec<Box<dyn TruthInference>> = vec![
+        Box::new(Mv),
+        Box::new(Zc::default()),
+        Box::new(Ds),
+        Box::new(Lfc::default()),
+    ];
+    for method in &methods {
+        let result = method.infer(&dataset, &options).expect("method supports decision-making");
+        println!(
+            "{:10} {:>8.2}% {:>8.2}%",
+            method.name(),
+            100.0 * accuracy(&dataset, &result.truths),
+            100.0 * f1_score(&dataset, &result.truths),
+        );
+    }
+
+    // Peek inside D&S: the confusion matrix of the most prolific worker.
+    let ds = Ds.infer(&dataset, &options).expect("D&S runs");
+    let busiest = (0..dataset.num_workers())
+        .max_by_key(|&w| dataset.worker_degree(w))
+        .expect("non-empty worker set");
+    if let WorkerQuality::Confusion(m) = &ds.worker_quality[busiest] {
+        println!(
+            "\nbusiest worker (w{busiest}, {} answers) confusion matrix:",
+            dataset.worker_degree(busiest)
+        );
+        println!("              answers T   answers F");
+        println!("  truth T      {:>8.2}    {:>8.2}", m[0][0], m[0][1]);
+        println!("  truth F      {:>8.2}    {:>8.2}", m[1][0], m[1][1]);
+        println!(
+            "  (the paper's §6.3.1: q_FF ({:.2}) > q_TT ({:.2}) — spotting a difference\n   \
+             is easier than confirming sameness, which is why a single-probability\n   \
+             worker model underfits here)",
+            m[1][1], m[0][0]
+        );
+    }
+
+    // Export in the release TSV format.
+    let dir = std::env::temp_dir().join("crowd_truth_d_product");
+    let path = crowd_truth::data::io::write_tsv(&dataset, &dir).expect("export TSV");
+    println!("\nanswer log exported to {}", path.display());
+}

@@ -1,0 +1,49 @@
+//! Quickstart: the paper's running example (Tables 1–2, Section 3).
+//!
+//! Six entity-resolution tasks answered by three workers of varying
+//! quality. Majority Voting gets `t6` wrong and flips a coin on `t1`;
+//! PM models worker quality and recovers all six truths.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use crowd_truth::prelude::*;
+
+fn main() {
+    let dataset = crowd_truth::data::toy::paper_example();
+    println!(
+        "Dataset: {} tasks, {} workers, {} answers\n",
+        dataset.num_tasks(),
+        dataset.num_workers(),
+        dataset.num_answers()
+    );
+
+    let options = InferenceOptions::seeded(11);
+
+    // Majority voting: the baseline the paper starts from.
+    let mv = Mv.infer(&dataset, &options).expect("MV runs on categorical data");
+    // PM: the optimization method Section 3 walks through.
+    let pm = Pm::default().infer(&dataset, &options).expect("PM runs on categorical data");
+
+    println!("task   MV    PM    truth");
+    for task in 0..dataset.num_tasks() {
+        let fmt = |a: &crowd_truth::data::Answer| {
+            if a.label() == Some(0) { "T" } else { "F" }
+        };
+        let truth = dataset.truth(task).expect("toy example has full truth");
+        println!(
+            "t{}     {}     {}     {}",
+            task + 1,
+            fmt(&mv.truths[task]),
+            fmt(&pm.truths[task]),
+            fmt(&truth),
+        );
+    }
+
+    println!("\nMV accuracy: {:.2}", accuracy(&dataset, &mv.truths));
+    println!("PM accuracy: {:.2}", accuracy(&dataset, &pm.truths));
+
+    println!("\nPM worker qualities (w3 is the careful worker):");
+    for (w, q) in pm.worker_quality.iter().enumerate() {
+        println!("  w{}: {:.2}", w + 1, q.scalar().unwrap_or(0.0));
+    }
+}

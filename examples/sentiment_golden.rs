@@ -1,0 +1,81 @@
+//! Sentiment analysis with golden tasks: the D_PosSent scenario.
+//!
+//! Reproduces both golden-task mechanisms of the paper on a simulated
+//! tweet-sentiment dataset:
+//!
+//! - **qualification test** (§6.3.2): bootstrap 20 scored answers per
+//!   worker and initialise worker qualities from them;
+//! - **hidden test** (§6.3.3): reveal the truth of p% of tasks to the
+//!   method and evaluate on the rest.
+//!
+//! Run with: `cargo run --release --example sentiment_golden`
+
+use crowd_truth::core::QualityInit;
+use crowd_truth::data::datasets::PaperDataset;
+use crowd_truth::data::{bootstrap_qualification, GoldenSplit};
+use crowd_truth::metrics::accuracy_on;
+use crowd_truth::prelude::*;
+
+fn main() {
+    let dataset = PaperDataset::DPosSent.generate(0.5, 99);
+    println!(
+        "D_PosSent (simulated): {} tweets, {} workers, redundancy {:.0}\n",
+        dataset.num_tasks(),
+        dataset.num_workers(),
+        dataset.redundancy()
+    );
+
+    // --- Qualification test -------------------------------------------
+    println!("qualification test (20 golden tasks per worker, §6.3.2):");
+    let qual = bootstrap_qualification(&dataset, 20, 5);
+    let scored = qual.accuracy.iter().flatten().count();
+    println!("  scored {} of {} workers", scored, dataset.num_workers());
+
+    let plain = InferenceOptions::seeded(5);
+    let with_qual = InferenceOptions {
+        quality_init: QualityInit::Qualification(qual.accuracy.clone()),
+        ..InferenceOptions::seeded(5)
+    };
+    println!("  {:6} {:>12} {:>12} {:>8}", "method", "no qual", "with qual", "delta");
+    for method in [Method::Zc, Method::Ds, Method::Lfc, Method::Pm, Method::Catd] {
+        let base = method
+            .build()
+            .infer(&dataset, &plain)
+            .expect("decision-making supported");
+        let qualed = method
+            .build()
+            .infer(&dataset, &with_qual)
+            .expect("decision-making supported");
+        let a0 = accuracy(&dataset, &base.truths);
+        let a1 = accuracy(&dataset, &qualed.truths);
+        println!(
+            "  {:6} {:>11.2}% {:>11.2}% {:>+7.2}%",
+            method.name(),
+            100.0 * a0,
+            100.0 * a1,
+            100.0 * (a1 - a0)
+        );
+    }
+    println!(
+        "  (the paper's finding: with 20 answers per task the benefit is marginal —\n   \
+         worker quality is already identifiable without supervision)\n"
+    );
+
+    // --- Hidden test ---------------------------------------------------
+    println!("hidden test (reveal p% of truths, evaluate on the rest, §6.3.3):");
+    println!("  {:6} {:>8} {:>8} {:>8}", "method", "p=0%", "p=20%", "p=50%");
+    for method in [Method::Zc, Method::Ds, Method::Catd] {
+        let mut row = format!("  {:6}", method.name());
+        for p in [0.0, 0.2, 0.5] {
+            let split = GoldenSplit::sample(&dataset, p, 17);
+            let opts = InferenceOptions {
+                golden: (p > 0.0).then(|| split.revealed.clone()),
+                ..InferenceOptions::seeded(17)
+            };
+            let result = method.build().infer(&dataset, &opts).expect("supported");
+            let acc = accuracy_on(&dataset, &result.truths, Some(&split.eval));
+            row.push_str(&format!(" {:>7.2}%", 100.0 * acc));
+        }
+        println!("{row}");
+    }
+}

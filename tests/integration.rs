@@ -1,0 +1,182 @@
+//! Cross-crate integration tests: every method against every applicable
+//! dataset, golden-task plumbing, IO round-trips, and determinism.
+
+use crowd_truth::core::{InferenceOptions, Method, QualityInit};
+use crowd_truth::data::datasets::PaperDataset;
+use crowd_truth::data::{bootstrap_qualification, subsample_redundancy, GoldenSplit, TaskType};
+use crowd_truth::metrics::{accuracy, accuracy_on, f1_score, mae, rmse};
+
+const SCALE: f64 = 0.04;
+const SEED: u64 = 2024;
+
+#[test]
+fn every_method_runs_on_every_applicable_dataset() {
+    for ds in PaperDataset::ALL {
+        let dataset = ds.generate(SCALE.max(0.1_f64.min(1.0) * 0.4), SEED);
+        for method in Method::ALL {
+            let instance = method.build();
+            if !instance.supports(dataset.task_type()) {
+                assert!(
+                    instance.infer(&dataset, &InferenceOptions::seeded(1)).is_err(),
+                    "{} should reject {}",
+                    method.name(),
+                    ds.name()
+                );
+                continue;
+            }
+            let result = instance
+                .infer(&dataset, &InferenceOptions::seeded(1))
+                .unwrap_or_else(|e| panic!("{} failed on {}: {e}", method.name(), ds.name()));
+            assert_eq!(result.truths.len(), dataset.num_tasks());
+            assert_eq!(result.worker_quality.len(), dataset.num_workers());
+            assert!(result.iterations >= 1);
+            // Every estimate has the right answer kind.
+            for t in &result.truths {
+                match dataset.task_type() {
+                    TaskType::Numeric => assert!(t.numeric().is_some()),
+                    _ => assert!(t.label().is_some()),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn all_methods_are_deterministic_under_seed() {
+    let dataset = PaperDataset::DProduct.generate(SCALE, SEED);
+    for method in Method::for_task_type(TaskType::DecisionMaking) {
+        let a = method.build().infer(&dataset, &InferenceOptions::seeded(33)).unwrap();
+        let b = method.build().infer(&dataset, &InferenceOptions::seeded(33)).unwrap();
+        assert_eq!(a.truths, b.truths, "{} not deterministic", method.name());
+        assert_eq!(a.iterations, b.iterations, "{} iteration drift", method.name());
+    }
+}
+
+#[test]
+fn accuracy_beats_chance_for_all_methods_on_balanced_data() {
+    let dataset = PaperDataset::DPosSent.generate(0.2, SEED);
+    for method in Method::for_task_type(TaskType::DecisionMaking) {
+        let result = method.build().infer(&dataset, &InferenceOptions::seeded(9)).unwrap();
+        let acc = accuracy(&dataset, &result.truths);
+        assert!(acc > 0.75, "{} accuracy {acc} on easy balanced data", method.name());
+    }
+}
+
+#[test]
+fn golden_tasks_round_trip_through_all_supporting_methods() {
+    let dataset = PaperDataset::DProduct.generate(SCALE, SEED);
+    let split = GoldenSplit::sample(&dataset, 0.3, 5);
+    let opts = InferenceOptions {
+        golden: Some(split.revealed.clone()),
+        ..InferenceOptions::seeded(5)
+    };
+    for method in Method::ALL {
+        let instance = method.build();
+        if !instance.supports_golden() || !instance.supports(dataset.task_type()) {
+            continue;
+        }
+        let result = instance.infer(&dataset, &opts).unwrap();
+        for &t in &split.golden {
+            assert_eq!(
+                Some(result.truths[t]),
+                dataset.truth(t),
+                "{} did not clamp golden task {t}",
+                method.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn qualification_round_trips_through_all_supporting_methods() {
+    let dataset = PaperDataset::SRel.generate(0.02, SEED);
+    let qual = bootstrap_qualification(&dataset, 20, 3);
+    let opts = InferenceOptions {
+        quality_init: QualityInit::Qualification(qual.accuracy),
+        ..InferenceOptions::seeded(3)
+    };
+    for method in Method::ALL {
+        let instance = method.build();
+        if !instance.supports_qualification() || !instance.supports(dataset.task_type()) {
+            continue;
+        }
+        let result = instance.infer(&dataset, &opts).unwrap();
+        let acc = accuracy(&dataset, &result.truths);
+        assert!(acc > 0.3, "{} collapsed with qualification init: {acc}", method.name());
+    }
+}
+
+#[test]
+fn subsampled_dataset_is_valid_input_for_all_methods() {
+    let dataset = PaperDataset::DPosSent.generate(0.1, SEED);
+    let sub = subsample_redundancy(&dataset, 1, 4); // the harshest case
+    for method in Method::for_task_type(TaskType::DecisionMaking) {
+        let result = method.build().infer(&sub, &InferenceOptions::seeded(4)).unwrap();
+        assert_eq!(result.truths.len(), sub.num_tasks());
+    }
+}
+
+#[test]
+fn tsv_round_trip_preserves_inference_results() {
+    let dataset = PaperDataset::DProduct.generate(0.02, SEED);
+    let dir = std::env::temp_dir().join(format!("crowd_it_tsv_{}", std::process::id()));
+    crowd_truth::data::io::write_tsv(&dataset, &dir).unwrap();
+    let loaded = crowd_truth::data::io::read_tsv(
+        &dir.join("answers.tsv"),
+        Some(&dir.join("truths.tsv")),
+        TaskType::DecisionMaking,
+        "roundtrip",
+    )
+    .unwrap();
+    // MV is permutation-equivariant, so accuracy must match exactly even
+    // though task indices may be renumbered.
+    let a = Method::Mv.build().infer(&dataset, &InferenceOptions::seeded(0)).unwrap();
+    let b = Method::Mv.build().infer(&loaded, &InferenceOptions::seeded(0)).unwrap();
+    let (acc_a, acc_b) = (accuracy(&dataset, &a.truths), accuracy(&loaded, &b.truths));
+    assert!(
+        (acc_a - acc_b).abs() < 0.02,
+        "roundtrip shifted MV accuracy: {acc_a} vs {acc_b}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn metrics_agree_with_manual_computation_on_inference_output() {
+    let dataset = PaperDataset::DProduct.generate(0.02, SEED);
+    let result = Method::Ds.build().infer(&dataset, &InferenceOptions::seeded(2)).unwrap();
+    // Manual accuracy.
+    let mut total = 0;
+    let mut correct = 0;
+    for (task, truth) in dataset.truths().iter().enumerate() {
+        if let Some(t) = truth {
+            total += 1;
+            if &result.truths[task] == t {
+                correct += 1;
+            }
+        }
+    }
+    let manual = correct as f64 / total as f64;
+    assert!((accuracy(&dataset, &result.truths) - manual).abs() < 1e-12);
+    // Restricting to all truth-labelled tasks changes nothing.
+    let all: Vec<usize> =
+        (0..dataset.num_tasks()).filter(|&t| dataset.truth(t).is_some()).collect();
+    assert!(
+        (accuracy_on(&dataset, &result.truths, Some(&all)) - manual).abs() < 1e-12
+    );
+    // F1 is within [0, 1].
+    let f1 = f1_score(&dataset, &result.truths);
+    assert!((0.0..=1.0).contains(&f1));
+}
+
+#[test]
+fn numeric_methods_error_is_finite_and_ordered() {
+    let dataset = PaperDataset::NEmotion.generate(0.5, SEED);
+    for method in Method::for_task_type(TaskType::Numeric) {
+        let result = method.build().infer(&dataset, &InferenceOptions::seeded(8)).unwrap();
+        let m = mae(&dataset, &result.truths);
+        let r = rmse(&dataset, &result.truths);
+        assert!(m.is_finite() && r.is_finite(), "{}", method.name());
+        assert!(r >= m, "{}: RMSE {r} < MAE {m}", method.name());
+        assert!(m < 30.0, "{}: implausible MAE {m}", method.name());
+    }
+}

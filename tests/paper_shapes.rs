@@ -1,0 +1,165 @@
+//! Regression tests pinning the paper's qualitative findings — the
+//! "shapes" the reproduction must preserve even though absolute numbers
+//! come from simulated data (see EXPERIMENTS.md for the full
+//! paper-vs-measured record).
+
+use crowd_truth::core::{InferenceOptions, Method};
+use crowd_truth::data::datasets::PaperDataset;
+use crowd_truth::data::subsample_redundancy;
+use crowd_truth::metrics::{accuracy, f1_score, mae};
+
+fn acc(method: Method, dataset: &crowd_truth::data::Dataset, seed: u64) -> f64 {
+    let r = method.build().infer(dataset, &InferenceOptions::seeded(seed)).unwrap();
+    accuracy(dataset, &r.truths)
+}
+
+fn f1(method: Method, dataset: &crowd_truth::data::Dataset, seed: u64) -> f64 {
+    let r = method.build().infer(dataset, &InferenceOptions::seeded(seed)).unwrap();
+    f1_score(dataset, &r.truths)
+}
+
+/// §6.3.1(4) / Table 6: on the imbalanced D_Product, confusion-matrix
+/// methods beat MV on F1 (D&S 71.6% vs MV 59.1% in the paper) because a
+/// single probability cannot express `q_TT ≠ q_FF`.
+#[test]
+fn confusion_matrix_beats_mv_on_f1_for_entity_resolution() {
+    let mut wins = 0;
+    let trials = 3;
+    for seed in 0..trials {
+        let d = PaperDataset::DProduct.generate(0.25, 100 + seed);
+        let ds_f1 = f1(Method::Ds, &d, seed);
+        let mv_f1 = f1(Method::Mv, &d, seed);
+        if ds_f1 > mv_f1 {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 2, "D&S F1 beat MV in only {wins}/{trials} trials");
+}
+
+/// Table 6: KOS's accuracy is competitive on D_Product but its F1
+/// collapses (50.3% vs D&S 71.6%) — the balanced-class assumption fails
+/// on the minority class.
+#[test]
+fn kos_f1_trails_ds_on_imbalanced_data() {
+    let d = PaperDataset::DProduct.generate(0.25, 500);
+    assert!(f1(Method::Kos, &d, 1) <= f1(Method::Ds, &d, 1) + 0.03);
+}
+
+/// Figure 4(c): on D_PosSent quality rises steeply over r ∈ [1, 10]
+/// ("improving around 20%") then flattens.
+#[test]
+fn redundancy_gains_saturate() {
+    let d = PaperDataset::DPosSent.generate(0.3, 11);
+    let r1 = subsample_redundancy(&d, 1, 1);
+    let r10 = subsample_redundancy(&d, 10, 1);
+    let r20 = subsample_redundancy(&d, 20, 1);
+    let (a1, a10, a20) = (acc(Method::Ds, &r1, 2), acc(Method::Ds, &r10, 2), acc(Method::Ds, &r20, 2));
+    assert!(a10 - a1 > 0.08, "expected a steep early gain: r1 {a1} → r10 {a10}");
+    assert!(
+        (a20 - a10).abs() < 0.05,
+        "expected saturation: r10 {a10} → r20 {a20}"
+    );
+}
+
+/// Table 6's S_Adult column: every method lands in a narrow band (the
+/// paper's spread over 10 methods is 35.3%–36.5%) — no weighting scheme
+/// separates methods when the crowd is collectively blind on the gold
+/// tasks.
+#[test]
+fn s_adult_methods_are_stuck_in_a_narrow_band() {
+    let d = PaperDataset::SAdult.generate(0.2, 77);
+    let accs: Vec<(Method, f64)> = Method::for_task_type(d.task_type())
+        .into_iter()
+        .map(|m| (m, acc(m, &d, 3)))
+        .collect();
+    let lo = accs.iter().map(|(_, a)| *a).fold(f64::INFINITY, f64::min);
+    let hi = accs.iter().map(|(_, a)| *a).fold(0.0, f64::max);
+    assert!(
+        hi - lo < 0.12,
+        "methods should cluster on S_Adult, got spread [{lo:.3}, {hi:.3}]: {accs:?}"
+    );
+    assert!(
+        (0.2..=0.55).contains(&lo) && hi < 0.6,
+        "band should sit near the paper's ≈36%: [{lo:.3}, {hi:.3}]"
+    );
+}
+
+/// Table 6's N_Emotion column: Mean is competitive with (the paper: better
+/// than) every sophisticated numeric method.
+#[test]
+fn mean_is_competitive_on_numeric_tasks() {
+    let d = PaperDataset::NEmotion.generate(1.0, 21);
+    let mean_mae = {
+        let r = Method::Mean.build().infer(&d, &InferenceOptions::seeded(4)).unwrap();
+        mae(&d, &r.truths)
+    };
+    for method in [Method::Catd, Method::Pm, Method::LfcN, Method::Median] {
+        let r = method.build().infer(&d, &InferenceOptions::seeded(4)).unwrap();
+        let m = mae(&d, &r.truths);
+        assert!(
+            m > mean_mae - 1.5,
+            "{} (MAE {m:.2}) should not beat Mean (MAE {mean_mae:.2}) decisively",
+            method.name()
+        );
+    }
+}
+
+/// §6.3.1(2): "There is no method that performs consistently the best" —
+/// checked across our two decision-making datasets: the per-dataset
+/// winners differ or at least several methods tie within noise.
+#[test]
+fn no_single_dominant_method_across_datasets() {
+    let product = PaperDataset::DProduct.generate(0.2, 55);
+    let possent = PaperDataset::DPosSent.generate(0.3, 55);
+    let methods = [Method::Mv, Method::Zc, Method::Ds, Method::Lfc, Method::Bcc, Method::Pm];
+    let top = |d: &crowd_truth::data::Dataset| -> Vec<Method> {
+        let scored: Vec<(Method, f64)> =
+            methods.iter().map(|&m| (m, acc(m, d, 6))).collect();
+        let best = scored.iter().map(|(_, a)| *a).fold(0.0, f64::max);
+        scored.into_iter().filter(|(_, a)| best - a < 0.01).map(|(m, _)| m).collect()
+    };
+    let winners_product = top(&product);
+    let winners_possent = top(&possent);
+    // Either different winners, or a multi-way tie — both falsify "one
+    // method dominates".
+    let dominated = winners_product.len() == 1
+        && winners_possent.len() == 1
+        && winners_product[0] == winners_possent[0]
+        && winners_product[0] != Method::Mv; // MV "winning" twice on easy data is a tie artifact
+    assert!(
+        !dominated,
+        "a single method dominated both datasets: {winners_product:?} / {winners_possent:?}"
+    );
+}
+
+/// §6.2.2 / Figure 2: worker participation is long-tailed on every
+/// dataset — the busiest decile holds a disproportionate answer share.
+#[test]
+fn worker_participation_is_long_tailed_everywhere() {
+    // D_PosSent and N_Emotion are partial exceptions in the paper too
+    // (Figures 2b/2e): with redundancy 20-of-85 and 10-of-38 workers,
+    // most workers answer a large share of all tasks, so the tail is
+    // weak. The three large datasets carry the long-tail claim.
+    for ds in [PaperDataset::DProduct, PaperDataset::SRel, PaperDataset::SAdult] {
+        let d = ds.generate(0.15, 9);
+        let mut degrees: Vec<usize> =
+            (0..d.num_workers()).map(|w| d.worker_degree(w)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        let total: usize = degrees.iter().sum();
+        let decile = (degrees.len() / 10).max(1);
+        let top: usize = degrees[..decile].iter().sum();
+        assert!(
+            top as f64 > 1.5 * total as f64 * decile as f64 / degrees.len() as f64,
+            "{}: top decile holds {top}/{total}, not disproportionate",
+            ds.name()
+        );
+    }
+}
+
+/// Table 6: VI-BP degrades badly on the imbalanced D_Product (64.6% vs
+/// D&S 93.7% in the paper); pin the direction.
+#[test]
+fn vi_bp_trails_ds_on_imbalanced_data() {
+    let d = PaperDataset::DProduct.generate(0.2, 33);
+    assert!(acc(Method::ViBp, &d, 1) <= acc(Method::Ds, &d, 1) + 0.02);
+}

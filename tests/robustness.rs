@@ -1,0 +1,253 @@
+//! Failure-injection tests: adversarial workers, spammer floods,
+//! degenerate logs, and convergence behaviour under stress.
+//!
+//! The paper's motivation (§1) distinguishes spammers ("randomly answer
+//! tasks in order to deceive money") from malicious workers
+//! ("intentionally give wrong answers"). These tests inject both and
+//! check the methods degrade the way their models predict: confusion
+//! matrices can *exploit* a consistent liar, one-coin models can only
+//! discount them, and majority voting absorbs the full damage.
+
+use crowd_truth::core::{InferenceOptions, Method, WorkerQuality};
+use crowd_truth::data::{Answer, Dataset, DatasetBuilder, TaskType};
+use crowd_truth::metrics::accuracy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Build a decision-making log with `honest` workers at the given
+/// accuracy, plus `liars` workers who *always* answer the opposite of the
+/// truth, plus `spammers` answering uniformly. Every worker answers every
+/// task.
+fn adversarial_log(
+    tasks: usize,
+    honest: usize,
+    honest_acc: f64,
+    liars: usize,
+    spammers: usize,
+    seed: u64,
+) -> Dataset {
+    let workers = honest + liars + spammers;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DatasetBuilder::new("adv", TaskType::DecisionMaking, tasks, workers);
+    for t in 0..tasks {
+        let truth: u8 = rng.gen_range(0..2);
+        b.set_truth_label(t, truth).unwrap();
+        let mut w = 0;
+        for _ in 0..honest {
+            let ans = if rng.gen_range(0.0..1.0) < honest_acc { truth } else { 1 - truth };
+            b.add_label(t, w, ans).unwrap();
+            w += 1;
+        }
+        for _ in 0..liars {
+            b.add_label(t, w, 1 - truth).unwrap();
+            w += 1;
+        }
+        for _ in 0..spammers {
+            b.add_label(t, w, rng.gen_range(0..2)).unwrap();
+            w += 1;
+        }
+    }
+    b.build()
+}
+
+fn run(method: Method, d: &Dataset) -> f64 {
+    let r = method.build().infer(d, &InferenceOptions::seeded(5)).unwrap();
+    accuracy(d, &r.truths)
+}
+
+#[test]
+fn consistent_liars_sink_mv_but_not_ds() {
+    // 5 honest workers at 0.85 vs 3 consistent liars: the vote margin is
+    // thin (expected 4.25 vs 3.75), so MV loses many tasks; D&S learns
+    // the liars' inverted confusion matrices and recovers the truth from
+    // them. (With liars in the *majority* the label-switched solution is
+    // the global likelihood optimum and no unsupervised method can
+    // escape it — that regime is fundamentally unidentifiable.)
+    let d = adversarial_log(400, 5, 0.85, 3, 0, 1);
+    let mv = run(Method::Mv, &d);
+    let ds = run(Method::Ds, &d);
+    assert!(mv < 0.78, "MV should suffer under near-tied liars, got {mv}");
+    assert!(ds > 0.88, "D&S should exploit consistent liars, got {ds}");
+    assert!(ds > mv + 0.1, "D&S {ds} should clearly beat MV {mv}");
+}
+
+#[test]
+fn ds_learns_inverted_confusion_for_liars() {
+    let d = adversarial_log(400, 4, 0.8, 2, 0, 2);
+    let r = Method::Ds.build().infer(&d, &InferenceOptions::seeded(5)).unwrap();
+    // Workers 4 and 5 are the liars; their learned matrices should have
+    // tiny diagonals.
+    for liar in [4usize, 5] {
+        let WorkerQuality::Confusion(m) = &r.worker_quality[liar] else {
+            panic!("expected confusion matrix");
+        };
+        let diag = (m[0][0] + m[1][1]) / 2.0;
+        assert!(diag < 0.15, "liar {liar} diagonal should be near 0, got {diag}");
+    }
+}
+
+#[test]
+fn spammer_flood_degrades_gracefully() {
+    // 5 honest workers at 0.85 plus increasing spammer floods: quality
+    // should fall monotonically-ish but stay usable while honest workers
+    // are identifiable.
+    let baseline = run(Method::Lfc, &adversarial_log(300, 5, 0.85, 0, 0, 3));
+    let flooded = run(Method::Lfc, &adversarial_log(300, 5, 0.85, 0, 10, 3));
+    assert!(baseline > 0.9, "baseline {baseline}");
+    assert!(
+        flooded > 0.75,
+        "LFC should still find the honest minority under a 2:1 spammer flood, got {flooded}"
+    );
+}
+
+#[test]
+fn zc_discounts_spammers_to_half() {
+    let d = adversarial_log(400, 3, 0.9, 0, 3, 4);
+    let r = Method::Zc.build().infer(&d, &InferenceOptions::seeded(5)).unwrap();
+    for spammer in 3..6 {
+        let q = r.worker_quality[spammer].scalar().unwrap();
+        assert!(
+            (q - 0.5).abs() < 0.12,
+            "spammer {spammer} quality should approach 0.5, got {q}"
+        );
+    }
+    for honest in 0..3 {
+        let q = r.worker_quality[honest].scalar().unwrap();
+        assert!(q > 0.8, "honest worker {honest} quality should stay high, got {q}");
+    }
+}
+
+#[test]
+fn unanimous_log_is_a_fixed_point() {
+    // Everyone gives the same answer on every task: every method must
+    // return exactly that answer and converge immediately-ish.
+    let mut b = DatasetBuilder::new("unan", TaskType::DecisionMaking, 30, 5);
+    for t in 0..30 {
+        for w in 0..5 {
+            b.add_label(t, w, 1).unwrap();
+        }
+        b.set_truth_label(t, 1).unwrap();
+    }
+    let d = b.build();
+    for method in Method::for_task_type(TaskType::DecisionMaking) {
+        let r = method.build().infer(&d, &InferenceOptions::seeded(0)).unwrap();
+        let acc = accuracy(&d, &r.truths);
+        assert!(
+            (acc - 1.0).abs() < 1e-9,
+            "{} broke on a unanimous log: {acc}",
+            method.name()
+        );
+    }
+}
+
+#[test]
+fn single_worker_single_task_edge() {
+    let mut b = DatasetBuilder::new("one", TaskType::DecisionMaking, 1, 1);
+    b.add_label(0, 0, 0).unwrap();
+    b.set_truth_label(0, 0).unwrap();
+    let d = b.build();
+    for method in Method::for_task_type(TaskType::DecisionMaking) {
+        let r = method
+            .build()
+            .infer(&d, &InferenceOptions::seeded(1))
+            .unwrap_or_else(|e| panic!("{} failed on 1×1 log: {e}", method.name()));
+        assert_eq!(r.truths.len(), 1, "{}", method.name());
+    }
+    // Numeric counterpart.
+    let mut b = DatasetBuilder::new("one_n", TaskType::Numeric, 1, 1);
+    b.add_numeric(0, 0, 5.0).unwrap();
+    let d = b.build();
+    for method in Method::for_task_type(TaskType::Numeric) {
+        let r = method.build().infer(&d, &InferenceOptions::seeded(1)).unwrap();
+        assert!((r.truths[0].numeric().unwrap() - 5.0).abs() < 1e-9, "{}", method.name());
+    }
+}
+
+#[test]
+fn iteration_cap_is_respected_under_oscillation_pressure() {
+    // A perfectly contradictory log (two workers always disagreeing)
+    // gives EM nothing to converge on beyond symmetry; the iteration cap
+    // must bound the loop for every iterative method.
+    let mut b = DatasetBuilder::new("osc", TaskType::DecisionMaking, 50, 2);
+    for t in 0..50 {
+        b.add_label(t, 0, 0).unwrap();
+        b.add_label(t, 1, 1).unwrap();
+    }
+    let d = b.build();
+    let opts = InferenceOptions { max_iterations: 7, ..InferenceOptions::seeded(2) };
+    for method in Method::for_task_type(TaskType::DecisionMaking) {
+        let r = method.build().infer(&d, &opts).unwrap();
+        // Gibbs samplers count sweeps, message passing counts rounds;
+        // both are configured independently of max_iterations. For the
+        // tracker-driven methods the cap must hold exactly.
+        if matches!(
+            method,
+            Method::Zc
+                | Method::Glad
+                | Method::Ds
+                | Method::Lfc
+                | Method::Pm
+                | Method::Catd
+                | Method::Minimax
+                | Method::Multi
+                | Method::ViMf
+                | Method::ViBp
+        ) {
+            assert!(
+                r.iterations <= 7,
+                "{} ran {} iterations past the cap",
+                method.name(),
+                r.iterations
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_tasks_conflicting_with_answers_win() {
+    // Reveal golden truths that contradict every worker's answer: the
+    // clamp must dominate the likelihood for golden-capable methods.
+    let mut b = DatasetBuilder::new("conflict", TaskType::DecisionMaking, 20, 4);
+    for t in 0..20 {
+        for w in 0..4 {
+            b.add_label(t, w, 0).unwrap(); // everyone says 'T'
+        }
+        b.set_truth_label(t, 1).unwrap(); // truth is 'F'
+    }
+    let d = b.build();
+    let revealed: Vec<Option<Answer>> = (0..20)
+        .map(|t| if t < 10 { Some(Answer::Label(1)) } else { None })
+        .collect();
+    let opts = InferenceOptions { golden: Some(revealed), ..InferenceOptions::seeded(3) };
+    for method in [Method::Zc, Method::Ds, Method::Lfc, Method::Pm, Method::Catd] {
+        let r = method.build().infer(&d, &opts).unwrap();
+        for t in 0..10 {
+            assert_eq!(
+                r.truths[t],
+                Answer::Label(1),
+                "{} let the answers override a golden truth",
+                method.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_reveal_never_hurts_in_a_spammer_heavy_regime() {
+    // 3 mediocre honest workers drowned by 5 spammers: a 1/3 golden
+    // reveal gives ZC exact quality anchors, which must not make things
+    // worse and should keep quality above the blind floor.
+    let d = adversarial_log(300, 3, 0.65, 0, 5, 6);
+    let blind = run(Method::Zc, &d);
+    let revealed: Vec<Option<Answer>> =
+        (0..300).map(|t| if t % 3 == 0 { d.truth(t) } else { None }).collect();
+    let opts = InferenceOptions { golden: Some(revealed), ..InferenceOptions::seeded(5) };
+    let r = Method::Zc.build().infer(&d, &opts).unwrap();
+    let eval: Vec<usize> = (0..300).filter(|t| t % 3 != 0).collect();
+    let rescued = crowd_truth::metrics::accuracy_on(&d, &r.truths, Some(&eval));
+    assert!(
+        rescued >= blind - 0.03,
+        "golden reveal hurt ZC: blind {blind}, with golden {rescued}"
+    );
+    assert!(rescued > 0.55, "rescued accuracy {rescued} below the useful floor");
+}
