@@ -28,14 +28,10 @@ fn bench_redundancy(c: &mut Criterion) {
         group.throughput(Throughput::Elements(sub.num_answers() as u64));
         for method in [Method::Mv, Method::Ds, Method::Zc] {
             let instance = method.build();
-            group.bench_with_input(
-                BenchmarkId::new(method.name(), r),
-                &sub,
-                |b, d| {
-                    let opts = InferenceOptions::seeded(7);
-                    b.iter(|| black_box(instance.infer(black_box(d), &opts).unwrap().iterations));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(method.name(), r), &sub, |b, d| {
+                let opts = InferenceOptions::seeded(7);
+                b.iter(|| black_box(instance.infer(black_box(d), &opts).unwrap().iterations));
+            });
         }
     }
     group.finish();

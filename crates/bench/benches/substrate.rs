@@ -25,9 +25,7 @@ fn bench_special_functions(c: &mut Criterion) {
     group.bench_function("chi2_quantile_975/k=2000", |b| {
         b.iter(|| black_box(chi2_quantile_975(black_box(2000))))
     });
-    group.bench_function("digamma", |b| {
-        b.iter(|| black_box(digamma(black_box(3.7))))
-    });
+    group.bench_function("digamma", |b| b.iter(|| black_box(digamma(black_box(3.7)))));
     group.finish();
 }
 
@@ -61,5 +59,10 @@ fn bench_subsample(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_special_functions, bench_sampling, bench_subsample);
+criterion_group!(
+    benches,
+    bench_special_functions,
+    bench_sampling,
+    bench_subsample
+);
 criterion_main!(benches);

@@ -15,15 +15,16 @@ use std::hint::black_box;
 use crowd_core::{InferenceOptions, Method};
 use crowd_data::datasets::PaperDataset;
 
-/// Scale for the benchmark instances. Keeps the full sweep (17 methods ×
-/// 5 datasets) in minutes; the time *ratios* between methods are stable
-/// across scales (see the `redundancy_scaling` bench for the growth
-/// curves).
-const SCALE: f64 = 0.1;
+/// Scale for the benchmark instances when `CROWD_BENCH_SCALE` is unset.
+/// Keeps the full sweep (17 methods × 5 datasets) in minutes; the time
+/// *ratios* between methods are stable across scales (see the
+/// `redundancy_scaling` bench for the growth curves).
+const DEFAULT_SCALE: f64 = 0.1;
 
 fn bench_table6(c: &mut Criterion) {
+    let scale = crowd_bench::env_scale(DEFAULT_SCALE);
     for dataset_id in PaperDataset::ALL {
-        let dataset = dataset_id.generate(SCALE, 7);
+        let dataset = dataset_id.generate(scale, 7);
         let mut group = c.benchmark_group(format!("table6/{}", dataset_id.name()));
         group.sample_size(10);
         group.warm_up_time(std::time::Duration::from_millis(300));

@@ -1,0 +1,168 @@
+//! `crowd-bench` — the machine-readable Table-6 timing sweep.
+//!
+//! Runs every method of the benchmark on (scaled) versions of all five
+//! datasets, times each inference run, and writes a JSON trajectory file
+//! so this and every future performance PR can be compared on the same
+//! axis.
+//!
+//! Configuration (environment variables, all optional):
+//!
+//! - `CROWD_BENCH_SCALE`   — dataset scale in `(0, 1]` (default `0.1`);
+//!   CI smoke passes use `0.02`.
+//! - `CROWD_BENCH_REPEATS` — timed repeats per (method, dataset) cell
+//!   (default `3`; the minimum is reported as the headline number).
+//! - `CROWD_BENCH_OUT`     — output path (default `BENCH_table6.json`).
+//! - `CROWD_BENCH_METHODS` — comma-separated method-name filter
+//!   (default: all seventeen).
+//!
+//! Usage: `cargo run --release -p crowd-bench --bin crowd-bench`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use crowd_core::{InferenceOptions, Method};
+use crowd_data::datasets::PaperDataset;
+
+struct Cell {
+    dataset: &'static str,
+    method: &'static str,
+    seconds_min: f64,
+    seconds_mean: f64,
+    iterations: usize,
+    converged: bool,
+}
+
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches(" kB").trim().parse().ok();
+        }
+    }
+    None
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let scale = crowd_bench::env_scale(0.1);
+    let repeats = env_usize("CROWD_BENCH_REPEATS", 3).max(1);
+    let out_path =
+        std::env::var("CROWD_BENCH_OUT").unwrap_or_else(|_| "BENCH_table6.json".to_string());
+    let method_filter: Option<Vec<Method>> = std::env::var("CROWD_BENCH_METHODS").ok().map(|v| {
+        v.split(',')
+            .filter_map(|name| {
+                let parsed = Method::parse(name.trim());
+                if parsed.is_none() {
+                    eprintln!("warning: unknown method name '{}' ignored", name.trim());
+                }
+                parsed
+            })
+            .collect()
+    });
+
+    eprintln!("crowd-bench: scale={scale} repeats={repeats} out={out_path}");
+
+    let sweep_start = Instant::now();
+    let mut cells: Vec<Cell> = Vec::new();
+
+    for dataset_id in PaperDataset::ALL {
+        let dataset = dataset_id.generate(scale, 7);
+        eprintln!(
+            "  {} (n={}, |W|={}, |V|={})",
+            dataset_id.name(),
+            dataset.num_tasks(),
+            dataset.num_workers(),
+            dataset.num_answers()
+        );
+        for method in Method::ALL {
+            if let Some(filter) = &method_filter {
+                if !filter.contains(&method) {
+                    continue;
+                }
+            }
+            let instance = method.build();
+            if !instance.supports(dataset.task_type()) {
+                continue;
+            }
+            let opts = InferenceOptions::seeded(7);
+            // One untimed warm-up run settles page faults and branch caches.
+            let warm = instance.infer(&dataset, &opts).expect("method runs");
+            let mut times = Vec::with_capacity(repeats);
+            for _ in 0..repeats {
+                let start = Instant::now();
+                let r = instance.infer(&dataset, &opts).expect("method runs");
+                let dt = start.elapsed().as_secs_f64();
+                std::hint::black_box(r.truths.len());
+                times.push(dt);
+            }
+            let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+            let mean = times.iter().sum::<f64>() / times.len() as f64;
+            eprintln!(
+                "    {:<8} {:>10.4} ms  ({} iters)",
+                method.name(),
+                min * 1e3,
+                warm.iterations
+            );
+            cells.push(Cell {
+                dataset: dataset_id.name(),
+                method: method.name(),
+                seconds_min: min,
+                seconds_mean: mean,
+                iterations: warm.iterations,
+                converged: warm.converged,
+            });
+        }
+    }
+
+    let total_seconds = sweep_start.elapsed().as_secs_f64();
+    let rss = peak_rss_kb();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"crowd-bench/table6/v1\",");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"repeats\": {repeats},");
+    let _ = writeln!(json, "  \"total_seconds\": {total_seconds:.6},");
+    match rss {
+        Some(kb) => {
+            let _ = writeln!(json, "  \"peak_rss_kb\": {kb},");
+        }
+        None => {
+            let _ = writeln!(json, "  \"peak_rss_kb\": null,");
+        }
+    }
+    json.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"dataset\": \"{}\", \"method\": \"{}\", \"seconds_min\": {:.6}, \"seconds_mean\": {:.6}, \"iterations\": {}, \"converged\": {}}}{}",
+            json_escape(c.dataset),
+            json_escape(c.method),
+            c.seconds_min,
+            c.seconds_mean,
+            c.iterations,
+            c.converged,
+            comma
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench output");
+    eprintln!(
+        "crowd-bench: wrote {} cells to {out_path} in {total_seconds:.1}s (peak RSS: {})",
+        cells.len(),
+        rss.map(|kb| format!("{kb} kB"))
+            .unwrap_or_else(|| "unknown".into())
+    );
+}

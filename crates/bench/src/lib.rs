@@ -1,1 +1,30 @@
-//! Criterion benches live under benches/; this lib is intentionally empty.
+//! Shared knobs for the bench targets; the benches themselves live under
+//! `benches/` and the Table-6 sweep binary under `src/bin/`.
+
+/// Benchmark dataset scale: `CROWD_BENCH_SCALE` when set and parseable
+/// (CI smoke passes use `0.02`), otherwise `default`; always clamped to
+/// `0.001..=1.0`. One definition so the criterion benches and the
+/// `crowd-bench` JSON sweep can never disagree about the knob's
+/// semantics.
+pub fn env_scale(default: f64) -> f64 {
+    std::env::var("CROWD_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(default)
+        .clamp(0.001, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    // `env_scale` reads process-global state, so the test exercises only
+    // the unset-variable path (tests in one binary run concurrently;
+    // setting the variable here would race other tests).
+    #[test]
+    fn default_passes_through_clamped() {
+        if std::env::var("CROWD_BENCH_SCALE").is_err() {
+            assert_eq!(super::env_scale(0.1), 0.1);
+            assert_eq!(super::env_scale(7.0), 1.0);
+            assert_eq!(super::env_scale(0.0), 0.001);
+        }
+    }
+}

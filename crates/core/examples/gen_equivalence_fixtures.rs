@@ -1,0 +1,85 @@
+//! Regenerate the golden equivalence fixtures used by
+//! `tests/equivalence.rs`.
+//!
+//! The fixtures pin the exact (bit-identical) outputs of every method on a
+//! set of seeded datasets. They were captured from the nested-`Vec`
+//! implementation *before* the flat-memory substrate refactor, so the
+//! equivalence test proves the refactor is output-preserving. Rerun this
+//! only when an intentional algorithmic change invalidates them —
+//! regeneration blesses whatever the *current* code produces, so a rerun
+//! converts the suite from "matches the pre-refactor implementation"
+//! into "matches the code as of the rerun"; pair any regeneration with a
+//! review of the diff in the fixture file itself:
+//!
+//! ```sh
+//! cargo run --release -p crowd-core --example gen_equivalence_fixtures \
+//!     > crates/core/tests/fixtures/equivalence.tsv
+//! ```
+//!
+//! Format (tab-separated): `method  dataset  seed  truths  scalars` where
+//! `truths` is `L:` plus comma-separated labels or `N:` plus
+//! comma-separated hex `f64` bit patterns, and `scalars` is comma-separated
+//! hex `f64` bit patterns with `-` for workers without a scalar quality.
+
+use crowd_core::{InferenceOptions, Method};
+use crowd_data::datasets::PaperDataset;
+use crowd_data::Dataset;
+
+/// The fixture datasets: small enough that all 17 methods finish in
+/// seconds, large enough to exercise multi-class and numeric paths.
+pub fn fixture_datasets() -> Vec<(&'static str, Dataset)> {
+    vec![
+        ("toy", crowd_data::toy::paper_example()),
+        ("dprod005", PaperDataset::DProduct.generate(0.05, 42)),
+        ("srel002", PaperDataset::SRel.generate(0.02, 1234)),
+        ("nemo02", PaperDataset::NEmotion.generate(0.2, 1234)),
+    ]
+}
+
+fn main() {
+    println!("# crowd-core equivalence fixtures (see examples/gen_equivalence_fixtures.rs)");
+    for (key, dataset) in fixture_datasets() {
+        for method in Method::ALL {
+            let instance = method.build();
+            if !instance.supports(dataset.task_type()) {
+                continue;
+            }
+            for seed in [7u64, 42] {
+                let r = instance
+                    .infer(&dataset, &InferenceOptions::seeded(seed))
+                    .expect("fixture method must run");
+                let truths = if dataset.task_type().is_categorical() {
+                    let labels: Vec<String> = r
+                        .truths
+                        .iter()
+                        .map(|a| a.label().expect("categorical").to_string())
+                        .collect();
+                    format!("L:{}", labels.join(","))
+                } else {
+                    let bits: Vec<String> = r
+                        .truths
+                        .iter()
+                        .map(|a| format!("{:016x}", a.numeric().expect("numeric").to_bits()))
+                        .collect();
+                    format!("N:{}", bits.join(","))
+                };
+                let scalars: Vec<String> = r
+                    .worker_quality
+                    .iter()
+                    .map(|q| match q.scalar() {
+                        Some(s) => format!("{:016x}", s.to_bits()),
+                        None => "-".to_string(),
+                    })
+                    .collect();
+                println!(
+                    "{}\t{}\t{}\t{}\t{}",
+                    method.name(),
+                    key,
+                    seed,
+                    truths,
+                    scalars.join(",")
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! The shared parallel execution backend.
+//!
+//! One thread-pool-free executor used by the method hot loops (worker-level
+//! M-step fan-out), the experiment harness (repeat-level fan-out), and the
+//! bench crate. Built on `std::thread::scope` — no external dependency —
+//! with work-stealing over an atomic cursor so uneven job costs do not
+//! serialise a batch.
+//!
+//! Two entry points:
+//!
+//! - [`parallel_map`]: run `n` heterogeneous closures, preserving output
+//!   order — the repeat/sweep pattern.
+//! - [`parallel_chunks`]: split one contiguous `&mut [T]` into fixed-size
+//!   chunks and process each `(chunk_index, chunk)` — the pattern for
+//!   fanning a flat-matrix M-step out across workers without aliasing.
+//!
+//! Both fall back to inline execution when `threads <= 1` or the job count
+//! is 1, so callers can gate parallelism by problem size and keep small
+//! runs allocation-free and deterministic in cost.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Run `jobs` closures across at most `threads` OS threads, preserving
+/// output order. Panics in a job propagate to the caller.
+pub fn parallel_map<T, F>(threads: usize, jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+
+    // Work-stealing by atomic cursor over the job list.
+    let queue: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = queue[i]
+                    .lock()
+                    .expect("job mutex")
+                    .take()
+                    .expect("job taken once");
+                let out = job();
+                *results[i].lock().expect("result mutex") = Some(out);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result mutex")
+                .expect("every job ran")
+        })
+        .collect()
+}
+
+/// Split `data` into consecutive chunks of `chunk_len` elements (the last
+/// chunk may be shorter) and run `f(chunk_index, chunk)` for each, using at
+/// most `threads` OS threads. Chunks are disjoint, so `f` may freely write.
+///
+/// With `threads <= 1` this degenerates to a plain loop with **zero heap
+/// allocation**, which is what the allocation-free method hot loops rely
+/// on when they gate fan-out by problem size.
+///
+/// # Panics
+/// Panics if `chunk_len == 0`.
+pub fn parallel_chunks<T, F>(threads: usize, data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    if data.is_empty() {
+        return;
+    }
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let threads = threads.max(1).min(n_chunks);
+    if threads == 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+
+    // Hand each thread a striped share of the chunk iterator up front;
+    // chunk costs are uniform in the M-step use case, so striping balances
+    // without a shared cursor over &mut aliasing.
+    std::thread::scope(|scope| {
+        let chunks: Vec<(usize, &mut [T])> = data.chunks_mut(chunk_len).enumerate().collect();
+        let mut shares: Vec<Vec<(usize, &mut [T])>> = (0..threads).map(|_| Vec::new()).collect();
+        for (k, item) in chunks.into_iter().enumerate() {
+            shares[k % threads].push(item);
+        }
+        for share in shares {
+            let f = &f;
+            scope.spawn(move || {
+                for (i, chunk) in share {
+                    f(i, chunk);
+                }
+            });
+        }
+    });
+}
+
+/// A sensible thread count for CPU-bound fan-out: the machine's available
+/// parallelism, `1` when it cannot be determined.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0..64usize).map(|i| Box::new(move || i * i) as _).collect();
+        let out = parallel_map(4, jobs);
+        assert_eq!(out, (0..64usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let empty: Vec<Box<dyn FnOnce() -> i32 + Send>> = vec![];
+        assert!(parallel_map(4, empty).is_empty());
+        let one: Vec<Box<dyn FnOnce() -> i32 + Send>> = vec![Box::new(|| 42)];
+        assert_eq!(parallel_map(8, one), vec![42]);
+    }
+
+    #[test]
+    fn map_serial_path_matches_parallel() {
+        let mk = || -> Vec<Box<dyn FnOnce() -> usize + Send>> {
+            (0..33usize).map(|i| Box::new(move || i + 1) as _).collect()
+        };
+        assert_eq!(parallel_map(1, mk()), parallel_map(7, mk()));
+    }
+
+    #[test]
+    fn chunks_cover_all_elements_once() {
+        for threads in [1, 2, 5] {
+            let mut data = vec![0u32; 103];
+            parallel_chunks(threads, &mut data, 10, |i, chunk| {
+                for x in chunk.iter_mut() {
+                    *x += 1 + i as u32;
+                }
+            });
+            // Every element written exactly once, with its chunk index.
+            for (pos, &x) in data.iter().enumerate() {
+                assert_eq!(x, 1 + (pos / 10) as u32, "pos {pos} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_empty_is_noop() {
+        let mut data: Vec<u8> = vec![];
+        parallel_chunks(4, &mut data, 3, |_, _| panic!("no chunks expected"));
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

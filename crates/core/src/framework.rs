@@ -37,6 +37,14 @@ pub struct InferenceOptions {
     /// truth-inference step and use them in their quality-estimation
     /// step; others ignore the field.
     pub golden: Option<Vec<Option<Answer>>>,
+    /// Cap for a method's *internal* parallel fan-out (the size-gated
+    /// E/M-step fan-out of the D&S family). `None` = use the machine's
+    /// available parallelism. Callers that already fan out at a higher
+    /// level (e.g. the experiment harness running repeats in parallel)
+    /// should set `Some(1)` to avoid oversubscribing the machine. Thread
+    /// count never changes results — per-task/per-worker updates are
+    /// independent, so outputs are bit-identical at any setting.
+    pub threads: Option<usize>,
 }
 
 impl Default for InferenceOptions {
@@ -47,6 +55,7 @@ impl Default for InferenceOptions {
             seed: 0,
             quality_init: QualityInit::Uniform,
             golden: None,
+            threads: None,
         }
     }
 }
@@ -54,7 +63,10 @@ impl Default for InferenceOptions {
 impl InferenceOptions {
     /// Options with a specific seed, otherwise defaults.
     pub fn seeded(seed: u64) -> Self {
-        Self { seed, ..Self::default() }
+        Self {
+            seed,
+            ..Self::default()
+        }
     }
 }
 
@@ -91,9 +103,11 @@ impl WorkerQuality {
             Self::Probability(p) => Some(*p),
             Self::Weight(w) => Some(*w),
             Self::Confusion(m) => {
-                // Mean diagonal: average per-class accuracy.
+                // Mean diagonal: average per-class accuracy. A ragged or
+                // short row has no diagonal entry to read — report "no
+                // scalar" instead of panicking on malformed input.
                 let l = m.len();
-                if l == 0 {
+                if l == 0 || m.iter().enumerate().any(|(j, row)| row.len() <= j) {
                     return None;
                 }
                 Some(m.iter().enumerate().map(|(j, row)| row[j]).sum::<f64>() / l as f64)
@@ -250,6 +264,21 @@ mod tests {
         assert_eq!(WorkerQuality::Unmodeled.scalar(), None);
         let v = WorkerQuality::Variance(3.0).scalar().unwrap();
         assert!((v - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn malformed_confusion_yields_none_instead_of_panicking() {
+        // Empty matrix.
+        assert_eq!(WorkerQuality::Confusion(vec![]).scalar(), None);
+        // Ragged: second row too short to hold its diagonal entry.
+        let ragged = WorkerQuality::Confusion(vec![vec![0.9, 0.1], vec![0.3]]);
+        assert_eq!(ragged.scalar(), None);
+        // Uniformly short rows (no row reaches its diagonal column).
+        let short = WorkerQuality::Confusion(vec![vec![1.0], vec![1.0]]);
+        assert_eq!(short.scalar(), None);
+        // A square-but-wider matrix still works.
+        let wide = WorkerQuality::Confusion(vec![vec![0.6, 0.4, 0.0], vec![0.2, 0.8, 0.0]]);
+        assert_eq!(wide.scalar(), Some(0.7));
     }
 
     #[test]

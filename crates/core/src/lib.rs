@@ -36,6 +36,7 @@
 // the clearer idiom there.
 #![allow(clippy::needless_range_loop)]
 
+pub mod exec;
 mod framework;
 pub mod methods;
 pub mod registry;

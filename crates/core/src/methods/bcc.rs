@@ -39,7 +39,12 @@ pub struct Bcc {
 
 impl Default for Bcc {
     fn default() -> Self {
-        Self { burn_in: 20, samples: 60, diag_prior: 2.0, off_prior: 1.0 }
+        Self {
+            burn_in: 20,
+            samples: 60,
+            diag_prior: 2.0,
+            off_prior: 1.0,
+        }
     }
 }
 
@@ -57,7 +62,12 @@ impl TruthInference for Bcc {
         dataset: &Dataset,
         options: &InferenceOptions,
     ) -> Result<InferenceResult, InferenceError> {
-        validate_common(self.name(), dataset, options, self.supports(dataset.task_type()))?;
+        validate_common(
+            self.name(),
+            dataset,
+            options,
+            self.supports(dataset.task_type()),
+        )?;
         let cat = Cat::build(self.name(), dataset, options, false)?;
         let l = cat.l;
         let mut rng = StdRng::seed_from_u64(options.seed);
@@ -74,14 +84,18 @@ impl TruthInference for Bcc {
             let mut confusion = vec![vec![vec![0.0f64; l]; l]; cat.m];
             for w in 0..cat.m {
                 let mut counts = vec![vec![0.0f64; l]; l];
-                for &(task, label) in &cat.by_worker[w] {
+                for (task, label) in cat.worker(w) {
                     counts[z[task] as usize][label as usize] += 1.0;
                 }
                 for j in 0..l {
                     let alpha: Vec<f64> = (0..l)
                         .map(|k| {
                             counts[j][k]
-                                + if j == k { self.diag_prior } else { self.off_prior }
+                                + if j == k {
+                                    self.diag_prior
+                                } else {
+                                    self.off_prior
+                                }
                         })
                         .collect();
                     confusion[w][j] = sample_dirichlet(&mut rng, &alpha);
@@ -98,7 +112,7 @@ impl TruthInference for Bcc {
             // Sample z given confusion matrices and prior.
             for task in 0..cat.n {
                 let mut weights = prior.clone();
-                for &(worker, label) in &cat.by_task[task] {
+                for (worker, label) in cat.task(task) {
                     for (j, wgt) in weights.iter_mut().enumerate() {
                         *wgt *= confusion[worker][j][label as usize].max(1e-12);
                     }
@@ -130,7 +144,10 @@ impl TruthInference for Bcc {
             .iter()
             .map(|counts| {
                 let total: u32 = counts.iter().sum();
-                counts.iter().map(|&c| c as f64 / total.max(1) as f64).collect()
+                counts
+                    .iter()
+                    .map(|&c| c as f64 / total.max(1) as f64)
+                    .collect()
             })
             .collect();
         let mean_confusion: Vec<Vec<Vec<f64>>> = confusion_acc
@@ -142,10 +159,13 @@ impl TruthInference for Bcc {
             })
             .collect();
 
-        let labels = cat.decode(&posteriors, &mut rng);
+        let labels = cat.decode_nested(&posteriors, &mut rng);
         Ok(InferenceResult {
             truths: Cat::answers(&labels),
-            worker_quality: mean_confusion.into_iter().map(WorkerQuality::Confusion).collect(),
+            worker_quality: mean_confusion
+                .into_iter()
+                .map(WorkerQuality::Confusion)
+                .collect(),
             iterations: self.burn_in + self.samples,
             converged: true,
             posteriors: Some(posteriors),
@@ -161,7 +181,9 @@ mod tests {
     #[test]
     fn reasonable_on_toy_example() {
         let d = toy();
-        let r = Bcc::default().infer(&d, &InferenceOptions::seeded(1)).unwrap();
+        let r = Bcc::default()
+            .infer(&d, &InferenceOptions::seeded(1))
+            .unwrap();
         assert_result_sane(&d, &r);
         let acc = accuracy(&d, &r);
         assert!(acc >= 4.0 / 6.0, "toy accuracy {acc}");
@@ -176,7 +198,9 @@ mod tests {
     #[test]
     fn works_on_single_choice() {
         let d = small_single();
-        let r = Bcc::default().infer(&d, &InferenceOptions::seeded(2)).unwrap();
+        let r = Bcc::default()
+            .infer(&d, &InferenceOptions::seeded(2))
+            .unwrap();
         assert_result_sane(&d, &r);
         let acc = accuracy(&d, &r);
         assert!(acc > 0.35, "BCC single-choice accuracy {acc}");
@@ -185,17 +209,25 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let d = small_decision();
-        let a = Bcc::default().infer(&d, &InferenceOptions::seeded(8)).unwrap();
-        let b = Bcc::default().infer(&d, &InferenceOptions::seeded(8)).unwrap();
+        let a = Bcc::default()
+            .infer(&d, &InferenceOptions::seeded(8))
+            .unwrap();
+        let b = Bcc::default()
+            .infer(&d, &InferenceOptions::seeded(8))
+            .unwrap();
         assert_eq!(a.truths, b.truths);
     }
 
     #[test]
     fn confusion_rows_are_stochastic() {
         let d = toy();
-        let r = Bcc::default().infer(&d, &InferenceOptions::seeded(1)).unwrap();
+        let r = Bcc::default()
+            .infer(&d, &InferenceOptions::seeded(1))
+            .unwrap();
         for q in &r.worker_quality {
-            let WorkerQuality::Confusion(m) = q else { panic!() };
+            let WorkerQuality::Confusion(m) = q else {
+                panic!()
+            };
             for row in m {
                 let s: f64 = row.iter().sum();
                 assert!((s - 1.0).abs() < 1e-6, "row sums to {s}");

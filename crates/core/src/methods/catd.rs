@@ -79,13 +79,20 @@ impl Catd {
     ) -> Result<InferenceResult, InferenceError> {
         let cat = Cat::build("CATD", dataset, options, true)?;
         let mut rng = StdRng::seed_from_u64(options.seed);
-        let chi: Vec<f64> = (0..cat.m).map(|w| chi2_quantile_975(cat.by_worker[w].len())).collect();
+        let chi: Vec<f64> = (0..cat.m)
+            .map(|w| chi2_quantile_975(cat.worker_len(w)))
+            .collect();
 
         let mut quality: Vec<f64> = match &options.quality_init {
             crate::framework::QualityInit::Uniform => vec![1.0; cat.m],
             _ => initial_accuracy(options, cat.m, 0.7),
         };
         let mut truths: Vec<u8> = vec![0; cat.n];
+        // Pre-allocated scratch: vote scores, tie list, and the
+        // convergence vector — the loop allocates nothing per iteration.
+        let mut scores = vec![0.0f64; cat.l];
+        let mut ties: Vec<u8> = Vec::with_capacity(cat.l);
+        let mut params = vec![0.0f64; cat.n];
         let mut tracker = ConvergenceTracker::new(options.tolerance, options.max_iterations);
 
         loop {
@@ -94,25 +101,30 @@ impl Catd {
                     truths[task] = g;
                     continue;
                 }
-                let mut scores = vec![0.0f64; cat.l];
-                for &(worker, label) in &cat.by_task[task] {
+                scores.fill(0.0);
+                for (worker, label) in cat.task(task) {
                     scores[label as usize] += quality[worker];
                 }
                 let best = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                let ties: Vec<u8> = scores
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &s)| (s - best).abs() < 1e-12)
-                    .map(|(i, _)| i as u8)
-                    .collect();
-                truths[task] =
-                    if ties.len() == 1 { ties[0] } else { ties[rng.gen_range(0..ties.len())] };
+                ties.clear();
+                ties.extend(
+                    scores
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &s)| (s - best).abs() < 1e-12)
+                        .map(|(i, _)| i as u8),
+                );
+                truths[task] = if ties.len() == 1 {
+                    ties[0]
+                } else {
+                    ties[rng.gen_range(0..ties.len())]
+                };
             }
 
             for w in 0..cat.m {
-                let mistakes = cat.by_worker[w]
-                    .iter()
-                    .filter(|&&(task, label)| truths[task] != label)
+                let mistakes = cat
+                    .worker(w)
+                    .filter(|&(task, label)| truths[task] != label)
                     .count() as f64;
                 quality[w] = chi[w] / (mistakes + self.epsilon);
             }
@@ -121,7 +133,9 @@ impl Catd {
             let max_q = quality.iter().copied().fold(0.0f64, f64::max).max(1e-12);
             quality.iter_mut().for_each(|q| *q /= max_q);
 
-            let params: Vec<f64> = truths.iter().map(|&t| t as f64).collect();
+            for (p, &t) in params.iter_mut().zip(&truths) {
+                *p = t as f64;
+            }
             if tracker.step(&params) {
                 break;
             }
@@ -142,10 +156,14 @@ impl Catd {
         options: &InferenceOptions,
     ) -> Result<InferenceResult, InferenceError> {
         let num = Num::build("CATD", dataset, options, true)?;
-        let chi: Vec<f64> = (0..num.m).map(|w| chi2_quantile_975(num.by_worker[w].len())).collect();
+        let chi: Vec<f64> = (0..num.m)
+            .map(|w| chi2_quantile_975(num.worker_len(w)))
+            .collect();
+        let mut vs: Vec<f64> = Vec::new();
         let task_var: Vec<f64> = (0..num.n)
             .map(|t| {
-                let vs: Vec<f64> = num.by_task[t].iter().map(|&(_, v)| v).collect();
+                vs.clear();
+                vs.extend(num.task(t).map(|(_, v)| v));
                 variance(&vs).max(1e-6)
             })
             .collect();
@@ -163,13 +181,12 @@ impl Catd {
                     truths[task] = g;
                     continue;
                 }
-                let answers = &num.by_task[task];
-                if answers.is_empty() {
+                if num.task_len(task) == 0 {
                     continue;
                 }
                 let mut wsum = 0.0;
                 let mut vsum = 0.0;
-                for &(worker, v) in answers {
+                for (worker, v) in num.task(task) {
                     wsum += quality[worker];
                     vsum += quality[worker] * v;
                 }
@@ -179,9 +196,9 @@ impl Catd {
             }
 
             for w in 0..num.m {
-                let dist: f64 = num.by_worker[w]
-                    .iter()
-                    .map(|&(task, v)| (v - truths[task]).powi(2) / task_var[task])
+                let dist: f64 = num
+                    .worker(w)
+                    .map(|(task, v)| (v - truths[task]).powi(2) / task_var[task])
                     .sum();
                 quality[w] = chi[w] / (dist + self.epsilon);
             }
@@ -212,7 +229,9 @@ mod tests {
     #[test]
     fn solves_toy_example() {
         let d = toy();
-        let r = Catd::default().infer(&d, &InferenceOptions::seeded(3)).unwrap();
+        let r = Catd::default()
+            .infer(&d, &InferenceOptions::seeded(3))
+            .unwrap();
         assert_result_sane(&d, &r);
         let acc = accuracy(&d, &r);
         assert!(acc >= 5.0 / 6.0, "toy accuracy {acc}");
@@ -240,16 +259,23 @@ mod tests {
             b.add_label(t, 1, (t % 2) as u8).unwrap();
         }
         let d = b.build();
-        let r = Catd::default().infer(&d, &InferenceOptions::seeded(0)).unwrap();
+        let r = Catd::default()
+            .infer(&d, &InferenceOptions::seeded(0))
+            .unwrap();
         let q0 = r.worker_quality[0].scalar().unwrap();
         let q1 = r.worker_quality[1].scalar().unwrap();
-        assert!(q0 > q1, "prolific worker should outweigh sparse one: {q0} vs {q1}");
+        assert!(
+            q0 > q1,
+            "prolific worker should outweigh sparse one: {q0} vs {q1}"
+        );
     }
 
     #[test]
     fn numeric_runs_and_is_reasonable() {
         let d = small_numeric();
-        let r = Catd::default().infer(&d, &InferenceOptions::seeded(2)).unwrap();
+        let r = Catd::default()
+            .infer(&d, &InferenceOptions::seeded(2))
+            .unwrap();
         assert_result_sane(&d, &r);
         let e = rmse(&d, &r);
         assert!(e < 18.0, "CATD numeric RMSE {e}");

@@ -41,7 +41,13 @@ pub struct Cbcc {
 
 impl Default for Cbcc {
     fn default() -> Self {
-        Self { communities: 4, burn_in: 20, samples: 60, diag_prior: 2.0, off_prior: 1.0 }
+        Self {
+            communities: 4,
+            burn_in: 20,
+            samples: 60,
+            diag_prior: 2.0,
+            off_prior: 1.0,
+        }
     }
 }
 
@@ -59,7 +65,12 @@ impl TruthInference for Cbcc {
         dataset: &Dataset,
         options: &InferenceOptions,
     ) -> Result<InferenceResult, InferenceError> {
-        validate_common(self.name(), dataset, options, self.supports(dataset.task_type()))?;
+        validate_common(
+            self.name(),
+            dataset,
+            options,
+            self.supports(dataset.task_type()),
+        )?;
         let cat = Cat::build(self.name(), dataset, options, false)?;
         let l = cat.l;
         let mc = self.communities.max(1);
@@ -78,7 +89,7 @@ impl TruthInference for Cbcc {
             let mut pooled = vec![vec![vec![0.0f64; l]; l]; mc];
             for w in 0..cat.m {
                 let c = community[w];
-                for &(task, label) in &cat.by_worker[w] {
+                for (task, label) in cat.worker(w) {
                     pooled[c][z[task] as usize][label as usize] += 1.0;
                 }
             }
@@ -87,7 +98,12 @@ impl TruthInference for Cbcc {
                 for j in 0..l {
                     let alpha: Vec<f64> = (0..l)
                         .map(|k| {
-                            pool[j][k] + if j == k { self.diag_prior } else { self.off_prior }
+                            pool[j][k]
+                                + if j == k {
+                                    self.diag_prior
+                                } else {
+                                    self.off_prior
+                                }
                         })
                         .collect();
                     pi[c][j] = sample_dirichlet(&mut rng, &alpha);
@@ -103,7 +119,7 @@ impl TruthInference for Cbcc {
             for w in 0..cat.m {
                 // log-likelihood of w's answers under each community.
                 let mut logw: Vec<f64> = rho.iter().map(|&r| r.max(1e-12).ln()).collect();
-                for &(task, label) in &cat.by_worker[w] {
+                for (task, label) in cat.worker(w) {
                     for (c, lw) in logw.iter_mut().enumerate() {
                         *lw += pi[c][z[task] as usize][label as usize].max(1e-12).ln();
                     }
@@ -121,7 +137,7 @@ impl TruthInference for Cbcc {
             let prior = sample_dirichlet(&mut rng, &class_counts);
             for task in 0..cat.n {
                 let mut weights = prior.clone();
-                for &(worker, label) in &cat.by_task[task] {
+                for (worker, label) in cat.task(task) {
                     let c = community[worker];
                     for (j, wgt) in weights.iter_mut().enumerate() {
                         *wgt *= pi[c][j][label as usize].max(1e-12);
@@ -155,7 +171,10 @@ impl TruthInference for Cbcc {
             .iter()
             .map(|counts| {
                 let total: u32 = counts.iter().sum();
-                counts.iter().map(|&c| c as f64 / total.max(1) as f64).collect()
+                counts
+                    .iter()
+                    .map(|&c| c as f64 / total.max(1) as f64)
+                    .collect()
             })
             .collect();
 
@@ -176,7 +195,7 @@ impl TruthInference for Cbcc {
             })
             .collect();
 
-        let labels = cat.decode(&posteriors, &mut rng);
+        let labels = cat.decode_nested(&posteriors, &mut rng);
         Ok(InferenceResult {
             truths: Cat::answers(&labels),
             worker_quality,
@@ -195,7 +214,9 @@ mod tests {
     #[test]
     fn solves_toy_example() {
         let d = toy();
-        let r = Cbcc::default().infer(&d, &InferenceOptions::seeded(1)).unwrap();
+        let r = Cbcc::default()
+            .infer(&d, &InferenceOptions::seeded(1))
+            .unwrap();
         assert_result_sane(&d, &r);
         let acc = accuracy(&d, &r);
         assert!(acc >= 4.0 / 6.0, "toy accuracy {acc}");
@@ -210,7 +231,10 @@ mod tests {
     #[test]
     fn community_count_one_still_works() {
         let d = small_decision();
-        let m = Cbcc { communities: 1, ..Default::default() };
+        let m = Cbcc {
+            communities: 1,
+            ..Default::default()
+        };
         let r = m.infer(&d, &InferenceOptions::seeded(4)).unwrap();
         let acc = accuracy(&d, &r);
         assert!(acc > 0.8, "single-community CBCC accuracy {acc}");
@@ -219,15 +243,21 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let d = small_decision();
-        let a = Cbcc::default().infer(&d, &InferenceOptions::seeded(8)).unwrap();
-        let b = Cbcc::default().infer(&d, &InferenceOptions::seeded(8)).unwrap();
+        let a = Cbcc::default()
+            .infer(&d, &InferenceOptions::seeded(8))
+            .unwrap();
+        let b = Cbcc::default()
+            .infer(&d, &InferenceOptions::seeded(8))
+            .unwrap();
         assert_eq!(a.truths, b.truths);
     }
 
     #[test]
     fn works_on_single_choice() {
         let d = small_single();
-        let r = Cbcc::default().infer(&d, &InferenceOptions::seeded(2)).unwrap();
+        let r = Cbcc::default()
+            .infer(&d, &InferenceOptions::seeded(2))
+            .unwrap();
         assert_result_sane(&d, &r);
     }
 }

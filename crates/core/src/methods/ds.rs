@@ -11,21 +11,43 @@
 //! symmetric smoothing count purely for numerical safety.
 
 use crowd_data::{Dataset, TaskType};
-use crowd_stats::{dist::log_normalize, ConvergenceTracker};
+use crowd_stats::{dist::log_normalize, ConvergenceTracker, DMat};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::exec;
 use crate::framework::{
     validate_common, InferenceError, InferenceOptions, InferenceResult, QualityInit,
     TruthInference, WorkerQuality,
 };
 use crate::views::{initial_accuracy, Cat};
 
-/// Shared EM engine for D&S-family methods.
+/// M-step work (≈ `|V|·ℓ + m·ℓ²` flops) below which the worker fan-out
+/// stays on the calling thread. The serial path performs **zero heap
+/// allocation per outer iteration**; above the threshold the shared
+/// executor spreads the per-worker confusion updates across cores (each
+/// worker's `ℓ×ℓ` block is a disjoint chunk of the flat buffer, so the
+/// result is bit-identical either way).
+const PARALLEL_MSTEP_MIN_WORK: usize = 1 << 18;
+
+/// E-step work below which the task fan-out stays on the calling thread.
+/// Each task's posterior row is computed independently (reads the shared
+/// log tables, writes its own row), so fanning tasks out over the
+/// executor is bit-identical to the serial sweep. Spawning a scope of OS
+/// threads costs on the order of 100µs, so the fan-out only pays off once
+/// an E-step sweep is several times that — roughly table-scale ≥ 0.3 of
+/// the paper's datasets; smaller instances stay on the allocation-free
+/// serial path.
+const PARALLEL_ESTEP_MIN_WORK: usize = 1 << 17;
+
+/// Shared EM engine for D&S-family methods, on the flat-memory substrate:
+/// posteriors are an `n × ℓ` [`DMat`], all worker confusion matrices live
+/// in one `(m·ℓ) × ℓ` [`DMat`] (worker `w`, truth row `j` at row
+/// `w·ℓ + j`), and the E/M loop updates both in place with pre-allocated
+/// scratch.
 ///
 /// `diag_prior`/`off_prior` are Dirichlet pseudo-counts added to the
-/// diagonal/off-diagonal confusion cells in the M-step; `prior_strength`
-/// scales both.
+/// diagonal/off-diagonal confusion cells in the M-step.
 pub(crate) struct DsEngine {
     pub method: &'static str,
     pub diag_prior: f64,
@@ -45,62 +67,105 @@ impl DsEngine {
         // instead seed per-worker confusion matrices and run an E-step
         // first (the worker knowledge arrives through the matrices).
         let mut post = cat.majority_posteriors();
-        let mut confusion: Vec<Vec<Vec<f64>>> = match &options.quality_init {
-            QualityInit::Uniform => Vec::new(),
-            QualityInit::Qualification(_) => {
-                let acc = initial_accuracy(options, cat.m, 0.7);
-                let matrices = acc
-                    .iter()
-                    .map(|&a| {
-                        let off = (1.0 - a) / (l - 1).max(1) as f64;
-                        (0..l)
-                            .map(|j| (0..l).map(|k| if j == k { a } else { off }).collect())
-                            .collect()
-                    })
-                    .collect::<Vec<Vec<Vec<f64>>>>();
-                matrices
+        let mut confusion = DMat::zeros(cat.m * l, l);
+        let mut need_estep_first = false;
+        if let QualityInit::Qualification(_) = &options.quality_init {
+            let acc = initial_accuracy(options, cat.m, 0.7);
+            for (w, &a) in acc.iter().enumerate() {
+                let off = (1.0 - a) / (l - 1).max(1) as f64;
+                for j in 0..l {
+                    let row = confusion.row_mut(w * l + j);
+                    row.fill(off);
+                    row[j] = a;
+                }
             }
-        };
+            need_estep_first = true;
+        }
         let mut class_prior = vec![1.0 / l as f64; l];
+        // Log-domain tables recomputed once per iteration (m·ℓ² + ℓ `ln`
+        // calls) so the E-step — which visits every answer — only adds
+        // table entries. The tabulated values are exactly the
+        // `x.max(1e-12).ln()` terms the naive E-step would compute per
+        // answer, so the log-posterior sums are bit-identical.
+        let mut log_conf = DMat::zeros(cat.m * l, l);
+        let mut log_prior = vec![0.0f64; l];
+        // Scratch for the E-step's per-task log-posterior.
+        let mut logp = vec![0.0f64; l];
+
+        // The fan-out budget: the caller's cap when given (harness-level
+        // fan-outs pass 1 to avoid oversubscription), else the machine.
+        let thread_budget = options.threads.unwrap_or_else(exec::default_threads).max(1);
+        let mstep_work = cat.num_answers() * l + cat.m * l * l;
+        let mstep_threads = if mstep_work >= PARALLEL_MSTEP_MIN_WORK {
+            thread_budget
+        } else {
+            1
+        };
+        // E-step cost model: ℓ adds per answer plus ~3ℓ transcendental-
+        // equivalent flops per task for the log-normalisation.
+        let estep_work = cat.num_answers() * l + 3 * cat.n * l;
+        let estep_threads = if estep_work >= PARALLEL_ESTEP_MIN_WORK {
+            thread_budget
+        } else {
+            1
+        };
 
         let mut tracker = ConvergenceTracker::new(options.tolerance, options.max_iterations);
         let mut iterations = 0usize;
         let converged;
 
-        // When qualification matrices exist, run an E-step before the
-        // first M-step so the seeded qualities matter.
-        let mut need_estep_first = !confusion.is_empty();
-
         loop {
             if need_estep_first {
-                self.e_step(&cat, &confusion, &class_prior, &mut post);
+                refresh_log_tables(&confusion, &class_prior, &mut log_conf, &mut log_prior);
+                e_step(
+                    &cat,
+                    &log_conf,
+                    &log_prior,
+                    &mut post,
+                    &mut logp,
+                    estep_threads,
+                );
                 need_estep_first = false;
             }
 
-            // M-step: confusion matrices and class prior from expected
-            // counts.
-            confusion = (0..cat.m)
-                .map(|w| {
-                    let mut counts = vec![vec![self.off_prior; l]; l];
-                    for (j, row) in counts.iter_mut().enumerate() {
-                        row[j] = self.diag_prior;
+            // M-step: confusion matrices from expected counts, fanned out
+            // worker-by-worker (each worker owns one ℓ×ℓ chunk of the
+            // flat buffer; chunks are disjoint, so no synchronisation).
+            {
+                let diag = self.diag_prior;
+                let off = self.off_prior;
+                let cat_ref = &cat;
+                let post_ref = &post;
+                exec::parallel_chunks(mstep_threads, confusion.data_mut(), l * l, |w, chunk| {
+                    chunk.fill(off);
+                    for j in 0..l {
+                        chunk[j * l + j] = diag;
                     }
-                    for &(task, label) in &cat.by_worker[w] {
+                    for &(task, label) in cat_ref.worker_row(w) {
+                        let post_row = post_ref.row(task as usize);
                         for j in 0..l {
-                            counts[j][label as usize] += post[task][j];
+                            chunk[j * l + label as usize] += post_row[j];
                         }
                     }
-                    for row in &mut counts {
+                    for row in chunk.chunks_mut(l) {
                         let total: f64 = row.iter().sum();
                         row.iter_mut().for_each(|c| *c /= total);
                     }
-                    counts
-                })
-                .collect();
-            for z in 0..l {
-                class_prior[z] =
-                    post.iter().map(|p| p[z]).sum::<f64>() / cat.n.max(1) as f64;
+                });
             }
+
+            // Class prior from the posterior column sums (one pass over
+            // the flat buffer; per-column addition order is still task
+            // order, so the sums match the per-column form bit for bit).
+            class_prior.fill(0.0);
+            for row in post.data().chunks_exact(l) {
+                for (prior, &p) in class_prior.iter_mut().zip(row) {
+                    *prior += p;
+                }
+            }
+            class_prior
+                .iter_mut()
+                .for_each(|prior| *prior /= cat.n.max(1) as f64);
             // Guard against a degenerate all-zero prior.
             let prior_sum: f64 = class_prior.iter().sum();
             if prior_sum <= 0.0 {
@@ -108,13 +173,21 @@ impl DsEngine {
             }
 
             // E-step.
-            self.e_step(&cat, &confusion, &class_prior, &mut post);
+            refresh_log_tables(&confusion, &class_prior, &mut log_conf, &mut log_prior);
+            e_step(
+                &cat,
+                &log_conf,
+                &log_prior,
+                &mut post,
+                &mut logp,
+                estep_threads,
+            );
 
-            // Track convergence on the flattened confusion parameters.
-            let flat: Vec<f64> =
-                confusion.iter().flat_map(|m| m.iter().flatten().copied()).collect();
+            // Track convergence on the flat confusion buffer — already in
+            // the (worker, truth row, answer) order the nested
+            // implementation flattened to, with no copy.
             iterations += 1;
-            if tracker.step(&flat) {
+            if tracker.step(confusion.data()) {
                 converged = tracker.converged();
                 break;
             }
@@ -122,39 +195,110 @@ impl DsEngine {
 
         let mut rng = StdRng::seed_from_u64(options.seed);
         let labels = cat.decode(&post, &mut rng);
+        let worker_quality = (0..cat.m)
+            .map(|w| {
+                WorkerQuality::Confusion(
+                    (0..l).map(|j| confusion.row(w * l + j).to_vec()).collect(),
+                )
+            })
+            .collect();
         Ok(InferenceResult {
             truths: Cat::answers(&labels),
-            worker_quality: confusion.into_iter().map(WorkerQuality::Confusion).collect(),
+            worker_quality,
             iterations,
             converged,
-            posteriors: Some(post),
+            posteriors: Some(post.into_nested()),
         })
     }
+}
 
-    fn e_step(
-        &self,
-        cat: &Cat,
-        confusion: &[Vec<Vec<f64>>],
-        class_prior: &[f64],
-        post: &mut [Vec<f64>],
-    ) {
+/// Refresh the log-domain lookup tables from the current confusion
+/// matrices and class prior (once per iteration; the E-step then runs
+/// `ln`-free).
+fn refresh_log_tables(
+    confusion: &DMat,
+    class_prior: &[f64],
+    log_conf: &mut DMat,
+    log_prior: &mut [f64],
+) {
+    for (lc, &c) in log_conf.data_mut().iter_mut().zip(confusion.data()) {
+        *lc = c.max(1e-12).ln();
+    }
+    for (lp, &p) in log_prior.iter_mut().zip(class_prior) {
+        *lp = p.max(1e-12).ln();
+    }
+}
+
+/// One E-step over the flat substrate: `post[t][j] ∝ prior[j] ·
+/// Π_w q^w[j][v_t^w]`, accumulated in log space from the precomputed
+/// tables and written back in place.
+///
+/// With `threads == 1` (small instances) the serial sweep uses the
+/// caller's scratch buffer — zero heap allocation, zero transcendental
+/// calls in the answer loop. Above the size threshold the tasks fan out
+/// over the executor in disjoint row blocks; every task's row is computed
+/// by the same arithmetic, so the result is bit-identical either way.
+fn e_step(
+    cat: &Cat,
+    log_conf: &DMat,
+    log_prior: &[f64],
+    post: &mut DMat,
+    logp: &mut [f64],
+    threads: usize,
+) {
+    let l = cat.l;
+    let stride = l * l;
+    if threads <= 1 {
+        let lc = log_conf.data();
         for task in 0..cat.n {
-            if cat.golden[task].is_some() || cat.by_task[task].is_empty() {
+            if cat.golden[task].is_some() || cat.task_len(task) == 0 {
                 continue;
             }
-            let mut logp: Vec<f64> =
-                class_prior.iter().map(|&p| p.max(1e-12).ln()).collect();
-            for &(worker, label) in &cat.by_task[task] {
-                let m = &confusion[worker];
-                for (j, lp) in logp.iter_mut().enumerate() {
-                    *lp += m[j][label as usize].max(1e-12).ln();
+            logp.copy_from_slice(log_prior);
+            for &(worker, label) in cat.task_row(task) {
+                // Walk the worker's ℓ×ℓ block column `label` by stride —
+                // plain indexing, no per-answer slice construction.
+                let mut idx = worker as usize * stride + label as usize;
+                for lp in logp.iter_mut() {
+                    *lp += lc[idx];
+                    idx += l;
                 }
             }
-            log_normalize(&mut logp);
-            post[task] = logp;
+            log_normalize(logp);
+            post.row_mut(task).copy_from_slice(logp);
         }
-        cat.clamp_golden(post);
+    } else {
+        let lc = log_conf.data();
+        // ~4 chunks per thread balances uneven task degrees without a
+        // shared cursor.
+        let tasks_per_chunk = cat.n.div_ceil(threads * 4).max(1);
+        exec::parallel_chunks(
+            threads,
+            post.data_mut(),
+            tasks_per_chunk * l,
+            |chunk_idx, rows| {
+                let first_task = chunk_idx * tasks_per_chunk;
+                let mut logp = vec![0.0f64; l];
+                for (offset, row) in rows.chunks_mut(l).enumerate() {
+                    let task = first_task + offset;
+                    if cat.golden[task].is_some() || cat.task_len(task) == 0 {
+                        continue;
+                    }
+                    logp.copy_from_slice(log_prior);
+                    for &(worker, label) in cat.task_row(task) {
+                        let mut idx = worker as usize * stride + label as usize;
+                        for lp in logp.iter_mut() {
+                            *lp += lc[idx];
+                            idx += l;
+                        }
+                    }
+                    log_normalize(&mut logp);
+                    row.copy_from_slice(&logp);
+                }
+            },
+        );
     }
+    cat.clamp_golden(post);
 }
 
 /// Dawid–Skene EM.
@@ -183,9 +327,19 @@ impl TruthInference for Ds {
         dataset: &Dataset,
         options: &InferenceOptions,
     ) -> Result<InferenceResult, InferenceError> {
-        validate_common(self.name(), dataset, options, self.supports(dataset.task_type()))?;
+        validate_common(
+            self.name(),
+            dataset,
+            options,
+            self.supports(dataset.task_type()),
+        )?;
         // Near-zero symmetric smoothing: plain maximum likelihood.
-        DsEngine { method: self.name(), diag_prior: 0.01, off_prior: 0.01 }.run(dataset, options)
+        DsEngine {
+            method: self.name(),
+            diag_prior: 0.01,
+            off_prior: 0.01,
+        }
+        .run(dataset, options)
     }
 }
 
@@ -211,7 +365,9 @@ mod tests {
         let d = small_decision();
         let r = Ds.infer(&d, &InferenceOptions::seeded(1)).unwrap();
         for q in &r.worker_quality {
-            let WorkerQuality::Confusion(m) = q else { panic!("expected confusion") };
+            let WorkerQuality::Confusion(m) = q else {
+                panic!("expected confusion")
+            };
             assert_eq!(m.len(), 2);
             for row in m {
                 let s: f64 = row.iter().sum();

@@ -34,7 +34,11 @@ pub struct Glad {
 
 impl Default for Glad {
     fn default() -> Self {
-        Self { learning_rate: 0.05, gradient_steps: 12, prior_precision: 0.01 }
+        Self {
+            learning_rate: 0.05,
+            gradient_steps: 12,
+            prior_precision: 0.01,
+        }
     }
 }
 
@@ -69,7 +73,12 @@ impl TruthInference for Glad {
         dataset: &Dataset,
         options: &InferenceOptions,
     ) -> Result<InferenceResult, InferenceError> {
-        validate_common(self.name(), dataset, options, self.supports(dataset.task_type()))?;
+        validate_common(
+            self.name(),
+            dataset,
+            options,
+            self.supports(dataset.task_type()),
+        )?;
         let cat = Cat::build(self.name(), dataset, options, true)?;
         let lm1 = (cat.l - 1).max(1) as f64;
 
@@ -84,25 +93,36 @@ impl TruthInference for Glad {
         let mut log_beta = vec![0.0f64; cat.n];
 
         let mut post = cat.majority_posteriors();
+        // Pre-allocated scratch: per-task log-posterior, M-step gradients,
+        // and the convergence parameter vector. The loop below allocates
+        // nothing per iteration.
+        let mut logp = vec![0.0f64; cat.l];
+        let mut grad_alpha = vec![0.0f64; cat.m];
+        let mut grad_logbeta = vec![0.0f64; cat.n];
+        let mut params: Vec<f64> = Vec::with_capacity(cat.m + cat.n);
         let mut tracker = ConvergenceTracker::new(options.tolerance, options.max_iterations);
 
         loop {
             // E-step: Pr(z | answers, α, β).
             for task in 0..cat.n {
-                if cat.golden[task].is_some() || cat.by_task[task].is_empty() {
+                if cat.golden[task].is_some() || cat.task_len(task) == 0 {
                     continue;
                 }
                 let beta = log_beta[task].exp();
-                let mut logp = vec![0.0f64; cat.l];
-                for &(worker, label) in &cat.by_task[task] {
-                    let p_correct = sigmoid(alpha[worker] * beta).clamp(1e-9, 1.0 - 1e-9);
+                logp.fill(0.0);
+                for &(worker, label) in cat.task_row(task) {
+                    let p_correct = sigmoid(alpha[worker as usize] * beta).clamp(1e-9, 1.0 - 1e-9);
                     for (z, lp) in logp.iter_mut().enumerate() {
-                        let p = if z == label as usize { p_correct } else { (1.0 - p_correct) / lm1 };
+                        let p = if z == label as usize {
+                            p_correct
+                        } else {
+                            (1.0 - p_correct) / lm1
+                        };
                         *lp += p.ln();
                     }
                 }
                 log_normalize(&mut logp);
-                post[task] = logp;
+                post.row_mut(task).copy_from_slice(&logp);
             }
             cat.clamp_golden(&mut post);
 
@@ -114,30 +134,31 @@ impl TruthInference for Glad {
             //   ∂Q/∂α_w    = Σ_i β_i (p_iw − s_iw) − λ(α_w − 1)
             //   ∂Q/∂ln β_i = β_i Σ_w α_w (p_iw − s_iw) − λ ln β_i
             for _ in 0..self.gradient_steps {
-                let mut grad_alpha = vec![0.0f64; cat.m];
-                let mut grad_logbeta = vec![0.0f64; cat.n];
+                grad_alpha.fill(0.0);
+                grad_logbeta.fill(0.0);
                 for task in 0..cat.n {
                     let beta = log_beta[task].exp();
-                    for &(worker, label) in &cat.by_task[task] {
+                    let post_row = post.row(task);
+                    for &(worker, label) in cat.task_row(task) {
+                        let worker = worker as usize;
                         let s = sigmoid(alpha[worker] * beta);
-                        let p = post[task][label as usize];
+                        let p = post_row[label as usize];
                         grad_alpha[worker] += beta * (p - s);
                         grad_logbeta[task] += beta * alpha[worker] * (p - s);
                     }
                 }
                 for (w, g) in grad_alpha.iter().enumerate() {
-                    alpha[w] += self.learning_rate
-                        * (g - self.prior_precision * (alpha[w] - 1.0));
+                    alpha[w] += self.learning_rate * (g - self.prior_precision * (alpha[w] - 1.0));
                     alpha[w] = alpha[w].clamp(-8.0, 8.0);
                 }
                 for (t, g) in grad_logbeta.iter().enumerate() {
-                    log_beta[t] +=
-                        self.learning_rate * (g - self.prior_precision * log_beta[t]);
+                    log_beta[t] += self.learning_rate * (g - self.prior_precision * log_beta[t]);
                     log_beta[t] = log_beta[t].clamp(-4.0, 4.0);
                 }
             }
 
-            let mut params = alpha.clone();
+            params.clear();
+            params.extend_from_slice(&alpha);
             params.extend_from_slice(&log_beta);
             if tracker.step(&params) {
                 break;
@@ -156,7 +177,7 @@ impl TruthInference for Glad {
                 .collect(),
             iterations: tracker.iterations(),
             converged: tracker.converged(),
-            posteriors: Some(post),
+            posteriors: Some(post.into_nested()),
         })
     }
 }
@@ -169,7 +190,9 @@ mod tests {
     #[test]
     fn reasonable_on_toy_example() {
         let d = toy();
-        let r = Glad::default().infer(&d, &InferenceOptions::seeded(2)).unwrap();
+        let r = Glad::default()
+            .infer(&d, &InferenceOptions::seeded(2))
+            .unwrap();
         assert_result_sane(&d, &r);
         let acc = accuracy(&d, &r);
         assert!(acc >= 4.0 / 6.0, "toy accuracy {acc}");
@@ -184,7 +207,9 @@ mod tests {
     #[test]
     fn ranks_better_workers_higher() {
         let d = small_decision();
-        let r = Glad::default().infer(&d, &InferenceOptions::seeded(2)).unwrap();
+        let r = Glad::default()
+            .infer(&d, &InferenceOptions::seeded(2))
+            .unwrap();
         // Correlate estimated quality with empirical accuracy.
         let mut pairs = Vec::new();
         for w in 0..d.num_workers() {
@@ -238,6 +263,8 @@ mod tests {
     #[test]
     fn rejects_numeric() {
         let d = small_numeric();
-        assert!(Glad::default().infer(&d, &InferenceOptions::default()).is_err());
+        assert!(Glad::default()
+            .infer(&d, &InferenceOptions::default())
+            .is_err());
     }
 }

@@ -26,7 +26,10 @@ impl Default for Lfc {
     fn default() -> Self {
         // Matches a Beta(4, 2)-per-row belief that workers are better
         // than chance — the shape Raykar et al. recommend.
-        Self { diag_prior: 4.0, off_prior: 1.0 }
+        Self {
+            diag_prior: 4.0,
+            off_prior: 1.0,
+        }
     }
 }
 
@@ -52,9 +55,18 @@ impl TruthInference for Lfc {
         dataset: &Dataset,
         options: &InferenceOptions,
     ) -> Result<InferenceResult, InferenceError> {
-        validate_common(self.name(), dataset, options, self.supports(dataset.task_type()))?;
-        DsEngine { method: self.name(), diag_prior: self.diag_prior, off_prior: self.off_prior }
-            .run(dataset, options)
+        validate_common(
+            self.name(),
+            dataset,
+            options,
+            self.supports(dataset.task_type()),
+        )?;
+        DsEngine {
+            method: self.name(),
+            diag_prior: self.diag_prior,
+            off_prior: self.off_prior,
+        }
+        .run(dataset, options)
     }
 }
 
@@ -68,7 +80,9 @@ mod tests {
     #[test]
     fn reasonable_on_toy_example() {
         let d = toy();
-        let r = Lfc::default().infer(&d, &InferenceOptions::seeded(1)).unwrap();
+        let r = Lfc::default()
+            .infer(&d, &InferenceOptions::seeded(1))
+            .unwrap();
         assert_result_sane(&d, &r);
         let acc = accuracy(&d, &r);
         assert!(acc >= 4.0 / 6.0, "toy accuracy {acc}");
@@ -95,7 +109,9 @@ mod tests {
         // Worker 3 answers one task, wrongly.
         b.add_label(0, 3, 1).unwrap();
         let d = b.build();
-        let lfc = Lfc::default().infer(&d, &InferenceOptions::seeded(0)).unwrap();
+        let lfc = Lfc::default()
+            .infer(&d, &InferenceOptions::seeded(0))
+            .unwrap();
         let ds = Ds.infer(&d, &InferenceOptions::seeded(0)).unwrap();
         let diag = |q: &WorkerQuality| match q {
             WorkerQuality::Confusion(m) => (m[0][0] + m[1][1]) / 2.0,
@@ -112,14 +128,24 @@ mod tests {
     #[test]
     fn close_to_ds_on_dense_data() {
         let d = small_decision();
-        let a = accuracy(&d, &Lfc::default().infer(&d, &InferenceOptions::seeded(3)).unwrap());
+        let a = accuracy(
+            &d,
+            &Lfc::default()
+                .infer(&d, &InferenceOptions::seeded(3))
+                .unwrap(),
+        );
         let b = accuracy(&d, &Ds.infer(&d, &InferenceOptions::seeded(3)).unwrap());
-        assert!((a - b).abs() < 0.05, "LFC {a} vs D&S {b} diverged on dense data");
+        assert!(
+            (a - b).abs() < 0.05,
+            "LFC {a} vs D&S {b} diverged on dense data"
+        );
     }
 
     #[test]
     fn rejects_numeric() {
         let d = small_numeric();
-        assert!(Lfc::default().infer(&d, &InferenceOptions::default()).is_err());
+        assert!(Lfc::default()
+            .infer(&d, &InferenceOptions::default())
+            .is_err());
     }
 }

@@ -29,7 +29,10 @@ pub struct LfcN {
 
 impl Default for LfcN {
     fn default() -> Self {
-        Self { prior_count: 2.0, prior_ss: 2.0 }
+        Self {
+            prior_count: 2.0,
+            prior_ss: 2.0,
+        }
     }
 }
 
@@ -55,7 +58,12 @@ impl TruthInference for LfcN {
         dataset: &Dataset,
         options: &InferenceOptions,
     ) -> Result<InferenceResult, InferenceError> {
-        validate_common(self.name(), dataset, options, self.supports(dataset.task_type()))?;
+        validate_common(
+            self.name(),
+            dataset,
+            options,
+            self.supports(dataset.task_type()),
+        )?;
         let num = Num::build(self.name(), dataset, options, true)?;
 
         // Initial variances: uniform, or derived from qualification RMSE
@@ -78,19 +86,19 @@ impl TruthInference for LfcN {
         let mut tracker = ConvergenceTracker::new(options.tolerance, options.max_iterations);
 
         loop {
-            // Truth step: precision-weighted means.
+            // Truth step: precision-weighted means. Everything updates in
+            // place over the CSR view — no allocation per iteration.
             for task in 0..num.n {
                 if let Some(g) = num.golden[task] {
                     truths[task] = g;
                     continue;
                 }
-                let answers = &num.by_task[task];
-                if answers.is_empty() {
+                if num.task_len(task) == 0 {
                     continue;
                 }
                 let mut wsum = 0.0;
                 let mut vsum = 0.0;
-                for &(worker, v) in answers {
+                for (worker, v) in num.task(task) {
                     let prec = 1.0 / var[worker].max(1e-9);
                     wsum += prec;
                     vsum += prec * v;
@@ -100,10 +108,8 @@ impl TruthInference for LfcN {
 
             // Variance step with inverse-gamma smoothing.
             for wkr in 0..num.m {
-                let answers = &num.by_worker[wkr];
-                let ss: f64 = answers.iter().map(|&(t, v)| (v - truths[t]).powi(2)).sum();
-                var[wkr] =
-                    (ss + self.prior_ss) / (answers.len() as f64 + self.prior_count);
+                let ss: f64 = num.worker(wkr).map(|(t, v)| (v - truths[t]).powi(2)).sum();
+                var[wkr] = (ss + self.prior_ss) / (num.worker_len(wkr) as f64 + self.prior_count);
             }
 
             if tracker.step(&truths) {
@@ -136,11 +142,14 @@ mod tests {
         for (t, &tr) in truths.iter().enumerate() {
             b.add_numeric(t, 0, tr + 0.5).unwrap();
             b.add_numeric(t, 1, tr - 0.4).unwrap();
-            b.add_numeric(t, 2, tr + if t % 2 == 0 { 25.0 } else { -25.0 }).unwrap();
+            b.add_numeric(t, 2, tr + if t % 2 == 0 { 25.0 } else { -25.0 })
+                .unwrap();
             b.set_truth_numeric(t, tr).unwrap();
         }
         let d = b.build();
-        let r = LfcN::default().infer(&d, &InferenceOptions::seeded(0)).unwrap();
+        let r = LfcN::default()
+            .infer(&d, &InferenceOptions::seeded(0))
+            .unwrap();
         let vars: Vec<f64> = r
             .worker_quality
             .iter()
@@ -151,13 +160,18 @@ mod tests {
             .collect();
         assert!(vars[2] > 10.0 * vars[0], "noisy worker variance {vars:?}");
         let e = rmse(&d, &r);
-        assert!(e < 2.0, "LFC_N RMSE {e} should be far below the noisy worker's 25");
+        assert!(
+            e < 2.0,
+            "LFC_N RMSE {e} should be far below the noisy worker's 25"
+        );
     }
 
     #[test]
     fn reasonable_on_emotion_sim() {
         let d = small_numeric();
-        let r = LfcN::default().infer(&d, &InferenceOptions::seeded(1)).unwrap();
+        let r = LfcN::default()
+            .infer(&d, &InferenceOptions::seeded(1))
+            .unwrap();
         assert_result_sane(&d, &r);
         let e = rmse(&d, &r);
         assert!(e < 18.0, "LFC_N RMSE {e}");
@@ -193,6 +207,8 @@ mod tests {
     #[test]
     fn rejects_categorical() {
         let d = toy();
-        assert!(LfcN::default().infer(&d, &InferenceOptions::default()).is_err());
+        assert!(LfcN::default()
+            .infer(&d, &InferenceOptions::default())
+            .is_err());
     }
 }

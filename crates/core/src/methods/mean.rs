@@ -30,7 +30,12 @@ impl TruthInference for MeanAgg {
         dataset: &Dataset,
         options: &InferenceOptions,
     ) -> Result<InferenceResult, InferenceError> {
-        validate_common(self.name(), dataset, options, self.supports(dataset.task_type()))?;
+        validate_common(
+            self.name(),
+            dataset,
+            options,
+            self.supports(dataset.task_type()),
+        )?;
         let num = Num::build(self.name(), dataset, options, false)?;
         let estimates = num.mean_estimates();
         Ok(InferenceResult {

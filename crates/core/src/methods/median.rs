@@ -27,11 +27,16 @@ impl TruthInference for MedianAgg {
         dataset: &Dataset,
         options: &InferenceOptions,
     ) -> Result<InferenceResult, InferenceError> {
-        validate_common(self.name(), dataset, options, self.supports(dataset.task_type()))?;
+        validate_common(
+            self.name(),
+            dataset,
+            options,
+            self.supports(dataset.task_type()),
+        )?;
         let num = Num::build(self.name(), dataset, options, false)?;
         let estimates: Vec<f64> = (0..num.n)
             .map(|t| {
-                let values: Vec<f64> = num.by_task[t].iter().map(|&(_, v)| v).collect();
+                let values: Vec<f64> = num.task(t).map(|(_, v)| v).collect();
                 median(&values)
             })
             .collect();

@@ -51,7 +51,12 @@ pub struct Minimax {
 
 impl Default for Minimax {
     fn default() -> Self {
-        Self { learning_rate: 0.3, gradient_steps: 10, l2_tau: 2.0, l2_sigma: 0.05 }
+        Self {
+            learning_rate: 0.3,
+            gradient_steps: 10,
+            l2_tau: 2.0,
+            l2_sigma: 0.05,
+        }
     }
 }
 
@@ -73,7 +78,12 @@ impl TruthInference for Minimax {
         dataset: &Dataset,
         options: &InferenceOptions,
     ) -> Result<InferenceResult, InferenceError> {
-        validate_common(self.name(), dataset, options, self.supports(dataset.task_type()))?;
+        validate_common(
+            self.name(),
+            dataset,
+            options,
+            self.supports(dataset.task_type()),
+        )?;
         let cat = Cat::build(self.name(), dataset, options, true)?;
         let l = cat.l;
 
@@ -103,9 +113,10 @@ impl TruthInference for Minimax {
 
         // Degree normalisers: keep step sizes independent of how many
         // answers a task/worker has.
-        let task_deg: Vec<f64> = (0..cat.n).map(|t| cat.by_task[t].len().max(1) as f64).collect();
-        let worker_deg: Vec<f64> =
-            (0..cat.m).map(|w| cat.by_worker[w].len().max(1) as f64).collect();
+        let task_deg: Vec<f64> = (0..cat.n).map(|t| cat.task_len(t).max(1) as f64).collect();
+        let worker_deg: Vec<f64> = (0..cat.m)
+            .map(|w| cat.worker_len(w).max(1) as f64)
+            .collect();
 
         loop {
             // Dual ascent on τ, σ under the current truth posterior.
@@ -114,9 +125,9 @@ impl TruthInference for Minimax {
                 let mut grad_sigma = vec![vec![vec![0.0f64; l]; l]; cat.m];
 
                 for task in 0..cat.n {
-                    for &(worker, label) in &cat.by_task[task] {
+                    for (worker, label) in cat.task(task) {
                         for j in 0..l {
-                            let qj = post[task][j];
+                            let qj = post.row(task)[j];
                             if qj < 1e-9 {
                                 continue;
                             }
@@ -136,8 +147,8 @@ impl TruthInference for Minimax {
 
                 for (t, g) in grad_tau.iter().enumerate() {
                     for k in 0..l {
-                        tau[t][k] += self.learning_rate
-                            * (g[k] / task_deg[t] - self.l2_tau * tau[t][k]);
+                        tau[t][k] +=
+                            self.learning_rate * (g[k] / task_deg[t] - self.l2_tau * tau[t][k]);
                         tau[t][k] = tau[t][k].clamp(-6.0, 6.0);
                     }
                 }
@@ -154,23 +165,22 @@ impl TruthInference for Minimax {
 
             // Truth update.
             for task in 0..cat.n {
-                if cat.golden[task].is_some() || cat.by_task[task].is_empty() {
+                if cat.golden[task].is_some() || cat.task_len(task) == 0 {
                     continue;
                 }
                 let mut logp = vec![0.0f64; l];
-                for &(worker, label) in &cat.by_task[task] {
+                for (worker, label) in cat.task(task) {
                     for (j, lp) in logp.iter_mut().enumerate() {
                         let model = model_logprob(&tau[task], &sigma[worker], j);
                         *lp += model[label as usize];
                     }
                 }
                 log_normalize(&mut logp);
-                post[task] = logp;
+                post.row_mut(task).copy_from_slice(&logp);
             }
             cat.clamp_golden(&mut post);
 
-            let flat: Vec<f64> = post.iter().flatten().copied().collect();
-            if tracker.step(&flat) {
+            if tracker.step(post.data()) {
                 break;
             }
         }
@@ -191,7 +201,7 @@ impl TruthInference for Minimax {
             worker_quality,
             iterations: tracker.iterations(),
             converged: tracker.converged(),
-            posteriors: Some(post),
+            posteriors: Some(post.into_nested()),
         })
     }
 }
@@ -204,7 +214,9 @@ mod tests {
     #[test]
     fn reasonable_on_toy() {
         let d = toy();
-        let r = Minimax::default().infer(&d, &InferenceOptions::seeded(1)).unwrap();
+        let r = Minimax::default()
+            .infer(&d, &InferenceOptions::seeded(1))
+            .unwrap();
         assert_result_sane(&d, &r);
         let acc = accuracy(&d, &r);
         assert!(acc >= 4.0 / 6.0, "toy accuracy {acc}");
@@ -222,7 +234,9 @@ mod tests {
     #[test]
     fn handles_single_choice() {
         let d = small_single();
-        let r = Minimax::default().infer(&d, &InferenceOptions::seeded(3)).unwrap();
+        let r = Minimax::default()
+            .infer(&d, &InferenceOptions::seeded(3))
+            .unwrap();
         assert_result_sane(&d, &r);
         let acc = accuracy(&d, &r);
         assert!(acc > 0.30, "Minimax single-choice accuracy {acc}");
@@ -246,9 +260,13 @@ mod tests {
     #[test]
     fn skills_reported_per_class() {
         let d = small_single();
-        let r = Minimax::default().infer(&d, &InferenceOptions::seeded(3)).unwrap();
+        let r = Minimax::default()
+            .infer(&d, &InferenceOptions::seeded(3))
+            .unwrap();
         for q in &r.worker_quality {
-            let WorkerQuality::Skills(s) = q else { panic!("expected skills") };
+            let WorkerQuality::Skills(s) = q else {
+                panic!("expected skills")
+            };
             assert_eq!(s.len(), 4);
         }
     }

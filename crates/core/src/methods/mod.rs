@@ -136,7 +136,11 @@ pub(crate) mod test_support {
             .infer(dataset, &InferenceOptions::seeded(7))
             .unwrap_or_else(|e| panic!("{} failed: {e}", method.name()));
         let acc = accuracy(dataset, &result);
-        assert!(acc >= bar, "{} accuracy {acc} below bar {bar}", method.name());
+        assert!(
+            acc >= bar,
+            "{} accuracy {acc} below bar {bar}",
+            method.name()
+        );
         result
     }
 

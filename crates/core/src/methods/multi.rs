@@ -47,7 +47,12 @@ pub struct Multi {
 
 impl Default for Multi {
     fn default() -> Self {
-        Self { dims: 3, learning_rate: 0.3, gradient_steps: 10, prior_precision: 0.05 }
+        Self {
+            dims: 3,
+            learning_rate: 0.3,
+            gradient_steps: 10,
+            prior_precision: 0.05,
+        }
     }
 }
 
@@ -74,7 +79,12 @@ impl TruthInference for Multi {
         dataset: &Dataset,
         options: &InferenceOptions,
     ) -> Result<InferenceResult, InferenceError> {
-        validate_common(self.name(), dataset, options, self.supports(dataset.task_type()))?;
+        validate_common(
+            self.name(),
+            dataset,
+            options,
+            self.supports(dataset.task_type()),
+        )?;
         let cat = Cat::build(self.name(), dataset, options, false)?;
         let k = self.dims.max(1);
         let mut rng = StdRng::seed_from_u64(options.seed);
@@ -86,7 +96,7 @@ impl TruthInference for Multi {
         let mut x: Vec<Vec<f64>> = (0..cat.n)
             .map(|i| {
                 let mut v = vec![0.0; k];
-                v[0] = 2.0 * post0[i][0] - 1.0;
+                v[0] = 2.0 * post0.row(i)[0] - 1.0;
                 for d in v.iter_mut().skip(1) {
                     *d = sample_gaussian(&mut rng, 0.0, 0.1);
                 }
@@ -95,8 +105,9 @@ impl TruthInference for Multi {
             .collect();
         let mut w: Vec<Vec<f64>> = (0..cat.m)
             .map(|_| {
-                let mut v: Vec<f64> =
-                    (0..k).map(|_| sample_gaussian(&mut rng, 0.0, 0.1)).collect();
+                let mut v: Vec<f64> = (0..k)
+                    .map(|_| sample_gaussian(&mut rng, 0.0, 0.1))
+                    .collect();
                 v[0] += 1.0;
                 v
             })
@@ -108,9 +119,10 @@ impl TruthInference for Multi {
         // Degree normalisers keep per-step movement independent of how
         // many answers an entity has — heavy workers would otherwise take
         // steps of magnitude lr·|T^w| and oscillate into clamp corners.
-        let task_deg: Vec<f64> = (0..cat.n).map(|t| cat.by_task[t].len().max(1) as f64).collect();
-        let worker_deg: Vec<f64> =
-            (0..cat.m).map(|w| cat.by_worker[w].len().max(1) as f64).collect();
+        let task_deg: Vec<f64> = (0..cat.n).map(|t| cat.task_len(t).max(1) as f64).collect();
+        let worker_deg: Vec<f64> = (0..cat.m)
+            .map(|w| cat.worker_len(w).max(1) as f64)
+            .collect();
 
         loop {
             for _ in 0..self.gradient_steps {
@@ -119,7 +131,7 @@ impl TruthInference for Multi {
                 let mut gt = vec![0.0f64; cat.m];
 
                 for task in 0..cat.n {
-                    for &(worker, label) in &cat.by_task[task] {
+                    for (worker, label) in cat.task(task) {
                         let score: f64 = x[task]
                             .iter()
                             .zip(&w[worker])
@@ -181,8 +193,7 @@ impl TruthInference for Multi {
         let mut truths = vec![0u8; cat.n];
         let mut posteriors = Vec::with_capacity(cat.n);
         for task in 0..cat.n {
-            let score: f64 =
-                x[task].iter().zip(&u).map(|(a, b)| a * b).sum::<f64>() - tau_bar;
+            let score: f64 = x[task].iter().zip(&u).map(|(a, b)| a * b).sum::<f64>() - tau_bar;
             let p = sigmoid(score);
             truths[task] = if p >= 0.5 { 0 } else { 1 };
             posteriors.push(vec![p, 1.0 - p]);
@@ -218,7 +229,9 @@ mod tests {
     #[test]
     fn reasonable_on_toy() {
         let d = toy();
-        let r = Multi::default().infer(&d, &InferenceOptions::seeded(3)).unwrap();
+        let r = Multi::default()
+            .infer(&d, &InferenceOptions::seeded(3))
+            .unwrap();
         assert_result_sane(&d, &r);
         let acc = accuracy(&d, &r);
         assert!(acc >= 4.0 / 6.0, "toy accuracy {acc}");
@@ -239,17 +252,26 @@ mod tests {
     #[test]
     fn skill_vectors_have_dims_plus_bias() {
         let d = toy();
-        let m = Multi { dims: 4, ..Default::default() };
+        let m = Multi {
+            dims: 4,
+            ..Default::default()
+        };
         let r = m.infer(&d, &InferenceOptions::seeded(0)).unwrap();
         for q in &r.worker_quality {
-            let WorkerQuality::Skills(s) = q else { panic!() };
+            let WorkerQuality::Skills(s) = q else {
+                panic!()
+            };
             assert_eq!(s.len(), 5);
         }
     }
 
     #[test]
     fn rejects_single_choice_and_numeric() {
-        assert!(Multi::default().infer(&small_single(), &InferenceOptions::default()).is_err());
-        assert!(Multi::default().infer(&small_numeric(), &InferenceOptions::default()).is_err());
+        assert!(Multi::default()
+            .infer(&small_single(), &InferenceOptions::default())
+            .is_err());
+        assert!(Multi::default()
+            .infer(&small_numeric(), &InferenceOptions::default())
+            .is_err());
     }
 }

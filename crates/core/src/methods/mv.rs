@@ -32,7 +32,12 @@ impl TruthInference for Mv {
         dataset: &Dataset,
         options: &InferenceOptions,
     ) -> Result<InferenceResult, InferenceError> {
-        validate_common(self.name(), dataset, options, self.supports(dataset.task_type()))?;
+        validate_common(
+            self.name(),
+            dataset,
+            options,
+            self.supports(dataset.task_type()),
+        )?;
         let cat = Cat::build(self.name(), dataset, options, false)?;
         let post = cat.majority_posteriors();
         let mut rng = StdRng::seed_from_u64(options.seed);
@@ -42,7 +47,7 @@ impl TruthInference for Mv {
             worker_quality: vec![WorkerQuality::Unmodeled; cat.m],
             iterations: 1,
             converged: true,
-            posteriors: Some(post),
+            posteriors: Some(post.into_nested()),
         })
     }
 }
@@ -60,7 +65,11 @@ mod tests {
         let d = toy();
         let r = Mv.infer(&d, &InferenceOptions::seeded(3)).unwrap();
         assert_result_sane(&d, &r);
-        assert_eq!(r.truths[5], Answer::Label(1), "t6 must follow the majority (F)");
+        assert_eq!(
+            r.truths[5],
+            Answer::Label(1),
+            "t6 must follow the majority (F)"
+        );
         for task in 1..5 {
             assert_eq!(r.truths[task], Answer::Label(1));
         }

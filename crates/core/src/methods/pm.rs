@@ -86,6 +86,13 @@ impl Pm {
         };
 
         let mut truths: Vec<u8> = vec![0; cat.n];
+        // Pre-allocated scratch: vote scores, tie list, per-worker
+        // distances, and the convergence vector — the loop allocates
+        // nothing per iteration.
+        let mut scores = vec![0.0f64; cat.l];
+        let mut ties: Vec<u8> = Vec::with_capacity(cat.l);
+        let mut dist = vec![0.0f64; cat.m];
+        let mut params = vec![0.0f64; cat.n];
         let mut tracker = ConvergenceTracker::new(options.tolerance, options.max_iterations);
 
         loop {
@@ -95,36 +102,45 @@ impl Pm {
                     truths[task] = g;
                     continue;
                 }
-                let mut scores = vec![0.0f64; cat.l];
-                for &(worker, label) in &cat.by_task[task] {
+                scores.fill(0.0);
+                for (worker, label) in cat.task(task) {
                     scores[label as usize] += quality[worker];
                 }
                 let best = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                let ties: Vec<u8> = scores
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &s)| (s - best).abs() < 1e-12)
-                    .map(|(i, _)| i as u8)
-                    .collect();
-                truths[task] =
-                    if ties.len() == 1 { ties[0] } else { ties[rng.gen_range(0..ties.len())] };
+                ties.clear();
+                ties.extend(
+                    scores
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &s)| (s - best).abs() < 1e-12)
+                        .map(|(i, _)| i as u8),
+                );
+                truths[task] = if ties.len() == 1 {
+                    ties[0]
+                } else {
+                    ties[rng.gen_range(0..ties.len())]
+                };
             }
 
             // Step 2: q^w = −log(Σd / max Σd).
-            let dist: Vec<f64> = (0..cat.m)
-                .map(|w| {
-                    cat.by_worker[w]
-                        .iter()
-                        .filter(|&&(task, label)| truths[task] != label)
-                        .count() as f64
-                })
-                .collect();
-            let max_d = dist.iter().copied().fold(0.0f64, f64::max).max(self.epsilon);
+            for (w, d) in dist.iter_mut().enumerate() {
+                *d = cat
+                    .worker(w)
+                    .filter(|&(task, label)| truths[task] != label)
+                    .count() as f64;
+            }
+            let max_d = dist
+                .iter()
+                .copied()
+                .fold(0.0f64, f64::max)
+                .max(self.epsilon);
             for (w, d) in dist.iter().enumerate() {
                 quality[w] = -((d + self.epsilon) / (max_d + self.epsilon)).ln();
             }
 
-            let params: Vec<f64> = truths.iter().map(|&t| t as f64).collect();
+            for (p, &t) in params.iter_mut().zip(&truths) {
+                *p = t as f64;
+            }
             if tracker.step(&params) {
                 break;
             }
@@ -147,9 +163,11 @@ impl Pm {
         let num = Num::build("PM", dataset, options, true)?;
 
         // Per-task answer variance for scale-free distances.
+        let mut vs: Vec<f64> = Vec::new();
         let task_var: Vec<f64> = (0..num.n)
             .map(|t| {
-                let vs: Vec<f64> = num.by_task[t].iter().map(|&(_, v)| v).collect();
+                vs.clear();
+                vs.extend(num.task(t).map(|(_, v)| v));
                 variance(&vs).max(1e-6)
             })
             .collect();
@@ -159,6 +177,9 @@ impl Pm {
             _ => initial_accuracy(options, num.m, 0.7),
         };
         let mut truths = num.mean_estimates();
+        // Pre-allocated distance scratch: the loop allocates nothing per
+        // iteration.
+        let mut dist = vec![0.0f64; num.m];
         let mut tracker = ConvergenceTracker::new(options.tolerance, options.max_iterations);
 
         loop {
@@ -168,13 +189,13 @@ impl Pm {
                     truths[task] = g;
                     continue;
                 }
-                let answers = &num.by_task[task];
-                if answers.is_empty() {
+                let len = num.task_len(task);
+                if len == 0 {
                     continue;
                 }
                 let mut wsum = 0.0;
                 let mut vsum = 0.0;
-                for &(worker, v) in answers {
+                for (worker, v) in num.task(task) {
                     let q = quality[worker].max(0.0);
                     wsum += q;
                     vsum += q * v;
@@ -182,21 +203,22 @@ impl Pm {
                 if wsum > 0.0 {
                     truths[task] = vsum / wsum;
                 } else {
-                    truths[task] =
-                        answers.iter().map(|&(_, v)| v).sum::<f64>() / answers.len() as f64;
+                    truths[task] = num.task(task).map(|(_, v)| v).sum::<f64>() / len as f64;
                 }
             }
 
             // Step 2: normalised squared distances.
-            let dist: Vec<f64> = (0..num.m)
-                .map(|w| {
-                    num.by_worker[w]
-                        .iter()
-                        .map(|&(task, v)| (v - truths[task]).powi(2) / task_var[task])
-                        .sum::<f64>()
-                })
-                .collect();
-            let max_d = dist.iter().copied().fold(0.0f64, f64::max).max(self.epsilon);
+            for (w, d) in dist.iter_mut().enumerate() {
+                *d = num
+                    .worker(w)
+                    .map(|(task, v)| (v - truths[task]).powi(2) / task_var[task])
+                    .sum::<f64>();
+            }
+            let max_d = dist
+                .iter()
+                .copied()
+                .fold(0.0f64, f64::max)
+                .max(self.epsilon);
             for (w, d) in dist.iter().enumerate() {
                 quality[w] = -((d + self.epsilon) / (max_d + self.epsilon)).ln();
             }
@@ -227,15 +249,24 @@ mod tests {
         // Section 3 walks PM through Table 2 and reports converged truths
         // v*_1 = v*_6 = T with the rest F, and w3 the best worker.
         let d = toy();
-        let r = Pm::default().infer(&d, &InferenceOptions::seeded(11)).unwrap();
+        let r = Pm::default()
+            .infer(&d, &InferenceOptions::seeded(11))
+            .unwrap();
         assert_result_sane(&d, &r);
         assert_eq!(r.truths[0], Answer::Label(0), "t1 should be T");
         assert_eq!(r.truths[5], Answer::Label(0), "t6 should be T");
         for t in 1..5 {
             assert_eq!(r.truths[t], Answer::Label(1), "t{} should be F", t + 1);
         }
-        let q: Vec<f64> = r.worker_quality.iter().map(|x| x.scalar().unwrap()).collect();
-        assert!(q[2] > q[1] && q[1] > q[0], "qualities should order w3 > w2 > w1: {q:?}");
+        let q: Vec<f64> = r
+            .worker_quality
+            .iter()
+            .map(|x| x.scalar().unwrap())
+            .collect();
+        assert!(
+            q[2] > q[1] && q[1] > q[0],
+            "qualities should order w3 > w2 > w1: {q:?}"
+        );
     }
 
     #[test]
@@ -245,9 +276,14 @@ mod tests {
         // We can't observe iteration 1 directly, but converged weights
         // must preserve that strict ordering with w1 pinned at ~0.
         let d = toy();
-        let r = Pm::default().infer(&d, &InferenceOptions::seeded(11)).unwrap();
+        let r = Pm::default()
+            .infer(&d, &InferenceOptions::seeded(11))
+            .unwrap();
         let q0 = r.worker_quality[0].scalar().unwrap();
-        assert!(q0.abs() < 0.05, "worst worker weight should be ≈ 0, got {q0}");
+        assert!(
+            q0.abs() < 0.05,
+            "worst worker weight should be ≈ 0, got {q0}"
+        );
     }
 
     #[test]
@@ -262,7 +298,9 @@ mod tests {
     #[test]
     fn numeric_beats_nothing_catastrophically() {
         let d = small_numeric();
-        let r = Pm::default().infer(&d, &InferenceOptions::seeded(1)).unwrap();
+        let r = Pm::default()
+            .infer(&d, &InferenceOptions::seeded(1))
+            .unwrap();
         assert_result_sane(&d, &r);
         let e = rmse(&d, &r);
         assert!(e < 18.0, "PM numeric RMSE {e}");

@@ -45,7 +45,10 @@ pub struct ViBp {
 
 impl Default for ViBp {
     fn default() -> Self {
-        Self { diag_prior: 2.0, off_prior: 1.0 }
+        Self {
+            diag_prior: 2.0,
+            off_prior: 1.0,
+        }
     }
 }
 
@@ -63,72 +66,87 @@ impl TruthInference for ViBp {
         dataset: &Dataset,
         options: &InferenceOptions,
     ) -> Result<InferenceResult, InferenceError> {
-        validate_common(self.name(), dataset, options, self.supports(dataset.task_type()))?;
+        validate_common(
+            self.name(),
+            dataset,
+            options,
+            self.supports(dataset.task_type()),
+        )?;
         let cat = Cat::build(self.name(), dataset, options, false)?;
         let l = cat.l;
 
         let mut beliefs = cat.majority_posteriors();
+        // Double-buffered beliefs plus the variational Dirichlet
+        // parameters, all pre-allocated outside the loop.
+        let mut next = crowd_stats::DMat::zeros(cat.n, l);
+        let mut alpha_hat = vec![vec![vec![0.0f64; l]; l]; cat.m];
+        let mut logp = vec![0.0f64; l];
         let mut tracker = ConvergenceTracker::new(options.tolerance, options.max_iterations);
 
         loop {
             // Full expected counts per worker.
-            let mut alpha_hat = vec![vec![vec![0.0f64; l]; l]; cat.m];
-            for w in 0..cat.m {
-                for j in 0..l {
-                    for k in 0..l {
-                        alpha_hat[w][j][k] = if j == k { self.diag_prior } else { self.off_prior };
+            for (w, alpha_w) in alpha_hat.iter_mut().enumerate() {
+                for (j, row) in alpha_w.iter_mut().enumerate() {
+                    for (k, cell) in row.iter_mut().enumerate() {
+                        *cell = if j == k {
+                            self.diag_prior
+                        } else {
+                            self.off_prior
+                        };
                     }
                 }
-                for &(task, label) in &cat.by_worker[w] {
+                for (task, label) in cat.worker(w) {
                     for j in 0..l {
-                        alpha_hat[w][j][label as usize] += beliefs[task][j];
+                        alpha_w[j][label as usize] += beliefs.row(task)[j];
                     }
                 }
             }
 
             // New beliefs from cavity messages.
-            let mut next = vec![vec![0.0f64; l]; cat.n];
             for task in 0..cat.n {
-                if cat.by_task[task].is_empty() {
-                    next[task] = beliefs[task].clone();
+                if cat.task_len(task) == 0 {
+                    next.row_mut(task).copy_from_slice(beliefs.row(task));
                     continue;
                 }
-                let mut logp = vec![0.0f64; l];
-                for &(worker, label) in &cat.by_task[task] {
+                logp.fill(0.0);
+                for (worker, label) in cat.task(task) {
                     for (j, lp) in logp.iter_mut().enumerate() {
                         // Leave task `task`'s own contribution out of the
                         // Dirichlet parameters (the BP cavity).
-                        let own = beliefs[task][j];
+                        let own = beliefs.row(task)[j];
                         let a_jv = alpha_hat[worker][j][label as usize] - own;
                         let row_total: f64 = alpha_hat[worker][j].iter().sum::<f64>() - own;
                         *lp += digamma(a_jv.max(1e-6)) - digamma(row_total.max(1e-6));
                     }
                 }
                 log_normalize(&mut logp);
-                next[task] = logp;
+                next.row_mut(task).copy_from_slice(&logp);
             }
-            beliefs = next;
+            std::mem::swap(&mut beliefs, &mut next);
 
-            let flat: Vec<f64> = beliefs.iter().flatten().copied().collect();
-            if tracker.step(&flat) {
+            if tracker.step(beliefs.data()) {
                 break;
             }
         }
 
         // Report posterior-mean confusions from final beliefs.
         let mut confusion = vec![vec![vec![0.0f64; l]; l]; cat.m];
-        for w in 0..cat.m {
-            for j in 0..l {
-                for k in 0..l {
-                    confusion[w][j][k] = if j == k { self.diag_prior } else { self.off_prior };
+        for (w, conf_w) in confusion.iter_mut().enumerate() {
+            for (j, row) in conf_w.iter_mut().enumerate() {
+                for (k, cell) in row.iter_mut().enumerate() {
+                    *cell = if j == k {
+                        self.diag_prior
+                    } else {
+                        self.off_prior
+                    };
                 }
             }
-            for &(task, label) in &cat.by_worker[w] {
+            for (task, label) in cat.worker(w) {
                 for j in 0..l {
-                    confusion[w][j][label as usize] += beliefs[task][j];
+                    conf_w[j][label as usize] += beliefs.row(task)[j];
                 }
             }
-            for row in &mut confusion[w] {
+            for row in conf_w.iter_mut() {
                 let total: f64 = row.iter().sum();
                 row.iter_mut().for_each(|c| *c /= total);
             }
@@ -138,10 +156,13 @@ impl TruthInference for ViBp {
         let labels = cat.decode(&beliefs, &mut rng);
         Ok(InferenceResult {
             truths: Cat::answers(&labels),
-            worker_quality: confusion.into_iter().map(WorkerQuality::Confusion).collect(),
+            worker_quality: confusion
+                .into_iter()
+                .map(WorkerQuality::Confusion)
+                .collect(),
             iterations: tracker.iterations(),
             converged: tracker.converged(),
-            posteriors: Some(beliefs),
+            posteriors: Some(beliefs.into_nested()),
         })
     }
 }
@@ -154,7 +175,9 @@ mod tests {
     #[test]
     fn reasonable_on_toy() {
         let d = toy();
-        let r = ViBp::default().infer(&d, &InferenceOptions::seeded(4)).unwrap();
+        let r = ViBp::default()
+            .infer(&d, &InferenceOptions::seeded(4))
+            .unwrap();
         assert_result_sane(&d, &r);
         let acc = accuracy(&d, &r);
         assert!(acc >= 4.0 / 6.0, "toy accuracy {acc}");
@@ -175,14 +198,20 @@ mod tests {
         // only pin the direction: VI-BP must not beat D&S.
         use crate::methods::Ds;
         let d = small_decision();
-        let bp = ViBp::default().infer(&d, &InferenceOptions::seeded(6)).unwrap();
+        let bp = ViBp::default()
+            .infer(&d, &InferenceOptions::seeded(6))
+            .unwrap();
         let ds = Ds.infer(&d, &InferenceOptions::seeded(6)).unwrap();
         assert!(accuracy(&d, &bp) <= accuracy(&d, &ds) + 0.02);
     }
 
     #[test]
     fn rejects_single_choice_and_numeric() {
-        assert!(ViBp::default().infer(&small_single(), &InferenceOptions::default()).is_err());
-        assert!(ViBp::default().infer(&small_numeric(), &InferenceOptions::default()).is_err());
+        assert!(ViBp::default()
+            .infer(&small_single(), &InferenceOptions::default())
+            .is_err());
+        assert!(ViBp::default()
+            .infer(&small_numeric(), &InferenceOptions::default())
+            .is_err());
     }
 }

@@ -57,33 +57,50 @@ impl TruthInference for Zc {
         dataset: &Dataset,
         options: &InferenceOptions,
     ) -> Result<InferenceResult, InferenceError> {
-        validate_common(self.name(), dataset, options, self.supports(dataset.task_type()))?;
+        validate_common(
+            self.name(),
+            dataset,
+            options,
+            self.supports(dataset.task_type()),
+        )?;
         let cat = Cat::build(self.name(), dataset, options, true)?;
         let lm1 = (cat.l - 1).max(1) as f64;
 
         let mut quality = initial_accuracy(options, cat.m, 0.7);
         let mut post = cat.majority_posteriors();
+        // Pre-allocated scratch, including per-worker log tables
+        // refreshed once per iteration (2m `ln` calls instead of |V|·ℓ):
+        // exactly the `p.max(1e-12).ln()` terms the per-answer form
+        // computes, so the posterior sums are bit-identical. The loop
+        // below allocates nothing per iteration.
+        let mut logp = vec![0.0f64; cat.l];
+        let mut ln_correct = vec![0.0f64; cat.m];
+        let mut ln_wrong = vec![0.0f64; cat.m];
         let mut tracker = ConvergenceTracker::new(options.tolerance, options.max_iterations);
 
         loop {
             // E-step: posterior over each task's truth under current q.
+            for w in 0..cat.m {
+                let q = quality[w];
+                ln_correct[w] = q.max(1e-12).ln();
+                ln_wrong[w] = ((1.0 - q) / lm1).max(1e-12).ln();
+            }
             for task in 0..cat.n {
                 if cat.golden[task].is_some() {
                     continue; // stays clamped
                 }
-                if cat.by_task[task].is_empty() {
+                if cat.task_len(task) == 0 {
                     continue; // stays uniform
                 }
-                let mut logp = vec![0.0f64; cat.l];
-                for &(worker, label) in &cat.by_task[task] {
-                    let q = quality[worker];
+                logp.fill(0.0);
+                for (worker, label) in cat.task(task) {
+                    let (lc, lw) = (ln_correct[worker], ln_wrong[worker]);
                     for (z, lp) in logp.iter_mut().enumerate() {
-                        let p = if z == label as usize { q } else { (1.0 - q) / lm1 };
-                        *lp += p.max(1e-12).ln();
+                        *lp += if z == label as usize { lc } else { lw };
                     }
                 }
                 log_normalize(&mut logp);
-                post[task] = logp;
+                post.row_mut(task).copy_from_slice(&logp);
             }
             cat.clamp_golden(&mut post);
 
@@ -91,10 +108,10 @@ impl TruthInference for Zc {
             // smoothed by a symmetric Beta prior.
             for w in 0..cat.m {
                 let mut expected_correct = 0.0;
-                for &(task, label) in &cat.by_worker[w] {
-                    expected_correct += post[task][label as usize];
+                for (task, label) in cat.worker(w) {
+                    expected_correct += post.row(task)[label as usize];
                 }
-                let denom = cat.by_worker[w].len() as f64 + 2.0 * self.smoothing;
+                let denom = cat.worker_len(w) as f64 + 2.0 * self.smoothing;
                 quality[w] = (expected_correct + self.smoothing) / denom;
             }
 
@@ -107,10 +124,13 @@ impl TruthInference for Zc {
         let labels = cat.decode(&post, &mut rng);
         Ok(InferenceResult {
             truths: Cat::answers(&labels),
-            worker_quality: quality.into_iter().map(WorkerQuality::Probability).collect(),
+            worker_quality: quality
+                .into_iter()
+                .map(WorkerQuality::Probability)
+                .collect(),
             iterations: tracker.iterations(),
             converged: tracker.converged(),
-            posteriors: Some(post),
+            posteriors: Some(post.into_nested()),
         })
     }
 }
@@ -129,7 +149,9 @@ mod tests {
         // ZC must at least match majority-vote quality and recover t1 as
         // 'T' (it breaks the tie through worker weighting).
         let d = toy();
-        let r = Zc::default().infer(&d, &InferenceOptions::seeded(5)).unwrap();
+        let r = Zc::default()
+            .infer(&d, &InferenceOptions::seeded(5))
+            .unwrap();
         assert_result_sane(&d, &r);
         assert_eq!(r.truths[0], Answer::Label(0), "t1 should resolve to T");
         let acc = accuracy(&d, &r);
@@ -139,7 +161,9 @@ mod tests {
     #[test]
     fn quality_estimates_track_empirical_accuracy() {
         let d = small_decision();
-        let r = Zc::default().infer(&d, &InferenceOptions::seeded(5)).unwrap();
+        let r = Zc::default()
+            .infer(&d, &InferenceOptions::seeded(5))
+            .unwrap();
         // Workers with high empirical accuracy should get high estimated
         // quality (compare top and bottom halves).
         let mut pairs = Vec::new();
@@ -154,14 +178,16 @@ mod tests {
                 }
             }
             if total >= 10 {
-                pairs.push((r.worker_quality[w].scalar().unwrap(), correct as f64 / total as f64));
+                pairs.push((
+                    r.worker_quality[w].scalar().unwrap(),
+                    correct as f64 / total as f64,
+                ));
             }
         }
         pairs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         let half = pairs.len() / 2;
         let lo: f64 = pairs[..half].iter().map(|p| p.0).sum::<f64>() / half as f64;
-        let hi: f64 =
-            pairs[half..].iter().map(|p| p.0).sum::<f64>() / (pairs.len() - half) as f64;
+        let hi: f64 = pairs[half..].iter().map(|p| p.0).sum::<f64>() / (pairs.len() - half) as f64;
         assert!(hi > lo, "estimated quality not ordered: hi {hi} lo {lo}");
     }
 
@@ -217,6 +243,8 @@ mod tests {
     #[test]
     fn rejects_numeric() {
         let d = small_numeric();
-        assert!(Zc::default().infer(&d, &InferenceOptions::default()).is_err());
+        assert!(Zc::default()
+            .infer(&d, &InferenceOptions::default())
+            .is_err());
     }
 }

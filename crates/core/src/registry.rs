@@ -134,7 +134,11 @@ impl Method {
     /// 14 decision-making methods of Figure 4, the 10 single-choice
     /// methods of Figure 5, the 5 numeric methods of Figure 6.
     pub fn for_task_type(task_type: TaskType) -> Vec<Method> {
-        Self::ALL.iter().copied().filter(|m| m.supports(task_type)).collect()
+        Self::ALL
+            .iter()
+            .copied()
+            .filter(|m| m.supports(task_type))
+            .collect()
     }
 }
 
@@ -189,10 +193,16 @@ mod tests {
     #[test]
     fn qualification_and_golden_counts_match_paper() {
         // §6.3.2: 8 methods accept qualification-test initialisation.
-        let qual = Method::ALL.iter().filter(|m| m.build().supports_qualification()).count();
+        let qual = Method::ALL
+            .iter()
+            .filter(|m| m.build().supports_qualification())
+            .count();
         assert_eq!(qual, 8);
         // §6.3.3: 9 methods incorporate golden tasks.
-        let gold = Method::ALL.iter().filter(|m| m.build().supports_golden()).count();
+        let gold = Method::ALL
+            .iter()
+            .filter(|m| m.build().supports_golden())
+            .count();
         assert_eq!(gold, 9);
     }
 }

@@ -39,12 +39,18 @@ impl DatasetBuilder {
 
     fn check_indices(&self, task: usize, worker: usize) -> Result<(), DataError> {
         if task >= self.num_tasks {
-            return Err(DataError::TaskOutOfRange { task, num_tasks: self.num_tasks });
+            return Err(DataError::TaskOutOfRange {
+                task,
+                num_tasks: self.num_tasks,
+            });
         }
         if worker >= self.num_workers {
             // Reuse the task error shape for workers to keep the enum small;
             // callers mostly care that construction failed loudly.
-            return Err(DataError::TaskOutOfRange { task: worker, num_tasks: self.num_workers });
+            return Err(DataError::TaskOutOfRange {
+                task: worker,
+                num_tasks: self.num_workers,
+            });
         }
         Ok(())
     }
@@ -68,7 +74,10 @@ impl DatasetBuilder {
                 if *l < choices {
                     Ok(())
                 } else {
-                    Err(DataError::LabelOutOfRange { label: *l, num_choices: choices })
+                    Err(DataError::LabelOutOfRange {
+                        label: *l,
+                        num_choices: choices,
+                    })
                 }
             }
             (_, Answer::Numeric(_)) => Err(DataError::AnswerKindMismatch {
@@ -78,13 +87,22 @@ impl DatasetBuilder {
     }
 
     /// Record `worker`'s answer for `task`.
-    pub fn add_answer(&mut self, task: usize, worker: usize, answer: Answer) -> Result<(), DataError> {
+    pub fn add_answer(
+        &mut self,
+        task: usize,
+        worker: usize,
+        answer: Answer,
+    ) -> Result<(), DataError> {
         self.check_indices(task, worker)?;
         self.check_answer(&answer)?;
         if !self.seen.insert((task, worker)) {
             return Err(DataError::DuplicateAnswer { task, worker });
         }
-        self.records.push(AnswerRecord { task, worker, answer });
+        self.records.push(AnswerRecord {
+            task,
+            worker,
+            answer,
+        });
         Ok(())
     }
 
@@ -101,7 +119,10 @@ impl DatasetBuilder {
     /// Set the ground truth of a task.
     pub fn set_truth(&mut self, task: usize, truth: Answer) -> Result<(), DataError> {
         if task >= self.num_tasks {
-            return Err(DataError::TaskOutOfRange { task, num_tasks: self.num_tasks });
+            return Err(DataError::TaskOutOfRange {
+                task,
+                num_tasks: self.num_tasks,
+            });
         }
         self.check_answer(&truth)?;
         self.truths[task] = Some(truth);
@@ -155,7 +176,10 @@ mod tests {
     fn rejects_duplicate_answers() {
         let mut b = DatasetBuilder::new("d", TaskType::DecisionMaking, 2, 2);
         b.add_label(0, 0, 0).unwrap();
-        assert!(matches!(b.add_label(0, 0, 1), Err(DataError::DuplicateAnswer { .. })));
+        assert!(matches!(
+            b.add_label(0, 0, 1),
+            Err(DataError::DuplicateAnswer { .. })
+        ));
     }
 
     #[test]
@@ -170,7 +194,10 @@ mod tests {
         let mut b = DatasetBuilder::new("d", TaskType::SingleChoice { choices: 3 }, 1, 1);
         assert!(b.add_label(0, 0, 2).is_ok());
         let mut b2 = DatasetBuilder::new("d", TaskType::SingleChoice { choices: 3 }, 1, 1);
-        assert!(matches!(b2.add_label(0, 0, 3), Err(DataError::LabelOutOfRange { .. })));
+        assert!(matches!(
+            b2.add_label(0, 0, 3),
+            Err(DataError::LabelOutOfRange { .. })
+        ));
     }
 
     #[test]

@@ -152,7 +152,10 @@ fn d_possent_config(scale: f64) -> SimulatorConfig {
         num_workers: scaled(85, scale, 25),
         redundancy: 20,
         truth_prior: vec![0.528, 0.472],
-        worker_model: WorkerModel::OneCoin { alpha: 11.1, beta: 2.9 }, // mean ≈ 0.79
+        worker_model: WorkerModel::OneCoin {
+            alpha: 11.1,
+            beta: 2.9,
+        }, // mean ≈ 0.79
         spammer_fraction: 0.04,
         zipf_exponent: 0.9,
         truth_fraction: 1.0,
@@ -168,7 +171,13 @@ fn d_possent_config(scale: f64) -> SimulatorConfig {
         // average (mean ≈ 0.62): per-answer agreement drops toward the
         // paper's highly inconsistent C = 0.85 while the unweighted
         // per-worker average stays ≈ 0.79 (Figure 3b).
-        heavy_worker_model: Some((6, WorkerModel::OneCoin { alpha: 6.2, beta: 3.8 })),
+        heavy_worker_model: Some((
+            6,
+            WorkerModel::OneCoin {
+                alpha: 6.2,
+                beta: 3.8,
+            },
+        )),
     }
 }
 
@@ -249,7 +258,10 @@ fn s_adult_config(scale: f64) -> SimulatorConfig {
         redundancy: 8,
         truth_prior: vec![0.55, 0.20, 0.15, 0.10],
         // On the easy majority of pages workers are near-unanimous.
-        worker_model: WorkerModel::OneCoin { alpha: 12.0, beta: 2.1 },
+        worker_model: WorkerModel::OneCoin {
+            alpha: 12.0,
+            beta: 2.1,
+        },
         spammer_fraction: 0.03,
         zipf_exponent: 1.3,
         truth_fraction: 1.0, // unused: truth_only_on_hard
@@ -286,7 +298,11 @@ fn n_emotion_config(scale: f64) -> SimulatorConfig {
         // Mean RMSE ≈ 15–18 (Table 6), consistency C in the low 20s
         // (§6.2.1) — which no decomposition matches exactly (see
         // EXPERIMENTS.md).
-        worker_model: WorkerModel::Numeric { bias_std: 8.0, sigma_lo: 18.0, sigma_hi: 36.0 },
+        worker_model: WorkerModel::Numeric {
+            bias_std: 8.0,
+            sigma_lo: 18.0,
+            sigma_hi: 36.0,
+        },
         spammer_fraction: 0.0,
         zipf_exponent: 0.6,
         truth_fraction: 1.0,
@@ -407,7 +423,10 @@ mod tests {
             }
         }
         let gold_acc = correct as f64 / total as f64;
-        assert!(gold_acc < 0.40, "gold per-answer accuracy {gold_acc} should be near 0.27");
+        assert!(
+            gold_acc < 0.40,
+            "gold per-answer accuracy {gold_acc} should be near 0.27"
+        );
         // Meanwhile overall answers are highly consistent (most tasks are
         // easy): agreement with the per-task majority is high.
         let mut agree = 0usize;
@@ -423,7 +442,10 @@ mod tests {
             seen += deg;
         }
         let consistency = agree as f64 / seen as f64;
-        assert!(consistency > 0.75, "majority agreement {consistency} should be high");
+        assert!(
+            consistency > 0.75,
+            "majority agreement {consistency} should be high"
+        );
     }
 
     #[test]

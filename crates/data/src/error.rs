@@ -46,10 +46,16 @@ impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::TaskOutOfRange { task, num_tasks } => {
-                write!(f, "task index {task} out of range (dataset has {num_tasks} tasks)")
+                write!(
+                    f,
+                    "task index {task} out of range (dataset has {num_tasks} tasks)"
+                )
             }
             Self::LabelOutOfRange { label, num_choices } => {
-                write!(f, "label {label} out of range (task type has {num_choices} choices)")
+                write!(
+                    f,
+                    "label {label} out of range (task type has {num_choices} choices)"
+                )
             }
             Self::AnswerKindMismatch { detail } => write!(f, "answer kind mismatch: {detail}"),
             Self::DuplicateAnswer { task, worker } => {

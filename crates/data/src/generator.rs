@@ -163,7 +163,10 @@ impl SimulatorConfig {
             num_workers: 10,
             redundancy: 3,
             truth_prior: vec![0.5, 0.5],
-            worker_model: WorkerModel::OneCoin { alpha: 8.0, beta: 2.0 },
+            worker_model: WorkerModel::OneCoin {
+                alpha: 8.0,
+                beta: 2.0,
+            },
             spammer_fraction: 0.0,
             zipf_exponent: 1.0,
             truth_fraction: 1.0,
@@ -233,8 +236,14 @@ impl CrowdSimulator {
             config.redundancy,
             config.num_workers
         );
-        assert!((0.0..=1.0).contains(&config.spammer_fraction), "spammer_fraction in [0,1]");
-        assert!((0.0..=1.0).contains(&config.truth_fraction), "truth_fraction in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&config.spammer_fraction),
+            "spammer_fraction in [0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.truth_fraction),
+            "truth_fraction in [0,1]"
+        );
         match config.task_type {
             TaskType::Numeric => assert_eq!(
                 config.truth_prior.len(),
@@ -280,7 +289,12 @@ impl CrowdSimulator {
             })
             .collect();
 
-        Self { config, workers, zipf_weights, rng }
+        Self {
+            config,
+            workers,
+            zipf_weights,
+            rng,
+        }
     }
 
     /// Latent parameters of worker `w` (for tests and diagnostics).
@@ -337,12 +351,11 @@ impl CrowdSimulator {
         for task in 0..n {
             let chosen = self.pick_workers(self.config.redundancy);
             for worker in chosen {
-                let answer =
-                    self.draw_answer(worker, truths[task] + offsets[task], hard[task]);
+                let answer = self.draw_answer(worker, truths[task] + offsets[task], hard[task]);
                 match answer {
-                    SimAnswer::Label(l) => {
-                        builder.add_label(task, worker, l).expect("simulator produced valid label")
-                    }
+                    SimAnswer::Label(l) => builder
+                        .add_label(task, worker, l)
+                        .expect("simulator produced valid label"),
                     SimAnswer::Numeric(v) => builder
                         .add_numeric(task, worker, v)
                         .expect("simulator produced valid numeric"),
@@ -469,13 +482,16 @@ enum SimAnswer {
 /// Draw latent worker parameters from a behaviour model.
 fn draw_worker_params<R: Rng + ?Sized>(rng: &mut R, model: &WorkerModel) -> WorkerParams {
     match model {
-        WorkerModel::OneCoin { alpha, beta } => {
-            WorkerParams::OneCoin { accuracy: sample_beta(rng, *alpha, *beta) }
-        }
+        WorkerModel::OneCoin { alpha, beta } => WorkerParams::OneCoin {
+            accuracy: sample_beta(rng, *alpha, *beta),
+        },
         WorkerModel::ClassConditional { diag } => WorkerParams::ClassConditional {
             diag: diag.iter().map(|&(a, b)| sample_beta(rng, a, b)).collect(),
         },
-        WorkerModel::ConfusionMatrix { base, concentration } => {
+        WorkerModel::ConfusionMatrix {
+            base,
+            concentration,
+        } => {
             let rows = base
                 .iter()
                 .map(|row| {
@@ -486,7 +502,11 @@ fn draw_worker_params<R: Rng + ?Sized>(rng: &mut R, model: &WorkerModel) -> Work
                 .collect();
             WorkerParams::ConfusionMatrix { rows }
         }
-        WorkerModel::Numeric { bias_std, sigma_lo, sigma_hi } => WorkerParams::Numeric {
+        WorkerModel::Numeric {
+            bias_std,
+            sigma_lo,
+            sigma_hi,
+        } => WorkerParams::Numeric {
             bias: sample_gaussian(rng, 0.0, *bias_std),
             sigma: rng.gen_range(*sigma_lo..=*sigma_hi),
         },
@@ -541,7 +561,10 @@ mod tests {
     fn good_workers_mostly_agree_with_truth() {
         let mut cfg = SimulatorConfig::small_decision();
         cfg.num_tasks = 2000;
-        cfg.worker_model = WorkerModel::OneCoin { alpha: 30.0, beta: 3.0 }; // ~0.9 accuracy
+        cfg.worker_model = WorkerModel::OneCoin {
+            alpha: 30.0,
+            beta: 3.0,
+        }; // ~0.9 accuracy
         let mut sim = CrowdSimulator::new(cfg, 3);
         let d = sim.generate();
         let mut correct = 0usize;
@@ -604,7 +627,11 @@ mod tests {
             num_workers: 20,
             redundancy: 5,
             truth_prior: vec![-100.0, 100.0],
-            worker_model: WorkerModel::Numeric { bias_std: 3.0, sigma_lo: 5.0, sigma_hi: 10.0 },
+            worker_model: WorkerModel::Numeric {
+                bias_std: 3.0,
+                sigma_lo: 5.0,
+                sigma_hi: 10.0,
+            },
             spammer_fraction: 0.0,
             zipf_exponent: 0.5,
             truth_fraction: 1.0,
@@ -642,7 +669,10 @@ mod tests {
     fn hard_tasks_flatten_worker_skill() {
         let mut cfg = SimulatorConfig::small_decision();
         cfg.num_tasks = 4000;
-        cfg.worker_model = WorkerModel::OneCoin { alpha: 50.0, beta: 1.0 }; // ~0.98
+        cfg.worker_model = WorkerModel::OneCoin {
+            alpha: 50.0,
+            beta: 1.0,
+        }; // ~0.98
         cfg.hard_task_fraction = 1.0; // every task hard
         cfg.hard_task_accuracy = 0.3;
         let mut sim = CrowdSimulator::new(cfg, 17);
@@ -667,7 +697,10 @@ mod tests {
         let mut sim = CrowdSimulator::new(cfg, 23);
         let d = sim.generate();
         let frac = d.num_truths() as f64 / 2000.0;
-        assert!((frac - 0.15).abs() < 0.03, "published truth fraction {frac}");
+        assert!(
+            (frac - 0.15).abs() < 0.03,
+            "published truth fraction {frac}"
+        );
         // On the published (hard) tasks, per-answer accuracy is near the
         // hard level even though workers are skilled.
         let mut correct = 0usize;
@@ -681,7 +714,10 @@ mod tests {
             }
         }
         let acc = correct as f64 / total as f64;
-        assert!(acc < 0.45, "gold-task per-answer accuracy {acc} should be near 0.3");
+        assert!(
+            acc < 0.45,
+            "gold-task per-answer accuracy {acc} should be near 0.3"
+        );
     }
 
     #[test]

@@ -51,10 +51,9 @@ pub fn bootstrap_qualification(
         for _ in 0..test_size {
             let (ans, truth) = scorable[rng.gen_range(0..scorable.len())];
             match (ans, truth) {
-                (Answer::Label(a), Answer::Label(t))
-                    if a == &t => {
-                        correct += 1;
-                    }
+                (Answer::Label(a), Answer::Label(t)) if a == &t => {
+                    correct += 1;
+                }
                 (Answer::Numeric(a), Answer::Numeric(t)) => {
                     numeric = true;
                     sq_err += (a - t).powi(2);
@@ -73,7 +72,11 @@ pub fn bootstrap_qualification(
         }
     }
 
-    QualificationResult { accuracy, rmse, test_size }
+    QualificationResult {
+        accuracy,
+        rmse,
+        test_size,
+    }
 }
 
 /// A hidden-test split: the tasks whose truth is revealed to the method,
@@ -95,10 +98,14 @@ impl GoldenSplit {
     /// # Panics
     /// Panics if `fraction` is outside `[0, 1]`.
     pub fn sample(dataset: &Dataset, fraction: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&fraction), "fraction in [0,1], got {fraction}");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction in [0,1], got {fraction}"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
-        let with_truth: Vec<usize> =
-            (0..dataset.num_tasks()).filter(|&t| dataset.truth(t).is_some()).collect();
+        let with_truth: Vec<usize> = (0..dataset.num_tasks())
+            .filter(|&t| dataset.truth(t).is_some())
+            .collect();
         let mut shuffled = with_truth;
         for i in (1..shuffled.len()).rev() {
             let j = rng.gen_range(0..=i);
@@ -112,7 +119,11 @@ impl GoldenSplit {
         for &t in &golden {
             revealed[t] = dataset.truth(t);
         }
-        Self { golden, eval, revealed }
+        Self {
+            golden,
+            eval,
+            revealed,
+        }
     }
 }
 

@@ -127,7 +127,12 @@ fn read_rows(path: &Path, cols: usize) -> Result<Vec<Vec<String>>, DataError> {
             continue;
         }
         let fields: Vec<String> = trimmed.split('\t').map(|f| f.to_string()).collect();
-        if i == 0 && fields.last().map(|f| f.parse::<f64>().is_err()).unwrap_or(false) {
+        if i == 0
+            && fields
+                .last()
+                .map(|f| f.parse::<f64>().is_err())
+                .unwrap_or(false)
+        {
             continue; // header
         }
         if fields.len() != cols {
@@ -172,7 +177,11 @@ mod tests {
         assert_eq!(loaded.num_truths(), d.num_truths());
         // Answer multiset must survive (indices may permute, values not).
         let mut a: Vec<String> = d.records().iter().map(|r| fmt_answer(&r.answer)).collect();
-        let mut b: Vec<String> = loaded.records().iter().map(|r| fmt_answer(&r.answer)).collect();
+        let mut b: Vec<String> = loaded
+            .records()
+            .iter()
+            .map(|r| fmt_answer(&r.answer))
+            .collect();
         a.sort();
         b.sort();
         assert_eq!(a, b);

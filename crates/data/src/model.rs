@@ -122,7 +122,16 @@ impl Dataset {
             by_task[r.task].push(idx as u32);
             by_worker[r.worker].push(idx as u32);
         }
-        Self { name, task_type, num_tasks, num_workers, records, by_task, by_worker, truths }
+        Self {
+            name,
+            task_type,
+            num_tasks,
+            num_workers,
+            records,
+            by_task,
+            by_worker,
+            truths,
+        }
     }
 
     /// Dataset name (e.g. `"D_Product"`).
@@ -171,12 +180,16 @@ impl Dataset {
 
     /// Answers for task `i` (the paper's `{v_i^w : w ∈ W_i}`).
     pub fn answers_for_task(&self, task: usize) -> impl Iterator<Item = &AnswerRecord> + '_ {
-        self.by_task[task].iter().map(move |&idx| &self.records[idx as usize])
+        self.by_task[task]
+            .iter()
+            .map(move |&idx| &self.records[idx as usize])
     }
 
     /// Answers by worker `w` (the paper's `{v_i^w : t_i ∈ T^w}`).
     pub fn answers_by_worker(&self, worker: usize) -> impl Iterator<Item = &AnswerRecord> + '_ {
-        self.by_worker[worker].iter().map(move |&idx| &self.records[idx as usize])
+        self.by_worker[worker]
+            .iter()
+            .map(move |&idx| &self.records[idx as usize])
     }
 
     /// Number of workers that answered task `i` (`|W_i|`).
@@ -216,7 +229,10 @@ impl Dataset {
                 if *l < choices {
                     Ok(())
                 } else {
-                    Err(DataError::LabelOutOfRange { label: *l, num_choices: choices })
+                    Err(DataError::LabelOutOfRange {
+                        label: *l,
+                        num_choices: choices,
+                    })
                 }
             }
             (_, Answer::Numeric(_)) => Err(DataError::AnswerKindMismatch {
@@ -314,8 +330,12 @@ mod tests {
     #[test]
     fn with_records_preserves_universe() {
         let d = tiny();
-        let kept: Vec<AnswerRecord> =
-            d.records().iter().filter(|r| r.worker == 0).copied().collect();
+        let kept: Vec<AnswerRecord> = d
+            .records()
+            .iter()
+            .filter(|r| r.worker == 0)
+            .copied()
+            .collect();
         let sub = d.with_records(kept);
         assert_eq!(sub.num_tasks(), 3);
         assert_eq!(sub.num_workers(), 2);

@@ -62,7 +62,8 @@ mod tests {
         let sub = subsample_redundancy(&d, 3, 2);
         for r in sub.records() {
             assert!(
-                d.answers_for_task(r.task).any(|o| o.worker == r.worker && o.answer == r.answer),
+                d.answers_for_task(r.task)
+                    .any(|o| o.worker == r.worker && o.answer == r.answer),
                 "record {r:?} not in original"
             );
         }

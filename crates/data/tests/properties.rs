@@ -12,35 +12,36 @@ use crowd_data::{
 /// Random but valid simulator configurations.
 fn arb_config() -> impl Strategy<Value = SimulatorConfig> {
     (
-        5usize..40,           // tasks
-        3usize..12,           // workers
-        1usize..3,            // redundancy (bounded below workers)
-        2u8..5,               // choices
-        0.0f64..0.3,          // spammers
-        0.0f64..1.5,          // zipf
-        0.2f64..1.0,          // truth fraction
-        0.0f64..0.5,          // hard fraction
+        5usize..40,  // tasks
+        3usize..12,  // workers
+        1usize..3,   // redundancy (bounded below workers)
+        2u8..5,      // choices
+        0.0f64..0.3, // spammers
+        0.0f64..1.5, // zipf
+        0.2f64..1.0, // truth fraction
+        0.0f64..0.5, // hard fraction
     )
         .prop_map(
-            |(tasks, workers, redundancy, choices, spam, zipf, truth_frac, hard)| {
-                SimulatorConfig {
-                    name: "prop".into(),
-                    task_type: TaskType::SingleChoice { choices },
-                    num_tasks: tasks,
-                    num_workers: workers,
-                    redundancy: redundancy.min(workers),
-                    truth_prior: vec![1.0 / choices as f64; choices as usize],
-                    worker_model: WorkerModel::OneCoin { alpha: 4.0, beta: 2.0 },
-                    spammer_fraction: spam,
-                    zipf_exponent: zipf,
-                    truth_fraction: truth_frac,
-                    numeric_task_offset_std: 0.0,
-                    hard_task_fraction: hard,
-                    hard_task_accuracy: 0.3,
-                    hard_task_mode: HardTaskMode::Flatten,
-                    truth_only_on_hard: false,
-                    heavy_worker_model: None,
-                }
+            |(tasks, workers, redundancy, choices, spam, zipf, truth_frac, hard)| SimulatorConfig {
+                name: "prop".into(),
+                task_type: TaskType::SingleChoice { choices },
+                num_tasks: tasks,
+                num_workers: workers,
+                redundancy: redundancy.min(workers),
+                truth_prior: vec![1.0 / choices as f64; choices as usize],
+                worker_model: WorkerModel::OneCoin {
+                    alpha: 4.0,
+                    beta: 2.0,
+                },
+                spammer_fraction: spam,
+                zipf_exponent: zipf,
+                truth_fraction: truth_frac,
+                numeric_task_offset_std: 0.0,
+                hard_task_fraction: hard,
+                hard_task_accuracy: 0.3,
+                hard_task_mode: HardTaskMode::Flatten,
+                truth_only_on_hard: false,
+                heavy_worker_model: None,
             },
         )
 }

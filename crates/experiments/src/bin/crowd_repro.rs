@@ -28,8 +28,22 @@ use crowd_experiments::report::{num, pct, secs, series, table};
 use crowd_experiments::{full_eval, hidden, qualification, stats_tables, sweep, ExpConfig};
 
 const EXPERIMENTS: [&str; 16] = [
-    "example", "table5", "consistency", "fig2", "fig3", "fig4", "fig5", "fig6", "table6",
-    "table7", "fig7", "fig8", "fig9", "assignment", "advisor", "ablation",
+    "example",
+    "table5",
+    "consistency",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "table6",
+    "table7",
+    "fig7",
+    "fig8",
+    "fig9",
+    "assignment",
+    "advisor",
+    "ablation",
 ];
 
 fn main() {
@@ -90,13 +104,29 @@ fn run_one(name: &str, config: &ExpConfig) {
         "consistency" => run_consistency(config),
         "fig2" => run_fig2(config),
         "fig3" => run_fig3(config),
-        "fig4" => run_sweep(config, &[PaperDataset::DProduct, PaperDataset::DPosSent], "Figure 4"),
-        "fig5" => run_sweep(config, &[PaperDataset::SRel, PaperDataset::SAdult], "Figure 5"),
+        "fig4" => run_sweep(
+            config,
+            &[PaperDataset::DProduct, PaperDataset::DPosSent],
+            "Figure 4",
+        ),
+        "fig5" => run_sweep(
+            config,
+            &[PaperDataset::SRel, PaperDataset::SAdult],
+            "Figure 5",
+        ),
         "fig6" => run_sweep(config, &[PaperDataset::NEmotion], "Figure 6"),
         "table6" => run_table6(config),
         "table7" => run_table7(config),
-        "fig7" => run_hidden(config, &[PaperDataset::DProduct, PaperDataset::DPosSent], "Figure 7"),
-        "fig8" => run_hidden(config, &[PaperDataset::SRel, PaperDataset::SAdult], "Figure 8"),
+        "fig7" => run_hidden(
+            config,
+            &[PaperDataset::DProduct, PaperDataset::DPosSent],
+            "Figure 7",
+        ),
+        "fig8" => run_hidden(
+            config,
+            &[PaperDataset::SRel, PaperDataset::SAdult],
+            "Figure 8",
+        ),
         "fig9" => run_hidden(config, &[PaperDataset::NEmotion], "Figure 9"),
         "example" => run_example(),
         "assignment" => run_assignment(config),
@@ -139,15 +169,28 @@ fn run_example() {
     let mut rows = Vec::new();
     for (i, t) in r.truths.iter().enumerate() {
         let label = if t.label() == Some(0) { "T" } else { "F" };
-        let truth = if d.truth(i).and_then(|a| a.label()) == Some(0) { "T" } else { "F" };
-        rows.push(vec![format!("t{}", i + 1), label.to_string(), truth.to_string()]);
+        let truth = if d.truth(i).and_then(|a| a.label()) == Some(0) {
+            "T"
+        } else {
+            "F"
+        };
+        rows.push(vec![
+            format!("t{}", i + 1),
+            label.to_string(),
+            truth.to_string(),
+        ]);
     }
     println!("{}", table(&["task", "PM inferred", "ground truth"], &rows));
     let quality_rows: Vec<Vec<String>> = r
         .worker_quality
         .iter()
         .enumerate()
-        .map(|(w, q)| vec![format!("w{}", w + 1), format!("{:.2}", q.scalar().unwrap_or(0.0))])
+        .map(|(w, q)| {
+            vec![
+                format!("w{}", w + 1),
+                format!("{:.2}", q.scalar().unwrap_or(0.0)),
+            ]
+        })
         .collect();
     println!("{}", table(&["worker", "PM quality q^w"], &quality_rows));
 }
@@ -167,7 +210,13 @@ fn run_table5(config: &ExpConfig) {
             ]
         })
         .collect();
-    println!("{}", table(&["Dataset", "#tasks", "#truth", "|V|", "|V|/n", "|W|"], &rows));
+    println!(
+        "{}",
+        table(
+            &["Dataset", "#tasks", "#truth", "|V|", "|V|/n", "|W|"],
+            &rows
+        )
+    );
 }
 
 fn run_consistency(config: &ExpConfig) {
@@ -196,7 +245,11 @@ fn run_fig3(config: &ExpConfig) {
         let d = id.generate(config.scale, config.seed);
         let h = stats_tables::fig3_worker_quality(&d, 12);
         let avg = stats_tables::fig3_average_quality(&d);
-        let unit = if d.task_type().is_categorical() { "accuracy" } else { "RMSE" };
+        let unit = if d.task_type().is_categorical() {
+            "accuracy"
+        } else {
+            "RMSE"
+        };
         println!("-- {} (avg worker {unit} {:.2}) --", id.name(), avg);
         println!("{}", h.render(40));
     }
@@ -253,8 +306,8 @@ fn run_table6(config: &ExpConfig) {
         "{}",
         table(
             &[
-                "Method", "DPr Acc", "DPr F1", "DPr t", "DPo Acc", "DPo F1", "DPo t",
-                "SRe Acc", "SRe t", "SAd Acc", "SAd t", "NEm MAE", "NEm RMSE", "NEm t",
+                "Method", "DPr Acc", "DPr F1", "DPr t", "DPo Acc", "DPo F1", "DPo t", "SRe Acc",
+                "SRe t", "SAd Acc", "SAd t", "NEm MAE", "NEm RMSE", "NEm t",
             ],
             &rows
         )
@@ -319,10 +372,18 @@ fn run_hidden(config: &ExpConfig, datasets: &[PaperDataset], figure: &str) {
         let xs: Vec<f64> = res.fractions.iter().map(|&p| 100.0 * p).collect();
         let names: Vec<&str> = res.curves.iter().map(|c| c.method.name()).collect();
         let q: Vec<Vec<f64>> = res.curves.iter().map(|c| c.quality.clone()).collect();
-        let metric = if id.task_type().is_categorical() { "Accuracy" } else { "MAE" };
+        let metric = if id.task_type().is_categorical() {
+            "Accuracy"
+        } else {
+            "MAE"
+        };
         println!("-- {metric} --\n{}", series("p%", &xs, &names, &q));
         let q2: Vec<Vec<f64>> = res.curves.iter().map(|c| c.quality2.clone()).collect();
-        let metric2 = if id.task_type().is_categorical() { "F1" } else { "RMSE" };
+        let metric2 = if id.task_type().is_categorical() {
+            "F1"
+        } else {
+            "RMSE"
+        };
         match id {
             PaperDataset::SRel | PaperDataset::SAdult => {}
             _ => println!("-- {metric2} --\n{}", series("p%", &xs, &names, &q2)),
@@ -340,8 +401,15 @@ fn run_assignment(config: &ExpConfig) {
     let body: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
-            let mut row = vec![r.strategy.to_string(), format!("{:.2}%", 100.0 * r.answer_accuracy)];
-            row.extend(r.method_accuracy.iter().map(|a| format!("{:.2}%", 100.0 * a)));
+            let mut row = vec![
+                r.strategy.to_string(),
+                format!("{:.2}%", 100.0 * r.answer_accuracy),
+            ];
+            row.extend(
+                r.method_accuracy
+                    .iter()
+                    .map(|a| format!("{:.2}%", 100.0 * a)),
+            );
             row
         })
         .collect();
@@ -358,11 +426,19 @@ fn run_advisor(config: &ExpConfig) {
             if !res.curves.iter().any(|c| c.method == method) {
                 continue;
             }
-            let eps = if id.task_type().is_categorical() { 0.01 } else { 0.5 };
+            let eps = if id.task_type().is_categorical() {
+                0.01
+            } else {
+                0.5
+            };
             let r_hat = recommend_redundancy(&res, method, eps)
                 .map(|r| r.to_string())
                 .unwrap_or_else(|| "> max".into());
-            rows.push(vec![id.name().to_string(), method.name().to_string(), r_hat]);
+            rows.push(vec![
+                id.name().to_string(),
+                method.name().to_string(),
+                r_hat,
+            ]);
         }
     }
     println!("{}", table(&["Dataset", "Method", "r-hat"], &rows));

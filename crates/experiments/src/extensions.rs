@@ -35,8 +35,14 @@ pub struct AssignmentRow {
 fn strategies() -> Vec<(&'static str, AssignmentStrategy)> {
     vec![
         ("uniform", AssignmentStrategy::Uniform),
-        ("quality-focused", AssignmentStrategy::QualityFocused { explore: 0.1 }),
-        ("uncertainty-adaptive", AssignmentStrategy::UncertaintyAdaptive { base: 2 }),
+        (
+            "quality-focused",
+            AssignmentStrategy::QualityFocused { explore: 0.1 },
+        ),
+        (
+            "uncertainty-adaptive",
+            AssignmentStrategy::UncertaintyAdaptive { base: 2 },
+        ),
     ]
 }
 
@@ -94,7 +100,11 @@ pub fn assignment_comparison(config: &ExpConfig) -> (Vec<Method>, Vec<Assignment
                     method_accuracy[i] += a / k;
                 }
             }
-            AssignmentRow { strategy: label, answer_accuracy, method_accuracy }
+            AssignmentRow {
+                strategy: label,
+                answer_accuracy,
+                method_accuracy,
+            }
         })
         .collect();
 
@@ -108,11 +118,7 @@ pub fn assignment_comparison(config: &ExpConfig) -> (Vec<Method>, Vec<Assignment
 /// Works on a [`SweepResult`] curve (categorical: accuracy; numeric:
 /// negated MAE so "gain" is improvement in both cases). Returns `None`
 /// when the curve never stabilises within the swept range.
-pub fn recommend_redundancy(
-    result: &SweepResult,
-    method: Method,
-    epsilon: f64,
-) -> Option<usize> {
+pub fn recommend_redundancy(result: &SweepResult, method: Method, epsilon: f64) -> Option<usize> {
     let curve = result.curves.iter().find(|c| c.method == method)?;
     let quality: Vec<f64> = if curve.accuracy.iter().any(|&a| a > 0.0) {
         curve.accuracy.clone()
@@ -122,8 +128,10 @@ pub fn recommend_redundancy(
     // r̂ = first r whose *remaining* gains (to every later point) are all
     // below epsilon — a single flat step must not fool the advisor.
     for (i, &r) in result.redundancies.iter().enumerate() {
-        let future_max =
-            quality[i..].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let future_max = quality[i..]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         if future_max - quality[i] < epsilon {
             return Some(r);
         }
@@ -168,34 +176,74 @@ pub fn ablation_sweeps(config: &ExpConfig) -> Vec<Ablation> {
     // 1. LFC prior strength: 0 recovers D&S, large drowns the data.
     let mut points = Vec::new();
     for diag in [0.01, 1.0, 4.0, 16.0, 64.0] {
-        let (acc, secs) = run(&Lfc { diag_prior: diag, off_prior: diag / 4.0 });
-        points.push(AblationPoint { value: diag, accuracy: acc, seconds: secs });
+        let (acc, secs) = run(&Lfc {
+            diag_prior: diag,
+            off_prior: diag / 4.0,
+        });
+        points.push(AblationPoint {
+            value: diag,
+            accuracy: acc,
+            seconds: secs,
+        });
     }
-    ablations.push(Ablation { name: "LFC diagonal prior", points });
+    ablations.push(Ablation {
+        name: "LFC diagonal prior",
+        points,
+    });
 
     // 2. BCC retained Gibbs samples: quality vs time.
     let mut points = Vec::new();
     for samples in [5usize, 20, 60, 150] {
-        let (acc, secs) = run(&Bcc { samples, ..Bcc::default() });
-        points.push(AblationPoint { value: samples as f64, accuracy: acc, seconds: secs });
+        let (acc, secs) = run(&Bcc {
+            samples,
+            ..Bcc::default()
+        });
+        points.push(AblationPoint {
+            value: samples as f64,
+            accuracy: acc,
+            seconds: secs,
+        });
     }
-    ablations.push(Ablation { name: "BCC Gibbs samples", points });
+    ablations.push(Ablation {
+        name: "BCC Gibbs samples",
+        points,
+    });
 
     // 3. GLAD gradient steps per M-step.
     let mut points = Vec::new();
     for steps in [2usize, 6, 12, 24] {
-        let (acc, secs) = run(&Glad { gradient_steps: steps, ..Glad::default() });
-        points.push(AblationPoint { value: steps as f64, accuracy: acc, seconds: secs });
+        let (acc, secs) = run(&Glad {
+            gradient_steps: steps,
+            ..Glad::default()
+        });
+        points.push(AblationPoint {
+            value: steps as f64,
+            accuracy: acc,
+            seconds: secs,
+        });
     }
-    ablations.push(Ablation { name: "GLAD gradient steps", points });
+    ablations.push(Ablation {
+        name: "GLAD gradient steps",
+        points,
+    });
 
     // 4. Multi latent dimensions (the paper: more model ≠ more quality).
     let mut points = Vec::new();
     for dims in [1usize, 2, 4, 8] {
-        let (acc, secs) = run(&Multi { dims, ..Multi::default() });
-        points.push(AblationPoint { value: dims as f64, accuracy: acc, seconds: secs });
+        let (acc, secs) = run(&Multi {
+            dims,
+            ..Multi::default()
+        });
+        points.push(AblationPoint {
+            value: dims as f64,
+            accuracy: acc,
+            seconds: secs,
+        });
     }
-    ablations.push(Ablation { name: "Multi latent dimensions", points });
+    ablations.push(Ablation {
+        name: "Multi latent dimensions",
+        points,
+    });
 
     ablations
 }
@@ -207,7 +255,12 @@ mod tests {
 
     #[test]
     fn assignment_comparison_shapes() {
-        let cfg = ExpConfig { scale: 0.03, repeats: 2, seed: 5, threads: 4 };
+        let cfg = ExpConfig {
+            scale: 0.03,
+            repeats: 2,
+            seed: 5,
+            threads: 4,
+        };
         let (methods, rows) = assignment_comparison(&cfg);
         assert_eq!(methods.len(), 4);
         assert_eq!(rows.len(), 3);
@@ -218,7 +271,10 @@ mod tests {
         // Quality-focused collection must raise per-answer accuracy over
         // uniform (the whole point of the strategy).
         let uniform = rows.iter().find(|r| r.strategy == "uniform").unwrap();
-        let quality = rows.iter().find(|r| r.strategy == "quality-focused").unwrap();
+        let quality = rows
+            .iter()
+            .find(|r| r.strategy == "quality-focused")
+            .unwrap();
         assert!(
             quality.answer_accuracy > uniform.answer_accuracy,
             "quality-focused {} should beat uniform {}",
@@ -229,7 +285,12 @@ mod tests {
 
     #[test]
     fn redundancy_advisor_finds_saturation() {
-        let cfg = ExpConfig { scale: 0.15, repeats: 2, seed: 5, threads: 4 };
+        let cfg = ExpConfig {
+            scale: 0.15,
+            repeats: 2,
+            seed: 5,
+            threads: 4,
+        };
         let res = redundancy_sweep(
             PaperDataset::DPosSent,
             Some(vec![1, 2, 4, 8, 12, 16, 20]),
@@ -250,7 +311,12 @@ mod tests {
 
     #[test]
     fn advisor_rejects_unknown_method() {
-        let cfg = ExpConfig { scale: 0.1, repeats: 1, seed: 5, threads: 2 };
+        let cfg = ExpConfig {
+            scale: 0.1,
+            repeats: 1,
+            seed: 5,
+            threads: 2,
+        };
         let res = redundancy_sweep(PaperDataset::NEmotion, Some(vec![2, 6, 10]), &cfg);
         assert!(recommend_redundancy(&res, Method::Kos, 0.01).is_none());
         // Numeric curves work through negated MAE.
@@ -260,7 +326,12 @@ mod tests {
 
     #[test]
     fn ablations_produce_curves() {
-        let cfg = ExpConfig { scale: 0.05, repeats: 1, seed: 5, threads: 2 };
+        let cfg = ExpConfig {
+            scale: 0.05,
+            repeats: 1,
+            seed: 5,
+            threads: 2,
+        };
         let abl = ablation_sweeps(&cfg);
         assert_eq!(abl.len(), 4);
         for a in &abl {
@@ -276,6 +347,9 @@ mod tests {
         let bcc = abl.iter().find(|a| a.name == "BCC Gibbs samples").unwrap();
         let first = bcc.points.first().unwrap().accuracy;
         let last = bcc.points.last().unwrap().accuracy;
-        assert!(last >= first - 0.05, "BCC quality collapsed with more samples: {first} → {last}");
+        assert!(
+            last >= first - 0.05,
+            "BCC quality collapsed with more samples: {first} → {last}"
+        );
     }
 }

@@ -29,8 +29,10 @@ pub fn table6(config: &ExpConfig) -> Table6 {
     let methods: Vec<Method> = Method::ALL.to_vec();
 
     // Generate each dataset once.
-    let data: Vec<crowd_data::Dataset> =
-        datasets.iter().map(|d| d.generate(config.scale, config.seed)).collect();
+    let data: Vec<crowd_data::Dataset> = datasets
+        .iter()
+        .map(|d| d.generate(config.scale, config.seed))
+        .collect();
 
     // One job per (method, dataset): runs `repeats` times internally so a
     // single slow method does not serialise the whole table.
@@ -67,10 +69,20 @@ pub fn table6(config: &ExpConfig) -> Table6 {
                             acc.iterations += o.iterations;
                             acc.converged &= o.converged;
                         }
-                        None => return Slot { m_idx, d_idx, cell: None },
+                        None => {
+                            return Slot {
+                                m_idx,
+                                d_idx,
+                                cell: None,
+                            }
+                        }
                     }
                 }
-                Slot { m_idx, d_idx, cell: agg }
+                Slot {
+                    m_idx,
+                    d_idx,
+                    cell: agg,
+                }
             }));
         }
     }
@@ -80,14 +92,26 @@ pub fn table6(config: &ExpConfig) -> Table6 {
     for s in slots {
         cells[s.m_idx][s.d_idx] = s.cell;
     }
-    Table6 { datasets, methods, cells }
+    Table6 {
+        datasets,
+        methods,
+        cells,
+    }
 }
 
 impl Table6 {
     /// Look up a cell by method and dataset.
     pub fn cell(&self, method: Method, dataset: PaperDataset) -> &Cell {
-        let m = self.methods.iter().position(|&x| x == method).expect("method in table");
-        let d = self.datasets.iter().position(|&x| x == dataset).expect("dataset in table");
+        let m = self
+            .methods
+            .iter()
+            .position(|&x| x == method)
+            .expect("method in table");
+        let d = self
+            .datasets
+            .iter()
+            .position(|&x| x == dataset)
+            .expect("dataset in table");
         &self.cells[m][d]
     }
 }
@@ -98,7 +122,12 @@ mod tests {
 
     #[test]
     fn table_shape_and_applicability() {
-        let cfg = ExpConfig { scale: 0.02, repeats: 1, seed: 3, threads: 8 };
+        let cfg = ExpConfig {
+            scale: 0.02,
+            repeats: 1,
+            seed: 3,
+            threads: 8,
+        };
         let t = table6(&cfg);
         assert_eq!(t.methods.len(), 17);
         assert_eq!(t.datasets.len(), 5);
@@ -114,13 +143,22 @@ mod tests {
 
         // Every decision-making method fills both D_ columns.
         for m in Method::for_task_type(crowd_data::TaskType::DecisionMaking) {
-            assert!(t.cell(m, PaperDataset::DProduct).is_some(), "{} missing", m.name());
+            assert!(
+                t.cell(m, PaperDataset::DProduct).is_some(),
+                "{} missing",
+                m.name()
+            );
         }
     }
 
     #[test]
     fn quality_cells_are_probabilities() {
-        let cfg = ExpConfig { scale: 0.02, repeats: 1, seed: 3, threads: 8 };
+        let cfg = ExpConfig {
+            scale: 0.02,
+            repeats: 1,
+            seed: 3,
+            threads: 8,
+        };
         let t = table6(&cfg);
         for (m_idx, row) in t.cells.iter().enumerate() {
             for (d_idx, cell) in row.iter().enumerate() {

@@ -34,7 +34,11 @@ pub struct HiddenResult {
 
 /// The 9 methods that can incorporate golden tasks (§6.3.3).
 pub fn golden_methods() -> Vec<Method> {
-    Method::ALL.iter().copied().filter(|m| m.build().supports_golden()).collect()
+    Method::ALL
+        .iter()
+        .copied()
+        .filter(|m| m.build().supports_golden())
+        .collect()
 }
 
 /// Run the hidden-test sweep on one dataset. `fractions` defaults to the
@@ -45,10 +49,11 @@ pub fn hidden_sweep(
     config: &ExpConfig,
 ) -> HiddenResult {
     let dataset = dataset_id.generate(config.scale, config.seed);
-    let fractions =
-        fractions.unwrap_or_else(|| vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5]);
-    let methods: Vec<Method> =
-        golden_methods().into_iter().filter(|m| m.supports(dataset.task_type())).collect();
+    let fractions = fractions.unwrap_or_else(|| vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5]);
+    let methods: Vec<Method> = golden_methods()
+        .into_iter()
+        .filter(|m| m.supports(dataset.task_type()))
+        .collect();
 
     struct Slot {
         f_idx: usize,
@@ -63,7 +68,11 @@ pub fn hidden_sweep(
             jobs.push(Box::new(move || {
                 let split = GoldenSplit::sample(dataset, p, seed);
                 let opts = InferenceOptions {
-                    golden: if p > 0.0 { Some(split.revealed.clone()) } else { None },
+                    golden: if p > 0.0 {
+                        Some(split.revealed.clone())
+                    } else {
+                        None
+                    },
                     ..InferenceOptions::seeded(seed)
                 };
                 let outcomes = methods
@@ -101,11 +110,19 @@ pub fn hidden_sweep(
                     .map(|(&x, &c)| if c > 0 { x / c as f64 } else { 0.0 })
                     .collect::<Vec<f64>>()
             };
-            HiddenCurve { method, quality: norm(&q1[m_idx]), quality2: norm(&q2[m_idx]) }
+            HiddenCurve {
+                method,
+                quality: norm(&q1[m_idx]),
+                quality2: norm(&q2[m_idx]),
+            }
         })
         .collect();
 
-    HiddenResult { dataset: dataset_id, fractions, curves }
+    HiddenResult {
+        dataset: dataset_id,
+        fractions,
+        curves,
+    }
 }
 
 #[cfg(test)]
@@ -135,7 +152,12 @@ mod tests {
 
     #[test]
     fn sweep_shape_on_decision_data() {
-        let cfg = ExpConfig { scale: 0.03, repeats: 2, seed: 13, threads: 4 };
+        let cfg = ExpConfig {
+            scale: 0.03,
+            repeats: 2,
+            seed: 13,
+            threads: 4,
+        };
         let res = hidden_sweep(PaperDataset::DProduct, Some(vec![0.0, 0.3]), &cfg);
         // 8 golden-capable methods apply to decision-making (all but
         // LFC_N).
@@ -148,7 +170,12 @@ mod tests {
 
     #[test]
     fn golden_tasks_never_hurt_much_and_generally_help() {
-        let cfg = ExpConfig { scale: 0.08, repeats: 3, seed: 13, threads: 4 };
+        let cfg = ExpConfig {
+            scale: 0.08,
+            repeats: 3,
+            seed: 13,
+            threads: 4,
+        };
         let res = hidden_sweep(PaperDataset::SRel, Some(vec![0.0, 0.5]), &cfg);
         // On average across methods, quality at p=50% should be at least
         // quality at p=0 minus noise (the paper: "generally the quality
@@ -157,12 +184,20 @@ mod tests {
             res.curves.iter().map(|c| c.quality[0]).sum::<f64>() / res.curves.len() as f64;
         let avg5: f64 =
             res.curves.iter().map(|c| c.quality[1]).sum::<f64>() / res.curves.len() as f64;
-        assert!(avg5 > avg0 - 0.02, "golden tasks hurt: p0 {avg0} vs p50 {avg5}");
+        assert!(
+            avg5 > avg0 - 0.02,
+            "golden tasks hurt: p0 {avg0} vs p50 {avg5}"
+        );
     }
 
     #[test]
     fn numeric_sweep_uses_errors() {
-        let cfg = ExpConfig { scale: 0.2, repeats: 2, seed: 13, threads: 4 };
+        let cfg = ExpConfig {
+            scale: 0.2,
+            repeats: 2,
+            seed: 13,
+            threads: 4,
+        };
         let res = hidden_sweep(PaperDataset::NEmotion, Some(vec![0.0, 0.4]), &cfg);
         // CATD, PM, LFC_N (Figure 9's three methods).
         assert_eq!(res.curves.len(), 3);

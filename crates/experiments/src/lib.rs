@@ -47,64 +47,43 @@ pub struct ExpConfig {
 impl ExpConfig {
     /// Fast smoke configuration (~seconds): 5% scale, 2 repeats.
     pub fn quick() -> Self {
-        Self { scale: 0.05, repeats: 2, seed: 7, threads: default_threads() }
+        Self {
+            scale: 0.05,
+            repeats: 2,
+            seed: 7,
+            threads: default_threads(),
+        }
     }
 
     /// Default configuration (~minutes): 20% scale, 5 repeats.
     pub fn standard() -> Self {
-        Self { scale: 0.2, repeats: 5, seed: 7, threads: default_threads() }
+        Self {
+            scale: 0.2,
+            repeats: 5,
+            seed: 7,
+            threads: default_threads(),
+        }
     }
 
     /// Paper-faithful configuration: full scale, 30 repeats.
     pub fn full() -> Self {
-        Self { scale: 1.0, repeats: 30, seed: 7, threads: default_threads() }
+        Self {
+            scale: 1.0,
+            repeats: 30,
+            seed: 7,
+            threads: default_threads(),
+        }
     }
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    crowd_core::exec::default_threads()
 }
 
-/// Run `jobs` closures across `threads` workers with crossbeam scoped
-/// threads, preserving output order.
-pub(crate) fn parallel_map<T, F>(threads: usize, jobs: Vec<F>) -> Vec<T>
-where
-    T: Send,
-    F: FnOnce() -> T + Send,
-{
-    let n = jobs.len();
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = threads.max(1).min(n);
-    // Work-stealing by atomic counter over boxed jobs.
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
-    let queue: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let job = queue[i].lock().expect("job mutex").take().expect("job taken once");
-                let out = job();
-                *results[i].lock().expect("result mutex") = Some(out);
-            });
-        }
-    })
-    .expect("scoped threads must not panic");
-
-    for (slot, result) in slots.iter_mut().zip(results) {
-        *slot = result.into_inner().expect("result mutex");
-    }
-    slots.into_iter().map(|s| s.expect("every job ran")).collect()
-}
+/// Repeat/sweep-level fan-out, delegated to the workspace-wide execution
+/// backend in [`crowd_core::exec`] so the method hot loops, the harness,
+/// and the bench crate all share one parallel substrate.
+pub(crate) use crowd_core::exec::parallel_map;
 
 #[cfg(test)]
 mod tests {

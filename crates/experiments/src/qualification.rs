@@ -38,7 +38,11 @@ impl QualRow {
 
 /// The 8 methods that support qualification-test initialisation.
 pub fn qualification_methods() -> Vec<Method> {
-    Method::ALL.iter().copied().filter(|m| m.build().supports_qualification()).collect()
+    Method::ALL
+        .iter()
+        .copied()
+        .filter(|m| m.build().supports_qualification())
+        .collect()
 }
 
 /// Run the Table 7 experiment on one dataset.
@@ -62,8 +66,7 @@ pub fn table7(dataset_id: PaperDataset, config: &ExpConfig) -> Vec<QualRow> {
                 let mut q2 = 0.0;
                 for rep in 0..repeats {
                     let seed = base_seed + 31 * rep as u64;
-                    let qual =
-                        bootstrap_qualification(dataset, QUALIFICATION_TEST_SIZE, seed);
+                    let qual = bootstrap_qualification(dataset, QUALIFICATION_TEST_SIZE, seed);
                     let opts = InferenceOptions {
                         quality_init: QualityInit::Qualification(qual.accuracy),
                         ..InferenceOptions::seeded(seed)
@@ -76,8 +79,16 @@ pub fn table7(dataset_id: PaperDataset, config: &ExpConfig) -> Vec<QualRow> {
                 let categorical = dataset.task_type().is_categorical();
                 Some(QualRow {
                     method,
-                    baseline: if categorical { baseline.accuracy } else { baseline.mae },
-                    baseline2: if categorical { baseline.f1 } else { baseline.rmse },
+                    baseline: if categorical {
+                        baseline.accuracy
+                    } else {
+                        baseline.mae
+                    },
+                    baseline2: if categorical {
+                        baseline.f1
+                    } else {
+                        baseline.rmse
+                    },
                     with_qual: q1 / repeats as f64,
                     with_qual2: q2 / repeats as f64,
                 })
@@ -97,17 +108,28 @@ mod tests {
         let ms = qualification_methods();
         assert_eq!(ms.len(), 8);
         // The paper's list: ZC, GLAD, D&S, LFC, CATD, PM, VI-MF, LFC_N.
-        for expected in
-            [Method::Zc, Method::Glad, Method::Ds, Method::Lfc, Method::Catd, Method::Pm,
-             Method::ViMf, Method::LfcN]
-        {
+        for expected in [
+            Method::Zc,
+            Method::Glad,
+            Method::Ds,
+            Method::Lfc,
+            Method::Catd,
+            Method::Pm,
+            Method::ViMf,
+            Method::LfcN,
+        ] {
             assert!(ms.contains(&expected), "{} missing", expected.name());
         }
     }
 
     #[test]
     fn table7_rows_for_decision_dataset() {
-        let cfg = ExpConfig { scale: 0.03, repeats: 2, seed: 11, threads: 4 };
+        let cfg = ExpConfig {
+            scale: 0.03,
+            repeats: 2,
+            seed: 11,
+            threads: 4,
+        };
         let rows = table7(PaperDataset::DProduct, &cfg);
         // 7 of the 8 apply to decision-making (LFC_N is numeric-only).
         assert_eq!(rows.len(), 7);
@@ -116,13 +138,23 @@ mod tests {
             assert!((0.0..=1.0).contains(&r.with_qual));
             // Benefits are small either way (the paper's Δ is within a
             // few points).
-            assert!(r.delta().abs() < 0.25, "{}: Δ {}", r.method.name(), r.delta());
+            assert!(
+                r.delta().abs() < 0.25,
+                "{}: Δ {}",
+                r.method.name(),
+                r.delta()
+            );
         }
     }
 
     #[test]
     fn table7_numeric_dataset_uses_errors() {
-        let cfg = ExpConfig { scale: 0.2, repeats: 2, seed: 11, threads: 4 };
+        let cfg = ExpConfig {
+            scale: 0.2,
+            repeats: 2,
+            seed: 11,
+            threads: 4,
+        };
         let rows = table7(PaperDataset::NEmotion, &cfg);
         // CATD, PM, LFC_N apply.
         assert_eq!(rows.len(), 3);

@@ -105,7 +105,10 @@ mod tests {
         // borders + header + 2 rows = 6 lines
         assert_eq!(lines.len(), 6);
         let width = lines[0].len();
-        assert!(lines.iter().all(|l| l.len() == width), "ragged table:\n{out}");
+        assert!(
+            lines.iter().all(|l| l.len() == width),
+            "ragged table:\n{out}"
+        );
         assert!(out.contains("| Minimax | 84.09%"));
     }
 

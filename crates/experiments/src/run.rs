@@ -52,22 +52,40 @@ pub fn evaluate(
     if !instance.supports(dataset.task_type()) {
         return None;
     }
+    // The harness already fans out at the repeat/cell level, so cap each
+    // method's internal E/M fan-out at one thread unless the caller asked
+    // for more — otherwise a full-scale sweep composes two fan-outs and
+    // oversubscribes the machine. Thread count never changes results.
+    let mut options = options.clone();
+    options.threads.get_or_insert(1);
     let start = Instant::now();
     let result = instance
-        .infer(dataset, options)
+        .infer(dataset, &options)
         .unwrap_or_else(|e| panic!("{} failed on {}: {e}", method.name(), dataset.name()));
     let seconds = start.elapsed().as_secs_f64();
 
     let categorical = dataset.task_type().is_categorical();
     Some(EvalOutcome {
-        accuracy: if categorical { accuracy_on(dataset, &result.truths, eval_tasks) } else { 0.0 },
+        accuracy: if categorical {
+            accuracy_on(dataset, &result.truths, eval_tasks)
+        } else {
+            0.0
+        },
         f1: if dataset.task_type() == TaskType::DecisionMaking {
             f1_score_on(dataset, &result.truths, eval_tasks)
         } else {
             0.0
         },
-        mae: if categorical { 0.0 } else { mae_on(dataset, &result.truths, eval_tasks) },
-        rmse: if categorical { 0.0 } else { rmse_on(dataset, &result.truths, eval_tasks) },
+        mae: if categorical {
+            0.0
+        } else {
+            mae_on(dataset, &result.truths, eval_tasks)
+        },
+        rmse: if categorical {
+            0.0
+        } else {
+            rmse_on(dataset, &result.truths, eval_tasks)
+        },
         seconds,
         iterations: result.iterations,
         converged: result.converged,

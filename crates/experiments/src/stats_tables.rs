@@ -91,7 +91,11 @@ pub fn fig3_worker_quality(dataset: &Dataset, bins: usize) -> Histogram {
 /// per-worker accuracy (categorical) or RMSE (numeric).
 pub fn fig3_average_quality(dataset: &Dataset) -> f64 {
     if dataset.task_type().is_categorical() {
-        let accs: Vec<f64> = worker_accuracies(dataset).iter().flatten().copied().collect();
+        let accs: Vec<f64> = worker_accuracies(dataset)
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
         accs.iter().sum::<f64>() / accs.len().max(1) as f64
     } else {
         let rmses: Vec<f64> = worker_rmses(dataset).iter().flatten().copied().collect();
@@ -105,7 +109,12 @@ mod tests {
 
     #[test]
     fn table5_full_scale_matches_paper_counts() {
-        let cfg = ExpConfig { scale: 1.0, repeats: 1, seed: 7, threads: 1 };
+        let cfg = ExpConfig {
+            scale: 1.0,
+            repeats: 1,
+            seed: 7,
+            threads: 1,
+        };
         let rows = table5(&cfg);
         let by_name = |n: &str| rows.iter().find(|r| r.dataset.name() == n).unwrap();
         let p = by_name("D_Product");
@@ -125,7 +134,12 @@ mod tests {
 
     #[test]
     fn consistency_report_covers_all_datasets() {
-        let cfg = ExpConfig { scale: 0.05, repeats: 1, seed: 7, threads: 1 };
+        let cfg = ExpConfig {
+            scale: 0.05,
+            repeats: 1,
+            seed: 7,
+            threads: 1,
+        };
         let rows = consistency_report(&cfg);
         assert_eq!(rows.len(), 5);
         for (id, c) in &rows {
@@ -145,7 +159,10 @@ mod tests {
         // Long tail: the first bin (few tasks) holds the most workers.
         let first = h.count(0);
         let peak = h.counts().iter().copied().max().unwrap();
-        assert_eq!(first, peak, "redundancy histogram should peak at the light end");
+        assert_eq!(
+            first, peak,
+            "redundancy histogram should peak at the light end"
+        );
     }
 
     #[test]
@@ -154,13 +171,19 @@ mod tests {
         let h = fig3_worker_quality(&d, 10);
         assert!(h.total() > 0);
         let avg = fig3_average_quality(&d);
-        assert!((avg - 0.79).abs() < 0.08, "avg accuracy {avg} vs paper 0.79");
+        assert!(
+            (avg - 0.79).abs() < 0.08,
+            "avg accuracy {avg} vs paper 0.79"
+        );
     }
 
     #[test]
     fn fig3_numeric_average_near_paper() {
         let d = PaperDataset::NEmotion.generate(1.0, 7);
         let avg = fig3_average_quality(&d);
-        assert!((avg - 28.9).abs() < 6.0, "avg worker RMSE {avg} vs paper 28.9");
+        assert!(
+            (avg - 28.9).abs() < 6.0,
+            "avg worker RMSE {avg} vs paper 28.9"
+        );
     }
 }

@@ -49,8 +49,7 @@ pub fn redundancy_sweep(
 ) -> SweepResult {
     let dataset = dataset_id.generate(config.scale, config.seed);
     let max_r = dataset.redundancy().round() as usize;
-    let redundancies =
-        redundancies.unwrap_or_else(|| default_redundancies(dataset_id, max_r));
+    let redundancies = redundancies.unwrap_or_else(|| default_redundancies(dataset_id, max_r));
     let methods = Method::for_task_type(dataset.task_type());
 
     // Jobs: one per (repeat, redundancy); each runs all methods on the
@@ -69,8 +68,10 @@ pub fn redundancy_sweep(
             jobs.push(Box::new(move || {
                 let sub = subsample_redundancy(dataset, r, seed);
                 let opts = InferenceOptions::seeded(seed);
-                let outcomes =
-                    methods.iter().map(|&m| evaluate(m, &sub, &opts, None)).collect();
+                let outcomes = methods
+                    .iter()
+                    .map(|&m| evaluate(m, &sub, &opts, None))
+                    .collect();
                 Cell { r_idx, outcomes }
             }));
         }
@@ -116,7 +117,11 @@ pub fn redundancy_sweep(
         })
         .collect();
 
-    SweepResult { dataset: dataset_id, redundancies, curves }
+    SweepResult {
+        dataset: dataset_id,
+        redundancies,
+        curves,
+    }
 }
 
 /// The paper's per-dataset x-axes, clipped to the available redundancy.
@@ -136,13 +141,17 @@ mod tests {
     use super::*;
 
     fn tiny_config() -> ExpConfig {
-        ExpConfig { scale: 0.03, repeats: 2, seed: 5, threads: 4 }
+        ExpConfig {
+            scale: 0.03,
+            repeats: 2,
+            seed: 5,
+            threads: 4,
+        }
     }
 
     #[test]
     fn decision_sweep_shape() {
-        let res =
-            redundancy_sweep(PaperDataset::DProduct, Some(vec![1, 3]), &tiny_config());
+        let res = redundancy_sweep(PaperDataset::DProduct, Some(vec![1, 3]), &tiny_config());
         assert_eq!(res.redundancies, vec![1, 3]);
         assert_eq!(res.curves.len(), 14, "Figure 4 compares 14 methods");
         for c in &res.curves {
@@ -153,7 +162,12 @@ mod tests {
 
     #[test]
     fn quality_increases_with_redundancy_for_mv() {
-        let cfg = ExpConfig { scale: 0.1, repeats: 3, seed: 5, threads: 4 };
+        let cfg = ExpConfig {
+            scale: 0.1,
+            repeats: 3,
+            seed: 5,
+            threads: 4,
+        };
         let res = redundancy_sweep(PaperDataset::DPosSent, Some(vec![1, 9]), &cfg);
         let mv = res.curves.iter().find(|c| c.method == Method::Mv).unwrap();
         assert!(
@@ -165,7 +179,12 @@ mod tests {
 
     #[test]
     fn numeric_sweep_reports_errors() {
-        let cfg = ExpConfig { scale: 0.2, repeats: 2, seed: 5, threads: 4 };
+        let cfg = ExpConfig {
+            scale: 0.2,
+            repeats: 2,
+            seed: 5,
+            threads: 4,
+        };
         let res = redundancy_sweep(PaperDataset::NEmotion, Some(vec![2, 8]), &cfg);
         assert_eq!(res.curves.len(), 5, "Figure 6 compares 5 methods");
         for c in &res.curves {
@@ -173,16 +192,30 @@ mod tests {
             assert!(c.rmse.iter().zip(&c.mae).all(|(r, m)| r >= m));
         }
         // Errors should shrink with more answers for Mean.
-        let mean = res.curves.iter().find(|c| c.method == Method::Mean).unwrap();
-        assert!(mean.mae[1] < mean.mae[0], "Mean MAE should fall with r: {:?}", mean.mae);
+        let mean = res
+            .curves
+            .iter()
+            .find(|c| c.method == Method::Mean)
+            .unwrap();
+        assert!(
+            mean.mae[1] < mean.mae[0],
+            "Mean MAE should fall with r: {:?}",
+            mean.mae
+        );
     }
 
     #[test]
     fn default_axes_match_paper() {
-        assert_eq!(default_redundancies(PaperDataset::DProduct, 3), vec![1, 2, 3]);
+        assert_eq!(
+            default_redundancies(PaperDataset::DProduct, 3),
+            vec![1, 2, 3]
+        );
         assert_eq!(default_redundancies(PaperDataset::DPosSent, 20).len(), 20);
         assert_eq!(default_redundancies(PaperDataset::NEmotion, 10).len(), 10);
         // Clipped when the log has fewer answers.
-        assert_eq!(default_redundancies(PaperDataset::SAdult, 4), vec![1, 2, 3, 4]);
+        assert_eq!(
+            default_redundancies(PaperDataset::SAdult, 4),
+            vec![1, 2, 3, 4]
+        );
     }
 }

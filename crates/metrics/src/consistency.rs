@@ -61,8 +61,7 @@ pub fn consistency_numeric(dataset: &Dataset) -> Option<f64> {
             continue;
         }
         let med = median(&values);
-        let ms: f64 =
-            values.iter().map(|v| (v - med).powi(2)).sum::<f64>() / values.len() as f64;
+        let ms: f64 = values.iter().map(|v| (v - med).powi(2)).sum::<f64>() / values.len() as f64;
         total += ms.sqrt();
     }
     Some(total / dataset.num_tasks().max(1) as f64)

@@ -5,7 +5,9 @@ use crowd_data::{Answer, Dataset};
 /// Number of tasks each worker answered — the "worker redundancy" whose
 /// long-tail histogram is Figure 2.
 pub fn worker_redundancies(dataset: &Dataset) -> Vec<usize> {
-    (0..dataset.num_workers()).map(|w| dataset.worker_degree(w)).collect()
+    (0..dataset.num_workers())
+        .map(|w| dataset.worker_degree(w))
+        .collect()
 }
 
 /// Per-worker accuracy against ground truth (Figures 3a–3d):

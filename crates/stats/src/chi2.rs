@@ -37,7 +37,10 @@ fn chi2_ln_pdf(k: f64, x: f64) -> f64 {
 /// fallback guards the rare cases where Newton escapes `(0, ∞)`.
 pub fn chi2_inv_cdf(k: f64, p: f64) -> f64 {
     assert!(k > 0.0, "chi2_inv_cdf requires k > 0, got {k}");
-    assert!((0.0..1.0).contains(&p) && p > 0.0, "chi2_inv_cdf requires p in (0,1), got {p}");
+    assert!(
+        (0.0..1.0).contains(&p) && p > 0.0,
+        "chi2_inv_cdf requires p in (0,1), got {p}"
+    );
 
     // Wilson–Hilferty: X ≈ k (1 − 2/(9k) + z sqrt(2/(9k)))^3.
     let z = std_normal_inv_cdf(p);
@@ -64,7 +67,11 @@ pub fn chi2_inv_cdf(k: f64, p: f64) -> f64 {
         // Keep the iterate inside the bracket; halve toward the midpoint
         // when Newton overshoots.
         if !(next > lo && (hi.is_infinite() || next < hi)) || !next.is_finite() {
-            next = if hi.is_finite() { 0.5 * (lo + hi) } else { lo * 2.0 + 1.0 };
+            next = if hi.is_finite() {
+                0.5 * (lo + hi)
+            } else {
+                lo * 2.0 + 1.0
+            };
         }
         if (next - x).abs() <= 1e-14 * x.abs() {
             x = next;
@@ -90,7 +97,10 @@ pub fn chi2_quantile_975(k: usize) -> f64 {
 /// Inverse CDF of the standard normal distribution (Acklam's rational
 /// approximation, |relative error| < 1.15e-9), used to seed Wilson–Hilferty.
 pub fn std_normal_inv_cdf(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "std_normal_inv_cdf domain (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "std_normal_inv_cdf domain (0,1), got {p}"
+    );
     const A: [f64; 6] = [
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
@@ -122,7 +132,6 @@ pub fn std_normal_inv_cdf(p: f64) -> f64 {
     ];
     const P_LOW: f64 = 0.024_25;
 
-    
     if p < P_LOW {
         let q = (-2.0 * p.ln()).sqrt();
         (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])

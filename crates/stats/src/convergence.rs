@@ -50,21 +50,31 @@ impl ConvergenceTracker {
     /// against) unless `max_iterations == 1`.
     pub fn step(&mut self, params: &[f64]) -> bool {
         self.iterations += 1;
-        if let Some(prev) = &self.previous {
-            let n = params.len().max(1) as f64;
-            // Parameter vectors can legitimately change length between
-            // iterations (e.g. a method growing its state); compare the
-            // overlapping prefix and count the rest as full change.
-            let overlap = prev.len().min(params.len());
-            let mut delta: f64 =
-                prev[..overlap].iter().zip(&params[..overlap]).map(|(a, b)| (a - b).abs()).sum();
-            delta += (prev.len().max(params.len()) - overlap) as f64;
-            self.last_delta = delta / n;
-            if self.last_delta < self.threshold {
-                self.converged = true;
+        match &mut self.previous {
+            Some(prev) => {
+                let n = params.len().max(1) as f64;
+                // Parameter vectors can legitimately change length between
+                // iterations (e.g. a method growing its state); compare the
+                // overlapping prefix and count the rest as full change.
+                let overlap = prev.len().min(params.len());
+                let mut delta: f64 = prev[..overlap]
+                    .iter()
+                    .zip(&params[..overlap])
+                    .map(|(a, b)| (a - b).abs())
+                    .sum();
+                delta += (prev.len().max(params.len()) - overlap) as f64;
+                self.last_delta = delta / n;
+                if self.last_delta < self.threshold {
+                    self.converged = true;
+                }
+                // Reuse the retained buffer: zero heap traffic per step
+                // once the parameter length is stable (the hot-loop
+                // methods call this every outer iteration).
+                prev.clear();
+                prev.extend_from_slice(params);
             }
+            None => self.previous = Some(params.to_vec()),
         }
-        self.previous = Some(params.to_vec());
         self.converged || self.iterations >= self.max_iterations
     }
 

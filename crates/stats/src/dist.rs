@@ -33,7 +33,10 @@ pub fn sample_gaussian<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) ->
 /// # Panics
 /// Panics if `shape` or `scale` is not strictly positive.
 pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, scale: f64) -> f64 {
-    assert!(shape > 0.0 && scale > 0.0, "sample_gamma requires shape, scale > 0");
+    assert!(
+        shape > 0.0 && scale > 0.0,
+        "sample_gamma requires shape, scale > 0"
+    );
     if shape < 1.0 {
         let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
         return sample_gamma(rng, shape + 1.0, scale) * u.powf(1.0 / shape);
@@ -65,7 +68,10 @@ pub fn sample_beta<R: Rng + ?Sized>(rng: &mut R, a: f64, b: f64) -> f64 {
 /// # Panics
 /// Panics if `alpha` is empty or contains non-positive entries.
 pub fn sample_dirichlet<R: Rng + ?Sized>(rng: &mut R, alpha: &[f64]) -> Vec<f64> {
-    assert!(!alpha.is_empty(), "sample_dirichlet requires a non-empty alpha");
+    assert!(
+        !alpha.is_empty(),
+        "sample_dirichlet requires a non-empty alpha"
+    );
     let mut draws: Vec<f64> = alpha.iter().map(|&a| sample_gamma(rng, a, 1.0)).collect();
     let total: f64 = draws.iter().sum();
     if total > 0.0 {
@@ -88,7 +94,10 @@ pub fn sample_dirichlet<R: Rng + ?Sized>(rng: &mut R, alpha: &[f64]) -> Vec<f64>
 /// # Panics
 /// Panics if `weights` is empty or contains a negative or NaN entry.
 pub fn sample_categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
-    assert!(!weights.is_empty(), "sample_categorical requires non-empty weights");
+    assert!(
+        !weights.is_empty(),
+        "sample_categorical requires non-empty weights"
+    );
     let mut total = 0.0;
     for &w in weights {
         assert!(w >= 0.0 && !w.is_nan(), "negative or NaN weight: {w}");
@@ -110,17 +119,25 @@ pub fn sample_categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usiz
 /// Numerically stable `log(Σ exp(x_i))`.
 ///
 /// Returns negative infinity on an empty slice (the sum of zero terms).
+#[inline]
 pub fn log_sum_exp(xs: &[f64]) -> f64 {
     let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     if !max.is_finite() {
         return max; // empty, or all -inf
     }
-    let sum: f64 = xs.iter().map(|&x| (x - max).exp()).sum();
+    // The max element contributes exp(0), which is exactly 1.0 in IEEE
+    // arithmetic — skipping that libm call changes no bit of the sum and
+    // removes one transcendental per call from the inference hot loops.
+    let sum: f64 = xs
+        .iter()
+        .map(|&x| if x == max { 1.0 } else { (x - max).exp() })
+        .sum();
     max + sum.ln()
 }
 
 /// Convert a log-probability vector into a normalized probability vector
 /// in place, stably.
+#[inline]
 pub fn log_normalize(xs: &mut [f64]) {
     let lse = log_sum_exp(xs);
     if !lse.is_finite() {
@@ -136,6 +153,7 @@ pub fn log_normalize(xs: &mut [f64]) {
 
 /// Normalize a non-negative weight vector in place to sum to one; spreads
 /// mass uniformly when the total is zero.
+#[inline]
 pub fn normalize(xs: &mut [f64]) {
     let total: f64 = xs.iter().sum();
     if total > 0.0 && total.is_finite() {
@@ -211,7 +229,10 @@ mod tests {
         for (i, a) in acc.iter().enumerate() {
             let emp = a / n as f64;
             let expected = alpha[i] / alpha_sum;
-            assert!((emp - expected).abs() < 0.01, "component {i}: {emp} vs {expected}");
+            assert!(
+                (emp - expected).abs() < 0.01,
+                "component {i}: {emp} vs {expected}"
+            );
         }
     }
 

@@ -6,8 +6,9 @@
 //! by CATD's `X^2(0.975, |T^w|)` confidence coefficient), random samplers
 //! (Gaussian, Gamma, Beta, Dirichlet, categorical) built on top of [`rand`],
 //! fixed-bin histograms (Figures 2–3 of the paper), descriptive summaries
-//! (weighted mean/median, quantiles), and a convergence tracker shared by
-//! every iterative method (Algorithm 1 of the paper).
+//! (weighted mean/median, quantiles), a row-major dense matrix ([`DMat`])
+//! backing the flat-memory inference substrate, and a convergence tracker
+//! shared by every iterative method (Algorithm 1 of the paper).
 //!
 //! Nothing here is crowd-specific; this is the substrate the paper's Python
 //! implementations obtained from NumPy/SciPy, reimplemented in Rust.
@@ -17,6 +18,7 @@
 pub mod chi2;
 pub mod convergence;
 pub mod dist;
+pub mod dmat;
 pub mod histogram;
 pub mod special;
 pub mod summary;
@@ -27,6 +29,7 @@ pub use dist::{
     log_normalize, log_sum_exp, normalize, sample_beta, sample_categorical, sample_dirichlet,
     sample_gamma, sample_gaussian,
 };
+pub use dmat::DMat;
 pub use histogram::Histogram;
 pub use special::{
     digamma, erf, erfc, inc_beta, inc_gamma_p, inc_gamma_q, ln_beta, ln_gamma, trigamma,

@@ -61,10 +61,12 @@ pub fn digamma(x: f64) -> f64 {
     let inv = 1.0 / x;
     let inv2 = inv * inv;
     // Asymptotic series: ln x − 1/(2x) − Σ B_{2n} / (2n x^{2n})
-    result += x.ln() - 0.5 * inv
+    result += x.ln()
+        - 0.5 * inv
         - inv2
             * (1.0 / 12.0
-                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0 - inv2 / 132.0))));
+                - inv2
+                    * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0 - inv2 / 132.0))));
     result
 }
 
@@ -273,7 +275,11 @@ mod tests {
     #[test]
     fn ln_gamma_reflection_negative_half() {
         // Γ(−0.5) = −2√π, so ln|Γ(−0.5)| = ln(2√π).
-        close(ln_gamma(-0.5), (2.0 * std::f64::consts::PI.sqrt()).ln(), 1e-10);
+        close(
+            ln_gamma(-0.5),
+            (2.0 * std::f64::consts::PI.sqrt()).ln(),
+            1e-10,
+        );
     }
 
     #[test]

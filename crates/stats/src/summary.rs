@@ -45,7 +45,10 @@ pub fn median(xs: &[f64]) -> f64 {
 
 /// Linear-interpolation quantile (`q ∈ [0, 1]`); `0.0` on an empty slice.
 pub fn quantile(xs: &[f64], q: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&q), "quantile requires q in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile requires q in [0,1], got {q}"
+    );
     if xs.is_empty() {
         return 0.0;
     }

@@ -4,8 +4,8 @@ use proptest::prelude::*;
 
 use crowd_stats::{
     chi2_cdf, chi2_inv_cdf, digamma, erf, erfc, inc_beta, inc_gamma_p, inc_gamma_q, ln_beta,
-    ln_gamma, log_sum_exp, normalize, quantile, sample_beta, sample_categorical,
-    sample_dirichlet, sample_gaussian, trigamma, ConvergenceTracker, Histogram,
+    ln_gamma, log_sum_exp, normalize, quantile, sample_beta, sample_categorical, sample_dirichlet,
+    sample_gaussian, trigamma, ConvergenceTracker, Histogram,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -26,8 +26,17 @@ fn main() {
     let options = InferenceOptions::seeded(3);
     println!("complete data (Table 6's numeric columns):");
     println!("  {:8} {:>8} {:>8}", "method", "MAE", "RMSE");
-    for method in [Method::Catd, Method::Pm, Method::LfcN, Method::Mean, Method::Median] {
-        let result = method.build().infer(&dataset, &options).expect("numeric supported");
+    for method in [
+        Method::Catd,
+        Method::Pm,
+        Method::LfcN,
+        Method::Mean,
+        Method::Median,
+    ] {
+        let result = method
+            .build()
+            .infer(&dataset, &options)
+            .expect("numeric supported");
         println!(
             "  {:8} {:>8.2} {:>8.2}",
             method.name(),

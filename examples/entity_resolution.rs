@@ -50,7 +50,9 @@ fn main() {
         Box::new(Lfc::default()),
     ];
     for method in &methods {
-        let result = method.infer(&dataset, &options).expect("method supports decision-making");
+        let result = method
+            .infer(&dataset, &options)
+            .expect("method supports decision-making");
         println!(
             "{:10} {:>8.2}% {:>8.2}%",
             method.name(),

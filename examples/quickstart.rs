@@ -20,14 +20,22 @@ fn main() {
     let options = InferenceOptions::seeded(11);
 
     // Majority voting: the baseline the paper starts from.
-    let mv = Mv.infer(&dataset, &options).expect("MV runs on categorical data");
+    let mv = Mv
+        .infer(&dataset, &options)
+        .expect("MV runs on categorical data");
     // PM: the optimization method Section 3 walks through.
-    let pm = Pm::default().infer(&dataset, &options).expect("PM runs on categorical data");
+    let pm = Pm::default()
+        .infer(&dataset, &options)
+        .expect("PM runs on categorical data");
 
     println!("task   MV    PM    truth");
     for task in 0..dataset.num_tasks() {
         let fmt = |a: &crowd_truth::data::Answer| {
-            if a.label() == Some(0) { "T" } else { "F" }
+            if a.label() == Some(0) {
+                "T"
+            } else {
+                "F"
+            }
         };
         let truth = dataset.truth(task).expect("toy example has full truth");
         println!(

@@ -36,8 +36,17 @@ fn main() {
         quality_init: QualityInit::Qualification(qual.accuracy.clone()),
         ..InferenceOptions::seeded(5)
     };
-    println!("  {:6} {:>12} {:>12} {:>8}", "method", "no qual", "with qual", "delta");
-    for method in [Method::Zc, Method::Ds, Method::Lfc, Method::Pm, Method::Catd] {
+    println!(
+        "  {:6} {:>12} {:>12} {:>8}",
+        "method", "no qual", "with qual", "delta"
+    );
+    for method in [
+        Method::Zc,
+        Method::Ds,
+        Method::Lfc,
+        Method::Pm,
+        Method::Catd,
+    ] {
         let base = method
             .build()
             .infer(&dataset, &plain)
@@ -63,7 +72,10 @@ fn main() {
 
     // --- Hidden test ---------------------------------------------------
     println!("hidden test (reveal p% of truths, evaluate on the rest, §6.3.3):");
-    println!("  {:6} {:>8} {:>8} {:>8}", "method", "p=0%", "p=20%", "p=50%");
+    println!(
+        "  {:6} {:>8} {:>8} {:>8}",
+        "method", "p=0%", "p=20%", "p=50%"
+    );
     for method in [Method::Zc, Method::Ds, Method::Catd] {
         let mut row = format!("  {:6}", method.name());
         for p in [0.0, 0.2, 0.5] {

@@ -44,12 +44,12 @@ pub use crowd_stats as stats;
 /// Commonly used items: the inference trait, every method, the dataset
 /// type, and the headline metrics.
 pub mod prelude {
-    pub use crowd_core::{
-        registry, InferenceOptions, InferenceResult, Method, TruthInference, WorkerQuality,
-    };
     pub use crowd_core::methods::{
         Bcc, Catd, Cbcc, Ds, Glad, Kos, Lfc, LfcN, MeanAgg, MedianAgg, Minimax, Multi, Mv, Pm,
         ViBp, ViMf, Zc,
+    };
+    pub use crowd_core::{
+        registry, InferenceOptions, InferenceResult, Method, TruthInference, WorkerQuality,
     };
     pub use crowd_data::{Answer, Dataset, DatasetBuilder, TaskType};
     pub use crowd_metrics::{accuracy, f1_score, mae, rmse};

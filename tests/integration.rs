@@ -17,7 +17,9 @@ fn every_method_runs_on_every_applicable_dataset() {
             let instance = method.build();
             if !instance.supports(dataset.task_type()) {
                 assert!(
-                    instance.infer(&dataset, &InferenceOptions::seeded(1)).is_err(),
+                    instance
+                        .infer(&dataset, &InferenceOptions::seeded(1))
+                        .is_err(),
                     "{} should reject {}",
                     method.name(),
                     ds.name()
@@ -45,10 +47,21 @@ fn every_method_runs_on_every_applicable_dataset() {
 fn all_methods_are_deterministic_under_seed() {
     let dataset = PaperDataset::DProduct.generate(SCALE, SEED);
     for method in Method::for_task_type(TaskType::DecisionMaking) {
-        let a = method.build().infer(&dataset, &InferenceOptions::seeded(33)).unwrap();
-        let b = method.build().infer(&dataset, &InferenceOptions::seeded(33)).unwrap();
+        let a = method
+            .build()
+            .infer(&dataset, &InferenceOptions::seeded(33))
+            .unwrap();
+        let b = method
+            .build()
+            .infer(&dataset, &InferenceOptions::seeded(33))
+            .unwrap();
         assert_eq!(a.truths, b.truths, "{} not deterministic", method.name());
-        assert_eq!(a.iterations, b.iterations, "{} iteration drift", method.name());
+        assert_eq!(
+            a.iterations,
+            b.iterations,
+            "{} iteration drift",
+            method.name()
+        );
     }
 }
 
@@ -56,9 +69,16 @@ fn all_methods_are_deterministic_under_seed() {
 fn accuracy_beats_chance_for_all_methods_on_balanced_data() {
     let dataset = PaperDataset::DPosSent.generate(0.2, SEED);
     for method in Method::for_task_type(TaskType::DecisionMaking) {
-        let result = method.build().infer(&dataset, &InferenceOptions::seeded(9)).unwrap();
+        let result = method
+            .build()
+            .infer(&dataset, &InferenceOptions::seeded(9))
+            .unwrap();
         let acc = accuracy(&dataset, &result.truths);
-        assert!(acc > 0.75, "{} accuracy {acc} on easy balanced data", method.name());
+        assert!(
+            acc > 0.75,
+            "{} accuracy {acc} on easy balanced data",
+            method.name()
+        );
     }
 }
 
@@ -102,7 +122,11 @@ fn qualification_round_trips_through_all_supporting_methods() {
         }
         let result = instance.infer(&dataset, &opts).unwrap();
         let acc = accuracy(&dataset, &result.truths);
-        assert!(acc > 0.3, "{} collapsed with qualification init: {acc}", method.name());
+        assert!(
+            acc > 0.3,
+            "{} collapsed with qualification init: {acc}",
+            method.name()
+        );
     }
 }
 
@@ -111,7 +135,10 @@ fn subsampled_dataset_is_valid_input_for_all_methods() {
     let dataset = PaperDataset::DPosSent.generate(0.1, SEED);
     let sub = subsample_redundancy(&dataset, 1, 4); // the harshest case
     for method in Method::for_task_type(TaskType::DecisionMaking) {
-        let result = method.build().infer(&sub, &InferenceOptions::seeded(4)).unwrap();
+        let result = method
+            .build()
+            .infer(&sub, &InferenceOptions::seeded(4))
+            .unwrap();
         assert_eq!(result.truths.len(), sub.num_tasks());
     }
 }
@@ -130,8 +157,14 @@ fn tsv_round_trip_preserves_inference_results() {
     .unwrap();
     // MV is permutation-equivariant, so accuracy must match exactly even
     // though task indices may be renumbered.
-    let a = Method::Mv.build().infer(&dataset, &InferenceOptions::seeded(0)).unwrap();
-    let b = Method::Mv.build().infer(&loaded, &InferenceOptions::seeded(0)).unwrap();
+    let a = Method::Mv
+        .build()
+        .infer(&dataset, &InferenceOptions::seeded(0))
+        .unwrap();
+    let b = Method::Mv
+        .build()
+        .infer(&loaded, &InferenceOptions::seeded(0))
+        .unwrap();
     let (acc_a, acc_b) = (accuracy(&dataset, &a.truths), accuracy(&loaded, &b.truths));
     assert!(
         (acc_a - acc_b).abs() < 0.02,
@@ -143,7 +176,10 @@ fn tsv_round_trip_preserves_inference_results() {
 #[test]
 fn metrics_agree_with_manual_computation_on_inference_output() {
     let dataset = PaperDataset::DProduct.generate(0.02, SEED);
-    let result = Method::Ds.build().infer(&dataset, &InferenceOptions::seeded(2)).unwrap();
+    let result = Method::Ds
+        .build()
+        .infer(&dataset, &InferenceOptions::seeded(2))
+        .unwrap();
     // Manual accuracy.
     let mut total = 0;
     let mut correct = 0;
@@ -158,11 +194,10 @@ fn metrics_agree_with_manual_computation_on_inference_output() {
     let manual = correct as f64 / total as f64;
     assert!((accuracy(&dataset, &result.truths) - manual).abs() < 1e-12);
     // Restricting to all truth-labelled tasks changes nothing.
-    let all: Vec<usize> =
-        (0..dataset.num_tasks()).filter(|&t| dataset.truth(t).is_some()).collect();
-    assert!(
-        (accuracy_on(&dataset, &result.truths, Some(&all)) - manual).abs() < 1e-12
-    );
+    let all: Vec<usize> = (0..dataset.num_tasks())
+        .filter(|&t| dataset.truth(t).is_some())
+        .collect();
+    assert!((accuracy_on(&dataset, &result.truths, Some(&all)) - manual).abs() < 1e-12);
     // F1 is within [0, 1].
     let f1 = f1_score(&dataset, &result.truths);
     assert!((0.0..=1.0).contains(&f1));
@@ -172,7 +207,10 @@ fn metrics_agree_with_manual_computation_on_inference_output() {
 fn numeric_methods_error_is_finite_and_ordered() {
     let dataset = PaperDataset::NEmotion.generate(0.5, SEED);
     for method in Method::for_task_type(TaskType::Numeric) {
-        let result = method.build().infer(&dataset, &InferenceOptions::seeded(8)).unwrap();
+        let result = method
+            .build()
+            .infer(&dataset, &InferenceOptions::seeded(8))
+            .unwrap();
         let m = mae(&dataset, &result.truths);
         let r = rmse(&dataset, &result.truths);
         assert!(m.is_finite() && r.is_finite(), "{}", method.name());

@@ -9,12 +9,18 @@ use crowd_truth::data::subsample_redundancy;
 use crowd_truth::metrics::{accuracy, f1_score, mae};
 
 fn acc(method: Method, dataset: &crowd_truth::data::Dataset, seed: u64) -> f64 {
-    let r = method.build().infer(dataset, &InferenceOptions::seeded(seed)).unwrap();
+    let r = method
+        .build()
+        .infer(dataset, &InferenceOptions::seeded(seed))
+        .unwrap();
     accuracy(dataset, &r.truths)
 }
 
 fn f1(method: Method, dataset: &crowd_truth::data::Dataset, seed: u64) -> f64 {
-    let r = method.build().infer(dataset, &InferenceOptions::seeded(seed)).unwrap();
+    let r = method
+        .build()
+        .infer(dataset, &InferenceOptions::seeded(seed))
+        .unwrap();
     f1_score(dataset, &r.truths)
 }
 
@@ -53,8 +59,15 @@ fn redundancy_gains_saturate() {
     let r1 = subsample_redundancy(&d, 1, 1);
     let r10 = subsample_redundancy(&d, 10, 1);
     let r20 = subsample_redundancy(&d, 20, 1);
-    let (a1, a10, a20) = (acc(Method::Ds, &r1, 2), acc(Method::Ds, &r10, 2), acc(Method::Ds, &r20, 2));
-    assert!(a10 - a1 > 0.08, "expected a steep early gain: r1 {a1} → r10 {a10}");
+    let (a1, a10, a20) = (
+        acc(Method::Ds, &r1, 2),
+        acc(Method::Ds, &r10, 2),
+        acc(Method::Ds, &r20, 2),
+    );
+    assert!(
+        a10 - a1 > 0.08,
+        "expected a steep early gain: r1 {a1} → r10 {a10}"
+    );
     assert!(
         (a20 - a10).abs() < 0.05,
         "expected saturation: r10 {a10} → r20 {a20}"
@@ -90,11 +103,17 @@ fn s_adult_methods_are_stuck_in_a_narrow_band() {
 fn mean_is_competitive_on_numeric_tasks() {
     let d = PaperDataset::NEmotion.generate(1.0, 21);
     let mean_mae = {
-        let r = Method::Mean.build().infer(&d, &InferenceOptions::seeded(4)).unwrap();
+        let r = Method::Mean
+            .build()
+            .infer(&d, &InferenceOptions::seeded(4))
+            .unwrap();
         mae(&d, &r.truths)
     };
     for method in [Method::Catd, Method::Pm, Method::LfcN, Method::Median] {
-        let r = method.build().infer(&d, &InferenceOptions::seeded(4)).unwrap();
+        let r = method
+            .build()
+            .infer(&d, &InferenceOptions::seeded(4))
+            .unwrap();
         let m = mae(&d, &r.truths);
         assert!(
             m > mean_mae - 1.5,
@@ -111,12 +130,22 @@ fn mean_is_competitive_on_numeric_tasks() {
 fn no_single_dominant_method_across_datasets() {
     let product = PaperDataset::DProduct.generate(0.2, 55);
     let possent = PaperDataset::DPosSent.generate(0.3, 55);
-    let methods = [Method::Mv, Method::Zc, Method::Ds, Method::Lfc, Method::Bcc, Method::Pm];
+    let methods = [
+        Method::Mv,
+        Method::Zc,
+        Method::Ds,
+        Method::Lfc,
+        Method::Bcc,
+        Method::Pm,
+    ];
     let top = |d: &crowd_truth::data::Dataset| -> Vec<Method> {
-        let scored: Vec<(Method, f64)> =
-            methods.iter().map(|&m| (m, acc(m, d, 6))).collect();
+        let scored: Vec<(Method, f64)> = methods.iter().map(|&m| (m, acc(m, d, 6))).collect();
         let best = scored.iter().map(|(_, a)| *a).fold(0.0, f64::max);
-        scored.into_iter().filter(|(_, a)| best - a < 0.01).map(|(m, _)| m).collect()
+        scored
+            .into_iter()
+            .filter(|(_, a)| best - a < 0.01)
+            .map(|(m, _)| m)
+            .collect()
     };
     let winners_product = top(&product);
     let winners_possent = top(&possent);
@@ -140,10 +169,13 @@ fn worker_participation_is_long_tailed_everywhere() {
     // (Figures 2b/2e): with redundancy 20-of-85 and 10-of-38 workers,
     // most workers answer a large share of all tasks, so the tail is
     // weak. The three large datasets carry the long-tail claim.
-    for ds in [PaperDataset::DProduct, PaperDataset::SRel, PaperDataset::SAdult] {
+    for ds in [
+        PaperDataset::DProduct,
+        PaperDataset::SRel,
+        PaperDataset::SAdult,
+    ] {
         let d = ds.generate(0.15, 9);
-        let mut degrees: Vec<usize> =
-            (0..d.num_workers()).map(|w| d.worker_degree(w)).collect();
+        let mut degrees: Vec<usize> = (0..d.num_workers()).map(|w| d.worker_degree(w)).collect();
         degrees.sort_unstable_by(|a, b| b.cmp(a));
         let total: usize = degrees.iter().sum();
         let decile = (degrees.len() / 10).max(1);

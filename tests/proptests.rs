@@ -15,10 +15,7 @@ fn categorical_dataset(
     max_workers: usize,
 ) -> impl Strategy<Value = crowd_truth::data::Dataset> {
     (2usize..max_tasks, 2usize..max_workers, 2u8..5).prop_flat_map(|(n, m, l)| {
-        let edges = proptest::collection::vec(
-            (0..n, 0..m, 0..l),
-            1..(n * m).min(300),
-        );
+        let edges = proptest::collection::vec((0..n, 0..m, 0..l), 1..(n * m).min(300));
         let truths = proptest::collection::vec(proptest::option::of(0..l), n);
         (Just((n, m, l)), edges, truths).prop_map(|((n, m, l), edges, truths)| {
             let mut b = DatasetBuilder::new("prop", TaskType::SingleChoice { choices: l }, n, m);

@@ -34,7 +34,11 @@ fn adversarial_log(
         b.set_truth_label(t, truth).unwrap();
         let mut w = 0;
         for _ in 0..honest {
-            let ans = if rng.gen_range(0.0..1.0) < honest_acc { truth } else { 1 - truth };
+            let ans = if rng.gen_range(0.0..1.0) < honest_acc {
+                truth
+            } else {
+                1 - truth
+            };
             b.add_label(t, w, ans).unwrap();
             w += 1;
         }
@@ -51,7 +55,10 @@ fn adversarial_log(
 }
 
 fn run(method: Method, d: &Dataset) -> f64 {
-    let r = method.build().infer(d, &InferenceOptions::seeded(5)).unwrap();
+    let r = method
+        .build()
+        .infer(d, &InferenceOptions::seeded(5))
+        .unwrap();
     accuracy(d, &r.truths)
 }
 
@@ -66,7 +73,10 @@ fn consistent_liars_sink_mv_but_not_ds() {
     let d = adversarial_log(400, 5, 0.85, 3, 0, 1);
     let mv = run(Method::Mv, &d);
     let ds = run(Method::Ds, &d);
-    assert!(mv < 0.78, "MV should suffer under near-tied liars, got {mv}");
+    assert!(
+        mv < 0.78,
+        "MV should suffer under near-tied liars, got {mv}"
+    );
     assert!(ds > 0.88, "D&S should exploit consistent liars, got {ds}");
     assert!(ds > mv + 0.1, "D&S {ds} should clearly beat MV {mv}");
 }
@@ -74,7 +84,10 @@ fn consistent_liars_sink_mv_but_not_ds() {
 #[test]
 fn ds_learns_inverted_confusion_for_liars() {
     let d = adversarial_log(400, 4, 0.8, 2, 0, 2);
-    let r = Method::Ds.build().infer(&d, &InferenceOptions::seeded(5)).unwrap();
+    let r = Method::Ds
+        .build()
+        .infer(&d, &InferenceOptions::seeded(5))
+        .unwrap();
     // Workers 4 and 5 are the liars; their learned matrices should have
     // tiny diagonals.
     for liar in [4usize, 5] {
@@ -82,7 +95,10 @@ fn ds_learns_inverted_confusion_for_liars() {
             panic!("expected confusion matrix");
         };
         let diag = (m[0][0] + m[1][1]) / 2.0;
-        assert!(diag < 0.15, "liar {liar} diagonal should be near 0, got {diag}");
+        assert!(
+            diag < 0.15,
+            "liar {liar} diagonal should be near 0, got {diag}"
+        );
     }
 }
 
@@ -103,7 +119,10 @@ fn spammer_flood_degrades_gracefully() {
 #[test]
 fn zc_discounts_spammers_to_half() {
     let d = adversarial_log(400, 3, 0.9, 0, 3, 4);
-    let r = Method::Zc.build().infer(&d, &InferenceOptions::seeded(5)).unwrap();
+    let r = Method::Zc
+        .build()
+        .infer(&d, &InferenceOptions::seeded(5))
+        .unwrap();
     for spammer in 3..6 {
         let q = r.worker_quality[spammer].scalar().unwrap();
         assert!(
@@ -113,7 +132,10 @@ fn zc_discounts_spammers_to_half() {
     }
     for honest in 0..3 {
         let q = r.worker_quality[honest].scalar().unwrap();
-        assert!(q > 0.8, "honest worker {honest} quality should stay high, got {q}");
+        assert!(
+            q > 0.8,
+            "honest worker {honest} quality should stay high, got {q}"
+        );
     }
 }
 
@@ -130,7 +152,10 @@ fn unanimous_log_is_a_fixed_point() {
     }
     let d = b.build();
     for method in Method::for_task_type(TaskType::DecisionMaking) {
-        let r = method.build().infer(&d, &InferenceOptions::seeded(0)).unwrap();
+        let r = method
+            .build()
+            .infer(&d, &InferenceOptions::seeded(0))
+            .unwrap();
         let acc = accuracy(&d, &r.truths);
         assert!(
             (acc - 1.0).abs() < 1e-9,
@@ -158,8 +183,15 @@ fn single_worker_single_task_edge() {
     b.add_numeric(0, 0, 5.0).unwrap();
     let d = b.build();
     for method in Method::for_task_type(TaskType::Numeric) {
-        let r = method.build().infer(&d, &InferenceOptions::seeded(1)).unwrap();
-        assert!((r.truths[0].numeric().unwrap() - 5.0).abs() < 1e-9, "{}", method.name());
+        let r = method
+            .build()
+            .infer(&d, &InferenceOptions::seeded(1))
+            .unwrap();
+        assert!(
+            (r.truths[0].numeric().unwrap() - 5.0).abs() < 1e-9,
+            "{}",
+            method.name()
+        );
     }
 }
 
@@ -174,7 +206,10 @@ fn iteration_cap_is_respected_under_oscillation_pressure() {
         b.add_label(t, 1, 1).unwrap();
     }
     let d = b.build();
-    let opts = InferenceOptions { max_iterations: 7, ..InferenceOptions::seeded(2) };
+    let opts = InferenceOptions {
+        max_iterations: 7,
+        ..InferenceOptions::seeded(2)
+    };
     for method in Method::for_task_type(TaskType::DecisionMaking) {
         let r = method.build().infer(&d, &opts).unwrap();
         // Gibbs samplers count sweeps, message passing counts rounds;
@@ -218,8 +253,17 @@ fn golden_tasks_conflicting_with_answers_win() {
     let revealed: Vec<Option<Answer>> = (0..20)
         .map(|t| if t < 10 { Some(Answer::Label(1)) } else { None })
         .collect();
-    let opts = InferenceOptions { golden: Some(revealed), ..InferenceOptions::seeded(3) };
-    for method in [Method::Zc, Method::Ds, Method::Lfc, Method::Pm, Method::Catd] {
+    let opts = InferenceOptions {
+        golden: Some(revealed),
+        ..InferenceOptions::seeded(3)
+    };
+    for method in [
+        Method::Zc,
+        Method::Ds,
+        Method::Lfc,
+        Method::Pm,
+        Method::Catd,
+    ] {
         let r = method.build().infer(&d, &opts).unwrap();
         for t in 0..10 {
             assert_eq!(
@@ -239,9 +283,13 @@ fn golden_reveal_never_hurts_in_a_spammer_heavy_regime() {
     // worse and should keep quality above the blind floor.
     let d = adversarial_log(300, 3, 0.65, 0, 5, 6);
     let blind = run(Method::Zc, &d);
-    let revealed: Vec<Option<Answer>> =
-        (0..300).map(|t| if t % 3 == 0 { d.truth(t) } else { None }).collect();
-    let opts = InferenceOptions { golden: Some(revealed), ..InferenceOptions::seeded(5) };
+    let revealed: Vec<Option<Answer>> = (0..300)
+        .map(|t| if t % 3 == 0 { d.truth(t) } else { None })
+        .collect();
+    let opts = InferenceOptions {
+        golden: Some(revealed),
+        ..InferenceOptions::seeded(5)
+    };
     let r = Method::Zc.build().infer(&d, &opts).unwrap();
     let eval: Vec<usize> = (0..300).filter(|t| t % 3 != 0).collect();
     let rescued = crowd_truth::metrics::accuracy_on(&d, &r.truths, Some(&eval));
@@ -249,5 +297,8 @@ fn golden_reveal_never_hurts_in_a_spammer_heavy_regime() {
         rescued >= blind - 0.03,
         "golden reveal hurt ZC: blind {blind}, with golden {rescued}"
     );
-    assert!(rescued > 0.55, "rescued accuracy {rescued} below the useful floor");
+    assert!(
+        rescued > 0.55,
+        "rescued accuracy {rescued} below the useful floor"
+    );
 }
