@@ -1,0 +1,95 @@
+//! Measures the fixed cost of one parallel fan-out under (a) a fresh
+//! `std::thread::scope` spawn — the pre-pool design — and (b) a
+//! persistent-pool batch dispatch, plus the serial E-step throughput the
+//! crossover thresholds are derived from.
+//!
+//! This is the measurement behind the `PARALLEL_MSTEP_MIN_WORK` /
+//! `PARALLEL_ESTEP_MIN_WORK` constants in `methods/ds.rs`: a fan-out pays
+//! off once the serial sweep it replaces costs a few times the dispatch
+//! overhead. Run with:
+//!
+//! ```sh
+//! cargo run --release -p crowd-core --example measure_fanout_overhead
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use crowd_core::exec::WorkerPool;
+
+fn time<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    // Warm-up.
+    for _ in 0..reps.div_ceil(10).max(1) {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+fn main() {
+    let reps = 2000;
+
+    // (a) Fresh scope spawn of two threads per fan-out (pre-pool design).
+    let scope_spawn = time(reps, || {
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| black_box(0u64));
+            }
+        });
+    });
+
+    // (b) Persistent pool: one batch dispatch waking two workers.
+    let pool = WorkerPool::new(2);
+    pool.run_batch(2, &|| {}); // spawn the workers outside the timing
+    let pool_dispatch = time(reps, || {
+        pool.run_batch(2, &|| {
+            black_box(0u64);
+        });
+    });
+
+    // (c) Serial E-step-shaped throughput: table-addition sweeps (the
+    // work unit the thresholds count) per second.
+    let l = 4usize;
+    let answers = 50_000usize;
+    let table = vec![0.5f64; 64 * l * l];
+    let mut acc = vec![0.0f64; l];
+    let sweep = time(50, || {
+        for a in 0..answers {
+            let base = (a % 64) * l * l;
+            for (j, slot) in acc.iter_mut().enumerate() {
+                *slot += table[base + j * l];
+            }
+        }
+        black_box(&mut acc);
+    });
+    let ns_per_work_unit = sweep * 1e9 / (answers * l) as f64;
+
+    println!("fan-out dispatch overhead ({reps} reps):");
+    println!(
+        "  thread::scope spawn (2 threads): {:9.2} µs",
+        scope_spawn * 1e6
+    );
+    println!(
+        "  pool batch dispatch (2 workers): {:9.2} µs",
+        pool_dispatch * 1e6
+    );
+    println!(
+        "  speedup: {:.1}x cheaper dispatch",
+        scope_spawn / pool_dispatch
+    );
+    println!(
+        "serial E-step work unit: {ns_per_work_unit:.2} ns  (sweep {:.0} µs / {} units)",
+        sweep * 1e6,
+        answers * l
+    );
+    for mult in [2.0f64, 4.0, 8.0] {
+        let units = (pool_dispatch * mult * 1e9 / ns_per_work_unit).round();
+        println!(
+            "  work units whose serial cost = {mult:.0}x pool dispatch: {units:>10.0}  (~2^{:.1})",
+            units.log2()
+        );
+    }
+}

@@ -1,10 +1,13 @@
 //! The shared parallel execution backend.
 //!
-//! One thread-pool-free executor used by the method hot loops (worker-level
-//! M-step fan-out), the experiment harness (repeat-level fan-out), and the
-//! bench crate. Built on `std::thread::scope` — no external dependency —
-//! with work-stealing over an atomic cursor so uneven job costs do not
-//! serialise a batch.
+//! One executor used by the method hot loops (worker-level M-step
+//! fan-out), the experiment harness (repeat-level fan-out), and the bench
+//! crate. Work is dispatched to a **persistent worker pool** — threads
+//! are spawned once, parked on a condvar between batches, and woken per
+//! fan-out — so dispatching a batch costs a few microseconds instead of
+//! the ~100µs a fresh `std::thread::scope` spawn costs. That is what lets
+//! the E/M fan-out thresholds sit an order of magnitude lower than in the
+//! scope-spawn design (see `PARALLEL_*_MIN_WORK` in `methods/ds.rs`).
 //!
 //! Two entry points:
 //!
@@ -14,12 +17,306 @@
 //!   chunks and process each `(chunk_index, chunk)` — the pattern for
 //!   fanning a flat-matrix M-step out across workers without aliasing.
 //!
-//! Both fall back to inline execution when `threads <= 1` or the job count
-//! is 1, so callers can gate parallelism by problem size and keep small
-//! runs allocation-free and deterministic in cost.
+//! Both steal work over an atomic cursor so uneven job costs do not
+//! serialise a batch, and both fall back to inline execution when
+//! `threads <= 1` or the job count is 1, so callers can gate parallelism
+//! by problem size and keep small runs allocation-free and deterministic
+//! in cost.
+//!
+//! Thread budget: [`default_threads`] is the machine's available
+//! parallelism, capped by the **`CROWD_THREADS`** environment variable
+//! when set (deployments use it to bound parallelism without code
+//! changes).
+//!
+//! Nesting: a fan-out issued from inside a pool batch (e.g. a method's
+//! internal E-step fan-out while the experiment harness is already
+//! fanning repeats out) runs inline on the calling thread instead of
+//! re-entering the pool — the machine is already saturated, and inline
+//! execution is exactly the serial path whose outputs are bit-identical.
 
+use std::cell::Cell;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// The persistent worker pool.
+// ---------------------------------------------------------------------------
+
+/// A batch job: a lifetime-erased pointer to the caller's `Fn() + Sync`
+/// closure. The erasure is sound because [`WorkerPool::run_batch`] does
+/// not return until every worker that entered the batch has left it, so
+/// the pointee outlives every dereference.
+struct JobPtr(*const (dyn Fn() + Sync));
+// Safety: the pointer is only dereferenced between batch open and batch
+// close, a window during which the submitting thread keeps the closure
+// alive (see `run_batch`).
+unsafe impl Send for JobPtr {}
+
+/// Mutex-protected pool state.
+struct PoolState {
+    /// Bumped once per batch so parked workers can tell a new batch from
+    /// a spurious wake-up.
+    generation: u64,
+    /// The open batch's job; `None` once the batch is closed to new
+    /// entrants (or no batch is running).
+    job: Option<JobPtr>,
+    /// Worker entry slots remaining in the open batch.
+    quota: usize,
+    /// Workers currently executing the job.
+    running: usize,
+    /// First panic payload caught from a worker in this batch.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    /// Tells workers to exit (pool drop).
+    shutdown: bool,
+}
+
+struct PoolInner {
+    state: Mutex<PoolState>,
+    /// Workers park here between batches.
+    work: Condvar,
+    /// The submitter parks here while enrolled workers finish.
+    done: Condvar,
+}
+
+/// A pool of persistent worker threads executing fan-out batches.
+///
+/// Threads are spawned lazily up to the requested batch width and then
+/// reused for every later batch: waking a parked worker is a
+/// condvar-notify, not a thread spawn. One batch runs at a time per pool
+/// (a submission mutex serialises concurrent submitters); the submitting
+/// thread always participates in its own batch, so a pool with zero
+/// spawned workers still makes progress.
+pub struct WorkerPool {
+    inner: Arc<PoolInner>,
+    /// Serialises batches from concurrent submitting threads.
+    submission: Mutex<()>,
+    /// Spawned worker handles (guarded by `submission` during growth).
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Hard cap on spawned workers.
+    max_workers: usize,
+}
+
+thread_local! {
+    /// Set while the current thread is executing inside a pool batch
+    /// (either as a pool worker or as a submitting participant); nested
+    /// fan-outs check it and run inline.
+    static IN_BATCH: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Sets the thread-local batch flag and restores the *previous* value on
+/// drop (even if the job panics) — restoring rather than clearing keeps
+/// the flag correct across arbitrarily deep nested inline fan-outs.
+struct BatchFlagGuard {
+    prev: bool,
+}
+
+impl BatchFlagGuard {
+    fn enter() -> Self {
+        let prev = IN_BATCH.with(|f| f.replace(true));
+        BatchFlagGuard { prev }
+    }
+}
+
+impl Drop for BatchFlagGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_BATCH.with(|f| f.set(prev));
+    }
+}
+
+impl WorkerPool {
+    /// A pool that will spawn at most `max_workers` persistent threads
+    /// (spawned lazily as batches request them).
+    pub fn new(max_workers: usize) -> Self {
+        Self {
+            inner: Arc::new(PoolInner {
+                state: Mutex::new(PoolState {
+                    generation: 0,
+                    job: None,
+                    quota: 0,
+                    running: 0,
+                    panic: None,
+                    shutdown: false,
+                }),
+                work: Condvar::new(),
+                done: Condvar::new(),
+            }),
+            submission: Mutex::new(()),
+            handles: Mutex::new(Vec::new()),
+            max_workers,
+        }
+    }
+
+    /// Workers spawned so far.
+    pub fn spawned_workers(&self) -> usize {
+        self.handles.lock().expect("pool handles").len()
+    }
+
+    /// Run `job` on the calling thread plus up to `extra_workers` pool
+    /// threads, returning once every participant has finished. The job is
+    /// expected to do its own work splitting (the callers here steal over
+    /// an atomic cursor), so launching more participants than there is
+    /// work is harmless.
+    ///
+    /// A panic in any participant is re-raised on the calling thread
+    /// after the batch has fully drained (so no worker still references
+    /// the caller's stack).
+    ///
+    /// Called from inside another batch (nested fan-out), this degrades
+    /// to `job()` inline on the calling thread.
+    pub fn run_batch(&self, extra_workers: usize, job: &(dyn Fn() + Sync)) {
+        if extra_workers == 0 || IN_BATCH.with(|f| f.get()) {
+            let _guard = BatchFlagGuard::enter();
+            job();
+            return;
+        }
+        // Poison-tolerant: the guard protects no data (it only serialises
+        // batches), and a panic from a *previous* batch's job must not
+        // disable the pool for the rest of a long-lived process.
+        let submission = self
+            .submission
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let extra_workers = extra_workers.min(self.max_workers);
+        self.ensure_workers(extra_workers);
+
+        // Open the batch.
+        {
+            let mut st = self.inner.state.lock().expect("pool state");
+            st.generation = st.generation.wrapping_add(1);
+            // The transmute erases the borrow's lifetime from the fat
+            // pointer; it is dereferenced only before this function
+            // observes `running == 0` with the batch closed, below.
+            let raw: *const (dyn Fn() + Sync) = unsafe {
+                std::mem::transmute::<
+                    *const (dyn Fn() + Sync + '_),
+                    *const (dyn Fn() + Sync + 'static),
+                >(job)
+            };
+            st.job = Some(JobPtr(raw));
+            st.quota = extra_workers;
+            st.panic = None;
+            self.inner.work.notify_all();
+        }
+
+        // The submitter participates in its own batch.
+        let caller_result = {
+            let _guard = BatchFlagGuard::enter();
+            std::panic::catch_unwind(AssertUnwindSafe(job))
+        };
+
+        // Close the batch to new entrants and drain the enrolled workers.
+        let worker_panic = {
+            let mut st = self.inner.state.lock().expect("pool state");
+            st.job = None;
+            st.quota = 0;
+            while st.running > 0 {
+                st = self.inner.done.wait(st).expect("pool done wait");
+            }
+            st.panic.take()
+        };
+
+        // Release the submission lock *before* re-raising so a propagated
+        // job panic cannot poison it — the pool must stay usable after a
+        // caller catches the panic.
+        drop(submission);
+        if let Err(payload) = caller_result {
+            std::panic::resume_unwind(payload);
+        }
+        if let Some(payload) = worker_panic {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Spawn workers until `target` are available (bounded by
+    /// `max_workers`). Called with the submission lock held.
+    fn ensure_workers(&self, target: usize) {
+        let mut handles = self.handles.lock().expect("pool handles");
+        let target = target.min(self.max_workers);
+        while handles.len() < target {
+            let inner = Arc::clone(&self.inner);
+            let handle = std::thread::Builder::new()
+                .name("crowd-exec-worker".into())
+                .spawn(move || worker_loop(&inner))
+                .expect("spawn pool worker");
+            handles.push(handle);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.inner.state.lock().expect("pool state");
+            st.shutdown = true;
+            self.inner.work.notify_all();
+        }
+        let handles = std::mem::take(&mut *self.handles.lock().expect("pool handles"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &PoolInner) {
+    let _guard = BatchFlagGuard::enter(); // workers only ever run batch jobs
+    let mut seen = 0u64;
+    let mut st = inner.state.lock().expect("pool state");
+    loop {
+        if st.shutdown {
+            return;
+        }
+        if st.generation != seen {
+            seen = st.generation;
+            if st.quota > 0 {
+                if let Some(job) = &st.job {
+                    let job = job.0;
+                    st.quota -= 1;
+                    st.running += 1;
+                    drop(st);
+                    // Safety: `run_batch` keeps the closure alive until
+                    // `running` returns to zero, which happens strictly
+                    // after this call returns.
+                    let result = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe {
+                        (*job)();
+                    }));
+                    st = inner.state.lock().expect("pool state");
+                    st.running -= 1;
+                    if let Err(payload) = result {
+                        if st.panic.is_none() {
+                            st.panic = Some(payload);
+                        }
+                    }
+                    if st.running == 0 {
+                        inner.done.notify_all();
+                    }
+                    // Re-check immediately: the next batch may already be
+                    // open.
+                    continue;
+                }
+            }
+        }
+        st = inner.work.wait(st).expect("pool work wait");
+    }
+}
+
+/// The process-wide pool shared by [`parallel_map`] and
+/// [`parallel_chunks`]. Sized to the machine (workers spawn lazily, so an
+/// all-serial workload never spawns any).
+fn global_pool() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    // Workers spawn lazily per the largest batch actually requested, so a
+    // generous cap costs nothing on machines (or workloads) that never
+    // ask for it; 256 is a runaway backstop, not a tuning knob. Explicit
+    // thread requests above the hardware count (e.g. CROWD_THREADS=16 on
+    // 4 cores, for IO-ish jobs) get real threads up to the cap.
+    POOL.get_or_init(|| WorkerPool::new(256))
+}
+
+// ---------------------------------------------------------------------------
+// Fan-out entry points.
+// ---------------------------------------------------------------------------
 
 /// Run `jobs` closures across at most `threads` OS threads, preserving
 /// output order. Panics in a job propagate to the caller.
@@ -42,23 +339,20 @@ where
     let next = AtomicUsize::new(0);
     let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let job = queue[i]
-                    .lock()
-                    .expect("job mutex")
-                    .take()
-                    .expect("job taken once");
-                let out = job();
-                *results[i].lock().expect("result mutex") = Some(out);
-            });
+    let worker = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
         }
-    });
+        let job = queue[i]
+            .lock()
+            .expect("job mutex")
+            .take()
+            .expect("job taken once");
+        let out = job();
+        *results[i].lock().expect("result mutex") = Some(out);
+    };
+    global_pool().run_batch(threads - 1, &worker);
 
     results
         .into_iter()
@@ -70,13 +364,32 @@ where
         .collect()
 }
 
+/// Raw base pointer of a chunked buffer, sendable to pool workers. The
+/// chunk-stealing cursor hands each chunk index to exactly one worker, so
+/// all derived slices are disjoint.
+struct ChunkBase<T>(*mut T);
+unsafe impl<T: Send> Send for ChunkBase<T> {}
+unsafe impl<T: Send> Sync for ChunkBase<T> {}
+
+impl<T> ChunkBase<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `Sync` wrapper, not the bare `*mut T` (edition-2021 closures
+    /// capture disjoint fields).
+    fn ptr(&self) -> *mut T {
+        self.0
+    }
+}
+
 /// Split `data` into consecutive chunks of `chunk_len` elements (the last
 /// chunk may be shorter) and run `f(chunk_index, chunk)` for each, using at
 /// most `threads` OS threads. Chunks are disjoint, so `f` may freely write.
 ///
 /// With `threads <= 1` this degenerates to a plain loop with **zero heap
 /// allocation**, which is what the allocation-free method hot loops rely
-/// on when they gate fan-out by problem size.
+/// on when they gate fan-out by problem size. Above that, chunk indices
+/// are stolen over an atomic cursor by the calling thread plus pool
+/// workers; every chunk is processed exactly once whichever thread gets
+/// it, so outputs never depend on the thread count.
 ///
 /// # Panics
 /// Panics if `chunk_len == 0`.
@@ -98,32 +411,44 @@ where
         return;
     }
 
-    // Hand each thread a striped share of the chunk iterator up front;
-    // chunk costs are uniform in the M-step use case, so striping balances
-    // without a shared cursor over &mut aliasing.
-    std::thread::scope(|scope| {
-        let chunks: Vec<(usize, &mut [T])> = data.chunks_mut(chunk_len).enumerate().collect();
-        let mut shares: Vec<Vec<(usize, &mut [T])>> = (0..threads).map(|_| Vec::new()).collect();
-        for (k, item) in chunks.into_iter().enumerate() {
-            shares[k % threads].push(item);
+    let len = data.len();
+    let base = ChunkBase(data.as_mut_ptr());
+    let cursor = AtomicUsize::new(0);
+    let worker = || loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= n_chunks {
+            break;
         }
-        for share in shares {
-            let f = &f;
-            scope.spawn(move || {
-                for (i, chunk) in share {
-                    f(i, chunk);
-                }
-            });
-        }
-    });
+        let start = i * chunk_len;
+        let end = (start + chunk_len).min(len);
+        // Safety: chunk `i` is claimed by exactly one worker (fetch_add),
+        // chunk ranges are disjoint by construction, and the buffer
+        // outlives the batch because `run_batch` blocks until every
+        // worker is done.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.ptr().add(start), end - start) };
+        f(i, chunk);
+    };
+    global_pool().run_batch(threads - 1, &worker);
 }
 
 /// A sensible thread count for CPU-bound fan-out: the machine's available
-/// parallelism, `1` when it cannot be determined.
+/// parallelism capped by the `CROWD_THREADS` environment variable when
+/// set (values below 1 or unparseable values are ignored), `1` when
+/// nothing can be determined.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
+    let hw = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1)
+        .unwrap_or(1);
+    apply_thread_env(std::env::var("CROWD_THREADS").ok().as_deref(), hw)
+}
+
+/// `CROWD_THREADS` semantics, factored out for testing: a parseable
+/// positive override wins, anything else falls back to `hw`.
+fn apply_thread_env(env: Option<&str>, hw: usize) -> usize {
+    match env.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => hw.max(1),
+    }
 }
 
 #[cfg(test)]
@@ -179,5 +504,135 @@ mod tests {
     #[test]
     fn default_threads_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn thread_env_override_semantics() {
+        assert_eq!(apply_thread_env(Some("3"), 8), 3);
+        assert_eq!(apply_thread_env(Some(" 2 "), 8), 2);
+        assert_eq!(apply_thread_env(Some("0"), 8), 8);
+        assert_eq!(apply_thread_env(Some("many"), 8), 8);
+        assert_eq!(apply_thread_env(None, 8), 8);
+        assert_eq!(apply_thread_env(None, 0), 1);
+        // The cap can exceed the hardware (deployments may want that for
+        // IO-ish jobs); it is taken at face value.
+        assert_eq!(apply_thread_env(Some("16"), 4), 16);
+    }
+
+    #[test]
+    fn pool_reuses_threads_across_batches() {
+        let pool = WorkerPool::new(3);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.run_batch(3, &|| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // 50 batches × (caller + up to 3 workers, depending on wake-up
+        // timing) ran on at most 3 spawned threads total — the whole
+        // point of the pool is that batches never re-spawn.
+        assert!(pool.spawned_workers() <= 3);
+        let ran = counter.load(Ordering::Relaxed);
+        assert!((50..=200).contains(&ran), "{ran} job entries");
+    }
+
+    #[test]
+    fn pool_executes_work_on_real_threads() {
+        // A rendezvous only two genuinely concurrent participants can
+        // complete: each arrival waits (bounded) for a second arrival in
+        // the same batch. Works on single-core machines too — the OS
+        // still schedules the parked worker once it is woken.
+        let pool = WorkerPool::new(2);
+        let arrivals = AtomicUsize::new(0);
+        let met = AtomicUsize::new(0);
+        pool.run_batch(2, &|| {
+            arrivals.fetch_add(1, Ordering::SeqCst);
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            while arrivals.load(Ordering::SeqCst) < 2 {
+                if std::time::Instant::now() > deadline {
+                    return;
+                }
+                std::thread::yield_now();
+            }
+            met.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(pool.spawned_workers() >= 1);
+        assert!(
+            met.load(Ordering::SeqCst) >= 2,
+            "two participants never met inside one batch"
+        );
+    }
+
+    #[test]
+    fn pool_propagates_worker_panic() {
+        let result = std::panic::catch_unwind(|| {
+            let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16usize)
+                .map(|i| {
+                    Box::new(move || {
+                        if i == 7 {
+                            panic!("boom");
+                        }
+                        i
+                    }) as _
+                })
+                .collect();
+            parallel_map(4, jobs)
+        });
+        assert!(result.is_err(), "panic in a job must propagate");
+    }
+
+    #[test]
+    fn pool_survives_a_propagated_panic() {
+        // A caught job panic must not poison the global pool: later
+        // fan-outs (possibly much later, in a long-lived process) have
+        // to keep working.
+        let poisoned = std::panic::catch_unwind(|| {
+            let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+                vec![Box::new(|| panic!("boom")), Box::new(|| 1)];
+            parallel_map(2, jobs)
+        });
+        assert!(poisoned.is_err());
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0..16usize).map(|i| Box::new(move || i * 3) as _).collect();
+        let out = parallel_map(4, jobs);
+        assert_eq!(out, (0..16usize).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_fanout_runs_inline() {
+        // A fan-out issued from inside a pool batch must not deadlock on
+        // the (held) submission lock — it runs inline instead.
+        let outer: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+            .map(|i| {
+                Box::new(move || {
+                    let inner: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..4usize)
+                        .map(|j| Box::new(move || i * 10 + j) as _)
+                        .collect();
+                    parallel_map(4, inner).into_iter().sum()
+                }) as _
+            })
+            .collect();
+        let out = parallel_map(4, outer);
+        let expect: Vec<usize> = (0..8).map(|i| (0..4).map(|j| i * 10 + j).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn concurrent_submitters_serialise_without_deadlock() {
+        let done: Vec<usize> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16usize)
+                            .map(|i| Box::new(move || t * 100 + i) as _)
+                            .collect();
+                        parallel_map(3, jobs).into_iter().sum::<usize>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let expect: Vec<usize> = (0..4).map(|t| (0..16).map(|i| t * 100 + i).sum()).collect();
+        assert_eq!(done, expect);
     }
 }

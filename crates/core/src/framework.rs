@@ -17,6 +17,44 @@ pub enum QualityInit {
     Qualification(Vec<Option<f64>>),
 }
 
+/// Converged state carried from one inference run into the next — the
+/// substrate of incremental/streaming re-convergence (`crowd-stream`).
+///
+/// When answers arrive over time, re-running EM from the majority-vote
+/// initialisation discards everything the previous run learned. A warm
+/// start reuses the previous run's **posteriors** and **worker quality
+/// parameters** (confusion matrices for the D&S family, correctness
+/// probabilities for ZC/GLAD) as the starting point, so the loop only has
+/// to absorb the new answers' evidence. At an unchanged answer log the
+/// warmed loop re-converges at the same fixed point as a cold run
+/// (labels exactly, parameters within the convergence tolerance — see
+/// the `crowd-stream` equivalence tests).
+///
+/// Vectors are indexed by the *previous* run's task/worker ids; entries
+/// past the end (tasks or workers that appeared since) fall back to the
+/// method's cold initialisation. Methods that do not support warm starts
+/// ignore the field.
+#[derive(Debug, Clone, Default)]
+pub struct WarmStart {
+    /// Per-task posterior over the `ℓ` choices from the previous run
+    /// (`InferenceResult::posteriors`); `None` for methods that did not
+    /// produce one.
+    pub posteriors: Option<Vec<Vec<f64>>>,
+    /// Per-worker quality from the previous run
+    /// (`InferenceResult::worker_quality`).
+    pub worker_quality: Vec<WorkerQuality>,
+}
+
+impl WarmStart {
+    /// Capture the warm-startable state of a finished run.
+    pub fn from_result(result: &InferenceResult) -> Self {
+        Self {
+            posteriors: result.posteriors.clone(),
+            worker_quality: result.worker_quality.clone(),
+        }
+    }
+}
+
 /// Options shared by every method.
 #[derive(Debug, Clone)]
 pub struct InferenceOptions {
@@ -45,6 +83,12 @@ pub struct InferenceOptions {
     /// count never changes results — per-task/per-worker updates are
     /// independent, so outputs are bit-identical at any setting.
     pub threads: Option<usize>,
+    /// Resume from a previous run's converged state instead of the cold
+    /// initialisation (majority vote / uniform qualities). Supported by
+    /// the EM-family categorical methods (D&S, LFC, ZC, GLAD); others
+    /// ignore it. Takes precedence over `quality_init` when both are
+    /// set.
+    pub warm_start: Option<WarmStart>,
 }
 
 impl Default for InferenceOptions {
@@ -56,6 +100,7 @@ impl Default for InferenceOptions {
             quality_init: QualityInit::Uniform,
             golden: None,
             threads: None,
+            warm_start: None,
         }
     }
 }
@@ -207,6 +252,28 @@ pub trait TruthInference {
         dataset: &Dataset,
         options: &InferenceOptions,
     ) -> Result<InferenceResult, InferenceError>;
+}
+
+/// Validate options for the view-level entry points (`infer_view`),
+/// which bypass [`validate_common`]: the view supplies task type and
+/// golden clamps, but a qualification vector still has to match the
+/// worker count or the per-worker init loops would index past its end.
+pub(crate) fn validate_view_options(
+    num_workers: usize,
+    options: &InferenceOptions,
+) -> Result<(), InferenceError> {
+    if let QualityInit::Qualification(q) = &options.quality_init {
+        if q.len() != num_workers {
+            return Err(InferenceError::BadOptions {
+                detail: format!(
+                    "qualification vector has {} entries for {} workers",
+                    q.len(),
+                    num_workers
+                ),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Validate the parts of [`InferenceOptions`] that are method-independent

@@ -40,9 +40,10 @@ pub mod exec;
 mod framework;
 pub mod methods;
 pub mod registry;
-pub(crate) mod views;
+pub mod views;
 
 pub use framework::{
-    InferenceError, InferenceOptions, InferenceResult, QualityInit, TruthInference, WorkerQuality,
+    InferenceError, InferenceOptions, InferenceResult, QualityInit, TruthInference, WarmStart,
+    WorkerQuality,
 };
 pub use registry::Method;

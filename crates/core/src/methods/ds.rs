@@ -28,17 +28,28 @@ use crate::views::{initial_accuracy, Cat};
 /// executor spreads the per-worker confusion updates across cores (each
 /// worker's `ℓ×ℓ` block is a disjoint chunk of the flat buffer, so the
 /// result is bit-identical either way).
-const PARALLEL_MSTEP_MIN_WORK: usize = 1 << 18;
+///
+/// Re-measured for the persistent worker pool (see
+/// `examples/measure_fanout_overhead.rs`): dispatching a pool batch
+/// costs ~0.2µs against ~46µs for the `thread::scope` spawn the executor
+/// used before, and one work unit sweeps in ~0.8ns, so the crossover
+/// dropped from 2¹⁸ to 2¹⁴ units (~13µs of serial work, comfortably
+/// above multi-core worker wake-up latency). Below it the serial path
+/// also keeps the loop allocation-free.
+const PARALLEL_MSTEP_MIN_WORK: usize = 1 << 14;
 
 /// E-step work below which the task fan-out stays on the calling thread.
 /// Each task's posterior row is computed independently (reads the shared
 /// log tables, writes its own row), so fanning tasks out over the
-/// executor is bit-identical to the serial sweep. Spawning a scope of OS
-/// threads costs on the order of 100µs, so the fan-out only pays off once
-/// an E-step sweep is several times that — roughly table-scale ≥ 0.3 of
-/// the paper's datasets; smaller instances stay on the allocation-free
-/// serial path.
-const PARALLEL_ESTEP_MIN_WORK: usize = 1 << 17;
+/// executor is bit-identical to the serial sweep. With pool dispatch at
+/// ~0.2µs (measured; was ~100µs with scope spawns) the fan-out pays off
+/// once a sweep costs a handful of microseconds: 2¹³ work units ≈ 6.5µs,
+/// an order of magnitude below the old 2¹⁷ threshold, which brings
+/// incremental/streaming batch sizes into the parallel regime. The
+/// stealing design caps the downside: the dispatching thread starts on
+/// the chunks immediately, so a fan-out nobody helps with costs only the
+/// notify (~0.2µs) over the serial sweep.
+const PARALLEL_ESTEP_MIN_WORK: usize = 1 << 13;
 
 /// Shared EM engine for D&S-family methods, on the flat-memory substrate:
 /// posteriors are an `n × ℓ` [`DMat`], all worker confusion matrices live
@@ -61,15 +72,87 @@ impl DsEngine {
         options: &InferenceOptions,
     ) -> Result<InferenceResult, InferenceError> {
         let cat = Cat::build(self.method, dataset, options, true)?;
+        self.run_view(&cat, options)
+    }
+
+    /// Run the EM loop directly on a prebuilt categorical view — the
+    /// entry point for callers that maintain the view themselves (the
+    /// `crowd-stream` delta views). Identical to [`Self::run`] after
+    /// `Cat::build`.
+    pub fn run_view(
+        &self,
+        cat: &Cat,
+        options: &InferenceOptions,
+    ) -> Result<InferenceResult, InferenceError> {
+        if cat.num_answers() == 0 {
+            return Err(InferenceError::EmptyDataset);
+        }
+        crate::framework::validate_view_options(cat.m, options)?;
         let l = cat.l;
 
         // Initial posteriors: majority vote; with qualification scores we
         // instead seed per-worker confusion matrices and run an E-step
-        // first (the worker knowledge arrives through the matrices).
+        // first (the worker knowledge arrives through the matrices). A
+        // warm start overrides both: the previous run's posteriors and
+        // confusion matrices are loaded and the loop resumes with an
+        // E-step under the previous model, so only the new answers'
+        // evidence has to be absorbed.
         let mut post = cat.majority_posteriors();
         let mut confusion = DMat::zeros(cat.m * l, l);
+        let mut class_prior = vec![1.0 / l as f64; l];
         let mut need_estep_first = false;
-        if let QualityInit::Qualification(_) = &options.quality_init {
+        if let Some(warm) = &options.warm_start {
+            // Previous posteriors for tasks both runs know about (rows
+            // with a foreign width are ignored — a different ℓ means the
+            // state is from another problem).
+            if let Some(prev_post) = &warm.posteriors {
+                for (task, row) in prev_post.iter().enumerate().take(cat.n) {
+                    if row.len() == l && cat.golden[task].is_none() && cat.task_len(task) > 0 {
+                        post.row_mut(task).copy_from_slice(row);
+                    }
+                }
+            }
+            // Previous confusion matrices where available; workers the
+            // previous run did not know get the cold default.
+            let default_acc = 0.7;
+            let off_default = (1.0 - default_acc) / (l - 1).max(1) as f64;
+            for w in 0..cat.m {
+                let prev = warm.worker_quality.get(w).and_then(|q| match q {
+                    WorkerQuality::Confusion(m)
+                        if m.len() == l && m.iter().all(|row| row.len() == l) =>
+                    {
+                        Some(m)
+                    }
+                    _ => None,
+                });
+                for j in 0..l {
+                    let row = confusion.row_mut(w * l + j);
+                    match prev {
+                        Some(m) => row.copy_from_slice(&m[j]),
+                        None => {
+                            row.fill(off_default);
+                            row[j] = default_acc;
+                        }
+                    }
+                }
+            }
+            // Class prior from the warmed posteriors (what the M-step
+            // would derive), so the resuming E-step sees the previous
+            // model end to end.
+            class_prior.fill(0.0);
+            for row in post.data().chunks_exact(l) {
+                for (prior, &p) in class_prior.iter_mut().zip(row) {
+                    *prior += p;
+                }
+            }
+            let total: f64 = class_prior.iter().sum();
+            if total > 0.0 {
+                class_prior.iter_mut().for_each(|prior| *prior /= total);
+            } else {
+                class_prior.fill(1.0 / l as f64);
+            }
+            need_estep_first = true;
+        } else if let QualityInit::Qualification(_) = &options.quality_init {
             let acc = initial_accuracy(options, cat.m, 0.7);
             for (w, &a) in acc.iter().enumerate() {
                 let off = (1.0 - a) / (l - 1).max(1) as f64;
@@ -81,7 +164,6 @@ impl DsEngine {
             }
             need_estep_first = true;
         }
-        let mut class_prior = vec![1.0 / l as f64; l];
         // Log-domain tables recomputed once per iteration (m·ℓ² + ℓ `ln`
         // calls) so the E-step — which visits every answer — only adds
         // table entries. The tabulated values are exactly the
@@ -118,7 +200,7 @@ impl DsEngine {
             if need_estep_first {
                 refresh_log_tables(&confusion, &class_prior, &mut log_conf, &mut log_prior);
                 e_step(
-                    &cat,
+                    cat,
                     &log_conf,
                     &log_prior,
                     &mut post,
@@ -134,7 +216,7 @@ impl DsEngine {
             {
                 let diag = self.diag_prior;
                 let off = self.off_prior;
-                let cat_ref = &cat;
+                let cat_ref = cat;
                 let post_ref = &post;
                 exec::parallel_chunks(mstep_threads, confusion.data_mut(), l * l, |w, chunk| {
                     chunk.fill(off);
@@ -175,7 +257,7 @@ impl DsEngine {
             // E-step.
             refresh_log_tables(&confusion, &class_prior, &mut log_conf, &mut log_prior);
             e_step(
-                &cat,
+                cat,
                 &log_conf,
                 &log_prior,
                 &mut post,
@@ -304,6 +386,27 @@ fn e_step(
 /// Dawid–Skene EM.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Ds;
+
+impl Ds {
+    /// Run D&S directly on a prebuilt categorical view — the streaming
+    /// entry point: `crowd-stream` maintains the CSR views incrementally
+    /// and skips the per-call `Cat::build`. Golden clamps come from the
+    /// view (not `options.golden`); `options.warm_start` resumes from a
+    /// previous run's state. Output is identical to `infer` on a dataset
+    /// whose records round-trip the view.
+    pub fn infer_view(
+        &self,
+        view: &Cat,
+        options: &InferenceOptions,
+    ) -> Result<InferenceResult, InferenceError> {
+        DsEngine {
+            method: self.name(),
+            diag_prior: 0.01,
+            off_prior: 0.01,
+        }
+        .run_view(view, options)
+    }
+}
 
 impl TruthInference for Ds {
     fn name(&self) -> &'static str {
@@ -446,6 +549,63 @@ mod tests {
         let r = Ds.infer(&d, &opts).unwrap();
         let acc = accuracy(&d, &r);
         assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn warm_start_reaches_cold_fixed_point_faster() {
+        use crate::framework::WarmStart;
+        let d = small_decision();
+        // Warm-starting from the cold run's converged state and re-running
+        // on the same answers must (a) converge in strictly fewer
+        // iterations, (b) keep every decisively-labelled task (the loose
+        // stopping tolerance means truly borderline posteriors may still
+        // legitimately move between the two stopping points), and
+        // (c) keep posteriors within a small drift bound.
+        let cold = Ds.infer(&d, &InferenceOptions::seeded(3)).unwrap();
+        let opts = InferenceOptions {
+            warm_start: Some(WarmStart::from_result(&cold)),
+            ..InferenceOptions::seeded(3)
+        };
+        let warm = Ds.infer(&d, &opts).unwrap();
+        assert!(warm.converged);
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm {} vs cold {} iterations",
+            warm.iterations,
+            cold.iterations
+        );
+        let (wp, cp) = (warm.posteriors.unwrap(), cold.posteriors.unwrap());
+        for (task, (w, c)) in wp.iter().zip(&cp).enumerate() {
+            let margin = (c[0] - c[1]).abs();
+            if margin > 0.05 {
+                assert_eq!(
+                    warm.truths[task], cold.truths[task],
+                    "decisive task {task} (margin {margin}) flipped"
+                );
+            }
+            for (a, b) in w.iter().zip(c) {
+                assert!((a - b).abs() < 0.05, "posterior drift {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_tolerates_foreign_and_short_state() {
+        use crate::framework::WarmStart;
+        let d = small_decision();
+        // A warm state from a differently-shaped problem (wrong ℓ, too
+        // few workers) must fall back to cold defaults, not panic.
+        let warm = WarmStart {
+            posteriors: Some(vec![vec![0.2, 0.3, 0.5]; 3]),
+            worker_quality: vec![WorkerQuality::Probability(0.9); 2],
+        };
+        let opts = InferenceOptions {
+            warm_start: Some(warm),
+            ..InferenceOptions::seeded(3)
+        };
+        let r = Ds.infer(&d, &opts).unwrap();
+        let acc = accuracy(&d, &r);
+        assert!(acc > 0.8, "accuracy {acc} with degenerate warm state");
     }
 
     #[test]

@@ -80,6 +80,26 @@ impl TruthInference for Glad {
             self.supports(dataset.task_type()),
         )?;
         let cat = Cat::build(self.name(), dataset, options, true)?;
+        self.infer_view(&cat, options)
+    }
+}
+
+impl Glad {
+    /// Run GLAD directly on a prebuilt categorical view — the streaming
+    /// entry point (see `Ds::infer_view`). A warm start resumes the
+    /// worker abilities `α_w` (recovered from the previous run's reported
+    /// `σ(α_w)`); task difficulties `β_i` restart at 1 — they are not
+    /// part of the reported state — so GLAD re-converges warm on the
+    /// worker side only.
+    pub fn infer_view(
+        &self,
+        cat: &Cat,
+        options: &InferenceOptions,
+    ) -> Result<InferenceResult, InferenceError> {
+        if cat.num_answers() == 0 {
+            return Err(InferenceError::EmptyDataset);
+        }
+        crate::framework::validate_view_options(cat.m, options)?;
         let lm1 = (cat.l - 1).max(1) as f64;
 
         // α_w from qualification accuracy via the inverse of σ at β = 1
@@ -89,6 +109,16 @@ impl TruthInference for Glad {
             .iter()
             .map(|&a| (a / (1.0 - a)).ln().clamp(-4.0, 4.0))
             .collect();
+        if let Some(warm) = &options.warm_start {
+            for (w, a) in alpha.iter_mut().enumerate() {
+                if let Some(p) = warm.worker_quality.get(w).and_then(WorkerQuality::scalar) {
+                    // σ⁻¹ round-trips the reported quality back to α; the
+                    // wider clamp matches the loop's own ±8 bound.
+                    let p = p.clamp(1e-4, 1.0 - 1e-4);
+                    *a = (p / (1.0 - p)).ln().clamp(-8.0, 8.0);
+                }
+            }
+        }
         // ln β_i = 0 (difficulty 1).
         let mut log_beta = vec![0.0f64; cat.n];
 
@@ -258,6 +288,41 @@ mod tests {
         for &t in &split.golden {
             assert_eq!(Some(r.truths[t]), d.truth(t));
         }
+    }
+
+    #[test]
+    fn warm_start_keeps_fixed_point_and_does_not_slow_down() {
+        use crate::framework::WarmStart;
+        let d = small_decision();
+        let cold = Glad::default()
+            .infer(&d, &InferenceOptions::seeded(2))
+            .unwrap();
+        let opts = InferenceOptions {
+            warm_start: Some(WarmStart::from_result(&cold)),
+            ..InferenceOptions::seeded(2)
+        };
+        let warm = Glad::default().infer(&d, &opts).unwrap();
+        // GLAD resumes only the worker side (β restarts at 1) and its
+        // gradient M-step often exhausts the iteration cap rather than
+        // converging, so the guarantee is weaker than the D&S family's:
+        // high label agreement and matching quality, with no extra
+        // iterations.
+        let agree = warm
+            .truths
+            .iter()
+            .zip(&cold.truths)
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / cold.truths.len() as f64;
+        assert!(agree >= 0.93, "label agreement {agree}");
+        let (aw, ac) = (accuracy(&d, &warm), accuracy(&d, &cold));
+        assert!(aw >= ac - 0.02, "warm accuracy {aw} vs cold {ac}");
+        assert!(
+            warm.iterations <= cold.iterations,
+            "warm {} vs cold {} iterations",
+            warm.iterations,
+            cold.iterations
+        );
     }
 
     #[test]

@@ -33,6 +33,24 @@ impl Default for Lfc {
     }
 }
 
+impl Lfc {
+    /// Run LFC directly on a prebuilt categorical view — the streaming
+    /// entry point (see `Ds::infer_view`); `options.warm_start` resumes
+    /// from a previous run's state.
+    pub fn infer_view(
+        &self,
+        view: &crate::views::Cat,
+        options: &InferenceOptions,
+    ) -> Result<InferenceResult, InferenceError> {
+        DsEngine {
+            method: self.name(),
+            diag_prior: self.diag_prior,
+            off_prior: self.off_prior,
+        }
+        .run_view(view, options)
+    }
+}
+
 impl TruthInference for Lfc {
     fn name(&self) -> &'static str {
         "LFC"

@@ -18,6 +18,29 @@ use crate::views::Cat;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Mv;
 
+impl Mv {
+    /// Run MV directly on a prebuilt categorical view — the streaming
+    /// entry point (see `Ds::infer_view`). MV is its own fixed point, so
+    /// there is no warm state to resume.
+    pub fn infer_view(
+        &self,
+        view: &Cat,
+        options: &InferenceOptions,
+    ) -> Result<InferenceResult, InferenceError> {
+        crate::framework::validate_view_options(view.m, options)?;
+        let post = view.majority_posteriors();
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let labels = view.decode(&post, &mut rng);
+        Ok(InferenceResult {
+            truths: Cat::answers(&labels),
+            worker_quality: vec![WorkerQuality::Unmodeled; view.m],
+            iterations: 1,
+            converged: true,
+            posteriors: Some(post.into_nested()),
+        })
+    }
+}
+
 impl TruthInference for Mv {
     fn name(&self) -> &'static str {
         "MV"
@@ -39,16 +62,7 @@ impl TruthInference for Mv {
             self.supports(dataset.task_type()),
         )?;
         let cat = Cat::build(self.name(), dataset, options, false)?;
-        let post = cat.majority_posteriors();
-        let mut rng = StdRng::seed_from_u64(options.seed);
-        let labels = cat.decode(&post, &mut rng);
-        Ok(InferenceResult {
-            truths: Cat::answers(&labels),
-            worker_quality: vec![WorkerQuality::Unmodeled; cat.m],
-            iterations: 1,
-            converged: true,
-            posteriors: Some(post.into_nested()),
-        })
+        self.infer_view(&cat, options)
     }
 }
 

@@ -64,9 +64,39 @@ impl TruthInference for Zc {
             self.supports(dataset.task_type()),
         )?;
         let cat = Cat::build(self.name(), dataset, options, true)?;
+        self.infer_view(&cat, options)
+    }
+}
+
+impl Zc {
+    /// Run ZC directly on a prebuilt categorical view — the streaming
+    /// entry point (see `Ds::infer_view`). `options.warm_start` resumes
+    /// the per-worker reliabilities from the previous run (any
+    /// [`WorkerQuality`] that collapses to a probability-like scalar);
+    /// the posterior side of a warm start is implicit, since the first
+    /// E-step recomputes every posterior from the warmed reliabilities.
+    pub fn infer_view(
+        &self,
+        cat: &Cat,
+        options: &InferenceOptions,
+    ) -> Result<InferenceResult, InferenceError> {
+        if cat.num_answers() == 0 {
+            return Err(InferenceError::EmptyDataset);
+        }
+        crate::framework::validate_view_options(cat.m, options)?;
         let lm1 = (cat.l - 1).max(1) as f64;
 
         let mut quality = initial_accuracy(options, cat.m, 0.7);
+        if let Some(warm) = &options.warm_start {
+            for (w, q) in quality.iter_mut().enumerate() {
+                if let Some(prev) = warm.worker_quality.get(w).and_then(WorkerQuality::scalar) {
+                    // Converged ZC reliabilities already sit strictly
+                    // inside (0, 1); the clamp only guards foreign warm
+                    // states (e.g. unbounded weights).
+                    *q = prev.clamp(1e-6, 1.0 - 1e-6);
+                }
+            }
+        }
         let mut post = cat.majority_posteriors();
         // Pre-allocated scratch, including per-worker log tables
         // refreshed once per iteration (2m `ln` calls instead of |V|·ℓ):
@@ -225,6 +255,37 @@ mod tests {
         for &t in &split.golden {
             assert_eq!(Some(r.truths[t]), d.truth(t), "golden task {t} not clamped");
         }
+    }
+
+    #[test]
+    fn warm_start_reaches_cold_fixed_point_faster() {
+        use crate::framework::WarmStart;
+        let d = small_decision();
+        // Warm state from a default-tolerance run; the fixed-point
+        // comparison is made at a tight tolerance where the trajectory
+        // has settled (see the D&S warm-start test).
+        let seed_state = Zc::default()
+            .infer(&d, &InferenceOptions::seeded(5))
+            .unwrap();
+        let tight = InferenceOptions {
+            tolerance: 1e-9,
+            max_iterations: 500,
+            ..InferenceOptions::seeded(5)
+        };
+        let cold = Zc::default().infer(&d, &tight).unwrap();
+        let opts = InferenceOptions {
+            warm_start: Some(WarmStart::from_result(&seed_state)),
+            ..tight.clone()
+        };
+        let warm = Zc::default().infer(&d, &opts).unwrap();
+        assert!(warm.converged);
+        assert_eq!(warm.truths, cold.truths, "warm fixed point moved labels");
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm {} vs cold {} iterations",
+            warm.iterations,
+            cold.iterations
+        );
     }
 
     #[test]

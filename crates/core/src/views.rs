@@ -1,6 +1,8 @@
-//! Internal dense views of a dataset, shared by the method
-//! implementations — the data layer of the flat-memory inference
-//! substrate.
+//! Dense views of a dataset, shared by the method implementations — the
+//! data layer of the flat-memory inference substrate. Public so the
+//! streaming subsystem (`crowd-stream`) can maintain the same views
+//! incrementally and hand them straight to the view-level inference
+//! entry points (`Ds::infer_view` and friends).
 //!
 //! Methods iterate the answer log thousands of times. These views extract
 //! the labels/values once and store both adjacencies (per task `W_i`, per
@@ -20,7 +22,8 @@ use crate::framework::{InferenceError, InferenceOptions};
 /// Compressed sparse rows: `entries` holds each row's items contiguously,
 /// `offsets[i]..offsets[i+1]` delimits row `i`. Entry columns are `u32`
 /// (tasks and workers both fit comfortably), keeping the buffer compact.
-pub(crate) struct Csr<V> {
+#[derive(Debug)]
+pub struct Csr<V> {
     offsets: Vec<u32>,
     entries: Vec<(u32, V)>,
 }
@@ -79,11 +82,17 @@ impl<V: Copy> Csr<V> {
     pub fn num_entries(&self) -> usize {
         self.entries.len()
     }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
 }
 
 /// Dense categorical view: every answer as `(task, worker, label)` plus
 /// CSR adjacency in both directions and golden clamps.
-pub(crate) struct Cat {
+#[derive(Debug)]
+pub struct Cat {
     /// Number of tasks.
     pub n: usize,
     /// Number of workers.
@@ -150,6 +159,68 @@ impl Cat {
             worker_adj,
             golden,
         })
+    }
+
+    /// Assemble a view from prebuilt CSR adjacencies — the entry point
+    /// for callers (the streaming delta views) that maintain the
+    /// adjacencies themselves. Both CSRs must describe the same answer
+    /// log: `task_adj` keyed by task with `(worker, label)` entries,
+    /// `worker_adj` keyed by worker with `(task, label)` entries.
+    ///
+    /// # Panics
+    /// Panics if the row counts do not match `n`/`m`, the entry totals
+    /// disagree, `golden` is not `n` long, or any entry is out of range
+    /// (worker column ≥ `m`, task column ≥ `n`, label ≥ `l`) — the EM
+    /// loops index confusion tables and posterior rows by these values
+    /// unchecked, so a malformed view must fail fast here rather than
+    /// deep inside a method.
+    pub fn from_parts(
+        n: usize,
+        m: usize,
+        l: usize,
+        task_adj: Csr<u8>,
+        worker_adj: Csr<u8>,
+        golden: Vec<Option<u8>>,
+    ) -> Self {
+        assert_eq!(task_adj.num_rows(), n, "task adjacency row count");
+        assert_eq!(worker_adj.num_rows(), m, "worker adjacency row count");
+        assert_eq!(
+            task_adj.num_entries(),
+            worker_adj.num_entries(),
+            "adjacency entry totals disagree"
+        );
+        assert_eq!(golden.len(), n, "golden vector length");
+        for t in 0..n {
+            for &(worker, label) in task_adj.row(t) {
+                assert!(
+                    (worker as usize) < m,
+                    "task {t}: worker column {worker} ≥ {m}"
+                );
+                assert!((label as usize) < l, "task {t}: label {label} ≥ {l}");
+            }
+        }
+        for w in 0..m {
+            for &(task, label) in worker_adj.row(w) {
+                assert!((task as usize) < n, "worker {w}: task column {task} ≥ {n}");
+                assert!((label as usize) < l, "worker {w}: label {label} ≥ {l}");
+            }
+        }
+        for (t, g) in golden.iter().enumerate() {
+            if let Some(label) = g {
+                assert!(
+                    (*label as usize) < l,
+                    "golden task {t}: label {label} ≥ {l}"
+                );
+            }
+        }
+        Self {
+            n,
+            m,
+            l,
+            task_adj,
+            worker_adj,
+            golden,
+        }
     }
 
     /// Total answers in the view (`|V|`).
@@ -273,7 +344,8 @@ fn decode_row(p: &[f64], rng: &mut StdRng) -> u8 {
 }
 
 /// Dense numeric view (CSR, like [`Cat`] with `f64` values).
-pub(crate) struct Num {
+#[derive(Debug)]
+pub struct Num {
     /// Number of tasks.
     pub n: usize,
     /// Number of workers.
@@ -337,6 +409,60 @@ impl Num {
             worker_adj,
             golden,
         })
+    }
+
+    /// Assemble a numeric view from prebuilt CSR adjacencies (see
+    /// [`Cat::from_parts`]).
+    ///
+    /// # Panics
+    /// Panics if the row counts do not match `n`/`m`, the entry totals
+    /// disagree, `golden` is not `n` long or holds a non-finite value,
+    /// or any entry's column is out of range (worker ≥ `m`, task ≥ `n`).
+    pub fn from_parts(
+        n: usize,
+        m: usize,
+        task_adj: Csr<f64>,
+        worker_adj: Csr<f64>,
+        golden: Vec<Option<f64>>,
+    ) -> Self {
+        assert_eq!(task_adj.num_rows(), n, "task adjacency row count");
+        assert_eq!(worker_adj.num_rows(), m, "worker adjacency row count");
+        assert_eq!(
+            task_adj.num_entries(),
+            worker_adj.num_entries(),
+            "adjacency entry totals disagree"
+        );
+        assert_eq!(golden.len(), n, "golden vector length");
+        for t in 0..n {
+            for &(worker, _) in task_adj.row(t) {
+                assert!(
+                    (worker as usize) < m,
+                    "task {t}: worker column {worker} ≥ {m}"
+                );
+            }
+        }
+        for w in 0..m {
+            for &(task, _) in worker_adj.row(w) {
+                assert!((task as usize) < n, "worker {w}: task column {task} ≥ {n}");
+            }
+        }
+        for (t, g) in golden.iter().enumerate() {
+            if let Some(v) = g {
+                assert!(v.is_finite(), "golden task {t}: non-finite value {v}");
+            }
+        }
+        Self {
+            n,
+            m,
+            task_adj,
+            worker_adj,
+            golden,
+        }
+    }
+
+    /// Total answers in the view (`|V|`).
+    pub fn num_answers(&self) -> usize {
+        self.task_adj.num_entries()
     }
 
     /// Answers on task `t` as `(worker, value)` pairs, in record order.

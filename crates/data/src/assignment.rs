@@ -20,13 +20,19 @@
 //!   baseline pass of `base` answers per task, then the remaining budget
 //!   goes to the tasks whose current answer distribution has the highest
 //!   entropy.
+//!
+//! [`StreamSession`] turns a finished [`CollectionRun`] (or any static
+//! dataset) back into a *stream*: the answer log replayed in arrival
+//! order as fixed-size batches, which is what the `crowd-stream`
+//! incremental-inference engine consumes.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::builder::DatasetBuilder;
+use crate::error::DataError;
 use crate::generator::{CrowdSimulator, SimulatorConfig, WorkerParams};
-use crate::model::{Answer, Dataset};
+use crate::model::{Answer, AnswerRecord, Dataset};
 
 /// How the platform decides who answers what.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -65,17 +71,26 @@ pub struct CollectionRun {
 /// Worker behaviour (qualities, spammers) comes from the same
 /// [`CrowdSimulator`] machinery as the static datasets, so a strategy
 /// comparison isolates the *assignment* effect.
+///
+/// # Errors
+/// Returns [`DataError::Unsupported`] for numeric task universes — the
+/// assignment policies score answers against label pluralities, which
+/// have no numeric analogue here.
 pub fn collect(
     config: &SimulatorConfig,
     strategy: AssignmentStrategy,
     budget: usize,
     seed: u64,
-) -> CollectionRun {
-    assert!(
-        config.task_type.is_categorical(),
-        "assignment simulation covers categorical tasks"
-    );
-    let l = config.task_type.num_choices().expect("categorical") as usize;
+) -> Result<CollectionRun, DataError> {
+    let Some(choices) = config.task_type.num_choices() else {
+        return Err(DataError::Unsupported {
+            detail: format!(
+                "assignment simulation covers categorical tasks; '{}' is numeric",
+                config.name
+            ),
+        });
+    };
+    let l = choices as usize;
     let n = config.num_tasks;
     let m = config.num_workers;
 
@@ -328,9 +343,94 @@ pub fn collect(
                 .expect("valid truth");
         }
     }
-    CollectionRun {
+    Ok(CollectionRun {
         dataset: builder.build(),
         spent,
+    })
+}
+
+/// One batch of a replayed answer stream: the records that "arrived"
+/// during one tick, in arrival order.
+#[derive(Debug, Clone)]
+pub struct StreamBatch {
+    /// 0-based batch index (the tick).
+    pub round: usize,
+    /// Answers that arrived this tick, in arrival order.
+    pub records: Vec<AnswerRecord>,
+}
+
+/// Replays a collection run (or any dataset's answer log) as a sequence
+/// of timed batches — the stream source for the `crowd-stream`
+/// subsystem.
+///
+/// The simulator's answer log is already in *arrival order* (the order
+/// the platform issued assignments), so slicing it into consecutive
+/// batches reproduces the paper's §7(6) online setting: answers trickle
+/// in, and inference has to keep up incrementally instead of re-running
+/// from scratch.
+#[derive(Debug, Clone)]
+pub struct StreamSession {
+    records: Vec<AnswerRecord>,
+    batch_size: usize,
+    cursor: usize,
+    round: usize,
+}
+
+impl StreamSession {
+    /// Replay `run`'s answers in collection order, `batch_size` at a
+    /// time (the final batch may be shorter).
+    ///
+    /// # Panics
+    /// Panics if `batch_size == 0`.
+    pub fn replay(run: &CollectionRun, batch_size: usize) -> Self {
+        Self::from_records(run.dataset.records().to_vec(), batch_size)
+    }
+
+    /// Replay a static dataset's answer log as a stream (record order
+    /// stands in for arrival order).
+    ///
+    /// # Panics
+    /// Panics if `batch_size == 0`.
+    pub fn from_dataset(dataset: &Dataset, batch_size: usize) -> Self {
+        Self::from_records(dataset.records().to_vec(), batch_size)
+    }
+
+    fn from_records(records: Vec<AnswerRecord>, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        Self {
+            records,
+            batch_size,
+            cursor: 0,
+            round: 0,
+        }
+    }
+
+    /// Total answers in the session (delivered + pending).
+    pub fn num_answers(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Answers not yet delivered.
+    pub fn remaining(&self) -> usize {
+        self.records.len() - self.cursor
+    }
+}
+
+impl Iterator for StreamSession {
+    type Item = StreamBatch;
+
+    fn next(&mut self) -> Option<StreamBatch> {
+        if self.cursor >= self.records.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.records.len());
+        let batch = StreamBatch {
+            round: self.round,
+            records: self.records[self.cursor..end].to_vec(),
+        };
+        self.cursor = end;
+        self.round += 1;
+        Some(batch)
     }
 }
 
@@ -396,7 +496,7 @@ mod tests {
             AssignmentStrategy::QualityFocused { explore: 0.1 },
             AssignmentStrategy::UncertaintyAdaptive { base: 2 },
         ] {
-            let run = collect(&cfg, strategy, 600, 9);
+            let run = collect(&cfg, strategy, 600, 9).expect("categorical config");
             assert_eq!(run.spent, 600, "{strategy:?}");
             assert_eq!(run.dataset.num_answers(), 600);
             // No duplicate (task, worker) pairs by construction (builder
@@ -407,7 +507,8 @@ mod tests {
 
     #[test]
     fn uniform_spreads_answers_evenly() {
-        let run = collect(&base_config(), AssignmentStrategy::Uniform, 600, 3);
+        let run = collect(&base_config(), AssignmentStrategy::Uniform, 600, 3)
+            .expect("categorical config");
         for t in 0..run.dataset.num_tasks() {
             assert_eq!(run.dataset.task_degree(t), 4);
         }
@@ -420,7 +521,8 @@ mod tests {
             AssignmentStrategy::UncertaintyAdaptive { base: 2 },
             600,
             3,
-        );
+        )
+        .expect("categorical config");
         let degrees: Vec<usize> = (0..run.dataset.num_tasks())
             .map(|t| run.dataset.task_degree(t))
             .collect();
@@ -452,7 +554,11 @@ mod tests {
         let mean = |strategy: AssignmentStrategy| {
             seeds
                 .iter()
-                .map(|&s| acc(&collect(&cfg, strategy, 900, s).dataset))
+                .map(|&s| {
+                    acc(&collect(&cfg, strategy, 900, s)
+                        .expect("categorical")
+                        .dataset)
+                })
                 .sum::<f64>()
                 / seeds.len() as f64
         };
@@ -465,11 +571,54 @@ mod tests {
     }
 
     #[test]
+    fn numeric_config_yields_typed_error() {
+        let mut cfg = base_config();
+        cfg.task_type = TaskType::Numeric;
+        let err = collect(&cfg, AssignmentStrategy::Uniform, 100, 1)
+            .expect_err("numeric must be rejected");
+        assert!(matches!(err, crate::error::DataError::Unsupported { .. }));
+        assert!(err.to_string().contains("categorical"));
+    }
+
+    #[test]
+    fn stream_session_replays_run_in_arrival_order() {
+        let run = collect(&base_config(), AssignmentStrategy::Uniform, 450, 3)
+            .expect("categorical config");
+        let session = StreamSession::replay(&run, 100);
+        assert_eq!(session.num_answers(), 450);
+        let batches: Vec<_> = session.collect();
+        assert_eq!(batches.len(), 5);
+        assert_eq!(batches[4].records.len(), 50, "short final batch");
+        // Rounds are consecutive and the concatenation reproduces the
+        // collection log exactly.
+        let mut replayed = Vec::new();
+        for (i, b) in batches.iter().enumerate() {
+            assert_eq!(b.round, i);
+            replayed.extend_from_slice(&b.records);
+        }
+        assert_eq!(replayed.as_slice(), run.dataset.records());
+    }
+
+    #[test]
+    fn stream_session_remaining_tracks_cursor() {
+        let run = collect(&base_config(), AssignmentStrategy::Uniform, 120, 5)
+            .expect("categorical config");
+        let mut session = StreamSession::replay(&run, 50);
+        assert_eq!(session.remaining(), 120);
+        session.next().unwrap();
+        assert_eq!(session.remaining(), 70);
+        session.next().unwrap();
+        session.next().unwrap();
+        assert_eq!(session.remaining(), 0);
+        assert!(session.next().is_none());
+    }
+
+    #[test]
     fn budget_capped_by_universe() {
         let mut cfg = base_config();
         cfg.num_tasks = 10;
         cfg.num_workers = 4;
-        let run = collect(&cfg, AssignmentStrategy::Uniform, 10_000, 1);
+        let run = collect(&cfg, AssignmentStrategy::Uniform, 10_000, 1).expect("categorical");
         assert_eq!(run.spent, 40, "cannot spend past n × m");
     }
 }

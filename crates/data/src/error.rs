@@ -31,6 +31,12 @@ pub enum DataError {
         /// The worker index.
         worker: usize,
     },
+    /// The requested operation does not support this configuration
+    /// (e.g. the assignment simulator on a numeric task universe).
+    Unsupported {
+        /// What was asked and why it cannot be served.
+        detail: String,
+    },
     /// A malformed line or value in a TSV file.
     Parse {
         /// 1-based line number.
@@ -61,6 +67,7 @@ impl fmt::Display for DataError {
             Self::DuplicateAnswer { task, worker } => {
                 write!(f, "worker {worker} answered task {task} more than once")
             }
+            Self::Unsupported { detail } => write!(f, "unsupported: {detail}"),
             Self::Parse { line, detail } => write!(f, "parse error at line {line}: {detail}"),
             Self::Io(e) => write!(f, "io error: {e}"),
         }

@@ -35,7 +35,7 @@ pub mod model;
 pub mod redundancy;
 pub mod toy;
 
-pub use assignment::{collect, AssignmentStrategy, CollectionRun};
+pub use assignment::{collect, AssignmentStrategy, CollectionRun, StreamBatch, StreamSession};
 pub use builder::DatasetBuilder;
 pub use error::DataError;
 pub use generator::{CrowdSimulator, HardTaskMode, SimulatorConfig, WorkerModel};

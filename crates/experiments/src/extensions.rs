@@ -68,7 +68,8 @@ pub fn assignment_comparison(config: &ExpConfig) -> (Vec<Method>, Vec<Assignment
                     let methods = methods.clone();
                     let seed = config.seed + 101 * rep as u64;
                     Box::new(move || {
-                        let run = collect(&sim_cfg, strategy, budget, seed);
+                        let run = collect(&sim_cfg, strategy, budget, seed)
+                            .expect("decision-making config is categorical");
                         let d = &run.dataset;
                         let mut correct = 0usize;
                         for r in d.records() {

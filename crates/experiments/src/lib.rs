@@ -12,6 +12,7 @@
 //! | [`full_eval::table6`] | Table 6 — quality & running time, complete data |
 //! | [`qualification::table7`] | Table 7 — qualification-test benefit |
 //! | [`hidden::hidden_sweep`] | Figures 7–9 — quality vs golden fraction `p%` |
+//! | [`streaming::streaming_curve`] | §7(6) extension — accuracy vs answers seen, warm vs cold |
 //!
 //! All runners are deterministic given an [`ExpConfig`] (scale, repeat
 //! count, base seed) and return plain data structures; the `crowd-repro`
@@ -26,6 +27,7 @@ pub mod qualification;
 pub mod report;
 pub mod run;
 pub mod stats_tables;
+pub mod streaming;
 pub mod sweep;
 
 pub use run::{evaluate, EvalOutcome};

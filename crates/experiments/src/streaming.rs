@@ -1,0 +1,152 @@
+//! Streaming sweep — accuracy as answers arrive, warm vs cold
+//! re-convergence (the serving-shaped experiment the paper's §7(6)
+//! future-work points at, built on `crowd-stream`).
+//!
+//! A simulated collection run ([`crowd_data::collect`], uniform
+//! assignment — arrival order interleaves answers across the task
+//! universe) is replayed as timed batches into a [`StreamEngine`]; after
+//! every batch the engine re-converges twice: once **cold** (from
+//! majority vote, the batch baseline) and once **warm** (from the
+//! previous converged state). The curve records quality versus answers
+//! seen and the iteration cost of both paths.
+
+use crowd_core::Method;
+use crowd_data::datasets::PaperDataset;
+use crowd_data::{collect, AssignmentStrategy, DataError, StreamSession};
+use crowd_metrics::accuracy;
+use crowd_stream::{StreamConfig, StreamEngine, StreamError};
+
+use crate::ExpConfig;
+
+/// One point of the streaming curve (one batch).
+#[derive(Debug, Clone)]
+pub struct StreamCurvePoint {
+    /// 0-based batch index.
+    pub round: usize,
+    /// Answers incorporated after this batch.
+    pub answers_seen: usize,
+    /// Accuracy of the warm path's estimates against ground truth.
+    pub accuracy_warm: f64,
+    /// Accuracy of the cold-restart baseline.
+    pub accuracy_cold: f64,
+    /// EM iterations of the warm re-convergence.
+    pub iterations_warm: usize,
+    /// EM iterations of the cold restart.
+    pub iterations_cold: usize,
+}
+
+/// Errors of the streaming sweep.
+#[derive(Debug)]
+pub enum StreamingSweepError {
+    /// The collection simulation rejected the configuration.
+    Collection(DataError),
+    /// The streaming engine rejected the session or a batch.
+    Stream(StreamError),
+}
+
+impl std::fmt::Display for StreamingSweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Collection(e) => write!(f, "collection failed: {e}"),
+            Self::Stream(e) => write!(f, "streaming failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamingSweepError {}
+
+/// Replay a collection run over `dataset_id`'s configuration as
+/// `batches` equal batches and measure the accuracy-vs-answers-seen
+/// curve for `method`, warm vs cold.
+pub fn streaming_curve(
+    dataset_id: PaperDataset,
+    method: Method,
+    batches: usize,
+    config: &ExpConfig,
+) -> Result<Vec<StreamCurvePoint>, StreamingSweepError> {
+    let sim_cfg = dataset_id.config(config.scale);
+    let budget = sim_cfg.num_tasks * sim_cfg.redundancy.max(1);
+    let run = collect(&sim_cfg, AssignmentStrategy::Uniform, budget, config.seed)
+        .map_err(StreamingSweepError::Collection)?;
+    let dataset = &run.dataset;
+
+    let mut engine = StreamEngine::new(StreamConfig::new(
+        method,
+        dataset.task_type(),
+        dataset.num_tasks(),
+        dataset.num_workers(),
+    ))
+    .map_err(StreamingSweepError::Stream)?;
+
+    let batch_size = dataset.num_answers().div_ceil(batches.max(1));
+    let mut curve = Vec::new();
+    for batch in StreamSession::replay(&run, batch_size) {
+        engine
+            .push_batch(&batch.records)
+            .map_err(|(_, e)| StreamingSweepError::Stream(e))?;
+        let cold = engine
+            .converge_cold()
+            .map_err(StreamingSweepError::Stream)?;
+        let warm = engine.converge().map_err(StreamingSweepError::Stream)?;
+        curve.push(StreamCurvePoint {
+            round: batch.round,
+            answers_seen: warm.answers_seen,
+            accuracy_warm: accuracy(dataset, &warm.result.truths),
+            accuracy_cold: accuracy(dataset, &cold.result.truths),
+            iterations_warm: warm.result.iterations,
+            iterations_cold: cold.result.iterations,
+        });
+    }
+    Ok(curve)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_rises_and_warm_is_cheaper_overall() {
+        let cfg = ExpConfig {
+            scale: 0.08,
+            repeats: 1,
+            seed: 11,
+            threads: 1,
+        };
+        let curve = streaming_curve(PaperDataset::DProduct, Method::Ds, 6, &cfg).expect("runs");
+        assert_eq!(curve.len(), 6);
+        // Quality improves as answers accumulate (allowing small noise).
+        let first = curve.first().unwrap();
+        let last = curve.last().unwrap();
+        assert!(
+            last.accuracy_warm >= first.accuracy_warm - 0.02,
+            "accuracy fell along the stream: {} → {}",
+            first.accuracy_warm,
+            last.accuracy_warm
+        );
+        // Warm and cold agree closely on final quality.
+        assert!(
+            (last.accuracy_warm - last.accuracy_cold).abs() < 0.03,
+            "warm {} vs cold {} final accuracy",
+            last.accuracy_warm,
+            last.accuracy_cold
+        );
+        // And the warm path re-converges in strictly fewer total
+        // iterations.
+        let warm: usize = curve.iter().map(|p| p.iterations_warm).sum();
+        let cold: usize = curve.iter().map(|p| p.iterations_cold).sum();
+        assert!(warm < cold, "warm {warm} vs cold {cold} total iterations");
+    }
+
+    #[test]
+    fn numeric_dataset_is_rejected_with_typed_error() {
+        let cfg = ExpConfig {
+            scale: 0.1,
+            repeats: 1,
+            seed: 1,
+            threads: 1,
+        };
+        let err = streaming_curve(PaperDataset::NEmotion, Method::Ds, 4, &cfg)
+            .expect_err("numeric config must be rejected");
+        assert!(matches!(err, StreamingSweepError::Collection(_)));
+    }
+}

@@ -1,0 +1,456 @@
+//! Delta-buffered CSR answer views — the data layer of the streaming
+//! subsystem.
+//!
+//! The batch substrate stores a dataset's adjacencies in CSR form
+//! ([`crowd_core::views::Cat`]/[`Num`]): one flat entry buffer per
+//! direction, rebuilt from scratch by `from_triples`. A stream cannot
+//! afford that rebuild per answer, so the delta views split the log in
+//! two:
+//!
+//! - a **base** CSR holding the compacted prefix of the arrival-order
+//!   answer log, and
+//! - an **append-side delta buffer**: per-row `Vec`s holding the suffix
+//!   that arrived since the last compaction (`O(1)` amortised per
+//!   answer).
+//!
+//! A row's logical view is the base slice chained with its delta — and
+//! because the base always covers a *prefix* of arrival order and the
+//! counting sort inside `from_triples` is stable, that chained sequence
+//! is exactly the row a one-shot build over the full log would produce.
+//! [`DeltaCat::compact`] rebuilds the base from the full log, so the
+//! compacted view is **bit-identical to a full `from_triples` rebuild**
+//! regardless of how appends and compactions interleave (property-tested
+//! in `tests/delta_equivalence.rs`).
+
+use crowd_core::views::{Cat, Csr, Num};
+
+use crate::StreamError;
+
+/// Default auto-compaction policy: compact when the delta suffix exceeds
+/// this fraction of the compacted prefix (and at least
+/// [`COMPACT_MIN_DELTA`] answers), which keeps the amortised maintenance
+/// cost per answer constant.
+pub const COMPACT_FRACTION: f64 = 0.25;
+
+/// Never auto-compact below this many buffered answers — tiny rebuilds
+/// cost more in constant overhead than the delta walk saves.
+pub const COMPACT_MIN_DELTA: usize = 1024;
+
+/// An incrementally maintained categorical answer view: base CSR plus
+/// delta buffer, with compaction into a [`Cat`] the view-level inference
+/// entry points (`Ds::infer_view` &c.) consume directly.
+#[derive(Debug)]
+pub struct DeltaCat {
+    n: usize,
+    m: usize,
+    l: usize,
+    /// Full answer log in arrival order (`(task, worker, label)`).
+    records: Vec<(u32, u32, u8)>,
+    /// How many of `records` are reflected in `base`.
+    compacted: usize,
+    /// CSR views over `records[..compacted]`.
+    base: Cat,
+    /// Arrival-order suffix per task: `(worker, label)`.
+    delta_by_task: Vec<Vec<(u32, u8)>>,
+    /// Arrival-order suffix per worker: `(task, label)`.
+    delta_by_worker: Vec<Vec<(u32, u8)>>,
+}
+
+impl DeltaCat {
+    /// An empty view over a fixed `n × m` universe with `l` choices.
+    ///
+    /// # Panics
+    /// Panics if `l == 0`.
+    pub fn new(n: usize, m: usize, l: usize) -> Self {
+        assert!(l > 0, "need at least one choice");
+        Self {
+            n,
+            m,
+            l,
+            records: Vec::new(),
+            compacted: 0,
+            base: build_cat(n, m, l, &[]),
+            delta_by_task: vec![Vec::new(); n],
+            delta_by_worker: vec![Vec::new(); m],
+        }
+    }
+
+    /// Number of tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.n
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.m
+    }
+
+    /// Number of choices ℓ.
+    pub fn num_choices(&self) -> usize {
+        self.l
+    }
+
+    /// Total answers (compacted + buffered).
+    pub fn num_answers(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Answers buffered since the last compaction.
+    pub fn delta_len(&self) -> usize {
+        self.records.len() - self.compacted
+    }
+
+    /// Whether the base CSR reflects every answer.
+    pub fn is_compacted(&self) -> bool {
+        self.delta_len() == 0
+    }
+
+    /// Append one answer. Validates ranges; duplicate detection is the
+    /// caller's job (the [`crate::StreamEngine`] tracks a seen-set).
+    pub fn push(&mut self, task: usize, worker: usize, label: u8) -> Result<(), StreamError> {
+        if task >= self.n {
+            return Err(StreamError::TaskOutOfRange {
+                task,
+                num_tasks: self.n,
+            });
+        }
+        if worker >= self.m {
+            return Err(StreamError::WorkerOutOfRange {
+                worker,
+                num_workers: self.m,
+            });
+        }
+        if label as usize >= self.l {
+            return Err(StreamError::LabelOutOfRange {
+                label,
+                num_choices: self.l,
+            });
+        }
+        self.records.push((task as u32, worker as u32, label));
+        self.delta_by_task[task].push((worker as u32, label));
+        self.delta_by_worker[worker].push((task as u32, label));
+        Ok(())
+    }
+
+    /// Merge the delta buffer into the base CSR. After this call
+    /// [`Self::as_cat`] serves every answer from flat memory. The rebuilt
+    /// base is bit-identical to a one-shot `from_triples` build over the
+    /// full arrival-order log.
+    pub fn compact(&mut self) {
+        if self.is_compacted() {
+            return;
+        }
+        self.base = build_cat(self.n, self.m, self.l, &self.records);
+        self.compacted = self.records.len();
+        for row in &mut self.delta_by_task {
+            row.clear();
+        }
+        for row in &mut self.delta_by_worker {
+            row.clear();
+        }
+    }
+
+    /// Compact when the delta has outgrown the policy bounds (see
+    /// [`COMPACT_FRACTION`]); returns whether a compaction ran.
+    pub fn maybe_compact(&mut self) -> bool {
+        let delta = self.delta_len();
+        if delta >= COMPACT_MIN_DELTA && delta as f64 >= self.compacted as f64 * COMPACT_FRACTION {
+            self.compact();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The fully-compacted CSR view, for the view-level inference entry
+    /// points.
+    ///
+    /// # Panics
+    /// Panics if the delta buffer is non-empty — call [`Self::compact`]
+    /// first (the engine does).
+    pub fn as_cat(&self) -> &Cat {
+        assert!(
+            self.is_compacted(),
+            "view has {} uncompacted answers",
+            self.delta_len()
+        );
+        &self.base
+    }
+
+    /// Answers on task `t` — base slice chained with the delta suffix,
+    /// in arrival order, without compacting.
+    pub fn task_answers(&self, t: usize) -> impl Iterator<Item = (u32, u8)> + '_ {
+        self.base
+            .task_row(t)
+            .iter()
+            .copied()
+            .chain(self.delta_by_task[t].iter().copied())
+    }
+
+    /// Answers by worker `w` — base slice chained with the delta suffix,
+    /// in arrival order, without compacting.
+    pub fn worker_answers(&self, w: usize) -> impl Iterator<Item = (u32, u8)> + '_ {
+        self.base
+            .worker_row(w)
+            .iter()
+            .copied()
+            .chain(self.delta_by_worker[w].iter().copied())
+    }
+
+    /// Per-task plurality label over *all* answers (including the
+    /// uncompacted delta): the O(answers-on-task) live estimate served
+    /// between converges. `None` for unanswered tasks; exact ties go to
+    /// the smallest label (deterministic).
+    pub fn plurality(&self, t: usize, counts: &mut Vec<usize>) -> Option<u8> {
+        counts.clear();
+        counts.resize(self.l, 0);
+        let mut any = false;
+        for (_, label) in self.task_answers(t) {
+            counts[label as usize] += 1;
+            any = true;
+        }
+        if !any {
+            return None;
+        }
+        let mut best = 0usize;
+        for (k, &c) in counts.iter().enumerate() {
+            if c > counts[best] {
+                best = k;
+            }
+        }
+        Some(best as u8)
+    }
+
+    /// Answers by worker `w` so far (base + delta), without compacting.
+    pub fn worker_answer_count(&self, w: usize) -> usize {
+        self.base.worker_len(w) + self.delta_by_worker[w].len()
+    }
+
+    /// The full arrival-order log (for materialising datasets/fixtures).
+    pub fn records(&self) -> &[(u32, u32, u8)] {
+        &self.records
+    }
+}
+
+fn build_cat(n: usize, m: usize, l: usize, records: &[(u32, u32, u8)]) -> Cat {
+    let task_adj = Csr::from_triples(n, records.iter().map(|&(t, w, v)| (t as usize, w, v)));
+    let worker_adj = Csr::from_triples(m, records.iter().map(|&(t, w, v)| (w as usize, t, v)));
+    Cat::from_parts(n, m, l, task_adj, worker_adj, vec![None; n])
+}
+
+/// An incrementally maintained numeric answer view (the [`Num`]
+/// counterpart of [`DeltaCat`]): same base + delta design, same
+/// compaction guarantee.
+#[derive(Debug)]
+pub struct DeltaNum {
+    n: usize,
+    m: usize,
+    records: Vec<(u32, u32, f64)>,
+    compacted: usize,
+    base: Num,
+    delta_by_task: Vec<Vec<(u32, f64)>>,
+    delta_by_worker: Vec<Vec<(u32, f64)>>,
+}
+
+impl DeltaNum {
+    /// An empty view over a fixed `n × m` universe.
+    pub fn new(n: usize, m: usize) -> Self {
+        Self {
+            n,
+            m,
+            records: Vec::new(),
+            compacted: 0,
+            base: build_num(n, m, &[]),
+            delta_by_task: vec![Vec::new(); n],
+            delta_by_worker: vec![Vec::new(); m],
+        }
+    }
+
+    /// Number of tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.n
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.m
+    }
+
+    /// Total answers (compacted + buffered).
+    pub fn num_answers(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Answers buffered since the last compaction.
+    pub fn delta_len(&self) -> usize {
+        self.records.len() - self.compacted
+    }
+
+    /// Whether the base CSR reflects every answer.
+    pub fn is_compacted(&self) -> bool {
+        self.delta_len() == 0
+    }
+
+    /// Append one numeric answer (must be finite).
+    pub fn push(&mut self, task: usize, worker: usize, value: f64) -> Result<(), StreamError> {
+        if task >= self.n {
+            return Err(StreamError::TaskOutOfRange {
+                task,
+                num_tasks: self.n,
+            });
+        }
+        if worker >= self.m {
+            return Err(StreamError::WorkerOutOfRange {
+                worker,
+                num_workers: self.m,
+            });
+        }
+        if !value.is_finite() {
+            return Err(StreamError::NonFiniteValue { value });
+        }
+        self.records.push((task as u32, worker as u32, value));
+        self.delta_by_task[task].push((worker as u32, value));
+        self.delta_by_worker[worker].push((task as u32, value));
+        Ok(())
+    }
+
+    /// Merge the delta buffer into the base CSR (bit-identical to a
+    /// one-shot rebuild over the full log).
+    pub fn compact(&mut self) {
+        if self.is_compacted() {
+            return;
+        }
+        self.base = build_num(self.n, self.m, &self.records);
+        self.compacted = self.records.len();
+        for row in &mut self.delta_by_task {
+            row.clear();
+        }
+        for row in &mut self.delta_by_worker {
+            row.clear();
+        }
+    }
+
+    /// The fully-compacted numeric view.
+    ///
+    /// # Panics
+    /// Panics if the delta buffer is non-empty.
+    pub fn as_num(&self) -> &Num {
+        assert!(
+            self.is_compacted(),
+            "view has {} uncompacted answers",
+            self.delta_len()
+        );
+        &self.base
+    }
+
+    /// Answers on task `t` — base chained with delta, in arrival order.
+    pub fn task_answers(&self, t: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.base
+            .task(t)
+            .map(|(w, v)| (w as u32, v))
+            .chain(self.delta_by_task[t].iter().copied())
+    }
+
+    /// Running mean estimate per task over all answers (including the
+    /// uncompacted delta); `None` for unanswered tasks.
+    pub fn mean(&self, t: usize) -> Option<f64> {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (_, v) in self.task_answers(t) {
+            total += v;
+            count += 1;
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(total / count as f64)
+        }
+    }
+}
+
+fn build_num(n: usize, m: usize, records: &[(u32, u32, f64)]) -> Num {
+    let task_adj = Csr::from_triples(n, records.iter().map(|&(t, w, v)| (t as usize, w, v)));
+    let worker_adj = Csr::from_triples(m, records.iter().map(|&(t, w, v)| (w as usize, t, v)));
+    Num::from_parts(n, m, task_adj, worker_adj, vec![None; n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_validates_ranges() {
+        let mut v = DeltaCat::new(3, 2, 2);
+        assert!(v.push(0, 0, 1).is_ok());
+        assert!(matches!(
+            v.push(3, 0, 0),
+            Err(StreamError::TaskOutOfRange { .. })
+        ));
+        assert!(matches!(
+            v.push(0, 2, 0),
+            Err(StreamError::WorkerOutOfRange { .. })
+        ));
+        assert!(matches!(
+            v.push(0, 1, 2),
+            Err(StreamError::LabelOutOfRange { .. })
+        ));
+        assert_eq!(v.num_answers(), 1);
+    }
+
+    #[test]
+    fn chained_rows_see_delta_before_compaction() {
+        let mut v = DeltaCat::new(2, 2, 2);
+        v.push(0, 0, 1).unwrap();
+        v.compact();
+        v.push(0, 1, 0).unwrap();
+        assert!(!v.is_compacted());
+        let row: Vec<(u32, u8)> = v.task_answers(0).collect();
+        assert_eq!(row, vec![(0, 1), (1, 0)]);
+        let wrow: Vec<(u32, u8)> = v.worker_answers(1).collect();
+        assert_eq!(wrow, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn plurality_counts_delta_and_breaks_ties_low() {
+        let mut v = DeltaCat::new(2, 3, 3);
+        let mut scratch = Vec::new();
+        assert_eq!(v.plurality(0, &mut scratch), None);
+        v.push(0, 0, 2).unwrap();
+        v.compact();
+        v.push(0, 1, 1).unwrap();
+        assert_eq!(v.plurality(0, &mut scratch), Some(1), "tie goes low");
+        v.push(0, 2, 2).unwrap();
+        assert_eq!(v.plurality(0, &mut scratch), Some(2));
+    }
+
+    #[test]
+    fn maybe_compact_follows_policy() {
+        let mut v = DeltaCat::new(10, 10, 2);
+        for i in 0..100 {
+            v.push(i % 10, (i / 10) % 10, (i % 2) as u8).unwrap();
+        }
+        // Below COMPACT_MIN_DELTA: no auto-compaction.
+        assert!(!v.maybe_compact());
+        assert_eq!(v.delta_len(), 100);
+        v.compact();
+        assert!(v.is_compacted());
+        assert_eq!(v.num_answers(), 100);
+    }
+
+    #[test]
+    fn numeric_view_round_trips() {
+        let mut v = DeltaNum::new(2, 2);
+        v.push(0, 0, 1.0).unwrap();
+        v.push(0, 1, 3.0).unwrap();
+        assert!(matches!(
+            v.push(1, 0, f64::NAN),
+            Err(StreamError::NonFiniteValue { .. })
+        ));
+        assert_eq!(v.mean(0), Some(2.0));
+        assert_eq!(v.mean(1), None);
+        v.compact();
+        assert_eq!(v.as_num().task_len(0), 2);
+        v.push(1, 0, -4.0).unwrap();
+        assert_eq!(v.mean(1), Some(-4.0));
+    }
+}

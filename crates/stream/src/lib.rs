@@ -1,0 +1,166 @@
+//! # crowd-stream — incremental truth inference over live answer streams
+//!
+//! The benchmark paper treats truth inference as a static batch problem;
+//! its future-work section (§7(6)) asks what happens when answers
+//! *arrive over time*. This crate is that answer, built on the
+//! flat-memory substrate:
+//!
+//! - **Delta-buffered CSR views** ([`DeltaCat`]/[`DeltaNum`]): `O(1)`
+//!   amortised appends into per-row delta buffers on top of the compacted
+//!   base CSR, with periodic compaction that is bit-identical to a full
+//!   `from_triples` rebuild (property-tested over arbitrary interleavings
+//!   of appends and compactions).
+//! - **Warm-start re-convergence** ([`StreamEngine`]): each batch
+//!   re-converges the method from the previous converged posteriors and
+//!   worker-quality parameters (`crowd_core::WarmStart`) instead of from
+//!   majority vote, via the view-level entry points (`Ds::infer_view`
+//!   &c.) — no dataset materialisation, no cold restart. On the paper's
+//!   categorical datasets this cuts per-batch EM iterations by roughly
+//!   an order of magnitude (see `BENCH_stream.json`).
+//! - **Typed errors** ([`StreamError`]): malformed answers are rejected
+//!   per record, leaving the engine state untouched.
+//!
+//! The stream *source* lives in `crowd-data`
+//! ([`StreamSession`](crowd_data::StreamSession) replays simulated
+//! collection runs as timed batches); the accuracy-vs-answers-seen sweep
+//! lives in `crowd-experiments`; `crowd-bench` ships the
+//! `crowd-stream-bench` binary that emits `BENCH_stream.json`.
+//!
+//! ```
+//! use crowd_core::Method;
+//! use crowd_data::{datasets::PaperDataset, StreamSession};
+//! use crowd_stream::{StreamConfig, StreamEngine};
+//!
+//! let d = PaperDataset::DPosSent.generate(0.05, 7);
+//! let mut engine = StreamEngine::new(StreamConfig::new(
+//!     Method::Ds,
+//!     d.task_type(),
+//!     d.num_tasks(),
+//!     d.num_workers(),
+//! ))
+//! .unwrap();
+//! for batch in StreamSession::from_dataset(&d, 250) {
+//!     engine.push_batch(&batch.records).unwrap();
+//!     let report = engine.converge().unwrap();
+//!     assert!(report.result.converged);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod delta;
+pub mod engine;
+
+pub use delta::{DeltaCat, DeltaNum};
+pub use engine::{StreamConfig, StreamEngine, StreamReport};
+
+use crowd_core::InferenceError;
+use crowd_data::TaskType;
+use std::fmt;
+
+/// Errors raised by the streaming subsystem.
+#[derive(Debug)]
+pub enum StreamError {
+    /// An answer referenced a task outside the session's universe.
+    TaskOutOfRange {
+        /// The offending task index.
+        task: usize,
+        /// Tasks in the session.
+        num_tasks: usize,
+    },
+    /// An answer referenced a worker outside the session's universe.
+    WorkerOutOfRange {
+        /// The offending worker index.
+        worker: usize,
+        /// Workers in the session.
+        num_workers: usize,
+    },
+    /// A categorical answer used a label outside `0..ℓ`.
+    LabelOutOfRange {
+        /// The offending label.
+        label: u8,
+        /// Number of choices ℓ.
+        num_choices: usize,
+    },
+    /// A numeric answer was not finite.
+    NonFiniteValue {
+        /// The offending value.
+        value: f64,
+    },
+    /// The same worker answered the same task twice.
+    DuplicateAnswer {
+        /// The task index.
+        task: usize,
+        /// The worker index.
+        worker: usize,
+    },
+    /// An answer's kind did not match the stream's task type.
+    AnswerKindMismatch {
+        /// What was wrong.
+        detail: String,
+    },
+    /// The session's task type has no streaming path.
+    UnsupportedTaskType {
+        /// The offending task type.
+        task_type: TaskType,
+    },
+    /// The method has no streaming (warm-start) path.
+    UnsupportedMethod {
+        /// The method's display name.
+        method: &'static str,
+    },
+    /// `converge` was called before any answer arrived.
+    EmptyStream,
+    /// The underlying inference run failed.
+    Inference(InferenceError),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TaskOutOfRange { task, num_tasks } => {
+                write!(f, "task {task} out of range (session has {num_tasks})")
+            }
+            Self::WorkerOutOfRange {
+                worker,
+                num_workers,
+            } => {
+                write!(
+                    f,
+                    "worker {worker} out of range (session has {num_workers})"
+                )
+            }
+            Self::LabelOutOfRange { label, num_choices } => {
+                write!(f, "label {label} out of range (ℓ = {num_choices})")
+            }
+            Self::NonFiniteValue { value } => write!(f, "non-finite numeric answer {value}"),
+            Self::DuplicateAnswer { task, worker } => {
+                write!(f, "worker {worker} already answered task {task}")
+            }
+            Self::AnswerKindMismatch { detail } => write!(f, "answer kind mismatch: {detail}"),
+            Self::UnsupportedTaskType { task_type } => {
+                write!(f, "no streaming path for task type {task_type:?}")
+            }
+            Self::UnsupportedMethod { method } => {
+                write!(f, "method {method} has no streaming (warm-start) path")
+            }
+            Self::EmptyStream => write!(f, "stream has no answers yet"),
+            Self::Inference(e) => write!(f, "inference failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Inference(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<InferenceError> for StreamError {
+    fn from(e: InferenceError) -> Self {
+        Self::Inference(e)
+    }
+}

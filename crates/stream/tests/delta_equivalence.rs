@@ -1,0 +1,148 @@
+//! Delta-CSR equivalence: **any** interleaving of appends and
+//! compactions yields views bit-identical to a one-shot `Cat::build` /
+//! `Num::build` over the same records.
+//!
+//! The argument the property pins down: the base CSR always covers a
+//! *prefix* of the arrival-order log, per-row delta buffers hold the
+//! suffix in arrival order, and `Csr::from_triples` is a stable counting
+//! sort — so a row's chained (base + delta) sequence equals the row of a
+//! full rebuild, at every point in time, no matter when compactions
+//! happened.
+
+use crowd_core::views::{Cat, Num};
+use crowd_core::InferenceOptions;
+use crowd_data::DatasetBuilder;
+use crowd_data::TaskType;
+use crowd_stream::{DeltaCat, DeltaNum};
+use proptest::prelude::*;
+
+/// One stream event: `(task, worker, label, compaction coin)`.
+type StreamEvent = (usize, usize, u8, u8);
+
+/// A random stream: unique `(task, worker)` edges with labels, plus a
+/// compaction coin per edge (compact after pushing that edge).
+fn arb_stream() -> impl Strategy<Value = (usize, usize, u8, Vec<StreamEvent>)> {
+    (2usize..12, 2usize..8, 2u8..5).prop_flat_map(|(n, m, l)| {
+        // The final `0u8..2` draw is a compaction coin (the vendored
+        // proptest has no bool strategy): 1 = compact after this push.
+        proptest::collection::vec((0..n, 0..m, 0..l, 0u8..2), 0..(n * m).min(90)).prop_map(
+            move |edges| {
+                let mut seen = std::collections::HashSet::new();
+                let unique: Vec<_> = edges
+                    .into_iter()
+                    .filter(|&(t, w, _, _)| seen.insert((t, w)))
+                    .collect();
+                (n, m, l, unique)
+            },
+        )
+    })
+}
+
+/// One-shot reference build over a record prefix, via the same
+/// `Cat::build` path the batch methods use.
+fn reference_cat(n: usize, m: usize, l: u8, records: &[(usize, usize, u8, u8)]) -> Cat {
+    let mut b = DatasetBuilder::new("ref", TaskType::SingleChoice { choices: l }, n, m);
+    for &(t, w, label, _) in records {
+        b.add_label(t, w, label).expect("unique valid edge");
+    }
+    Cat::build("ref", &b.build(), &InferenceOptions::default(), false).expect("categorical")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// At every step of the stream — whatever the interleaving of
+    /// appends and compactions — the chained views match the one-shot
+    /// build over the records pushed so far; and after a final
+    /// compaction the produced `Cat` is bit-identical to `Cat::build`.
+    #[test]
+    fn any_interleaving_matches_one_shot_build((n, m, l, stream) in arb_stream()) {
+        let mut delta = DeltaCat::new(n, m, l as usize);
+        for (step, &(t, w, label, compact_now)) in stream.iter().enumerate() {
+            delta.push(t, w, label).expect("valid edge");
+            if compact_now == 1 {
+                delta.compact();
+            }
+            // Compare the live chained views against a one-shot build of
+            // the prefix (cheap datasets, few cases — exhaustive on
+            // every step is the point).
+            let reference = reference_cat(n, m, l, &stream[..=step]);
+            prop_assert_eq!(delta.num_answers(), reference.num_answers());
+            for task in 0..n {
+                let live: Vec<(u32, u8)> = delta.task_answers(task).collect();
+                let want: Vec<(u32, u8)> = reference.task_row(task).to_vec();
+                prop_assert_eq!(&live, &want, "task {} at step {}", task, step);
+            }
+            for worker in 0..m {
+                let live: Vec<(u32, u8)> = delta.worker_answers(worker).collect();
+                let want: Vec<(u32, u8)> = reference.worker_row(worker).to_vec();
+                prop_assert_eq!(&live, &want, "worker {} at step {}", worker, step);
+            }
+        }
+        // Final compaction: the materialised `Cat` itself is
+        // bit-identical to the one-shot build (same slices row by row).
+        delta.compact();
+        let cat = delta.as_cat();
+        let reference = reference_cat(n, m, l, &stream);
+        prop_assert_eq!(cat.n, reference.n);
+        prop_assert_eq!(cat.m, reference.m);
+        prop_assert_eq!(cat.l, reference.l);
+        for task in 0..n {
+            prop_assert_eq!(cat.task_row(task), reference.task_row(task));
+        }
+        for worker in 0..m {
+            prop_assert_eq!(cat.worker_row(worker), reference.worker_row(worker));
+        }
+    }
+
+    /// The numeric delta view honours the same guarantee, with `f64`
+    /// values compared as bit patterns.
+    #[test]
+    fn numeric_interleaving_matches_one_shot_build(
+        (n, m, edges) in (2usize..10, 2usize..6).prop_flat_map(|(n, m)| {
+            proptest::collection::vec(
+                (0..n, 0..m, -100.0f64..100.0, 0u8..2),
+                0..(n * m).min(60),
+            )
+            .prop_map(move |edges| {
+                let mut seen = std::collections::HashSet::new();
+                let unique: Vec<_> = edges
+                    .into_iter()
+                    .filter(|&(t, w, _, _)| seen.insert((t, w)))
+                    .collect();
+                (n, m, unique)
+            })
+        })
+    ) {
+        let mut delta = DeltaNum::new(n, m);
+        let mut b = DatasetBuilder::new("refn", TaskType::Numeric, n, m);
+        for &(t, w, v, compact_now) in &edges {
+            delta.push(t, w, v).expect("finite value");
+            b.add_numeric(t, w, v).expect("unique valid edge");
+            if compact_now == 1 {
+                delta.compact();
+            }
+        }
+        delta.compact();
+        let reference =
+            Num::build("refn", &b.build(), &InferenceOptions::default(), false).expect("numeric");
+        let num = delta.as_num();
+        prop_assert_eq!(num.n, reference.n);
+        for task in 0..n {
+            let live: Vec<(usize, u64)> =
+                num.task(task).map(|(w, v)| (w, v.to_bits())).collect();
+            let want: Vec<(usize, u64)> =
+                reference.task(task).map(|(w, v)| (w, v.to_bits())).collect();
+            prop_assert_eq!(live, want, "task {} values must be bit-identical", task);
+        }
+        for worker in 0..m {
+            let live: Vec<(usize, u64)> =
+                num.worker(worker).map(|(t, v)| (t, v.to_bits())).collect();
+            let want: Vec<(usize, u64)> = reference
+                .worker(worker)
+                .map(|(t, v)| (t, v.to_bits()))
+                .collect();
+            prop_assert_eq!(live, want, "worker {} values must be bit-identical", worker);
+        }
+    }
+}

@@ -15,6 +15,8 @@
 //!   tasks, TSV IO
 //! - [`core`] — the 17 inference methods and the [`core::TruthInference`]
 //!   trait
+//! - [`stream`] — incremental inference over live answer streams
+//!   (delta-buffered CSR views, warm-start re-convergence)
 //! - [`metrics`] — Accuracy, F1, MAE, RMSE, consistency, worker statistics
 //! - [`experiments`] — runners for Tables 5–7 and Figures 2–9
 //!
@@ -40,6 +42,7 @@ pub use crowd_data as data;
 pub use crowd_experiments as experiments;
 pub use crowd_metrics as metrics;
 pub use crowd_stats as stats;
+pub use crowd_stream as stream;
 
 /// Commonly used items: the inference trait, every method, the dataset
 /// type, and the headline metrics.
@@ -49,8 +52,10 @@ pub mod prelude {
         ViBp, ViMf, Zc,
     };
     pub use crowd_core::{
-        registry, InferenceOptions, InferenceResult, Method, TruthInference, WorkerQuality,
+        registry, InferenceOptions, InferenceResult, Method, TruthInference, WarmStart,
+        WorkerQuality,
     };
-    pub use crowd_data::{Answer, Dataset, DatasetBuilder, TaskType};
+    pub use crowd_data::{Answer, Dataset, DatasetBuilder, StreamSession, TaskType};
     pub use crowd_metrics::{accuracy, f1_score, mae, rmse};
+    pub use crowd_stream::{StreamConfig, StreamEngine};
 }
