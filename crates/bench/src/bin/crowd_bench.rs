@@ -43,10 +43,15 @@ fn peak_rss_kb() -> Option<u64> {
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    match std::env::var(name) {
+        Err(_) => default,
+        // Empty means "unset", not a parse error.
+        Ok(v) if v.trim().is_empty() => default,
+        Ok(v) => v.trim().parse().unwrap_or_else(|_| {
+            eprintln!("WARNING: invalid {name} value {v:?}: not a non-negative integer; using the default of {default}");
+            default
+        }),
+    }
 }
 
 fn json_escape(s: &str) -> String {

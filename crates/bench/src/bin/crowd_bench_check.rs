@@ -1,0 +1,91 @@
+//! `crowd-bench-check` — the bench-regression CI gate.
+//!
+//! Compares a freshly measured `BENCH_*.json` against its committed
+//! baseline and exits non-zero if the candidate regresses:
+//!
+//! - wall time on any baseline row by more than the threshold
+//!   (default 25%, override with `--max-time-regress 0.4`),
+//! - **any** accuracy metric by **any** amount,
+//! - a baseline row or headline boolean disappearing.
+//!
+//! Scale/schema mismatches are hard usage errors (exit 2): comparing a
+//! 2% smoke run against a 10% baseline would silently prove nothing.
+//!
+//! Usage:
+//! `crowd-bench-check <baseline.json> <candidate.json> [--max-time-regress F]`
+
+use crowd_bench::json;
+use crowd_bench::regression::{compare, Thresholds};
+use std::process::ExitCode;
+
+fn load(path: &str, side: &str) -> Result<json::Json, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {side} {path}: {e}"))?;
+    json::parse(&text).map_err(|e| format!("cannot parse {side} {path}: {e}"))
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut thresholds = Thresholds::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-time-regress" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or("--max-time-regress needs a value".to_string())?;
+                thresholds.max_time_regression = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|x| x.is_finite() && *x >= 0.0)
+                    .ok_or(format!("bad --max-time-regress value {v:?}"))?;
+            }
+            other => paths.push(other.to_string()),
+        }
+        i += 1;
+    }
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        return Err(
+            "usage: crowd-bench-check <baseline.json> <candidate.json> [--max-time-regress F]"
+                .to_string(),
+        );
+    };
+
+    let baseline = load(baseline_path, "baseline")?;
+    let candidate = load(candidate_path, "candidate")?;
+    let cmp = compare(&baseline, &candidate, &thresholds).map_err(|e| e.to_string())?;
+
+    if cmp.passed() {
+        println!(
+            "bench-regression OK: {} rows within +{:.0}% wall time, no accuracy loss \
+             ({baseline_path} vs {candidate_path})",
+            cmp.rows_compared,
+            thresholds.max_time_regression * 100.0
+        );
+        Ok(true)
+    } else {
+        eprintln!(
+            "bench-regression FAILED: {} regression(s) over {} compared rows \
+             ({baseline_path} vs {candidate_path})",
+            cmp.regressions.len(),
+            cmp.rows_compared
+        );
+        for r in &cmp.regressions {
+            eprintln!("  - {r}");
+        }
+        Ok(false)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("crowd-bench-check: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

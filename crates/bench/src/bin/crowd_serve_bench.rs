@@ -1,0 +1,237 @@
+//! `crowd-serve-bench` — the multi-session service sweep.
+//!
+//! Measures `crowd-serve` on a sessions × batch-count grid: S concurrent
+//! sessions each replay an independent uniform collection run of the
+//! D_Product configuration (distinct seeds — distinct streams of the
+//! same shape) through the sharded service, one drain tick per round of
+//! submissions. Reported per cell: end-to-end wall time, ingest
+//! throughput, per-tick latency, and the mean final accuracy across
+//! sessions (the comparator gates on it — multi-tenancy must not cost
+//! quality).
+//!
+//! Configuration (environment variables, all optional):
+//!
+//! - `CROWD_BENCH_SCALE` — dataset scale in `(0, 1]` (default `0.1`);
+//!   CI smoke passes use `0.02`.
+//! - `CROWD_BENCH_REPEATS` — timed replays per cell after one warm-up
+//!   (default `3`); the fastest is reported, like `crowd-bench`'s
+//!   `seconds_min`.
+//! - `CROWD_SERVE_OUT` — output path (default `BENCH_serve.json`).
+//!
+//! Usage: `cargo run --release -p crowd-bench --bin crowd-serve-bench`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use crowd_core::Method;
+use crowd_data::datasets::PaperDataset;
+use crowd_data::{collect, AnswerRecord, AssignmentStrategy, Dataset, StreamSession};
+use crowd_metrics::accuracy;
+use crowd_serve::{CrowdServe, ServeConfig};
+use crowd_stream::StreamConfig;
+
+/// Concurrent-session counts (the service must sustain ≥ 8).
+const SESSION_COUNTS: [usize; 4] = [1, 2, 8, 16];
+
+/// Batches each session's stream is split into.
+const BATCH_COUNTS: [usize; 2] = [8, 32];
+
+struct Tenant {
+    dataset: Dataset,
+    batches: Vec<Vec<AnswerRecord>>,
+}
+
+struct Row {
+    sessions: usize,
+    batches: usize,
+    batch_size: usize,
+    answers_total: usize,
+    ticks: usize,
+    seconds_total: f64,
+    seconds_per_tick_mean: f64,
+    seconds_per_tick_max: f64,
+    throughput: f64,
+    accuracy_mean: f64,
+}
+
+fn main() {
+    let scale = crowd_bench::env_scale(0.1);
+    let out_path =
+        std::env::var("CROWD_SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    let repeats = match std::env::var("CROWD_BENCH_REPEATS") {
+        Err(_) => 3,
+        Ok(v) if v.trim().is_empty() => 3,
+        Ok(v) => v.trim().parse().unwrap_or_else(|_| {
+            eprintln!("WARNING: invalid CROWD_BENCH_REPEATS value {v:?}: not a non-negative integer; using the default of 3");
+            3
+        }),
+    }
+    .max(1);
+    eprintln!("crowd-serve-bench: scale={scale} repeats={repeats} out={out_path}");
+
+    let dataset_id = PaperDataset::DProduct;
+    let sim_cfg = dataset_id.config(scale);
+    let budget = sim_cfg.num_tasks * sim_cfg.redundancy.max(1);
+    let max_sessions = *SESSION_COUNTS.iter().max().unwrap();
+
+    // One replayable stream per potential tenant, generated once.
+    let tenants: Vec<Tenant> = (0..max_sessions)
+        .map(|s| {
+            let run = collect(&sim_cfg, AssignmentStrategy::Uniform, budget, 7 + s as u64)
+                .expect("categorical Table-6 config");
+            Tenant {
+                dataset: run.dataset,
+                batches: Vec::new(), // per-cell split below
+            }
+        })
+        .collect();
+
+    let sweep_start = Instant::now();
+    let mut rows: Vec<Row> = Vec::new();
+
+    for sessions in SESSION_COUNTS {
+        for batches in BATCH_COUNTS {
+            let mut cell_tenants: Vec<Tenant> = Vec::new();
+            for t in tenants.iter().take(sessions) {
+                let batch_size = t.dataset.num_answers().div_ceil(batches).max(1);
+                cell_tenants.push(Tenant {
+                    dataset: t.dataset.clone(),
+                    batches: StreamSession::from_dataset(&t.dataset, batch_size)
+                        .map(|b| b.records)
+                        .collect(),
+                });
+            }
+            let batch_size = cell_tenants[0]
+                .dataset
+                .num_answers()
+                .div_ceil(batches)
+                .max(1);
+
+            // One full replay of the cell through a fresh service;
+            // deterministic in everything but wall clock.
+            let run_cell = || {
+                let serve = CrowdServe::new(ServeConfig {
+                    shards: sessions.min(8),
+                    ..ServeConfig::default()
+                })
+                .expect("valid config");
+                let ids: Vec<_> = cell_tenants
+                    .iter()
+                    .map(|t| {
+                        serve
+                            .create_session(StreamConfig::new(
+                                Method::Ds,
+                                t.dataset.task_type(),
+                                t.dataset.num_tasks(),
+                                t.dataset.num_workers(),
+                            ))
+                            .expect("valid session")
+                    })
+                    .collect();
+                let rounds = cell_tenants.iter().map(|t| t.batches.len()).max().unwrap();
+                let mut answers_total = 0usize;
+                let mut tick_seconds: Vec<f64> = Vec::with_capacity(rounds);
+                let start = Instant::now();
+                for round in 0..rounds {
+                    for (k, t) in cell_tenants.iter().enumerate() {
+                        if let Some(batch) = t.batches.get(round) {
+                            serve.submit(ids[k], batch.clone()).expect("in capacity");
+                        }
+                    }
+                    let tick_start = Instant::now();
+                    let tick = serve.drain_tick();
+                    tick_seconds.push(tick_start.elapsed().as_secs_f64());
+                    answers_total += tick.answers_ingested;
+                    assert_eq!(tick.shard_failures, 0, "shard drain failed");
+                    assert!(tick.errors.is_empty(), "replay is valid: {:?}", tick.errors);
+                }
+                let seconds_total = start.elapsed().as_secs_f64();
+                let accuracy_mean = cell_tenants
+                    .iter()
+                    .zip(&ids)
+                    .map(|(t, &sid)| {
+                        let report = serve
+                            .last_report(sid)
+                            .expect("session alive")
+                            .expect("converged");
+                        accuracy(&t.dataset, &report.result.truths)
+                    })
+                    .sum::<f64>()
+                    / sessions as f64;
+                (seconds_total, tick_seconds, answers_total, accuracy_mean)
+            };
+
+            // Warm up once, then keep the fastest of `repeats` replays —
+            // single measurements of a ~10ms cell are dominated by
+            // cold-start noise, which is exactly what the regression gate
+            // must not flake on.
+            run_cell();
+            let (seconds_total, tick_seconds, answers_total, accuracy_mean) = (0..repeats)
+                .map(|_| run_cell())
+                .min_by(|a, b| a.0.total_cmp(&b.0))
+                .expect("at least one repeat");
+
+            let ticks = tick_seconds.len();
+            let row = Row {
+                sessions,
+                batches,
+                batch_size,
+                answers_total,
+                ticks,
+                seconds_total,
+                seconds_per_tick_mean: tick_seconds.iter().sum::<f64>() / ticks as f64,
+                seconds_per_tick_max: tick_seconds.iter().cloned().fold(0.0, f64::max),
+                throughput: answers_total as f64 / seconds_total.max(1e-12),
+                accuracy_mean,
+            };
+            eprintln!(
+                "  sessions={:>2} batches={:>3}: {:>9.1} answers/s, tick mean {:>7.3} ms, \
+                 max {:>7.3} ms, accuracy {:.4}",
+                row.sessions,
+                row.batches,
+                row.throughput,
+                row.seconds_per_tick_mean * 1e3,
+                row.seconds_per_tick_max * 1e3,
+                row.accuracy_mean,
+            );
+            rows.push(row);
+        }
+    }
+
+    let total_seconds = sweep_start.elapsed().as_secs_f64();
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"crowd-bench/serve/v1\",");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"dataset\": \"{}\",", dataset_id.name());
+    let _ = writeln!(json, "  \"method\": \"D&S\",");
+    let _ = writeln!(json, "  \"total_seconds\": {total_seconds:.6},");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"sessions\": {}, \"batches\": {}, \"batch_size\": {}, \"answers_total\": {}, \
+             \"ticks\": {}, \"seconds_total\": {:.6}, \"seconds_per_tick_mean\": {:.6}, \
+             \"seconds_per_tick_max\": {:.6}, \"throughput_answers_per_sec\": {:.1}, \
+             \"accuracy_mean\": {:.6}}}{}",
+            r.sessions,
+            r.batches,
+            r.batch_size,
+            r.answers_total,
+            r.ticks,
+            r.seconds_total,
+            r.seconds_per_tick_mean,
+            r.seconds_per_tick_max,
+            r.throughput,
+            r.accuracy_mean,
+            comma
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write serve bench output");
+    eprintln!(
+        "crowd-serve-bench: wrote {} rows to {out_path} in {total_seconds:.1}s",
+        rows.len()
+    );
+}

@@ -1,0 +1,503 @@
+//! Bench-regression comparator: decides whether a freshly measured
+//! `BENCH_*.json` is acceptable against a committed baseline.
+//!
+//! Policy (the `bench-regression` CI gate):
+//!
+//! - **Wall time** may regress by at most a relative threshold (default
+//!   25%) on each row's primary time metric; rows additionally get an
+//!   absolute floor (default 0.5 ms) so microsecond-scale rows cannot
+//!   fail on timer quantisation noise.
+//! - **Accuracy** (any per-row field starting with `accuracy`) may not
+//!   regress *at all* (beyond float-formatting epsilon). Quality is a
+//!   correctness property here, not a performance trade-off.
+//! - A baseline row **missing** from the candidate is a regression
+//!   (silent coverage loss must fail loudly); candidate-only rows are
+//!   fine (new coverage).
+//! - A top-level boolean that was `true` in the baseline and is `false`
+//!   in the candidate (e.g. `warm_fewer_iterations_everywhere`) is a
+//!   regression.
+//! - Comparing artifacts with different `schema`s or `scale`s is a usage
+//!   **error**, not a pass: cross-scale wall times and accuracies are not
+//!   comparable.
+
+use crate::json::Json;
+use std::fmt;
+
+/// Comparison thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct Thresholds {
+    /// Maximum tolerated relative wall-time regression (0.25 = +25%).
+    pub max_time_regression: f64,
+    /// Absolute wall-time floor: a row only fails the relative check if
+    /// it also slowed by at least this many seconds. Microsecond-scale
+    /// rows sit at the timer's quantisation limit, where +1µs reads as
+    /// +25% — a relative-only gate would flake on pure noise.
+    pub min_time_delta: f64,
+    /// Slack for accuracy comparisons (absorbs decimal formatting only).
+    pub accuracy_epsilon: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Self {
+            max_time_regression: 0.25,
+            min_time_delta: 5e-4,
+            accuracy_epsilon: 1e-9,
+        }
+    }
+}
+
+/// The fields that identify a row within a results array, in display
+/// order. Measurement fields are everything else.
+const KEY_FIELDS: [&str; 5] = ["dataset", "method", "sessions", "batches", "batch_size"];
+
+/// Primary per-row wall-time metric per schema.
+fn time_field(schema: &str) -> Option<&'static str> {
+    match schema {
+        "crowd-bench/table6/v1" => Some("seconds_min"),
+        "crowd-bench/stream/v1" => Some("seconds_warm_total"),
+        "crowd-bench/serve/v1" => Some("seconds_total"),
+        _ => None,
+    }
+}
+
+/// One detected regression.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// The offending row's identity (or `<top-level>`).
+    pub row: String,
+    /// The offending field.
+    pub field: String,
+    /// Human-readable explanation with both values.
+    pub detail: String,
+}
+
+impl fmt::Display for Regression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :: {} — {}", self.row, self.field, self.detail)
+    }
+}
+
+/// A completed comparison.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// Baseline rows that were matched and compared.
+    pub rows_compared: usize,
+    /// Everything that regressed; empty means the gate passes.
+    pub regressions: Vec<Regression>,
+}
+
+impl Comparison {
+    /// Whether the candidate passes the gate.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Why a comparison could not be performed at all (distinct from a
+/// regression: these indicate the comparator was invoked wrongly).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompareError {
+    /// A document was not an object with a `results` array.
+    MalformedArtifact {
+        /// Which side ("baseline" / "candidate").
+        side: &'static str,
+        /// What was missing/wrong.
+        detail: String,
+    },
+    /// The two documents have different `schema` fields.
+    SchemaMismatch {
+        /// Baseline schema.
+        baseline: String,
+        /// Candidate schema.
+        candidate: String,
+    },
+    /// The schema is not one the comparator knows a time metric for.
+    UnknownSchema(String),
+    /// The two documents were measured at different scales — wall times
+    /// and accuracies are not comparable across scales.
+    ScaleMismatch {
+        /// Baseline scale.
+        baseline: f64,
+        /// Candidate scale.
+        candidate: f64,
+    },
+}
+
+impl fmt::Display for CompareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MalformedArtifact { side, detail } => {
+                write!(f, "malformed {side} artifact: {detail}")
+            }
+            Self::SchemaMismatch {
+                baseline,
+                candidate,
+            } => write!(
+                f,
+                "schema mismatch: baseline {baseline:?} vs candidate {candidate:?}"
+            ),
+            Self::UnknownSchema(s) => write!(f, "no time metric known for schema {s:?}"),
+            Self::ScaleMismatch {
+                baseline,
+                candidate,
+            } => write!(
+                f,
+                "scale mismatch: baseline {baseline} vs candidate {candidate} — rerun the \
+                 candidate at the baseline's scale"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompareError {}
+
+fn row_key(row: &Json) -> String {
+    let mut key = String::new();
+    for field in KEY_FIELDS {
+        if let Some(v) = row.get(field) {
+            use fmt::Write as _;
+            let _ = match v {
+                Json::Str(s) => write!(key, "{field}={s} "),
+                Json::Num(x) => write!(key, "{field}={x} "),
+                other => write!(key, "{field}={other:?} "),
+            };
+        }
+    }
+    key.trim_end().to_string()
+}
+
+fn artifact_parts<'a>(
+    side: &'static str,
+    doc: &'a Json,
+) -> Result<(&'a str, f64, &'a [Json]), CompareError> {
+    let schema = doc.get("schema").and_then(Json::as_str).ok_or_else(|| {
+        CompareError::MalformedArtifact {
+            side,
+            detail: "missing string field \"schema\"".to_string(),
+        }
+    })?;
+    let scale =
+        doc.get("scale")
+            .and_then(Json::as_num)
+            .ok_or_else(|| CompareError::MalformedArtifact {
+                side,
+                detail: "missing numeric field \"scale\"".to_string(),
+            })?;
+    let results = doc.get("results").and_then(Json::as_arr).ok_or_else(|| {
+        CompareError::MalformedArtifact {
+            side,
+            detail: "missing array field \"results\"".to_string(),
+        }
+    })?;
+    Ok((schema, scale, results))
+}
+
+/// Compare a candidate artifact against its committed baseline.
+pub fn compare(
+    baseline: &Json,
+    candidate: &Json,
+    thresholds: &Thresholds,
+) -> Result<Comparison, CompareError> {
+    let (base_schema, base_scale, base_rows) = artifact_parts("baseline", baseline)?;
+    let (cand_schema, cand_scale, cand_rows) = artifact_parts("candidate", candidate)?;
+    if base_schema != cand_schema {
+        return Err(CompareError::SchemaMismatch {
+            baseline: base_schema.to_string(),
+            candidate: cand_schema.to_string(),
+        });
+    }
+    let time_metric =
+        time_field(base_schema).ok_or_else(|| CompareError::UnknownSchema(base_schema.into()))?;
+    if (base_scale - cand_scale).abs() > 1e-12 {
+        return Err(CompareError::ScaleMismatch {
+            baseline: base_scale,
+            candidate: cand_scale,
+        });
+    }
+
+    let mut cmp = Comparison::default();
+
+    // Top-level booleans: true → false is a regression.
+    if let Some(fields) = baseline.fields() {
+        for (name, value) in fields {
+            if value.as_bool() == Some(true)
+                && candidate.get(name).and_then(Json::as_bool) == Some(false)
+            {
+                cmp.regressions.push(Regression {
+                    row: "<top-level>".to_string(),
+                    field: name.clone(),
+                    detail: "was true in the baseline, false in the candidate".to_string(),
+                });
+            }
+        }
+    }
+
+    let candidate_by_key: Vec<(String, &Json)> =
+        cand_rows.iter().map(|r| (row_key(r), r)).collect();
+
+    for base_row in base_rows {
+        let key = row_key(base_row);
+        let Some((_, cand_row)) = candidate_by_key.iter().find(|(k, _)| *k == key) else {
+            cmp.regressions.push(Regression {
+                row: key,
+                field: "<row>".to_string(),
+                detail: "present in the baseline but missing from the candidate".to_string(),
+            });
+            continue;
+        };
+        cmp.rows_compared += 1;
+
+        // Wall time: bounded relative regression.
+        if let Some(base_t) = base_row.get(time_metric).and_then(Json::as_num) {
+            match cand_row.get(time_metric).and_then(Json::as_num) {
+                Some(cand_t) => {
+                    if base_t > 0.0
+                        && cand_t > base_t * (1.0 + thresholds.max_time_regression)
+                        && cand_t - base_t >= thresholds.min_time_delta
+                    {
+                        cmp.regressions.push(Regression {
+                            row: key.clone(),
+                            field: time_metric.to_string(),
+                            detail: format!(
+                                "{cand_t:.6}s vs baseline {base_t:.6}s (+{:.1}%, limit +{:.1}%)",
+                                (cand_t / base_t - 1.0) * 100.0,
+                                thresholds.max_time_regression * 100.0
+                            ),
+                        });
+                    }
+                }
+                None => cmp.regressions.push(Regression {
+                    row: key.clone(),
+                    field: time_metric.to_string(),
+                    detail: "time metric missing from the candidate row".to_string(),
+                }),
+            }
+        }
+
+        // Accuracy: any decrease beyond formatting epsilon fails.
+        if let Some(fields) = base_row.fields() {
+            for (name, value) in fields {
+                if !name.starts_with("accuracy") {
+                    continue;
+                }
+                let Some(base_a) = value.as_num() else {
+                    continue;
+                };
+                match cand_row.get(name).and_then(Json::as_num) {
+                    Some(cand_a) => {
+                        if cand_a < base_a - thresholds.accuracy_epsilon {
+                            cmp.regressions.push(Regression {
+                                row: key.clone(),
+                                field: name.clone(),
+                                detail: format!(
+                                    "{cand_a:.6} vs baseline {base_a:.6} — accuracy may not \
+                                     regress at all"
+                                ),
+                            });
+                        }
+                    }
+                    None => cmp.regressions.push(Regression {
+                        row: key.clone(),
+                        field: name.clone(),
+                        detail: "accuracy metric missing from the candidate row".to_string(),
+                    }),
+                }
+            }
+        }
+    }
+    Ok(cmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn fixture() -> Json {
+        parse(
+            r#"{
+  "schema": "crowd-bench/stream/v1",
+  "scale": 0.1,
+  "warm_fewer_iterations_everywhere": true,
+  "results": [
+    {"dataset": "D_Product", "method": "D&S", "batches": 8, "batch_size": 312,
+     "seconds_warm_total": 0.0128, "accuracy_warm": 0.9363, "accuracy_cold": 0.9363},
+    {"dataset": "S_Rel", "method": "ZC", "batches": 32, "batch_size": 317,
+     "seconds_warm_total": 0.2314, "accuracy_warm": 0.5358, "accuracy_cold": 0.5359}
+  ]
+}"#,
+        )
+        .unwrap()
+    }
+
+    /// Clone the fixture with one row's field rewritten.
+    fn mutate(doc: &Json, row_idx: usize, field: &str, value: Json) -> Json {
+        let mut doc = doc.clone();
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "results" {
+                    if let Json::Arr(rows) = v {
+                        if let Json::Obj(row) = &mut rows[row_idx] {
+                            if let Some((_, slot)) = row.iter_mut().find(|(k, _)| k == field) {
+                                *slot = value;
+                                return doc;
+                            }
+                            row.push((field.to_string(), value));
+                            return doc;
+                        }
+                    }
+                }
+            }
+        }
+        panic!("fixture shape changed");
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        let base = fixture();
+        let cmp = compare(&base, &base.clone(), &Thresholds::default()).unwrap();
+        assert!(cmp.passed());
+        assert_eq!(cmp.rows_compared, 2);
+    }
+
+    #[test]
+    fn injected_2x_slowdown_of_one_row_fails() {
+        // The acceptance-criterion case: double one baseline row's wall
+        // time in the candidate → the gate must fail on exactly that row.
+        let base = fixture();
+        let cand = mutate(&base, 0, "seconds_warm_total", Json::Num(0.0128 * 2.0));
+        let cmp = compare(&base, &cand, &Thresholds::default()).unwrap();
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions.len(), 1);
+        let r = &cmp.regressions[0];
+        assert!(r.row.contains("dataset=D_Product"));
+        assert_eq!(r.field, "seconds_warm_total");
+        assert!(r.detail.contains("+100.0%"), "{}", r.detail);
+    }
+
+    #[test]
+    fn slowdown_within_threshold_passes() {
+        let base = fixture();
+        let cand = mutate(&base, 0, "seconds_warm_total", Json::Num(0.0128 * 1.2));
+        assert!(compare(&base, &cand, &Thresholds::default())
+            .unwrap()
+            .passed());
+        // ...and a tighter threshold catches it.
+        let tight = Thresholds {
+            max_time_regression: 0.1,
+            ..Thresholds::default()
+        };
+        assert!(!compare(&base, &cand, &tight).unwrap().passed());
+    }
+
+    #[test]
+    fn microsecond_rows_are_not_gated_on_timer_noise() {
+        // A 4µs → 5µs "regression" is +25% but within the absolute
+        // floor — timer quantisation, not a slowdown.
+        let base = mutate(&fixture(), 0, "seconds_warm_total", Json::Num(4e-6));
+        let cand = mutate(&base, 0, "seconds_warm_total", Json::Num(5e-6));
+        assert!(compare(&base, &cand, &Thresholds::default())
+            .unwrap()
+            .passed());
+        // But a genuine blow-up of a micro-row (past the floor) fails.
+        let blown = mutate(&base, 0, "seconds_warm_total", Json::Num(4e-3));
+        assert!(!compare(&base, &blown, &Thresholds::default())
+            .unwrap()
+            .passed());
+    }
+
+    #[test]
+    fn any_accuracy_drop_fails() {
+        let base = fixture();
+        let cand = mutate(&base, 1, "accuracy_cold", Json::Num(0.5358));
+        let cmp = compare(&base, &cand, &Thresholds::default()).unwrap();
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions[0].field, "accuracy_cold");
+        // Improvements are welcome.
+        let better = mutate(&base, 1, "accuracy_cold", Json::Num(0.99));
+        assert!(compare(&base, &better, &Thresholds::default())
+            .unwrap()
+            .passed());
+        // Formatting epsilon does not trip the gate.
+        let noise = mutate(&base, 1, "accuracy_cold", Json::Num(0.5359 - 1e-12));
+        assert!(compare(&base, &noise, &Thresholds::default())
+            .unwrap()
+            .passed());
+    }
+
+    #[test]
+    fn missing_baseline_row_fails_but_new_rows_are_fine() {
+        let base = fixture();
+        // Candidate drops the S_Rel row → fail.
+        let mut dropped = base.clone();
+        if let Json::Obj(fields) = &mut dropped {
+            for (k, v) in fields.iter_mut() {
+                if k == "results" {
+                    if let Json::Arr(rows) = v {
+                        rows.truncate(1);
+                    }
+                }
+            }
+        }
+        let cmp = compare(&base, &dropped, &Thresholds::default()).unwrap();
+        assert!(!cmp.passed());
+        assert!(cmp.regressions[0].detail.contains("missing"));
+        // Baseline ⊂ candidate → pass (reversed direction).
+        let cmp = compare(&dropped, &base, &Thresholds::default()).unwrap();
+        assert!(cmp.passed());
+        assert_eq!(cmp.rows_compared, 1);
+    }
+
+    #[test]
+    fn headline_boolean_flipping_false_fails() {
+        let base = fixture();
+        let mut cand = base.clone();
+        if let Json::Obj(fields) = &mut cand {
+            for (k, v) in fields.iter_mut() {
+                if k == "warm_fewer_iterations_everywhere" {
+                    *v = Json::Bool(false);
+                }
+            }
+        }
+        let cmp = compare(&base, &cand, &Thresholds::default()).unwrap();
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions[0].row, "<top-level>");
+    }
+
+    #[test]
+    fn scale_and_schema_mismatches_are_errors_not_passes() {
+        let base = fixture();
+        let mut cand = base.clone();
+        if let Json::Obj(fields) = &mut cand {
+            for (k, v) in fields.iter_mut() {
+                if k == "scale" {
+                    *v = Json::Num(0.02);
+                }
+            }
+        }
+        assert!(matches!(
+            compare(&base, &cand, &Thresholds::default()),
+            Err(CompareError::ScaleMismatch { .. })
+        ));
+        let mut other_schema = base.clone();
+        if let Json::Obj(fields) = &mut other_schema {
+            for (k, v) in fields.iter_mut() {
+                if k == "schema" {
+                    *v = Json::Str("crowd-bench/table6/v1".to_string());
+                }
+            }
+        }
+        assert!(matches!(
+            compare(&base, &other_schema, &Thresholds::default()),
+            Err(CompareError::SchemaMismatch { .. })
+        ));
+        assert!(matches!(
+            compare(&Json::Null, &base, &Thresholds::default()),
+            Err(CompareError::MalformedArtifact {
+                side: "baseline",
+                ..
+            })
+        ));
+    }
+}

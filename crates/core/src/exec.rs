@@ -35,6 +35,7 @@
 //! execution is exactly the serial path whose outputs are bit-identical.
 
 use std::cell::Cell;
+use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -53,6 +54,79 @@ struct JobPtr(*const (dyn Fn() + Sync));
 // alive (see `run_batch`).
 unsafe impl Send for JobPtr {}
 
+/// A free-standing job submitted from any thread via
+/// [`WorkerPool::submit`], paired with the ticket its completion is
+/// reported through.
+struct QueuedJob {
+    job: Box<dyn FnOnce() + Send>,
+    ticket: Arc<TicketInner>,
+}
+
+/// Shared state behind a [`JobTicket`].
+struct TicketInner {
+    state: Mutex<TicketState>,
+    done: Condvar,
+}
+
+enum TicketState {
+    Pending,
+    Finished(JobOutcome),
+    /// The outcome was already taken by `join`.
+    Taken,
+}
+
+/// How a submitted job ended.
+#[derive(Debug)]
+pub enum JobOutcome {
+    /// The job ran to completion.
+    Completed,
+    /// The job panicked; the payload is returned to the submitter instead
+    /// of poisoning the pool.
+    Panicked(Box<dyn std::any::Any + Send>),
+    /// The pool shut down before the job was started.
+    Cancelled,
+}
+
+/// Completion handle for a job submitted with [`WorkerPool::submit`].
+///
+/// Unlike [`WorkerPool::run_batch`], a panic in a submitted job is *not*
+/// re-raised on the submitting thread — it is delivered here as
+/// [`JobOutcome::Panicked`], so one failing job cannot take down the
+/// submitter or its sibling jobs (the isolation the multi-session serve
+/// layer is built on).
+pub struct JobTicket(Arc<TicketInner>);
+
+impl JobTicket {
+    fn new() -> (Self, Arc<TicketInner>) {
+        let inner = Arc::new(TicketInner {
+            state: Mutex::new(TicketState::Pending),
+            done: Condvar::new(),
+        });
+        (Self(Arc::clone(&inner)), inner)
+    }
+
+    /// Block until the job has finished (or was cancelled) and return how
+    /// it ended.
+    pub fn join(self) -> JobOutcome {
+        let mut st = self.0.state.lock().expect("ticket state");
+        loop {
+            match std::mem::replace(&mut *st, TicketState::Taken) {
+                TicketState::Pending => {
+                    *st = TicketState::Pending;
+                    st = self.0.done.wait(st).expect("ticket wait");
+                }
+                TicketState::Finished(outcome) => return outcome,
+                TicketState::Taken => unreachable!("ticket joined twice"),
+            }
+        }
+    }
+}
+
+fn finish_ticket(ticket: &TicketInner, outcome: JobOutcome) {
+    *ticket.state.lock().expect("ticket state") = TicketState::Finished(outcome);
+    ticket.done.notify_all();
+}
+
 /// Mutex-protected pool state.
 struct PoolState {
     /// Bumped once per batch so parked workers can tell a new batch from
@@ -65,8 +139,15 @@ struct PoolState {
     quota: usize,
     /// Workers currently executing the job.
     running: usize,
+    /// Workers currently executing free-standing queued jobs (kept apart
+    /// from `running` so a long submitted job never stalls a batch
+    /// submitter's drain wait).
+    queued_running: usize,
     /// First panic payload caught from a worker in this batch.
     panic: Option<Box<dyn std::any::Any + Send>>,
+    /// Free-standing jobs submitted from any thread ([`WorkerPool::submit`]),
+    /// drained by parked workers between batches (batches take priority).
+    queue: VecDeque<QueuedJob>,
     /// Tells workers to exit (pool drop).
     shutdown: bool,
 }
@@ -136,7 +217,9 @@ impl WorkerPool {
                     job: None,
                     quota: 0,
                     running: 0,
+                    queued_running: 0,
                     panic: None,
+                    queue: VecDeque::new(),
                     shutdown: false,
                 }),
                 work: Condvar::new(),
@@ -229,8 +312,45 @@ impl WorkerPool {
         }
     }
 
+    /// Submit a free-standing job from any thread. The job is queued and
+    /// picked up by a parked pool worker (batch fan-outs keep priority);
+    /// the returned [`JobTicket`] reports completion, panic, or
+    /// cancellation. The submitting thread does **not** participate —
+    /// this is the fire-and-join path the multi-session serve layer
+    /// drains its shards through, where the submitter goes on to submit
+    /// the next shard's job instead of working.
+    ///
+    /// Jobs run with the nested-fan-out flag set, so any `parallel_map`/
+    /// `parallel_chunks` issued from inside a submitted job executes
+    /// inline on that worker — submitted jobs are the unit of
+    /// parallelism, and their outputs stay bit-identical to inline
+    /// execution.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> JobTicket {
+        let (ticket, inner) = JobTicket::new();
+        // At least one worker must exist to drain the queue; scale with
+        // demand up to the cap so concurrent submitters actually run
+        // concurrently.
+        {
+            let mut st = self.inner.state.lock().expect("pool state");
+            if st.shutdown {
+                drop(st);
+                finish_ticket(&inner, JobOutcome::Cancelled);
+                return ticket;
+            }
+            st.queue.push_back(QueuedJob {
+                job: Box::new(job),
+                ticket: Arc::clone(&inner),
+            });
+            let demand = st.queue.len() + st.queued_running;
+            drop(st);
+            self.ensure_workers(demand);
+        }
+        self.inner.work.notify_all();
+        ticket
+    }
+
     /// Spawn workers until `target` are available (bounded by
-    /// `max_workers`). Called with the submission lock held.
+    /// `max_workers`). Growth is serialised by the `handles` mutex.
     fn ensure_workers(&self, target: usize) {
         let mut handles = self.handles.lock().expect("pool handles");
         let target = target.min(self.max_workers);
@@ -247,10 +367,16 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        {
+        let orphans = {
             let mut st = self.inner.state.lock().expect("pool state");
             st.shutdown = true;
             self.inner.work.notify_all();
+            std::mem::take(&mut st.queue)
+        };
+        // Jobs never started are cancelled, not dropped silently — their
+        // tickets must complete or a joiner would hang forever.
+        for q in orphans {
+            finish_ticket(&q.ticket, JobOutcome::Cancelled);
         }
         let handles = std::mem::take(&mut *self.handles.lock().expect("pool handles"));
         for handle in handles {
@@ -296,6 +422,25 @@ fn worker_loop(inner: &PoolInner) {
                     continue;
                 }
             }
+        }
+        // No batch to join — drain the free-standing job queue. A panic
+        // is delivered through the job's ticket (not stored in the batch
+        // panic slot), so one submitted job cannot poison a batch or a
+        // sibling job.
+        if let Some(q) = st.queue.pop_front() {
+            st.queued_running += 1;
+            drop(st);
+            let result = std::panic::catch_unwind(AssertUnwindSafe(q.job));
+            finish_ticket(
+                &q.ticket,
+                match result {
+                    Ok(()) => JobOutcome::Completed,
+                    Err(payload) => JobOutcome::Panicked(payload),
+                },
+            );
+            st = inner.state.lock().expect("pool state");
+            st.queued_running -= 1;
+            continue;
         }
         st = inner.work.wait(st).expect("pool work wait");
     }
@@ -431,23 +576,80 @@ where
     global_pool().run_batch(threads - 1, &worker);
 }
 
+/// A malformed `CROWD_*` environment override.
+///
+/// Deployment knobs that are silently ignored when mistyped
+/// (`CROWD_THREADS=fourcores`) are worse than no knob at all — the
+/// operator believes the cap is in force. Parsers return this typed
+/// error; entry points that cannot fail (like [`default_threads`])
+/// surface it as a loud once-per-process warning instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvParseError {
+    /// The environment variable name.
+    pub var: &'static str,
+    /// The raw value found.
+    pub value: String,
+    /// What was wrong with it.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for EnvParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid {} value {:?}: {}",
+            self.var, self.value, self.reason
+        )
+    }
+}
+
+impl std::error::Error for EnvParseError {}
+
+/// Parse a `CROWD_THREADS` override: a positive integer (whitespace
+/// tolerated). The cap may exceed the hardware thread count — deployments
+/// use that for IO-ish jobs.
+pub fn parse_thread_env(value: &str) -> Result<usize, EnvParseError> {
+    let err = |reason| EnvParseError {
+        var: "CROWD_THREADS",
+        value: value.to_string(),
+        reason,
+    };
+    let n: usize = value
+        .trim()
+        .parse()
+        .map_err(|_| err("not a non-negative integer"))?;
+    if n == 0 {
+        return Err(err("thread cap must be at least 1"));
+    }
+    Ok(n)
+}
+
 /// A sensible thread count for CPU-bound fan-out: the machine's available
 /// parallelism capped by the `CROWD_THREADS` environment variable when
-/// set (values below 1 or unparseable values are ignored), `1` when
-/// nothing can be determined.
+/// set, `1` when nothing can be determined. A malformed `CROWD_THREADS`
+/// is *not* silently ignored: it produces a once-per-process warning on
+/// stderr and falls back to the hardware count (use [`parse_thread_env`]
+/// for the typed-error path).
 pub fn default_threads() -> usize {
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1);
-    apply_thread_env(std::env::var("CROWD_THREADS").ok().as_deref(), hw)
-}
-
-/// `CROWD_THREADS` semantics, factored out for testing: a parseable
-/// positive override wins, anything else falls back to `hw`.
-fn apply_thread_env(env: Option<&str>, hw: usize) -> usize {
-    match env.and_then(|v| v.trim().parse::<usize>().ok()) {
-        Some(n) if n >= 1 => n,
-        _ => hw.max(1),
+        .unwrap_or(1)
+        .max(1);
+    match std::env::var("CROWD_THREADS") {
+        Err(_) => hw,
+        // An empty value means "unset" (CI matrices and shell scripts
+        // export empty strings to mean exactly that), not a parse error.
+        Ok(v) if v.trim().is_empty() => hw,
+        Ok(v) => match parse_thread_env(&v) {
+            Ok(n) => n,
+            Err(e) => {
+                static WARNED: OnceLock<()> = OnceLock::new();
+                WARNED.get_or_init(|| {
+                    eprintln!("WARNING: {e}; using the hardware default of {hw} threads");
+                });
+                hw
+            }
+        },
     }
 }
 
@@ -507,16 +709,145 @@ mod tests {
     }
 
     #[test]
-    fn thread_env_override_semantics() {
-        assert_eq!(apply_thread_env(Some("3"), 8), 3);
-        assert_eq!(apply_thread_env(Some(" 2 "), 8), 2);
-        assert_eq!(apply_thread_env(Some("0"), 8), 8);
-        assert_eq!(apply_thread_env(Some("many"), 8), 8);
-        assert_eq!(apply_thread_env(None, 8), 8);
-        assert_eq!(apply_thread_env(None, 0), 1);
+    fn thread_env_parse_semantics() {
+        assert_eq!(parse_thread_env("3"), Ok(3));
+        assert_eq!(parse_thread_env(" 2 "), Ok(2));
         // The cap can exceed the hardware (deployments may want that for
         // IO-ish jobs); it is taken at face value.
-        assert_eq!(apply_thread_env(Some("16"), 4), 16);
+        assert_eq!(parse_thread_env("16"), Ok(16));
+        // Malformed values are typed errors, not silent fallbacks.
+        let zero = parse_thread_env("0").unwrap_err();
+        assert_eq!(zero.var, "CROWD_THREADS");
+        assert!(zero.to_string().contains("at least 1"));
+        let junk = parse_thread_env("many").unwrap_err();
+        assert_eq!(junk.value, "many");
+        assert!(junk.to_string().contains("CROWD_THREADS"));
+        assert!(parse_thread_env("-4").is_err());
+        assert!(parse_thread_env("2.5").is_err());
+        assert!(parse_thread_env("").is_err());
+    }
+
+    #[test]
+    fn submitted_jobs_run_and_join() {
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let tickets: Vec<JobTicket> = (0..32)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                pool.submit(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for t in tickets {
+            assert!(matches!(t.join(), JobOutcome::Completed));
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn submitted_job_panic_is_isolated() {
+        // A panicking submitted job reports through its own ticket and
+        // leaves siblings, later submissions, and batches untouched.
+        let pool = WorkerPool::new(2);
+        let bad = pool.submit(|| panic!("job boom"));
+        let good = pool.submit(|| ());
+        match bad.join() {
+            JobOutcome::Panicked(payload) => {
+                let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+                assert_eq!(msg, "job boom");
+            }
+            other => panic!("expected panic outcome, got {other:?}"),
+        }
+        assert!(matches!(good.join(), JobOutcome::Completed));
+        // The pool still runs batches after a job panic.
+        let n = AtomicUsize::new(0);
+        pool.run_batch(1, &|| {
+            n.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(n.load(Ordering::SeqCst) >= 1);
+    }
+
+    #[test]
+    fn submitted_jobs_interleave_with_batches() {
+        let pool = Arc::new(WorkerPool::new(4));
+        let hits = Arc::new(AtomicUsize::new(0));
+        let tickets: Vec<JobTicket> = (0..8)
+            .map(|_| {
+                let h = Arc::clone(&hits);
+                pool.submit(move || {
+                    h.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for _ in 0..10 {
+            pool.run_batch(2, &|| {});
+        }
+        for t in tickets {
+            assert!(matches!(t.join(), JobOutcome::Completed));
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn nested_fanout_inside_submitted_job_runs_inline() {
+        // A submitted job that itself calls parallel_map must not
+        // deadlock or re-enter the pool — the worker thread carries the
+        // in-batch flag.
+        let pool = WorkerPool::new(2);
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let o = Arc::clone(&out);
+        let t = pool.submit(move || {
+            let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+                (0..8usize).map(|i| Box::new(move || i * 2) as _).collect();
+            *o.lock().unwrap() = parallel_map(4, jobs);
+        });
+        assert!(matches!(t.join(), JobOutcome::Completed));
+        assert_eq!(
+            *out.lock().unwrap(),
+            (0..8usize).map(|i| i * 2).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn dropping_pool_cancels_unstarted_jobs() {
+        // A pool with a blocked single worker and a deep queue: dropping
+        // it must complete every ticket (Cancelled, not hang).
+        let pool = WorkerPool::new(1);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let started = Arc::new(AtomicUsize::new(0));
+        let g = Arc::clone(&gate);
+        let s = Arc::clone(&started);
+        let first = pool.submit(move || {
+            s.store(1, Ordering::SeqCst);
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        });
+        // Wait until the single worker is demonstrably inside the first
+        // job, so the jobs queued next cannot start before the drop.
+        while started.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        let stuck: Vec<JobTicket> = (0..4).map(|_| pool.submit(|| ())).collect();
+        // Open the gate from another thread after the drop begins.
+        let opener = {
+            let g = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                let (lock, cv) = &*g;
+                *lock.lock().unwrap() = true;
+                cv.notify_all();
+            })
+        };
+        drop(pool);
+        opener.join().unwrap();
+        assert!(matches!(first.join(), JobOutcome::Completed));
+        for t in stuck {
+            assert!(matches!(t.join(), JobOutcome::Cancelled));
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! | [`qualification::table7`] | Table 7 — qualification-test benefit |
 //! | [`hidden::hidden_sweep`] | Figures 7–9 — quality vs golden fraction `p%` |
 //! | [`streaming::streaming_curve`] | §7(6) extension — accuracy vs answers seen, warm vs cold |
+//! | [`multi_tenant::multi_tenant_replay`] | service extension — every categorical dataset as one tenant of a shared `crowd-serve` |
 //!
 //! All runners are deterministic given an [`ExpConfig`] (scale, repeat
 //! count, base seed) and return plain data structures; the `crowd-repro`
@@ -23,6 +24,7 @@
 pub mod extensions;
 pub mod full_eval;
 pub mod hidden;
+pub mod multi_tenant;
 pub mod qualification;
 pub mod report;
 pub mod run;

@@ -1,0 +1,348 @@
+//! Multi-tenant replay — the serving-shaped scenario over the paper's
+//! Table-6 datasets, on `crowd-serve`.
+//!
+//! Every categorical Table-6 dataset becomes one **tenant**: an
+//! independent collection run replayed as a live answer stream into its
+//! own session of a shared [`CrowdServe`] service. Rounds interleave the
+//! tenants (each submits its next batch, then one drain tick re-converges
+//! every dirty session on the sharded worker pool), which is exactly the
+//! mixed-tenant load the ROADMAP's service milestone describes: big and
+//! small universes, different convergence costs, one budget.
+//!
+//! The scenario records, per tenant and per round, the accuracy of the
+//! served (warm, possibly budget-sliced) estimates against ground truth,
+//! plus the service-level tick telemetry — and finishes by evicting every
+//! session gracefully.
+
+use crowd_core::Method;
+use crowd_data::datasets::PaperDataset;
+use crowd_data::{collect, AnswerRecord, AssignmentStrategy, DataError, Dataset, StreamSession};
+use crowd_metrics::accuracy;
+use crowd_serve::{CrowdServe, ServeConfig, ServeError, SessionId};
+use crowd_stream::StreamConfig;
+
+use crate::ExpConfig;
+
+/// One tenant's state of play after one round.
+#[derive(Debug, Clone)]
+pub struct TenantPoint {
+    /// 0-based round index.
+    pub round: usize,
+    /// Answers the tenant's session has absorbed after this round.
+    pub answers_seen: usize,
+    /// Accuracy of the latest served estimates against ground truth.
+    pub accuracy: f64,
+    /// Whether the latest converge actually met the tolerance (false
+    /// while an iteration budget slices the tenant's convergence across
+    /// ticks).
+    pub converged: bool,
+}
+
+/// One tenant's full trajectory.
+#[derive(Debug, Clone)]
+pub struct TenantCurve {
+    /// The tenant's dataset name (Table 6).
+    pub dataset: &'static str,
+    /// Accuracy per round.
+    pub points: Vec<TenantPoint>,
+    /// Total answers replayed.
+    pub answers_total: usize,
+    /// Warm converges the session ran over the whole replay.
+    pub converges: usize,
+}
+
+/// Service-level telemetry for one round's drain tick.
+#[derive(Debug, Clone)]
+pub struct TickPoint {
+    /// 0-based round index.
+    pub round: usize,
+    /// Answers ingested across all tenants this tick.
+    pub answers_ingested: usize,
+    /// Sessions that converged / ran out of budget this tick.
+    pub sessions_converged: usize,
+    /// Sessions whose iteration budget expired this tick.
+    pub sessions_budget_exhausted: usize,
+    /// Wall-clock seconds of the tick.
+    pub seconds: f64,
+}
+
+/// The full multi-tenant replay result.
+#[derive(Debug, Clone)]
+pub struct MultiTenantReport {
+    /// Per-tenant accuracy trajectories, in `PaperDataset::ALL` order.
+    pub tenants: Vec<TenantCurve>,
+    /// Per-round service telemetry.
+    pub ticks: Vec<TickPoint>,
+}
+
+/// Errors of the multi-tenant replay.
+#[derive(Debug)]
+pub enum MultiTenantError {
+    /// The collection simulation rejected a configuration.
+    Collection(DataError),
+    /// The service rejected a session, batch, or read.
+    Serve(ServeError),
+}
+
+impl std::fmt::Display for MultiTenantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Collection(e) => write!(f, "collection failed: {e}"),
+            Self::Serve(e) => write!(f, "service failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MultiTenantError {}
+
+impl From<ServeError> for MultiTenantError {
+    fn from(e: ServeError) -> Self {
+        Self::Serve(e)
+    }
+}
+
+/// Replay every categorical Table-6 dataset as one tenant of a shared
+/// service, `batches` interleaved rounds each, re-converging `method`
+/// per tick under `tick_iteration_budget` (use `usize::MAX` for
+/// unbudgeted ticks).
+pub fn multi_tenant_replay(
+    method: Method,
+    batches: usize,
+    tick_iteration_budget: usize,
+    config: &ExpConfig,
+) -> Result<MultiTenantReport, MultiTenantError> {
+    struct Tenant {
+        name: &'static str,
+        dataset: Dataset,
+        batches: Vec<Vec<AnswerRecord>>,
+        session: SessionId,
+    }
+
+    let serve = CrowdServe::new(ServeConfig {
+        shards: config.threads.clamp(1, 8),
+        tick_iteration_budget,
+        ..ServeConfig::default()
+    })?;
+
+    let mut tenants: Vec<Tenant> = Vec::new();
+    for (i, dataset_id) in PaperDataset::ALL.into_iter().enumerate() {
+        if !dataset_id.task_type().is_categorical() {
+            continue;
+        }
+        let sim_cfg = dataset_id.config(config.scale);
+        let budget = sim_cfg.num_tasks * sim_cfg.redundancy.max(1);
+        let run = collect(
+            &sim_cfg,
+            AssignmentStrategy::Uniform,
+            budget,
+            config.seed + i as u64,
+        )
+        .map_err(MultiTenantError::Collection)?;
+        let dataset = run.dataset;
+        let batch_size = dataset.num_answers().div_ceil(batches.max(1)).max(1);
+        let session = serve.create_session(StreamConfig::new(
+            method,
+            dataset.task_type(),
+            dataset.num_tasks(),
+            dataset.num_workers(),
+        ))?;
+        tenants.push(Tenant {
+            name: dataset_id.name(),
+            batches: StreamSession::from_dataset(&dataset, batch_size)
+                .map(|b| b.records)
+                .collect(),
+            dataset,
+            session,
+        });
+    }
+
+    let mut curves: Vec<TenantCurve> = tenants
+        .iter()
+        .map(|t| TenantCurve {
+            dataset: t.name,
+            points: Vec::new(),
+            answers_total: 0,
+            converges: 0,
+        })
+        .collect();
+    let mut ticks: Vec<TickPoint> = Vec::new();
+
+    // Interleaved rounds, plus trailing ticks until every budget-sliced
+    // tenant has fully converged.
+    let rounds = tenants.iter().map(|t| t.batches.len()).max().unwrap_or(0);
+    let mut round = 0usize;
+    loop {
+        let mut submitted = false;
+        for t in &tenants {
+            if let Some(batch) = t.batches.get(round) {
+                serve.submit(t.session, batch.clone())?;
+                submitted = true;
+            }
+        }
+        let dirty = tenants.iter().any(|t| {
+            matches!(
+                serve.session_stats(t.session).map(|s| s.needs_converge),
+                Ok(true)
+            )
+        });
+        if round >= rounds && !submitted && !dirty {
+            break;
+        }
+        let start = std::time::Instant::now();
+        let tick = serve.drain_tick();
+        ticks.push(TickPoint {
+            round,
+            answers_ingested: tick.answers_ingested,
+            sessions_converged: tick.sessions_converged,
+            sessions_budget_exhausted: tick.sessions_budget_exhausted,
+            seconds: start.elapsed().as_secs_f64(),
+        });
+        for (t, curve) in tenants.iter().zip(curves.iter_mut()) {
+            let stats = serve.session_stats(t.session)?;
+            if let Some(report) = serve.last_report(t.session)? {
+                curve.points.push(TenantPoint {
+                    round,
+                    answers_seen: stats.answers_seen,
+                    accuracy: accuracy(&t.dataset, &report.result.truths),
+                    converged: report.result.converged,
+                });
+            }
+        }
+        round += 1;
+        if round > rounds + 1000 {
+            break; // runaway guard; the budget property tests pin real convergence
+        }
+    }
+
+    for (t, curve) in tenants.iter().zip(curves.iter_mut()) {
+        let evicted = serve.evict(t.session)?;
+        curve.answers_total = evicted.answers_seen;
+        curve.converges = evicted.converges;
+    }
+
+    Ok(MultiTenantReport {
+        tenants: curves,
+        ticks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_stream::{ConvergeBudget, StreamEngine};
+
+    fn quick_config() -> ExpConfig {
+        ExpConfig {
+            scale: 0.05,
+            repeats: 1,
+            seed: 11,
+            threads: 4,
+        }
+    }
+
+    #[test]
+    fn replays_all_categorical_tenants_and_quality_rises() {
+        let report = multi_tenant_replay(Method::Ds, 5, usize::MAX, &quick_config()).expect("runs");
+        // The four categorical Table-6 datasets become four tenants.
+        assert_eq!(report.tenants.len(), 4);
+        assert_eq!(report.ticks.len(), 5);
+        for curve in &report.tenants {
+            assert_eq!(curve.points.len(), 5, "{}", curve.dataset);
+            assert!(curve.answers_total > 0);
+            assert_eq!(curve.converges, 5);
+            let first = curve.points.first().unwrap();
+            let last = curve.points.last().unwrap();
+            assert_eq!(last.answers_seen, curve.answers_total);
+            assert!(last.converged);
+            // Quality must not fall along the stream on the
+            // decision-making tenants; the multi-choice S_* warm paths
+            // are known to trail their cold baselines mid-stream (see
+            // BENCH_stream.json), so only structure is asserted there.
+            if curve.dataset.starts_with("D_") {
+                assert!(
+                    last.accuracy >= first.accuracy - 0.05,
+                    "{}: accuracy fell {} → {}",
+                    curve.dataset,
+                    first.accuracy,
+                    last.accuracy
+                );
+            }
+        }
+        let ingested: usize = report.ticks.iter().map(|t| t.answers_ingested).sum();
+        let total: usize = report.tenants.iter().map(|t| t.answers_total).sum();
+        assert_eq!(ingested, total);
+    }
+
+    #[test]
+    fn budgeted_ticks_slice_convergence_but_finish_at_the_same_labels() {
+        let cfg = quick_config();
+        let budgeted = multi_tenant_replay(Method::Ds, 3, 2, &cfg).expect("runs");
+        // The tiny budget forces extra ticks beyond the 3 submission
+        // rounds...
+        assert!(budgeted.ticks.len() > 3);
+        assert!(budgeted
+            .ticks
+            .iter()
+            .any(|t| t.sessions_budget_exhausted > 0));
+        // ...but every tenant ends fully converged, at the accuracy a
+        // lone unbudgeted engine reaches on the same stream (the serve
+        // path is bit-identical to sequential replay; here we pin the
+        // scenario wiring end-to-end at the accuracy level).
+        let unbudgeted = multi_tenant_replay(Method::Ds, 3, usize::MAX, &cfg).expect("runs");
+        for (b, u) in budgeted.tenants.iter().zip(&unbudgeted.tenants) {
+            assert_eq!(b.dataset, u.dataset);
+            assert!(b.points.last().unwrap().converged);
+            let (ba, ua) = (
+                b.points.last().unwrap().accuracy,
+                u.points.last().unwrap().accuracy,
+            );
+            assert!(
+                (ba - ua).abs() < 0.02,
+                "{}: budgeted {} vs unbudgeted {}",
+                b.dataset,
+                ba,
+                ua
+            );
+        }
+    }
+
+    #[test]
+    fn serve_final_state_matches_a_lone_stream_engine() {
+        // The tenant wiring must not perturb inference: replay one
+        // tenant's exact batch sequence through a bare StreamEngine and
+        // compare labels bit-for-bit with the served result.
+        let cfg = quick_config();
+        let report = multi_tenant_replay(Method::Ds, 4, usize::MAX, &cfg).expect("runs");
+
+        // Rebuild tenant 0's stream exactly as the scenario does.
+        let dataset_id = PaperDataset::ALL
+            .into_iter()
+            .find(|d| d.task_type().is_categorical())
+            .unwrap();
+        let sim_cfg = dataset_id.config(cfg.scale);
+        let budget = sim_cfg.num_tasks * sim_cfg.redundancy.max(1);
+        let run = collect(&sim_cfg, AssignmentStrategy::Uniform, budget, cfg.seed).unwrap();
+        let d = run.dataset;
+        let batch_size = d.num_answers().div_ceil(4).max(1);
+        let mut engine = StreamEngine::new(StreamConfig::new(
+            Method::Ds,
+            d.task_type(),
+            d.num_tasks(),
+            d.num_workers(),
+        ))
+        .unwrap();
+        let mut last_accuracy = 0.0;
+        for batch in StreamSession::from_dataset(&d, batch_size) {
+            engine.push_batch(&batch.records).unwrap();
+            let r = engine.converge_budgeted(ConvergeBudget::default()).unwrap();
+            last_accuracy = accuracy(&d, &r.result.truths);
+        }
+        let served = &report.tenants[0];
+        assert_eq!(served.dataset, dataset_id.name());
+        assert_eq!(
+            served.points.last().unwrap().accuracy.to_bits(),
+            last_accuracy.to_bits(),
+            "served accuracy must be bit-identical to the lone engine"
+        );
+    }
+}

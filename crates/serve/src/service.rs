@@ -1,0 +1,743 @@
+//! The public service API: session lifecycle, the ingest front, drain
+//! ticks, and reads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crowd_core::exec::{JobOutcome, WorkerPool};
+use crowd_data::AnswerRecord;
+use crowd_stream::{ConvergeBudget, StreamConfig, StreamEngine, StreamReport};
+
+use crate::shard::{lock, panic_message, Envelope, SessionSlot, Shard, ShardTickStats};
+use crate::ServeError;
+
+/// Opaque session identifier, stable for the session's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    pub(crate) fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Session shards. Each shard drains on its own pool worker, so this
+    /// is the service's ingest/convergence parallelism.
+    pub shards: usize,
+    /// Per-shard ingest queue capacity, in **answers**. A batch that
+    /// would overflow a non-empty queue is rejected with
+    /// [`ServeError::Backpressure`]; a batch into an *empty* queue is
+    /// always admitted (a single batch larger than the capacity must not
+    /// be undeliverable).
+    pub queue_capacity: usize,
+    /// Per-session EM-iteration budget for one drain tick. Sessions that
+    /// exhaust it stay dirty and resume (warm) next tick.
+    pub tick_iteration_budget: usize,
+    /// Optional per-shard wall-clock deadline for one drain tick; dirty
+    /// sessions past it are deferred to the next tick. Checked between
+    /// sessions (a single converge is bounded by the iteration budget,
+    /// not pre-empted).
+    pub tick_deadline: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            shards: crowd_core::exec::default_threads().clamp(1, 8),
+            queue_capacity: 1 << 16,
+            tick_iteration_budget: usize::MAX,
+            tick_deadline: None,
+        }
+    }
+}
+
+/// What one [`CrowdServe::drain_tick`] did, aggregated over all shards.
+#[derive(Debug, Clone, Default)]
+pub struct TickReport {
+    /// Answers moved from ingest queues into engines.
+    pub answers_ingested: usize,
+    /// Sessions whose converge met the convergence criterion.
+    pub sessions_converged: usize,
+    /// Sessions whose converge ran out of iteration budget (they resume
+    /// next tick).
+    pub sessions_budget_exhausted: usize,
+    /// Dirty sessions skipped because the shard's deadline had passed.
+    pub sessions_deadline_deferred: usize,
+    /// Sessions newly poisoned by a converge panic this tick.
+    pub poisoned: Vec<SessionId>,
+    /// Per-session ingest/converge errors (typed engine rejections, not
+    /// panics — those poison).
+    pub errors: Vec<(SessionId, String)>,
+    /// Shard drain jobs that failed outside any session's converge
+    /// (cancelled pool, top-level panic). Always 0 in healthy operation.
+    pub shard_failures: usize,
+    /// Wall-clock duration of the whole tick (submit → all shards
+    /// joined).
+    pub elapsed: Duration,
+}
+
+impl TickReport {
+    fn merge(&mut self, s: ShardTickStats) {
+        self.answers_ingested += s.answers_ingested;
+        self.sessions_converged += s.sessions_converged;
+        self.sessions_budget_exhausted += s.sessions_budget_exhausted;
+        self.sessions_deadline_deferred += s.sessions_deadline_deferred;
+        self.poisoned.extend(s.newly_poisoned);
+        self.errors.extend(s.ingest_errors);
+    }
+}
+
+/// Per-session counters for observability.
+#[derive(Debug, Clone)]
+pub struct SessionStats {
+    /// The session.
+    pub session: SessionId,
+    /// The shard the session lives on.
+    pub shard: usize,
+    /// Answers accepted into the engine so far.
+    pub answers_seen: usize,
+    /// Answers accepted since the last warm converge.
+    pub pending_answers: usize,
+    /// Warm converges run so far.
+    pub converges: usize,
+    /// Whether the next drain tick would re-converge this session.
+    pub needs_converge: bool,
+    /// Whether the session is poisoned.
+    pub poisoned: bool,
+}
+
+/// Service-wide counters.
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Shards configured.
+    pub shards: usize,
+    /// Live sessions (including poisoned ones awaiting eviction).
+    pub sessions: usize,
+    /// Poisoned sessions awaiting eviction.
+    pub poisoned_sessions: usize,
+    /// Answers currently waiting in ingest queues.
+    pub queued_answers: usize,
+}
+
+/// Everything a retired session leaves behind.
+#[derive(Debug)]
+pub struct EvictedSession {
+    /// The retired session's id.
+    pub session: SessionId,
+    /// Total answers the session absorbed.
+    pub answers_seen: usize,
+    /// Warm converges the session ran.
+    pub converges: usize,
+    /// The final converged report (after draining pending ingest), or the
+    /// last one on record if the final converge was impossible.
+    pub final_report: Option<StreamReport>,
+    /// The poison message, for sessions that died to a converge panic.
+    pub poisoned: Option<String>,
+}
+
+/// The multi-session service core. See the crate docs for the
+/// architecture; all methods are callable from any thread.
+pub struct CrowdServe {
+    config: ServeConfig,
+    shards: Vec<Arc<Shard>>,
+    pool: WorkerPool,
+    next_session: AtomicU64,
+}
+
+impl CrowdServe {
+    /// Build a service with `config.shards` empty shards and a worker
+    /// pool sized to drain them all concurrently.
+    pub fn new(config: ServeConfig) -> Result<Self, ServeError> {
+        if config.shards == 0 {
+            return Err(ServeError::BadConfig {
+                detail: "shards must be at least 1".to_string(),
+            });
+        }
+        if config.queue_capacity == 0 {
+            return Err(ServeError::BadConfig {
+                detail: "queue_capacity must be at least 1 answer".to_string(),
+            });
+        }
+        if config.tick_iteration_budget == 0 {
+            return Err(ServeError::BadConfig {
+                detail: "tick_iteration_budget must be at least 1 iteration".to_string(),
+            });
+        }
+        let shards = (0..config.shards).map(|_| Arc::new(Shard::new())).collect();
+        Ok(Self {
+            pool: WorkerPool::new(config.shards),
+            shards,
+            next_session: AtomicU64::new(0),
+            config,
+        })
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a session is pinned to.
+    pub fn shard_of(&self, session: SessionId) -> usize {
+        (session.raw() % self.shards.len() as u64) as usize
+    }
+
+    /// Open a streaming session. The engine validates the config (task
+    /// type, method support) exactly as a standalone
+    /// [`StreamEngine`](crowd_stream::StreamEngine) would.
+    pub fn create_session(&self, config: StreamConfig) -> Result<SessionId, ServeError> {
+        let engine = StreamEngine::new(config)?;
+        let raw = self.next_session.fetch_add(1, Ordering::Relaxed);
+        let shard = &self.shards[(raw % self.shards.len() as u64) as usize];
+        lock(&shard.sessions).insert(
+            raw,
+            Arc::new(Mutex::new(SessionSlot {
+                engine,
+                last_report: None,
+                poisoned: None,
+                debug_panic_next_converge: false,
+            })),
+        );
+        Ok(SessionId::from_raw(raw))
+    }
+
+    /// Enqueue an answer batch for `session` — the async-style ingest
+    /// front. Returns as soon as the batch is on the owning shard's
+    /// bounded queue; no inference runs here, and validation happens at
+    /// drain time (per-record, engine untouched on rejection). A full
+    /// queue returns [`ServeError::Backpressure`] without enqueuing.
+    pub fn submit(&self, session: SessionId, records: Vec<AnswerRecord>) -> Result<(), ServeError> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let shard_idx = self.shard_of(session);
+        let shard = &self.shards[shard_idx];
+        {
+            let Some(slot) = shard.slot(session.raw()) else {
+                return Err(ServeError::UnknownSession(session));
+            };
+            if lock(&slot).poisoned.is_some() {
+                return Err(ServeError::SessionPoisoned(session));
+            }
+        }
+        let mut q = lock(&shard.ingest);
+        if q.queued_answers > 0 && q.queued_answers + records.len() > self.config.queue_capacity {
+            return Err(ServeError::Backpressure {
+                session,
+                shard: shard_idx,
+                queued_answers: q.queued_answers,
+                capacity: self.config.queue_capacity,
+            });
+        }
+        q.queued_answers += records.len();
+        q.queue.push_back(Envelope {
+            session: session.raw(),
+            records,
+        });
+        Ok(())
+    }
+
+    /// Run one drain tick: one job per shard is submitted to the worker
+    /// pool's from-any-thread queue, each shard ingests its queued
+    /// batches and re-converges its dirty sessions under the configured
+    /// budget, and the merged [`TickReport`] is returned once every shard
+    /// has finished.
+    pub fn drain_tick(&self) -> TickReport {
+        let started = Instant::now();
+        let budget = ConvergeBudget::iterations(self.config.tick_iteration_budget);
+        let deadline = self.config.tick_deadline;
+        let mut report = TickReport::default();
+
+        if self.shards.len() == 1 {
+            // One shard: drain inline, no dispatch latency.
+            report.merge(self.shards[0].drain(budget, deadline));
+        } else {
+            // Each job reports through its own slot (not shared shard
+            // state), so concurrent drain_tick callers cannot steal or
+            // clobber each other's statistics.
+            let tickets: Vec<_> = self
+                .shards
+                .iter()
+                .map(|shard| {
+                    let shard = Arc::clone(shard);
+                    let out = Arc::new(Mutex::new(None::<ShardTickStats>));
+                    let out_job = Arc::clone(&out);
+                    let ticket = self.pool.submit(move || {
+                        *lock(&out_job) = Some(shard.drain(budget, deadline));
+                    });
+                    (ticket, out)
+                })
+                .collect();
+            for (ticket, out) in tickets {
+                match ticket.join() {
+                    JobOutcome::Completed => {
+                        report.merge(lock(&out).take().unwrap_or_default());
+                    }
+                    JobOutcome::Panicked(_) | JobOutcome::Cancelled => {
+                        report.shard_failures += 1;
+                    }
+                }
+            }
+        }
+        report.elapsed = started.elapsed();
+        report
+    }
+
+    /// Live per-task plurality estimates for `session` — `O(|V|)` off the
+    /// delta views, no EM, includes answers not yet converged over (but
+    /// not answers still in the ingest queue).
+    pub fn plurality(&self, session: SessionId) -> Result<Vec<Option<u8>>, ServeError> {
+        self.with_active_slot(session, |slot| slot.engine.current_estimates())
+    }
+
+    /// The latest drained per-task posteriors for `session` (`None`
+    /// before the first converge). After a budget-exhausted tick this is
+    /// the freshest *unconverged* snapshot; use
+    /// [`last_report`](Self::last_report) and check `result.converged`
+    /// when a fixed point is required.
+    #[allow(clippy::type_complexity)]
+    pub fn posteriors(&self, session: SessionId) -> Result<Option<Vec<Vec<f64>>>, ServeError> {
+        self.with_active_slot(session, |slot| {
+            slot.last_report
+                .as_ref()
+                .and_then(|r| r.result.posteriors.clone())
+        })
+    }
+
+    /// The latest drain-tick report for `session` (`None` before the
+    /// first converge). `result.converged` distinguishes a reached fixed
+    /// point from a budget-sliced snapshot still resuming across ticks.
+    pub fn last_report(&self, session: SessionId) -> Result<Option<StreamReport>, ServeError> {
+        self.with_active_slot(session, |slot| slot.last_report.clone())
+    }
+
+    /// Per-session counters. Works on poisoned sessions too (that is the
+    /// point of observability).
+    pub fn session_stats(&self, session: SessionId) -> Result<SessionStats, ServeError> {
+        let shard_idx = self.shard_of(session);
+        let slot = self.shards[shard_idx]
+            .slot(session.raw())
+            .ok_or(ServeError::UnknownSession(session))?;
+        let slot = lock(&slot);
+        Ok(SessionStats {
+            session,
+            shard: shard_idx,
+            answers_seen: slot.engine.answers_seen(),
+            pending_answers: slot.engine.pending_answers(),
+            converges: slot.engine.converges(),
+            needs_converge: slot.engine.needs_converge(),
+            poisoned: slot.poisoned.is_some(),
+        })
+    }
+
+    /// Service-wide counters.
+    pub fn stats(&self) -> ServeStats {
+        let mut sessions = 0;
+        let mut poisoned = 0;
+        let mut queued = 0;
+        for shard in &self.shards {
+            let slots: Vec<_> = lock(&shard.sessions).values().cloned().collect();
+            sessions += slots.len();
+            poisoned += slots.iter().filter(|s| lock(s).poisoned.is_some()).count();
+            queued += lock(&shard.ingest).queued_answers;
+        }
+        ServeStats {
+            shards: self.shards.len(),
+            sessions,
+            poisoned_sessions: poisoned,
+            queued_answers: queued,
+        }
+    }
+
+    /// Gracefully retire a session: its still-queued batches are pulled
+    /// out of the shard's ingest queue and applied, a final unbudgeted
+    /// converge runs (if the session is dirty and healthy), and the slot
+    /// is removed. Poisoned sessions are evicted without touching the
+    /// engine — their last good report and poison message come back in
+    /// the [`EvictedSession`].
+    pub fn evict(&self, session: SessionId) -> Result<EvictedSession, ServeError> {
+        let shard = &self.shards[self.shard_of(session)];
+        // Serialise against whole drain ticks on this shard: an eviction
+        // must see either the pre-drain queue (and pull its envelopes
+        // below) or the post-drain engines — never a drain that has
+        // stolen the queue but not yet applied it, which would silently
+        // drop the session's submitted batches from its final state.
+        let _gate = lock(&shard.drain_gate);
+
+        // Pull this session's pending envelopes (preserving their order)
+        // out of the ingest queue.
+        let pending: Vec<Envelope> = {
+            let mut q = lock(&shard.ingest);
+            let (mine, rest): (Vec<Envelope>, Vec<Envelope>) = q
+                .queue
+                .drain(..)
+                .partition(|env| env.session == session.raw());
+            q.queue = rest.into();
+            q.queued_answers = q.queue.iter().map(|e| e.records.len()).sum();
+            mine
+        };
+
+        let slot = lock(&shard.sessions)
+            .remove(&session.raw())
+            .ok_or(ServeError::UnknownSession(session))?;
+        let mut slot = lock(&slot);
+
+        if slot.poisoned.is_none() {
+            for env in pending {
+                // Typed rejections are fine at eviction: keep what was
+                // valid, the caller gets the engine's final state.
+                let _ = slot.engine.push_batch(&env.records);
+            }
+            if slot.engine.needs_converge() {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    slot.engine.converge()
+                }));
+                match outcome {
+                    Ok(Ok(report)) => slot.last_report = Some(report),
+                    Ok(Err(_)) => {} // e.g. empty stream: keep last_report
+                    Err(payload) => slot.poisoned = Some(panic_message(payload.as_ref())),
+                }
+            }
+        }
+
+        Ok(EvictedSession {
+            session,
+            answers_seen: slot.engine.answers_seen(),
+            converges: slot.engine.converges(),
+            final_report: slot.last_report.take(),
+            poisoned: slot.poisoned.take(),
+        })
+    }
+
+    /// Compact every session's delta views now (drain ticks do this
+    /// lazily per converge) — a maintenance hook for idle periods.
+    pub fn compact_all(&self) {
+        for shard in &self.shards {
+            let slots: Vec<_> = lock(&shard.sessions).values().cloned().collect();
+            for slot in slots {
+                let mut slot = lock(&slot);
+                if slot.poisoned.is_none() {
+                    slot.engine.compact();
+                }
+            }
+        }
+    }
+
+    /// Test-only fault injection: make the next converge on `session`
+    /// panic inside the drain tick. Used by the isolation tests; not part
+    /// of the service contract.
+    #[doc(hidden)]
+    pub fn debug_panic_next_converge(&self, session: SessionId) -> Result<(), ServeError> {
+        let slot = self.shards[self.shard_of(session)]
+            .slot(session.raw())
+            .ok_or(ServeError::UnknownSession(session))?;
+        lock(&slot).debug_panic_next_converge = true;
+        Ok(())
+    }
+
+    fn with_active_slot<T>(
+        &self,
+        session: SessionId,
+        f: impl FnOnce(&SessionSlot) -> T,
+    ) -> Result<T, ServeError> {
+        let slot = self.shards[self.shard_of(session)]
+            .slot(session.raw())
+            .ok_or(ServeError::UnknownSession(session))?;
+        let slot = lock(&slot);
+        if slot.poisoned.is_some() {
+            return Err(ServeError::SessionPoisoned(session));
+        }
+        Ok(f(&slot))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_core::Method;
+    use crowd_data::{Answer, TaskType};
+
+    fn decision_session(n: usize, m: usize) -> StreamConfig {
+        StreamConfig::new(Method::Mv, TaskType::DecisionMaking, n, m)
+    }
+
+    fn rec(task: usize, worker: usize, label: u8) -> AnswerRecord {
+        AnswerRecord {
+            task,
+            worker,
+            answer: Answer::Label(label),
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        for (cfg, needle) in [
+            (
+                ServeConfig {
+                    shards: 0,
+                    ..ServeConfig::default()
+                },
+                "shards",
+            ),
+            (
+                ServeConfig {
+                    queue_capacity: 0,
+                    ..ServeConfig::default()
+                },
+                "queue_capacity",
+            ),
+            (
+                ServeConfig {
+                    tick_iteration_budget: 0,
+                    ..ServeConfig::default()
+                },
+                "tick_iteration_budget",
+            ),
+        ] {
+            match CrowdServe::new(cfg) {
+                Err(ServeError::BadConfig { detail }) => assert!(detail.contains(needle)),
+                other => panic!("expected BadConfig, got {other:?}", other = other.is_ok()),
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_round_robin_over_shards() {
+        let serve = CrowdServe::new(ServeConfig {
+            shards: 3,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let ids: Vec<SessionId> = (0..6)
+            .map(|_| serve.create_session(decision_session(4, 3)).unwrap())
+            .collect();
+        let shards: Vec<usize> = ids.iter().map(|&s| serve.shard_of(s)).collect();
+        assert_eq!(shards, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(serve.stats().sessions, 6);
+    }
+
+    #[test]
+    fn submit_drain_read_roundtrip() {
+        let serve = CrowdServe::new(ServeConfig {
+            shards: 2,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let sid = serve.create_session(decision_session(3, 3)).unwrap();
+        serve
+            .submit(sid, vec![rec(0, 0, 1), rec(0, 1, 1), rec(1, 0, 0)])
+            .unwrap();
+        // Nothing ingested until the tick.
+        assert_eq!(serve.session_stats(sid).unwrap().answers_seen, 0);
+        assert_eq!(serve.stats().queued_answers, 3);
+        let tick = serve.drain_tick();
+        assert_eq!(tick.answers_ingested, 3);
+        assert_eq!(tick.sessions_converged, 1);
+        assert_eq!(tick.shard_failures, 0);
+        assert!(tick.errors.is_empty());
+        assert_eq!(serve.plurality(sid).unwrap(), vec![Some(1), Some(0), None]);
+        let report = serve.last_report(sid).unwrap().unwrap();
+        assert_eq!(report.answers_seen, 3);
+        assert!(report.result.converged);
+    }
+
+    #[test]
+    fn unknown_and_empty_submissions() {
+        let serve = CrowdServe::new(ServeConfig {
+            shards: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let sid = serve.create_session(decision_session(2, 2)).unwrap();
+        // Empty batch is a no-op, not an error.
+        serve.submit(sid, vec![]).unwrap();
+        assert_eq!(serve.stats().queued_answers, 0);
+        let ghost = SessionId::from_raw(999);
+        assert!(matches!(
+            serve.submit(ghost, vec![rec(0, 0, 1)]),
+            Err(ServeError::UnknownSession(_))
+        ));
+        assert!(matches!(
+            serve.plurality(ghost),
+            Err(ServeError::UnknownSession(_))
+        ));
+        assert!(matches!(
+            serve.evict(ghost),
+            Err(ServeError::UnknownSession(_))
+        ));
+    }
+
+    #[test]
+    fn backpressure_is_typed_and_non_lossy() {
+        let serve = CrowdServe::new(ServeConfig {
+            shards: 1,
+            queue_capacity: 4,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let sid = serve.create_session(decision_session(10, 10)).unwrap();
+        serve
+            .submit(sid, vec![rec(0, 0, 1), rec(1, 0, 1), rec(2, 0, 1)])
+            .unwrap();
+        // 3 queued; 2 more would exceed capacity 4 → backpressure.
+        let err = serve
+            .submit(sid, vec![rec(3, 0, 1), rec(4, 0, 1)])
+            .unwrap_err();
+        match err {
+            ServeError::Backpressure {
+                queued_answers,
+                capacity,
+                ..
+            } => {
+                assert_eq!(queued_answers, 3);
+                assert_eq!(capacity, 4);
+            }
+            other => panic!("expected backpressure, got {other}"),
+        }
+        // One more answer fits exactly.
+        serve.submit(sid, vec![rec(3, 0, 1)]).unwrap();
+        // After a drain the queue is empty again and accepts batches —
+        // even one larger than capacity, since the queue is empty.
+        serve.drain_tick();
+        serve
+            .submit(
+                sid,
+                vec![
+                    rec(4, 0, 1),
+                    rec(5, 0, 1),
+                    rec(6, 0, 1),
+                    rec(7, 0, 1),
+                    rec(8, 0, 1),
+                    rec(9, 0, 1),
+                ],
+            )
+            .unwrap();
+        let tick = serve.drain_tick();
+        assert_eq!(tick.answers_ingested, 6);
+        assert_eq!(serve.session_stats(sid).unwrap().answers_seen, 10);
+    }
+
+    #[test]
+    fn invalid_records_surface_in_tick_report_without_killing_session() {
+        let serve = CrowdServe::new(ServeConfig {
+            shards: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let sid = serve.create_session(decision_session(2, 2)).unwrap();
+        // Second record is out of range; first is accepted, batch stops.
+        serve
+            .submit(sid, vec![rec(0, 0, 1), rec(7, 0, 1), rec(1, 1, 0)])
+            .unwrap();
+        let tick = serve.drain_tick();
+        assert_eq!(tick.answers_ingested, 1);
+        assert_eq!(tick.errors.len(), 1);
+        assert!(tick.errors[0].1.contains("out of range"));
+        // Session is alive and serving.
+        assert_eq!(serve.plurality(sid).unwrap()[0], Some(1));
+        serve.submit(sid, vec![rec(1, 1, 0)]).unwrap();
+        let tick = serve.drain_tick();
+        assert_eq!(tick.answers_ingested, 1);
+        assert!(tick.errors.is_empty());
+    }
+
+    #[test]
+    fn eviction_drains_pending_ingest_and_finalises() {
+        let serve = CrowdServe::new(ServeConfig {
+            shards: 2,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let sid = serve.create_session(decision_session(3, 3)).unwrap();
+        let other = serve.create_session(decision_session(3, 3)).unwrap();
+        serve.submit(sid, vec![rec(0, 0, 1), rec(1, 0, 0)]).unwrap();
+        serve.submit(other, vec![rec(2, 2, 1)]).unwrap();
+        // Evict before any tick: the queued batch must still count.
+        let evicted = serve.evict(sid).unwrap();
+        assert_eq!(evicted.answers_seen, 2);
+        assert!(evicted.poisoned.is_none());
+        let report = evicted.final_report.expect("final converge ran");
+        assert_eq!(report.answers_seen, 2);
+        assert!(matches!(
+            serve.plurality(sid),
+            Err(ServeError::UnknownSession(_))
+        ));
+        // The sibling session's queued batch survived the queue surgery.
+        let tick = serve.drain_tick();
+        assert_eq!(tick.answers_ingested, 1);
+        assert_eq!(serve.session_stats(other).unwrap().answers_seen, 1);
+    }
+
+    #[test]
+    fn concurrent_drain_ticks_conserve_statistics() {
+        // drain_tick is callable from any thread; two overlapping ticks
+        // must neither lose nor double-count ingested answers (each tick
+        // reports through its own per-job slot, and batches are ingested
+        // exactly once whichever tick drains them).
+        let serve = CrowdServe::new(ServeConfig {
+            shards: 2,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let sids: Vec<SessionId> = (0..4)
+            .map(|_| serve.create_session(decision_session(8, 8)).unwrap())
+            .collect();
+        for round in 0..4 {
+            for (k, &sid) in sids.iter().enumerate() {
+                serve
+                    .submit(sid, vec![rec(round, k % 8, 1), rec(4 + round, k % 8, 0)])
+                    .unwrap();
+            }
+            let reports: Vec<TickReport> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..2).map(|_| scope.spawn(|| serve.drain_tick())).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let ingested: usize = reports.iter().map(|r| r.answers_ingested).sum();
+            assert_eq!(ingested, 8, "round {round}: {reports:?}");
+            assert!(reports.iter().all(|r| r.shard_failures == 0));
+        }
+        for &sid in &sids {
+            assert_eq!(serve.session_stats(sid).unwrap().answers_seen, 8);
+        }
+    }
+
+    #[test]
+    fn deadline_defers_sessions_to_the_next_tick() {
+        let serve = CrowdServe::new(ServeConfig {
+            shards: 1,
+            tick_deadline: Some(Duration::ZERO),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let a = serve.create_session(decision_session(2, 2)).unwrap();
+        let b = serve.create_session(decision_session(2, 2)).unwrap();
+        serve.submit(a, vec![rec(0, 0, 1)]).unwrap();
+        serve.submit(b, vec![rec(0, 1, 1)]).unwrap();
+        // Deadline ZERO: ingest happens, but every converge is deferred.
+        let tick = serve.drain_tick();
+        assert_eq!(tick.answers_ingested, 2);
+        assert_eq!(tick.sessions_converged, 0);
+        assert_eq!(tick.sessions_deadline_deferred, 2);
+        assert!(serve.session_stats(a).unwrap().needs_converge);
+        assert!(serve.last_report(a).unwrap().is_none());
+    }
+}

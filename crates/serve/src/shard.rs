@@ -1,0 +1,214 @@
+//! Shard internals: the bounded ingest queue, the session table, and the
+//! drain-tick executor body that runs on a pool worker.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use crowd_data::AnswerRecord;
+use crowd_stream::{ConvergeBudget, StreamEngine, StreamReport};
+
+use crate::SessionId;
+
+/// One batch of answers waiting in a shard's ingest queue.
+pub(crate) struct Envelope {
+    pub session: u64,
+    pub records: Vec<AnswerRecord>,
+}
+
+/// A session slot on a shard. Each slot has its **own** lock (the table
+/// maps ids to `Arc<Mutex<SessionSlot>>`), so a long converge on one
+/// session never blocks reads or converges of its shard-mates.
+pub(crate) struct SessionSlot {
+    pub engine: StreamEngine,
+    /// The most recent drain-tick output — the freshest model state.
+    /// After a budget-exhausted tick this is an *unconverged* snapshot
+    /// (`result.converged == false`); readers that require a fixed point
+    /// must check that flag.
+    pub last_report: Option<StreamReport>,
+    /// `Some(message)` once a converge panicked; the slot refuses further
+    /// work until evicted.
+    pub poisoned: Option<String>,
+    /// Test-only fault injection: the next converge on this slot panics.
+    pub debug_panic_next_converge: bool,
+}
+
+/// The ingest queue, bounded in **answers** (not envelopes) so queue
+/// memory is proportional to actual load.
+pub(crate) struct IngestQueue {
+    pub queue: VecDeque<Envelope>,
+    pub queued_answers: usize,
+}
+
+/// What one shard did during one drain tick.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ShardTickStats {
+    pub answers_ingested: usize,
+    pub sessions_converged: usize,
+    pub sessions_budget_exhausted: usize,
+    pub sessions_deadline_deferred: usize,
+    pub newly_poisoned: Vec<SessionId>,
+    pub ingest_errors: Vec<(SessionId, String)>,
+}
+
+pub(crate) struct Shard {
+    pub ingest: Mutex<IngestQueue>,
+    /// The session table. The map lock is held only for lookups and
+    /// insert/remove — never across a converge.
+    pub sessions: Mutex<BTreeMap<u64, Arc<Mutex<SessionSlot>>>>,
+    /// Serialises whole drains against evictions: an eviction must
+    /// observe either the pre-drain queue (and pull its envelopes out
+    /// itself) or the post-drain engines (envelopes applied) — never a
+    /// drain that has stolen the queue but not yet applied it.
+    pub drain_gate: Mutex<()>,
+}
+
+/// All shard locks tolerate poisoning: the guarded data is kept
+/// consistent by the per-session catch_unwind in the drain body, and a
+/// panic elsewhere must not wedge every session on the shard.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Shard {
+    pub fn new() -> Self {
+        Self {
+            ingest: Mutex::new(IngestQueue {
+                queue: VecDeque::new(),
+                queued_answers: 0,
+            }),
+            sessions: Mutex::new(BTreeMap::new()),
+            drain_gate: Mutex::new(()),
+        }
+    }
+
+    /// Fetch one session's slot handle (brief map lock).
+    pub fn slot(&self, raw: u64) -> Option<Arc<Mutex<SessionSlot>>> {
+        lock(&self.sessions).get(&raw).cloned()
+    }
+
+    /// The drain-tick body, run on a pool worker thread (or inline).
+    ///
+    /// Two phases:
+    ///
+    /// 1. **Ingest** — move every queued envelope into its engine, in
+    ///    FIFO submission order (per-session order is what the
+    ///    bit-identical replay property rests on).
+    /// 2. **Converge** — for each dirty session (new answers, or a
+    ///    previous tick's budget ran out), run one budgeted converge.
+    ///    Sessions are visited in ascending id order; once `deadline`
+    ///    passes, remaining dirty sessions are deferred to the next tick.
+    ///
+    /// Each session is locked individually for its own ingest/converge,
+    /// so reads of other sessions proceed throughout the tick. A panic
+    /// inside one session's converge is caught, poisons only that
+    /// session, and the drain moves on to the next one.
+    pub fn drain(&self, budget: ConvergeBudget, deadline: Option<Duration>) -> ShardTickStats {
+        let _gate = lock(&self.drain_gate);
+        let started = Instant::now();
+        let mut stats = ShardTickStats::default();
+
+        // Take the whole queue in one lock hold; submitters regain the
+        // full capacity immediately.
+        let envelopes: Vec<Envelope> = {
+            let mut q = lock(&self.ingest);
+            q.queued_answers = 0;
+            q.queue.drain(..).collect()
+        };
+
+        // Phase 1: ingest.
+        for env in envelopes {
+            let sid = SessionId::from_raw(env.session);
+            let Some(slot) = self.slot(env.session) else {
+                // The session was evicted between the submit and this
+                // drain (the evict path pulls its own envelopes first, so
+                // this is a submit that raced the eviction). Report, don't
+                // crash the tick.
+                stats
+                    .ingest_errors
+                    .push((sid, "session evicted before ingest".to_string()));
+                continue;
+            };
+            let mut slot = lock(&slot);
+            if slot.poisoned.is_some() {
+                stats
+                    .ingest_errors
+                    .push((sid, "session poisoned; batch dropped".to_string()));
+                continue;
+            }
+            match slot.engine.push_batch(&env.records) {
+                Ok(n) => stats.answers_ingested += n,
+                Err((accepted, e)) => {
+                    stats.answers_ingested += accepted;
+                    stats
+                        .ingest_errors
+                        .push((sid, format!("record {accepted} rejected: {e}")));
+                }
+            }
+        }
+
+        // Phase 2: budgeted converges, ascending session id. Snapshot the
+        // id → slot handles first; the map lock is not held while any
+        // session converges.
+        let snapshot: Vec<(u64, Arc<Mutex<SessionSlot>>)> = lock(&self.sessions)
+            .iter()
+            .map(|(&raw, slot)| (raw, Arc::clone(slot)))
+            .collect();
+        for (raw, slot) in snapshot {
+            let mut slot = lock(&slot);
+            if slot.poisoned.is_some() || !slot.engine.needs_converge() {
+                continue;
+            }
+            if let Some(limit) = deadline {
+                if started.elapsed() >= limit {
+                    stats.sessions_deadline_deferred += 1;
+                    continue;
+                }
+            }
+            let inject = std::mem::take(&mut slot.debug_panic_next_converge);
+            let engine = &mut slot.engine;
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                if inject {
+                    panic!("injected converge panic");
+                }
+                engine.converge_budgeted(budget)
+            }));
+            match outcome {
+                Ok(Ok(report)) => {
+                    if report.result.converged {
+                        stats.sessions_converged += 1;
+                    } else {
+                        stats.sessions_budget_exhausted += 1;
+                    }
+                    slot.last_report = Some(report);
+                }
+                Ok(Err(e)) => {
+                    // A typed engine error (not a panic): the engine is
+                    // still consistent, so the session stays usable; the
+                    // error is surfaced in the tick report.
+                    stats
+                        .ingest_errors
+                        .push((SessionId::from_raw(raw), format!("converge failed: {e}")));
+                }
+                Err(payload) => {
+                    let msg = panic_message(payload.as_ref());
+                    slot.poisoned = Some(msg);
+                    stats.newly_poisoned.push(SessionId::from_raw(raw));
+                }
+            }
+        }
+        stats
+    }
+}
+
+/// Best-effort panic payload rendering for poison records.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

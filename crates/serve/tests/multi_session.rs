@@ -1,0 +1,241 @@
+//! The two service-layer guarantees, pinned:
+//!
+//! 1. **Bit-identical multi-tenancy** — K concurrent sessions fed
+//!    interleaved deltas (submitted from K threads, drained by sharded
+//!    pool workers) produce truths and posteriors **bit-identical** to K
+//!    sequential single-session `StreamEngine` replays of the same
+//!    per-session batch sequences, budgeted ticks included.
+//! 2. **Failure isolation** — a panic inside one session's converge
+//!    poisons only that session; sibling sessions on the same and other
+//!    shards keep serving with unchanged outputs.
+
+use crowd_core::Method;
+use crowd_data::datasets::PaperDataset;
+use crowd_data::{AnswerRecord, StreamSession};
+use crowd_serve::{CrowdServe, ServeConfig, ServeError, SessionId};
+use crowd_stream::{ConvergeBudget, StreamConfig, StreamEngine};
+use proptest::prelude::*;
+
+/// Per-session replay source: a scaled paper dataset split into batches.
+fn session_batches(seed: u64, batch_count: usize) -> (StreamConfig, Vec<Vec<AnswerRecord>>) {
+    let d = PaperDataset::DProduct.generate(0.04, seed);
+    let config = StreamConfig::new(Method::Ds, d.task_type(), d.num_tasks(), d.num_workers());
+    let batch_size = d.num_answers().div_ceil(batch_count).max(1);
+    let batches = StreamSession::from_dataset(&d, batch_size)
+        .map(|b| b.records)
+        .collect();
+    (config, batches)
+}
+
+/// Posterior matrix as raw bits, for exact comparison.
+fn posterior_bits(p: &Option<Vec<Vec<f64>>>) -> Vec<Vec<u64>> {
+    p.as_ref()
+        .map(|rows| {
+            rows.iter()
+                .map(|r| r.iter().map(|x| x.to_bits()).collect())
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Drive the serve path: one submitting thread per session per round,
+/// one drain tick per round, then drain until every session is clean.
+/// Returns each session's final report (truths + posteriors).
+fn run_served(
+    shards: usize,
+    budget: usize,
+    sessions: &[(StreamConfig, Vec<Vec<AnswerRecord>>)],
+) -> Vec<(Vec<crowd_data::Answer>, Vec<Vec<u64>>)> {
+    let serve = CrowdServe::new(ServeConfig {
+        shards,
+        tick_iteration_budget: budget,
+        ..ServeConfig::default()
+    })
+    .expect("valid config");
+    let ids: Vec<SessionId> = sessions
+        .iter()
+        .map(|(cfg, _)| serve.create_session(cfg.clone()).expect("valid session"))
+        .collect();
+
+    let rounds = sessions.iter().map(|(_, b)| b.len()).max().unwrap_or(0);
+    for round in 0..rounds {
+        // Interleaved ingest: every session that still has a batch this
+        // round submits it from its own thread, concurrently.
+        std::thread::scope(|scope| {
+            for (k, (_, batches)) in sessions.iter().enumerate() {
+                if let Some(batch) = batches.get(round) {
+                    let serve = &serve;
+                    let sid = ids[k];
+                    let records = batch.clone();
+                    scope.spawn(move || serve.submit(sid, records).expect("in capacity"));
+                }
+            }
+        });
+        let tick = serve.drain_tick();
+        assert_eq!(tick.shard_failures, 0);
+        assert!(tick.poisoned.is_empty());
+        assert!(tick.errors.is_empty(), "replay is valid: {:?}", tick.errors);
+    }
+    // Budget-exhausted sessions keep resuming on further ticks.
+    for _ in 0..400 {
+        if ids
+            .iter()
+            .all(|&sid| !serve.session_stats(sid).unwrap().needs_converge)
+        {
+            break;
+        }
+        serve.drain_tick();
+    }
+    ids.iter()
+        .map(|&sid| {
+            let stats = serve.session_stats(sid).unwrap();
+            assert!(!stats.needs_converge, "session never converged");
+            let report = serve
+                .last_report(sid)
+                .unwrap()
+                .expect("converged at least once");
+            (
+                report.result.truths.clone(),
+                posterior_bits(&report.result.posteriors),
+            )
+        })
+        .collect()
+}
+
+/// The sequential reference: a lone `StreamEngine` per session, same
+/// batch sequence, same budgeted converge at every point a drain tick
+/// would have converged it.
+fn run_sequential(
+    budget: usize,
+    sessions: &[(StreamConfig, Vec<Vec<AnswerRecord>>)],
+) -> Vec<(Vec<crowd_data::Answer>, Vec<Vec<u64>>)> {
+    sessions
+        .iter()
+        .map(|(cfg, batches)| {
+            let mut engine = StreamEngine::new(cfg.clone()).expect("valid session");
+            let rounds = sessions.iter().map(|(_, b)| b.len()).max().unwrap_or(0);
+            let mut last = None;
+            for round in 0..rounds {
+                if let Some(batch) = batches.get(round) {
+                    engine.push_batch(batch).expect("valid replay");
+                }
+                if engine.needs_converge() {
+                    last = Some(
+                        engine
+                            .converge_budgeted(ConvergeBudget::iterations(budget))
+                            .expect("converges"),
+                    );
+                }
+            }
+            for _ in 0..400 {
+                if !engine.needs_converge() {
+                    break;
+                }
+                last = Some(
+                    engine
+                        .converge_budgeted(ConvergeBudget::iterations(budget))
+                        .expect("converges"),
+                );
+            }
+            let report = last.expect("at least one converge");
+            assert!(report.result.converged);
+            (
+                report.result.truths.clone(),
+                posterior_bits(&report.result.posteriors),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// K concurrent sessions ≡ K sequential replays, bit for bit — over
+    /// random session counts, shard counts, batch splits, and iteration
+    /// budgets (including budgets small enough to force multi-tick
+    /// resumes).
+    #[test]
+    fn concurrent_sessions_match_sequential_replay(
+        k in 2usize..=4,
+        shards in 1usize..=3,
+        batch_count in 2usize..=4,
+        budget_sel in 0usize..=2,
+        seed in 0u64..1000,
+    ) {
+        let budget = [3, 25, usize::MAX][budget_sel];
+        let sessions: Vec<_> = (0..k)
+            .map(|i| session_batches(seed * 7 + i as u64, batch_count))
+            .collect();
+        let served = run_served(shards, budget, &sessions);
+        let sequential = run_sequential(budget, &sessions);
+        prop_assert_eq!(served, sequential);
+    }
+}
+
+#[test]
+fn eight_sessions_bit_identical_to_sequential() {
+    // The acceptance floor, pinned deterministically: ≥ 8 concurrent
+    // sessions across 4 shards, every output bit-identical to sequential
+    // single-session replay.
+    let sessions: Vec<_> = (0..8).map(|i| session_batches(100 + i, 3)).collect();
+    let served = run_served(4, usize::MAX, &sessions);
+    let sequential = run_sequential(usize::MAX, &sessions);
+    assert_eq!(served, sequential);
+}
+
+#[test]
+fn panic_in_one_session_leaves_siblings_serving() {
+    let sessions: Vec<_> = (0..4).map(|i| session_batches(40 + i, 2)).collect();
+    let serve = CrowdServe::new(ServeConfig {
+        shards: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let ids: Vec<SessionId> = sessions
+        .iter()
+        .map(|(cfg, _)| serve.create_session(cfg.clone()).unwrap())
+        .collect();
+
+    // First round for everyone.
+    for (k, (_, batches)) in sessions.iter().enumerate() {
+        serve.submit(ids[k], batches[0].clone()).unwrap();
+    }
+    serve.drain_tick();
+
+    // Inject a converge panic into session 1 for the second round.
+    for (k, (_, batches)) in sessions.iter().enumerate() {
+        serve.submit(ids[k], batches[1].clone()).unwrap();
+    }
+    serve.debug_panic_next_converge(ids[1]).unwrap();
+    let tick = serve.drain_tick();
+    assert_eq!(tick.poisoned, vec![ids[1]]);
+    assert_eq!(tick.shard_failures, 0);
+    assert_eq!(tick.sessions_converged, 3, "siblings converged this tick");
+
+    // The poisoned session refuses work with a typed error...
+    assert!(matches!(
+        serve.plurality(ids[1]),
+        Err(ServeError::SessionPoisoned(_))
+    ));
+    assert!(matches!(
+        serve.submit(ids[1], sessions[1].1[0].clone()),
+        Err(ServeError::SessionPoisoned(_))
+    ));
+    assert_eq!(serve.stats().poisoned_sessions, 1);
+
+    // ...while every sibling (including the shard-mate of the poisoned
+    // session) matches its sequential single-session replay exactly.
+    let sequential = run_sequential(usize::MAX, &sessions);
+    for k in [0usize, 2, 3] {
+        let report = serve.last_report(ids[k]).unwrap().unwrap();
+        assert_eq!(report.result.truths, sequential[k].0, "session {k}");
+        assert_eq!(posterior_bits(&report.result.posteriors), sequential[k].1);
+    }
+
+    // Eviction reclaims the poisoned slot and reports the cause.
+    let evicted = serve.evict(ids[1]).unwrap();
+    let msg = evicted.poisoned.expect("poison cause recorded");
+    assert!(msg.contains("injected"), "{msg}");
+    assert_eq!(serve.stats().poisoned_sessions, 0);
+    assert_eq!(serve.stats().sessions, 3);
+}

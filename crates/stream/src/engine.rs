@@ -46,6 +46,34 @@ impl StreamConfig {
     }
 }
 
+/// Iteration budget for one drain-tick converge (`crowd-serve`'s unit of
+/// fairness): the EM loop runs at most this many outer iterations this
+/// tick, and a session that runs out resumes from its warm state on the
+/// next tick instead of monopolising a shard executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvergeBudget {
+    /// Outer-iteration cap for this converge (further capped by the
+    /// session's own `options.max_iterations`; values of 0 are treated
+    /// as 1 — a converge that cannot iterate is not a converge).
+    pub max_iterations: usize,
+}
+
+impl ConvergeBudget {
+    /// A budget of `max_iterations` outer iterations.
+    pub fn iterations(max_iterations: usize) -> Self {
+        Self { max_iterations }
+    }
+}
+
+impl Default for ConvergeBudget {
+    /// No effective cap beyond the session's own `max_iterations`.
+    fn default() -> Self {
+        Self {
+            max_iterations: usize::MAX,
+        }
+    }
+}
+
 /// What one converge produced.
 #[derive(Debug, Clone)]
 pub struct StreamReport {
@@ -119,6 +147,13 @@ pub struct StreamEngine {
     warm: Option<WarmStart>,
     converges: usize,
     compactions: usize,
+    /// Answers accepted since the last warm converge — the drain hook a
+    /// shard uses to skip clean sessions.
+    pending_answers: usize,
+    /// Whether the last (possibly budgeted) warm converge actually met
+    /// the convergence criterion; a budget-exhausted session stays dirty
+    /// even with no new answers.
+    last_converged: bool,
 }
 
 impl StreamEngine {
@@ -145,6 +180,8 @@ impl StreamEngine {
             warm: None,
             converges: 0,
             compactions: 0,
+            pending_answers: 0,
+            last_converged: true,
             config,
         })
     }
@@ -167,6 +204,19 @@ impl StreamEngine {
     /// Delta compactions run so far.
     pub fn compactions(&self) -> usize {
         self.compactions
+    }
+
+    /// Answers accepted since the last warm converge.
+    pub fn pending_answers(&self) -> usize {
+        self.pending_answers
+    }
+
+    /// Whether a drain tick should (re-)converge this session: true when
+    /// answers arrived since the last warm converge, or when the last
+    /// budgeted converge ran out of iterations before meeting the
+    /// convergence criterion.
+    pub fn needs_converge(&self) -> bool {
+        self.pending_answers > 0 || !self.last_converged
     }
 
     /// Accept one answer. Rejects out-of-range indices, non-label
@@ -204,6 +254,7 @@ impl StreamEngine {
             return Err(StreamError::DuplicateAnswer { task, worker });
         }
         self.view.push(task, worker, label)?;
+        self.pending_answers += 1;
         // Keep the amortised maintenance cost constant; converge()
         // compacts the rest.
         if self.view.maybe_compact() {
@@ -237,11 +288,42 @@ impl StreamEngine {
     /// previous converge's state when one exists. Updates the warm state
     /// on success.
     pub fn converge(&mut self) -> Result<StreamReport, StreamError> {
-        let report = self.run(self.warm.clone())?;
+        self.converge_budgeted(ConvergeBudget::default())
+    }
+
+    /// Re-converge under an iteration budget — the shard drain-tick path.
+    ///
+    /// Runs the method for at most `budget.max_iterations` outer
+    /// iterations (never more than the session's own
+    /// `options.max_iterations`). The warm state is updated from whatever
+    /// state the loop reached, converged or not, so a budget-exhausted
+    /// session **resumes where it left off** on the next call instead of
+    /// redoing the work; until a call reports `result.converged`, the
+    /// session keeps answering `true` from
+    /// [`needs_converge`](Self::needs_converge).
+    pub fn converge_budgeted(
+        &mut self,
+        budget: ConvergeBudget,
+    ) -> Result<StreamReport, StreamError> {
+        let cap = budget
+            .max_iterations
+            .max(1)
+            .min(self.config.options.max_iterations);
+        // Shrinkage guards against *overfitted* warm state being trusted
+        // on new evidence; a pure budget-resume tick (no answers since
+        // the last converge) must instead continue the EM trajectory
+        // unperturbed, or repeated re-shrinking turns the resume loop
+        // into a limit cycle that never meets the tolerance.
+        let shrink = self.pending_answers > 0;
+        let report = self.run_capped(self.warm.clone(), cap)?;
         let mut warm = WarmStart::from_result(&report.result);
-        self.shrink_worker_state(&mut warm);
+        if shrink {
+            self.shrink_worker_state(&mut warm);
+        }
         self.warm = Some(warm);
         self.converges += 1;
+        self.pending_answers = 0;
+        self.last_converged = report.result.converged;
         Ok(report)
     }
 
@@ -289,7 +371,7 @@ impl StreamEngine {
     /// the first batch). Does not update the warm state — this is the
     /// baseline the streaming benchmarks compare against.
     pub fn converge_cold(&mut self) -> Result<StreamReport, StreamError> {
-        self.run(None)
+        self.run_capped(None, self.config.options.max_iterations)
     }
 
     /// Drop the warm state (the next converge restarts cold).
@@ -307,7 +389,11 @@ impl StreamEngine {
         }
     }
 
-    fn run(&mut self, warm: Option<WarmStart>) -> Result<StreamReport, StreamError> {
+    fn run_capped(
+        &mut self,
+        warm: Option<WarmStart>,
+        max_iterations: usize,
+    ) -> Result<StreamReport, StreamError> {
         if self.view.num_answers() == 0 {
             return Err(StreamError::EmptyStream);
         }
@@ -321,6 +407,7 @@ impl StreamEngine {
         let mut options = self.config.options.clone();
         options.golden = None;
         options.warm_start = warm;
+        options.max_iterations = max_iterations;
         let result = match self.config.method {
             Method::Ds => Ds.infer_view(cat, &options)?,
             Method::Lfc => Lfc::default().infer_view(cat, &options)?,
@@ -454,6 +541,69 @@ mod tests {
         let batch = Ds.infer(&d, &InferenceOptions::default()).unwrap();
         assert_eq!(streamed.result.truths, batch.truths);
         assert_eq!(streamed.result.iterations, batch.iterations);
+    }
+
+    #[test]
+    fn budgeted_converge_resumes_to_the_full_converge_fixed_point() {
+        let d = PaperDataset::DProduct.generate(0.08, 13);
+        let cfg = decision_config(Method::Ds, d.num_tasks(), d.num_workers());
+        let mut budgeted = StreamEngine::new(cfg.clone()).unwrap();
+        let mut full = StreamEngine::new(cfg).unwrap();
+        for r in d.records() {
+            budgeted.push(r.task, r.worker, r.answer).unwrap();
+            full.push(r.task, r.worker, r.answer).unwrap();
+        }
+        assert!(budgeted.needs_converge());
+
+        // Drive the budgeted engine in 3-iteration slices until it
+        // reports convergence; it must remain dirty in between.
+        let mut ticks = 0usize;
+        let mut total_iters = 0usize;
+        loop {
+            let report = budgeted
+                .converge_budgeted(ConvergeBudget::iterations(3))
+                .unwrap();
+            ticks += 1;
+            total_iters += report.result.iterations;
+            assert!(report.result.iterations <= 3);
+            if report.result.converged {
+                break;
+            }
+            assert!(
+                budgeted.needs_converge(),
+                "budget-exhausted session must stay dirty with no new answers"
+            );
+            assert!(ticks < 200, "budgeted converge never finished");
+        }
+        assert!(!budgeted.needs_converge());
+        assert!(ticks > 1, "budget of 3 should not finish in one tick");
+
+        // The unbudgeted engine reaches a fixed point in one call; the
+        // sliced path must land on the same labels.
+        let reference = full.converge().unwrap();
+        let sliced = budgeted.converge().unwrap();
+        assert_eq!(sliced.result.truths, reference.result.truths);
+        let _ = total_iters;
+    }
+
+    #[test]
+    fn pending_answers_track_pushes_and_converges() {
+        let mut e = StreamEngine::new(decision_config(Method::Mv, 4, 3)).unwrap();
+        assert_eq!(e.pending_answers(), 0);
+        assert!(!e.needs_converge());
+        e.push(0, 0, Answer::Label(1)).unwrap();
+        e.push(1, 0, Answer::Label(0)).unwrap();
+        assert_eq!(e.pending_answers(), 2);
+        assert!(e.needs_converge());
+        e.converge().unwrap();
+        assert_eq!(e.pending_answers(), 0);
+        assert!(!e.needs_converge());
+        // converge_cold is a baseline probe, not a drain: it must not
+        // mark pending answers as absorbed.
+        e.push(2, 1, Answer::Label(1)).unwrap();
+        e.converge_cold().unwrap();
+        assert_eq!(e.pending_answers(), 1);
+        assert!(e.needs_converge());
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub mod delta;
 pub mod engine;
 
 pub use delta::{DeltaCat, DeltaNum};
-pub use engine::{StreamConfig, StreamEngine, StreamReport};
+pub use engine::{ConvergeBudget, StreamConfig, StreamEngine, StreamReport};
 
 use crowd_core::InferenceError;
 use crowd_data::TaskType;

@@ -17,6 +17,9 @@
 //!   trait
 //! - [`stream`] — incremental inference over live answer streams
 //!   (delta-buffered CSR views, warm-start re-convergence)
+//! - [`serve`] — multi-session service core: sharded stream engines
+//!   behind a bounded async-style ingest front, drained on the worker
+//!   pool with budgeted re-convergence
 //! - [`metrics`] — Accuracy, F1, MAE, RMSE, consistency, worker statistics
 //! - [`experiments`] — runners for Tables 5–7 and Figures 2–9
 //!
@@ -41,6 +44,7 @@ pub use crowd_core as core;
 pub use crowd_data as data;
 pub use crowd_experiments as experiments;
 pub use crowd_metrics as metrics;
+pub use crowd_serve as serve;
 pub use crowd_stats as stats;
 pub use crowd_stream as stream;
 
@@ -57,5 +61,6 @@ pub mod prelude {
     };
     pub use crowd_data::{Answer, Dataset, DatasetBuilder, StreamSession, TaskType};
     pub use crowd_metrics::{accuracy, f1_score, mae, rmse};
-    pub use crowd_stream::{StreamConfig, StreamEngine};
+    pub use crowd_serve::{CrowdServe, ServeConfig, SessionId};
+    pub use crowd_stream::{ConvergeBudget, StreamConfig, StreamEngine};
 }
