@@ -127,6 +127,61 @@ fn finish_ticket(ticket: &TicketInner, outcome: JobOutcome) {
     ticket.done.notify_all();
 }
 
+/// How a typed submitted job failed (the error half of
+/// [`TypedTicket::join`]).
+#[derive(Debug)]
+pub enum JobError {
+    /// The job panicked; the payload is returned to the submitter instead
+    /// of poisoning the pool.
+    Panicked(Box<dyn std::any::Any + Send>),
+    /// The pool shut down before the job was started.
+    Cancelled,
+}
+
+impl JobError {
+    /// Best-effort human-readable panic message (`"cancelled"` for
+    /// [`JobError::Cancelled`]). Panic payloads are `&str` or `String` in
+    /// practice; anything else renders as a placeholder.
+    pub fn message(&self) -> String {
+        match self {
+            Self::Cancelled => "cancelled".to_string(),
+            Self::Panicked(payload) => payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string()),
+        }
+    }
+}
+
+/// Completion handle for a job submitted with
+/// [`WorkerPool::submit_with_result`]: a [`JobTicket`] plus the slot the
+/// job's return value lands in, so callers stop hand-rolling
+/// `Arc<Mutex<Option<T>>>` result plumbing around [`WorkerPool::submit`].
+pub struct TypedTicket<T> {
+    ticket: JobTicket,
+    slot: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> TypedTicket<T> {
+    /// Block until the job has finished and return its value. A panic in
+    /// the job is **not** re-raised here — it comes back as
+    /// [`JobError::Panicked`] with the payload, preserving the submit
+    /// path's isolation guarantee.
+    pub fn join(self) -> Result<T, JobError> {
+        match self.ticket.join() {
+            JobOutcome::Completed => Ok(self
+                .slot
+                .lock()
+                .expect("typed result slot")
+                .take()
+                .expect("completed job stored its result")),
+            JobOutcome::Panicked(payload) => Err(JobError::Panicked(payload)),
+            JobOutcome::Cancelled => Err(JobError::Cancelled),
+        }
+    }
+}
+
 /// Mutex-protected pool state.
 struct PoolState {
     /// Bumped once per batch so parked workers can tell a new batch from
@@ -347,6 +402,23 @@ impl WorkerPool {
         }
         self.inner.work.notify_all();
         ticket
+    }
+
+    /// [`WorkerPool::submit`] for jobs that return a value: the result is
+    /// stored behind the returned [`TypedTicket`] and handed back by
+    /// [`TypedTicket::join`], with panics delivered as
+    /// [`JobError::Panicked`] rather than unwinding the submitter.
+    pub fn submit_with_result<T: Send + 'static>(
+        &self,
+        job: impl FnOnce() -> T + Send + 'static,
+    ) -> TypedTicket<T> {
+        let slot = Arc::new(Mutex::new(None));
+        let out = Arc::clone(&slot);
+        let ticket = self.submit(move || {
+            let value = job();
+            *out.lock().expect("typed result slot") = Some(value);
+        });
+        TypedTicket { ticket, slot }
     }
 
     /// Spawn workers until `target` are available (bounded by
@@ -743,6 +815,77 @@ mod tests {
             assert!(matches!(t.join(), JobOutcome::Completed));
         }
         assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn typed_tickets_return_values_in_submission_order() {
+        let pool = WorkerPool::new(4);
+        let tickets: Vec<TypedTicket<usize>> = (0..32)
+            .map(|i| pool.submit_with_result(move || i * i))
+            .collect();
+        let out: Vec<usize> = tickets
+            .into_iter()
+            .map(|t| t.join().expect("job completed"))
+            .collect();
+        assert_eq!(out, (0..32usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn typed_ticket_delivers_panic_without_unwinding() {
+        let pool = WorkerPool::new(2);
+        let bad = pool.submit_with_result(|| -> usize { panic!("typed boom") });
+        let good = pool.submit_with_result(|| 7usize);
+        match bad.join() {
+            Err(JobError::Panicked(_)) => {}
+            other => panic!("expected panic error, got {:?}", other.map(|_| ())),
+        }
+        assert_eq!(good.join().expect("sibling unaffected"), 7);
+    }
+
+    #[test]
+    fn typed_job_error_messages() {
+        let pool = WorkerPool::new(1);
+        let bad = pool.submit_with_result(|| -> () { panic!("str payload") });
+        assert_eq!(bad.join().unwrap_err().message(), "str payload");
+        let owned = pool.submit_with_result(|| -> () { panic!("{}-{}", "fmt", 1) });
+        assert_eq!(owned.join().unwrap_err().message(), "fmt-1");
+        assert_eq!(JobError::Cancelled.message(), "cancelled");
+    }
+
+    #[test]
+    fn dropping_pool_cancels_unstarted_typed_jobs() {
+        // Mirror of `dropping_pool_cancels_unstarted_jobs` for the typed
+        // path: a blocked single worker, a queued typed job, pool drop.
+        let pool = WorkerPool::new(1);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let started = Arc::new(AtomicUsize::new(0));
+        let g = Arc::clone(&gate);
+        let s = Arc::clone(&started);
+        let first = pool.submit(move || {
+            s.store(1, Ordering::SeqCst);
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        });
+        while started.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        let stuck = pool.submit_with_result(|| 9usize);
+        let opener = {
+            let g = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                let (lock, cv) = &*g;
+                *lock.lock().unwrap() = true;
+                cv.notify_all();
+            })
+        };
+        drop(pool);
+        opener.join().unwrap();
+        assert!(matches!(first.join(), JobOutcome::Completed));
+        assert!(matches!(stuck.join(), Err(JobError::Cancelled)));
     }
 
     #[test]

@@ -202,6 +202,14 @@ impl Dataset {
         self.by_worker[worker].len()
     }
 
+    /// The largest `|W_i|` over all tasks — the true upper bound of a
+    /// redundancy sweep's x-axis. On ragged logs this exceeds the
+    /// *rounded mean* redundancy ([`Dataset::redundancy`]), which would
+    /// silently truncate the axis.
+    pub fn max_task_degree(&self) -> usize {
+        self.by_task.iter().map(|t| t.len()).max().unwrap_or(0)
+    }
+
     /// Ground truth of task `i`, if known.
     pub fn truth(&self, task: usize) -> Option<Answer> {
         self.truths[task]
@@ -303,6 +311,18 @@ mod tests {
     fn redundancy_is_answers_over_tasks() {
         let d = tiny();
         assert!((d.redundancy() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_task_degree_exceeds_rounded_mean_on_ragged_logs() {
+        // Degrees 2/1/1: mean 4/3 rounds to 1, but one task has 2
+        // answers — the sweep x-axis must reach 2, not 1.
+        let d = tiny();
+        assert_eq!(d.max_task_degree(), 2);
+        assert_eq!(d.redundancy().round() as usize, 1);
+        // Degenerate: a dataset with no answers.
+        let empty = DatasetBuilder::new("e", TaskType::DecisionMaking, 2, 1).build();
+        assert_eq!(empty.max_task_degree(), 0);
     }
 
     #[test]

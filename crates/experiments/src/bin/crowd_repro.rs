@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! crowd-repro [--quick|--standard|--full] [--scale S] [--repeats N]
-//!             [--seed K] [--threads T] <experiment> [...]
+//!             [--seed K] [--threads T] [--progress] <experiment> [...]
 //!
 //! experiments:
 //!   table5        dataset statistics (Table 5)
@@ -18,16 +18,24 @@
 //!   fig7          hidden test, decision-making (Figure 7)
 //!   fig8          hidden test, single-choice (Figure 8)
 //!   fig9          hidden test, numeric (Figure 9)
+//!   streaming     warm-vs-cold streaming grid on the sweep runner
 //!   example       the paper's Section 3 running example (Tables 1–2)
 //!   all           everything above
+//!
+//! `--progress` streams one line per finished sweep cell to stderr while
+//! the grid experiments (fig4–6, table6, streaming) run on the async
+//! `SweepRunner` — live completed/failed counts, completion order.
 //! ```
 
 use crowd_core::Method;
 use crowd_data::datasets::PaperDataset;
 use crowd_experiments::report::{num, pct, secs, series, table};
-use crowd_experiments::{full_eval, hidden, qualification, stats_tables, sweep, ExpConfig};
+use crowd_experiments::runner::{CancelToken, SweepProgress, SweepRunner};
+use crowd_experiments::{
+    full_eval, hidden, qualification, stats_tables, streaming, sweep, ExpConfig,
+};
 
-const EXPERIMENTS: [&str; 16] = [
+const EXPERIMENTS: [&str; 17] = [
     "example",
     "table5",
     "consistency",
@@ -41,14 +49,36 @@ const EXPERIMENTS: [&str; 16] = [
     "fig7",
     "fig8",
     "fig9",
+    "streaming",
     "assignment",
     "advisor",
     "ablation",
 ];
 
+/// Render progress events as log lines on stderr (stdout stays clean for
+/// the tables/series output). One line per cell, completion order.
+fn progress_printer(tag: String, enabled: bool) -> impl FnMut(&SweepProgress) {
+    move |p| {
+        if enabled {
+            eprintln!(
+                "[{tag}] {done}/{total} cells (ok {ok}, failed {failed}, cancelled {cancelled}) \
+                 — {label} {status:?}",
+                done = p.done,
+                total = p.total,
+                ok = p.completed,
+                failed = p.failed,
+                cancelled = p.cancelled,
+                label = p.label,
+                status = p.status,
+            );
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = ExpConfig::standard();
+    let mut progress = false;
     let mut experiments: Vec<String> = Vec::new();
 
     let mut it = args.iter().peekable();
@@ -61,6 +91,7 @@ fn main() {
             "--repeats" => config.repeats = parse_next(&mut it, "--repeats"),
             "--seed" => config.seed = parse_next(&mut it, "--seed"),
             "--threads" => config.threads = parse_next(&mut it, "--threads"),
+            "--progress" => progress = true,
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -86,10 +117,10 @@ fn main() {
     for exp in &experiments {
         if exp == "all" {
             for e in EXPERIMENTS {
-                run_one(e, &config);
+                run_one(e, &config, progress);
             }
         } else if EXPERIMENTS.contains(&exp.as_str()) {
-            run_one(exp, &config);
+            run_one(exp, &config, progress);
         } else {
             eprintln!("unknown experiment {exp}");
             print_usage();
@@ -98,7 +129,7 @@ fn main() {
     }
 }
 
-fn run_one(name: &str, config: &ExpConfig) {
+fn run_one(name: &str, config: &ExpConfig, progress: bool) {
     match name {
         "table5" => run_table5(config),
         "consistency" => run_consistency(config),
@@ -108,14 +139,16 @@ fn run_one(name: &str, config: &ExpConfig) {
             config,
             &[PaperDataset::DProduct, PaperDataset::DPosSent],
             "Figure 4",
+            progress,
         ),
         "fig5" => run_sweep(
             config,
             &[PaperDataset::SRel, PaperDataset::SAdult],
             "Figure 5",
+            progress,
         ),
-        "fig6" => run_sweep(config, &[PaperDataset::NEmotion], "Figure 6"),
-        "table6" => run_table6(config),
+        "fig6" => run_sweep(config, &[PaperDataset::NEmotion], "Figure 6", progress),
+        "table6" => run_table6(config, progress),
         "table7" => run_table7(config),
         "fig7" => run_hidden(
             config,
@@ -128,6 +161,7 @@ fn run_one(name: &str, config: &ExpConfig) {
             "Figure 8",
         ),
         "fig9" => run_hidden(config, &[PaperDataset::NEmotion], "Figure 9"),
+        "streaming" => run_streaming(config, progress),
         "example" => run_example(),
         "assignment" => run_assignment(config),
         "advisor" => run_advisor(config),
@@ -153,9 +187,9 @@ fn parse_next<T: std::str::FromStr>(
 fn print_usage() {
     println!(
         "usage: crowd-repro [--quick|--standard|--full] [--scale S] [--repeats N] \
-         [--seed K] [--threads T] <experiment>...\n\
+         [--seed K] [--threads T] [--progress] <experiment>...\n\
          experiments: example table5 consistency fig2 fig3 fig4 fig5 fig6 table6 \
-         table7 fig7 fig8 fig9 assignment advisor ablation all"
+         table7 fig7 fig8 fig9 streaming assignment advisor ablation all"
     );
 }
 
@@ -255,10 +289,20 @@ fn run_fig3(config: &ExpConfig) {
     }
 }
 
-fn run_sweep(config: &ExpConfig, datasets: &[PaperDataset], figure: &str) {
+fn run_sweep(config: &ExpConfig, datasets: &[PaperDataset], figure: &str, progress: bool) {
+    // One runner (and thus one budgeted worker pool) shared by the
+    // figure's datasets.
+    let runner = SweepRunner::new(config.threads);
     for &id in datasets {
         println!("== {figure}: redundancy sweep on {} ==", id.name());
-        let res = sweep::redundancy_sweep(id, None, config);
+        let res = sweep::redundancy_sweep_observed(
+            id,
+            None,
+            config,
+            &runner,
+            &CancelToken::new(),
+            progress_printer(format!("{figure} {}", id.name()), progress),
+        );
         let xs: Vec<f64> = res.redundancies.iter().map(|&r| r as f64).collect();
         let names: Vec<&str> = res.curves.iter().map(|c| c.method.name()).collect();
         if id.task_type().is_categorical() {
@@ -277,9 +321,15 @@ fn run_sweep(config: &ExpConfig, datasets: &[PaperDataset], figure: &str) {
     }
 }
 
-fn run_table6(config: &ExpConfig) {
+fn run_table6(config: &ExpConfig, progress: bool) {
     println!("== Table 6: quality and running time with complete data ==");
-    let t = full_eval::table6(config);
+    let runner = SweepRunner::new(config.threads);
+    let t = full_eval::table6_observed(
+        config,
+        &runner,
+        &CancelToken::new(),
+        progress_printer("Table 6".to_string(), progress),
+    );
     let mut rows = Vec::new();
     for (m_idx, &method) in t.methods.iter().enumerate() {
         let mut row = vec![method.name().to_string()];
@@ -312,6 +362,16 @@ fn run_table6(config: &ExpConfig) {
             &rows
         )
     );
+    // A "×" above normally means "not applicable"; cells lost to a panic
+    // or cancellation must not hide behind the same symbol.
+    for (method, dataset, cause) in &t.lost {
+        eprintln!(
+            "WARNING: Table 6 cell {}×{} lost ({cause}) — its × is a missing \
+             measurement, not inapplicability",
+            method.name(),
+            dataset.name()
+        );
+    }
 }
 
 fn run_table7(config: &ExpConfig) {
@@ -389,6 +449,71 @@ fn run_hidden(config: &ExpConfig, datasets: &[PaperDataset], figure: &str) {
             _ => println!("-- {metric2} --\n{}", series("p%", &xs, &names, &q2)),
         }
     }
+}
+
+fn run_streaming(config: &ExpConfig, progress: bool) {
+    println!("== Streaming grid: warm vs cold re-convergence (sweep runner) ==");
+    // Every categorical Table-6 dataset × D&S — the headline warm-start
+    // comparison of BENCH_stream.json, replayed live on the runner.
+    let pairs: Vec<(PaperDataset, Method)> = PaperDataset::ALL
+        .into_iter()
+        .filter(|d| d.task_type().is_categorical())
+        .map(|d| (d, Method::Ds))
+        .collect();
+    let runner = SweepRunner::new(config.threads);
+    let rows = streaming::streaming_grid(
+        &pairs,
+        8,
+        config,
+        &runner,
+        &CancelToken::new(),
+        progress_printer("streaming".to_string(), progress),
+    );
+    let mut body = Vec::new();
+    for row in &rows {
+        match &row.curve {
+            Ok(curve) => {
+                let last = curve.last().expect("non-empty curve");
+                let warm: usize = curve.iter().map(|p| p.iterations_warm).sum();
+                let cold: usize = curve.iter().map(|p| p.iterations_cold).sum();
+                body.push(vec![
+                    row.dataset.name().to_string(),
+                    row.method.name().to_string(),
+                    format!("{}", last.answers_seen),
+                    format!("{:.2}%", 100.0 * last.accuracy_warm),
+                    format!("{:.2}%", 100.0 * last.accuracy_cold),
+                    warm.to_string(),
+                    cold.to_string(),
+                ]);
+            }
+            Err(e) => {
+                body.push(vec![
+                    row.dataset.name().to_string(),
+                    row.method.name().to_string(),
+                    format!("error: {e}"),
+                    "×".into(),
+                    "×".into(),
+                    "×".into(),
+                    "×".into(),
+                ]);
+            }
+        }
+    }
+    println!(
+        "{}",
+        table(
+            &[
+                "Dataset",
+                "Method",
+                "answers",
+                "warm acc",
+                "cold acc",
+                "warm iters",
+                "cold iters",
+            ],
+            &body
+        )
+    );
 }
 
 fn run_assignment(config: &ExpConfig) {

@@ -17,7 +17,7 @@ use crowd_data::assignment::{collect, AssignmentStrategy};
 use crowd_data::datasets::PaperDataset;
 use crowd_metrics::accuracy;
 
-use crate::sweep::SweepResult;
+use crate::sweep::{cell_seed, SeedPurpose, SweepResult};
 use crate::{parallel_map, ExpConfig};
 
 /// One row of the assignment comparison: strategy × method → accuracy.
@@ -66,9 +66,12 @@ pub fn assignment_comparison(config: &ExpConfig) -> (Vec<Method>, Vec<Assignment
                 .map(|rep| {
                     let sim_cfg = sim_cfg.clone();
                     let methods = methods.clone();
-                    let seed = config.seed + 101 * rep as u64;
+                    // Purpose-split streams: the collection simulation
+                    // and the method init RNGs must not share a sequence.
+                    let collect_seed = cell_seed(config.seed, rep, 0, SeedPurpose::Collection);
+                    let infer_seed = cell_seed(config.seed, rep, 0, SeedPurpose::Inference);
                     Box::new(move || {
-                        let run = collect(&sim_cfg, strategy, budget, seed)
+                        let run = collect(&sim_cfg, strategy, budget, collect_seed)
                             .expect("decision-making config is categorical");
                         let d = &run.dataset;
                         let mut correct = 0usize;
@@ -83,7 +86,7 @@ pub fn assignment_comparison(config: &ExpConfig) -> (Vec<Method>, Vec<Assignment
                             .map(|m| {
                                 let r = m
                                     .build()
-                                    .infer(d, &InferenceOptions::seeded(seed))
+                                    .infer(d, &InferenceOptions::seeded(infer_seed))
                                     .expect("decision-making supported");
                                 accuracy(d, &r.truths)
                             })
@@ -128,6 +131,10 @@ pub fn recommend_redundancy(result: &SweepResult, method: Method, epsilon: f64) 
     };
     // r̂ = first r whose *remaining* gains (to every later point) are all
     // below epsilon — a single flat step must not fool the advisor.
+    // Sweep curves mark failed/empty points `NaN`: `f64::max` skips them
+    // in the future-max fold, and a NaN candidate point never satisfies
+    // the `< epsilon` comparison, so missing measurements are never
+    // recommended.
     for (i, &r) in result.redundancies.iter().enumerate() {
         let future_max = quality[i..]
             .iter()
@@ -308,6 +315,41 @@ mod tests {
         if let Some(r) = strict {
             assert!(res.redundancies.contains(&r));
         }
+    }
+
+    #[test]
+    fn advisor_never_recommends_nan_points() {
+        use crate::sweep::SweepCurve;
+        // A curve whose middle point failed (NaN, one lost repeat): the
+        // advisor must not pick r=2, and must not let the NaN poison the
+        // future-max scan for the later points.
+        let res = SweepResult {
+            dataset: PaperDataset::DProduct,
+            redundancies: vec![1, 2, 3],
+            curves: vec![SweepCurve {
+                method: Method::Mv,
+                accuracy: vec![0.70, f64::NAN, 0.90],
+                f1: vec![0.0; 3],
+                mae: vec![0.0; 3],
+                rmse: vec![0.0; 3],
+                failures: vec![0, 1, 0],
+            }],
+        };
+        assert_eq!(recommend_redundancy(&res, Method::Mv, 0.01), Some(3));
+        // All-NaN curve: nothing to recommend.
+        let all_nan = SweepResult {
+            dataset: PaperDataset::DProduct,
+            redundancies: vec![1, 2],
+            curves: vec![SweepCurve {
+                method: Method::Mv,
+                accuracy: vec![f64::NAN; 2],
+                f1: vec![f64::NAN; 2],
+                mae: vec![f64::NAN; 2],
+                rmse: vec![f64::NAN; 2],
+                failures: vec![1, 1],
+            }],
+        };
+        assert_eq!(recommend_redundancy(&all_nan, Method::Mv, 0.01), None);
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! Table 6 — quality and running time of every method on the complete
 //! data of all five datasets (§6.3.1).
 
+use std::sync::Arc;
+
 use crowd_core::{InferenceOptions, Method};
 use crowd_data::datasets::PaperDataset;
 
-use crate::{parallel_map, run::evaluate, EvalOutcome, ExpConfig};
+use crate::runner::{CancelToken, CellOutcome, SweepCell, SweepProgress, SweepRunner};
+use crate::{run::evaluate, EvalOutcome, ExpConfig};
 
 /// One cell of Table 6: a method's outcome on a dataset (`None` when the
 /// method does not apply — the paper's "×").
@@ -19,34 +22,58 @@ pub struct Table6 {
     pub methods: Vec<Method>,
     /// `cells[m][d]` = method `m` on dataset `d`.
     pub cells: Vec<Vec<Cell>>,
+    /// Cells lost to a panic or cancellation on the runner, with the
+    /// cause — so a missing measurement stays distinguishable from the
+    /// `None` a non-applicable method legitimately gets.
+    pub lost: Vec<(Method, PaperDataset, String)>,
 }
 
 /// Run every method on the complete data of every dataset. Quality cells
 /// are averaged over `config.repeats` runs with distinct seeds; times are
 /// per-run means.
 pub fn table6(config: &ExpConfig) -> Table6 {
+    let runner = SweepRunner::new(config.threads);
+    table6_observed(config, &runner, &CancelToken::new(), |_| {})
+}
+
+/// [`table6`] on a caller-supplied [`SweepRunner`], streaming one
+/// progress event per (method × dataset) cell in completion order (cell
+/// labels are `"{method}×{dataset}"`). Cells lost to cancellation or a
+/// panic stay `None` in the grid and are recorded in [`Table6::lost`]
+/// with their cause.
+pub fn table6_observed(
+    config: &ExpConfig,
+    runner: &SweepRunner,
+    token: &CancelToken,
+    on_progress: impl FnMut(&SweepProgress),
+) -> Table6 {
     let datasets: Vec<PaperDataset> = PaperDataset::ALL.to_vec();
     let methods: Vec<Method> = Method::ALL.to_vec();
 
-    // Generate each dataset once.
-    let data: Vec<crowd_data::Dataset> = datasets
-        .iter()
-        .map(|d| d.generate(config.scale, config.seed))
-        .collect();
+    // Generate each dataset once, shared by every cell.
+    let data: Arc<Vec<crowd_data::Dataset>> = Arc::new(
+        datasets
+            .iter()
+            .map(|d| d.generate(config.scale, config.seed))
+            .collect(),
+    );
 
-    // One job per (method, dataset): runs `repeats` times internally so a
+    // One cell per (method, dataset): runs `repeats` times internally so a
     // single slow method does not serialise the whole table.
     struct Slot {
         m_idx: usize,
         d_idx: usize,
         cell: Cell,
     }
-    let mut jobs: Vec<Box<dyn FnOnce() -> Slot + Send>> = Vec::new();
+    let mut grid: Vec<SweepCell<Slot>> = Vec::new();
     for (m_idx, &method) in methods.iter().enumerate() {
-        for (d_idx, dataset) in data.iter().enumerate() {
+        for (d_idx, &dataset_id) in datasets.iter().enumerate() {
             let repeats = config.repeats;
             let base_seed = config.seed;
-            jobs.push(Box::new(move || {
+            let data = Arc::clone(&data);
+            let label = format!("{}×{}", method.name(), dataset_id.name());
+            grid.push(SweepCell::new(label, move || {
+                let dataset = &data[d_idx];
                 let mut agg: Option<EvalOutcome> = None;
                 for rep in 0..repeats {
                     let opts = InferenceOptions::seeded(base_seed + rep as u64);
@@ -86,16 +113,26 @@ pub fn table6(config: &ExpConfig) -> Table6 {
             }));
         }
     }
-    let slots = parallel_map(config.threads, jobs);
+    let outcome = runner.run(grid, token, on_progress);
 
     let mut cells = vec![vec![None; datasets.len()]; methods.len()];
-    for s in slots {
-        cells[s.m_idx][s.d_idx] = s.cell;
+    let mut lost = Vec::new();
+    for (index, cell) in outcome.cells.into_iter().enumerate() {
+        // Grid order is method-major: index = m_idx * |datasets| + d_idx.
+        let (m_idx, d_idx) = (index / datasets.len(), index % datasets.len());
+        match cell {
+            CellOutcome::Completed(s) => cells[s.m_idx][s.d_idx] = s.cell,
+            CellOutcome::Failed(msg) => lost.push((methods[m_idx], datasets[d_idx], msg)),
+            CellOutcome::Cancelled => {
+                lost.push((methods[m_idx], datasets[d_idx], "cancelled".to_string()))
+            }
+        }
     }
     Table6 {
         datasets,
         methods,
         cells,
+        lost,
     }
 }
 
@@ -149,6 +186,29 @@ mod tests {
                 m.name()
             );
         }
+    }
+
+    #[test]
+    fn lost_cells_are_recorded_not_silently_crossed() {
+        // A cancelled run loses every cell: the grid is all None (like
+        // "×"), but `lost` names each (method, dataset) with its cause —
+        // a missing measurement stays distinguishable from a genuinely
+        // non-applicable method.
+        let cfg = ExpConfig {
+            scale: 0.02,
+            repeats: 1,
+            seed: 3,
+            threads: 2,
+        };
+        let token = CancelToken::new();
+        token.cancel();
+        let t = table6_observed(&cfg, &SweepRunner::new(2), &token, |_| {});
+        assert_eq!(t.lost.len(), t.methods.len() * t.datasets.len());
+        assert!(t.lost.iter().all(|(_, _, cause)| cause == "cancelled"));
+        assert!(t.cells.iter().flatten().all(|c| c.is_none()));
+        // A clean run loses nothing.
+        let clean = table6(&cfg);
+        assert!(clean.lost.is_empty());
     }
 
     #[test]

@@ -8,9 +8,14 @@ use crowd_core::{InferenceOptions, Method};
 use crowd_data::datasets::PaperDataset;
 use crowd_data::GoldenSplit;
 
+use crate::sweep::{cell_seed, SeedPurpose};
 use crate::{parallel_map, run::evaluate, ExpConfig};
 
 /// One method's curve over golden-task fractions.
+///
+/// A point with **zero successful repeats** is `f64::NAN`, not `0.0` —
+/// a missing measurement must stay distinguishable from a genuinely
+/// zero score; `failures` says how many repeats went missing.
 #[derive(Debug, Clone)]
 pub struct HiddenCurve {
     /// The method.
@@ -19,6 +24,8 @@ pub struct HiddenCurve {
     pub quality: Vec<f64>,
     /// Mean secondary quality per `p` (F1, or RMSE for numeric).
     pub quality2: Vec<f64>,
+    /// Per fraction point: repeats with no outcome for this method.
+    pub failures: Vec<usize>,
 }
 
 /// Result of a hidden-test sweep on one dataset.
@@ -64,16 +71,20 @@ pub fn hidden_sweep(
         for (f_idx, &p) in fractions.iter().enumerate() {
             let dataset = &dataset;
             let methods = &methods;
-            let seed = config.seed.wrapping_add(7919 * rep as u64 + f_idx as u64);
+            // Purpose-split streams: the golden-split RNG and the method
+            // init RNG must never be the same sequence (they were, before
+            // the sweep-path seed fix).
+            let split_seed = cell_seed(config.seed, rep, f_idx, SeedPurpose::GoldenSplit);
+            let infer_seed = cell_seed(config.seed, rep, f_idx, SeedPurpose::Inference);
             jobs.push(Box::new(move || {
-                let split = GoldenSplit::sample(dataset, p, seed);
+                let split = GoldenSplit::sample(dataset, p, split_seed);
                 let opts = InferenceOptions {
                     golden: if p > 0.0 {
                         Some(split.revealed.clone())
                     } else {
                         None
                     },
-                    ..InferenceOptions::seeded(seed)
+                    ..InferenceOptions::seeded(infer_seed)
                 };
                 let outcomes = methods
                     .iter()
@@ -107,13 +118,14 @@ pub fn hidden_sweep(
             let norm = |v: &[f64]| {
                 v.iter()
                     .zip(&counts[m_idx])
-                    .map(|(&x, &c)| if c > 0 { x / c as f64 } else { 0.0 })
+                    .map(|(&x, &c)| if c > 0 { x / c as f64 } else { f64::NAN })
                     .collect::<Vec<f64>>()
             };
             HiddenCurve {
                 method,
                 quality: norm(&q1[m_idx]),
                 quality2: norm(&q2[m_idx]),
+                failures: counts[m_idx].iter().map(|&c| config.repeats - c).collect(),
             }
         })
         .collect();
@@ -165,6 +177,7 @@ mod tests {
         for c in &res.curves {
             assert_eq!(c.quality.len(), 2);
             assert!(c.quality.iter().all(|&q| (0.0..=1.0).contains(&q)));
+            assert_eq!(c.failures, vec![0, 0], "clean sweep has no failures");
         }
     }
 

@@ -18,6 +18,13 @@
 //! All runners are deterministic given an [`ExpConfig`] (scale, repeat
 //! count, base seed) and return plain data structures; the `crowd-repro`
 //! binary renders them as the same tables/series the paper prints.
+//!
+//! The heavyweight grids (Figures 4–6, Table 6, streaming/multi-tenant
+//! setup) execute on the async **sweep runner** ([`runner::SweepRunner`]):
+//! budgeted concurrency on the shared worker-pool substrate, streaming
+//! per-cell progress, cooperative cancellation, and per-cell panic
+//! isolation — with outputs bit-identical to the sequential blocking
+//! reference (pinned in `tests/sweep_runner.rs`).
 
 #![warn(missing_docs)]
 
@@ -28,6 +35,7 @@ pub mod multi_tenant;
 pub mod qualification;
 pub mod report;
 pub mod run;
+pub mod runner;
 pub mod stats_tables;
 pub mod streaming;
 pub mod sweep;

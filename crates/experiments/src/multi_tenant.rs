@@ -21,6 +21,7 @@ use crowd_metrics::accuracy;
 use crowd_serve::{CrowdServe, ServeConfig, ServeError, SessionId};
 use crowd_stream::StreamConfig;
 
+use crate::runner::{CancelToken, CellOutcome, SweepCell, SweepRunner};
 use crate::ExpConfig;
 
 /// One tenant's state of play after one round.
@@ -82,6 +83,9 @@ pub enum MultiTenantError {
     Collection(DataError),
     /// The service rejected a session, batch, or read.
     Serve(ServeError),
+    /// A tenant's setup cell was lost on the sweep runner (panic or
+    /// cancellation); the payload is the runner's cell message.
+    Cell(String),
 }
 
 impl std::fmt::Display for MultiTenantError {
@@ -89,6 +93,7 @@ impl std::fmt::Display for MultiTenantError {
         match self {
             Self::Collection(e) => write!(f, "collection failed: {e}"),
             Self::Serve(e) => write!(f, "service failed: {e}"),
+            Self::Cell(msg) => write!(f, "tenant setup lost: {msg}"),
         }
     }
 }
@@ -124,34 +129,62 @@ pub fn multi_tenant_replay(
         ..ServeConfig::default()
     })?;
 
+    // Tenant replay sources are independent simulations — build them
+    // concurrently on the sweep runner (one cell per tenant), then create
+    // the sessions serially in dataset order so session-id assignment
+    // (and thus shard pinning) stays deterministic.
+    struct TenantSeed {
+        name: &'static str,
+        dataset: Dataset,
+        batches: Vec<Vec<AnswerRecord>>,
+    }
+    let cells: Vec<SweepCell<Result<TenantSeed, DataError>>> = PaperDataset::ALL
+        .into_iter()
+        .enumerate()
+        .filter(|(_, id)| id.task_type().is_categorical())
+        .map(|(i, dataset_id)| {
+            let config = *config;
+            SweepCell::new(dataset_id.name(), move || {
+                let sim_cfg = dataset_id.config(config.scale);
+                let budget = sim_cfg.num_tasks * sim_cfg.redundancy.max(1);
+                let run = collect(
+                    &sim_cfg,
+                    AssignmentStrategy::Uniform,
+                    budget,
+                    config.seed + i as u64,
+                )?;
+                let dataset = run.dataset;
+                let batch_size = dataset.num_answers().div_ceil(batches.max(1)).max(1);
+                Ok(TenantSeed {
+                    name: dataset_id.name(),
+                    batches: StreamSession::from_dataset(&dataset, batch_size)
+                        .map(|b| b.records)
+                        .collect(),
+                    dataset,
+                })
+            })
+        })
+        .collect();
+    let runner = SweepRunner::new(config.threads);
+    let seeds = runner.run(cells, &CancelToken::new(), |_| {});
+
     let mut tenants: Vec<Tenant> = Vec::new();
-    for (i, dataset_id) in PaperDataset::ALL.into_iter().enumerate() {
-        if !dataset_id.task_type().is_categorical() {
-            continue;
-        }
-        let sim_cfg = dataset_id.config(config.scale);
-        let budget = sim_cfg.num_tasks * sim_cfg.redundancy.max(1);
-        let run = collect(
-            &sim_cfg,
-            AssignmentStrategy::Uniform,
-            budget,
-            config.seed + i as u64,
-        )
-        .map_err(MultiTenantError::Collection)?;
-        let dataset = run.dataset;
-        let batch_size = dataset.num_answers().div_ceil(batches.max(1)).max(1);
+    for cell in seeds.cells {
+        let seed = match cell {
+            CellOutcome::Completed(r) => r.map_err(MultiTenantError::Collection)?,
+            CellOutcome::Failed(msg) => return Err(MultiTenantError::Cell(msg)),
+            CellOutcome::Cancelled => return Err(MultiTenantError::Cell("cancelled".into())),
+        };
         let session = serve.create_session(StreamConfig::new(
             method,
-            dataset.task_type(),
-            dataset.num_tasks(),
-            dataset.num_workers(),
+            seed.dataset.task_type(),
+            seed.dataset.num_tasks(),
+            seed.dataset.num_workers(),
         ))?;
         tenants.push(Tenant {
-            name: dataset_id.name(),
-            batches: StreamSession::from_dataset(&dataset, batch_size)
-                .map(|b| b.records)
-                .collect(),
-            dataset,
+            name: seed.name,
+            batches: seed.batches,
+            dataset: seed.dataset,
             session,
         });
     }

@@ -9,6 +9,7 @@ use crowd_core::{InferenceOptions, Method, QualityInit};
 use crowd_data::bootstrap_qualification;
 use crowd_data::datasets::PaperDataset;
 
+use crate::sweep::{cell_seed, SeedPurpose};
 use crate::{parallel_map, run::evaluate, ExpConfig};
 
 /// Number of golden tasks in the simulated qualification test (paper: 20).
@@ -65,11 +66,16 @@ pub fn table7(dataset_id: PaperDataset, config: &ExpConfig) -> Vec<QualRow> {
                 let mut q1 = 0.0;
                 let mut q2 = 0.0;
                 for rep in 0..repeats {
-                    let seed = base_seed + 31 * rep as u64;
-                    let qual = bootstrap_qualification(dataset, QUALIFICATION_TEST_SIZE, seed);
+                    // Purpose-split per-repeat streams (shared across
+                    // methods so every method sees the same simulated
+                    // qualification test): the bootstrap RNG and the
+                    // method init RNG must not be the same sequence.
+                    let qual_seed = cell_seed(base_seed, rep, 0, SeedPurpose::Bootstrap);
+                    let infer_seed = cell_seed(base_seed, rep, 0, SeedPurpose::Inference);
+                    let qual = bootstrap_qualification(dataset, QUALIFICATION_TEST_SIZE, qual_seed);
                     let opts = InferenceOptions {
                         quality_init: QualityInit::Qualification(qual.accuracy),
-                        ..InferenceOptions::seeded(seed)
+                        ..InferenceOptions::seeded(infer_seed)
                     };
                     let o = evaluate(method, dataset, &opts, None)?;
                     let categorical = dataset.task_type().is_categorical();

@@ -16,6 +16,7 @@ use crowd_data::{collect, AssignmentStrategy, DataError, StreamSession};
 use crowd_metrics::accuracy;
 use crowd_stream::{StreamConfig, StreamEngine, StreamError};
 
+use crate::runner::{CancelToken, CellOutcome, SweepCell, SweepProgress, SweepRunner};
 use crate::ExpConfig;
 
 /// One point of the streaming curve (one batch).
@@ -42,6 +43,9 @@ pub enum StreamingSweepError {
     Collection(DataError),
     /// The streaming engine rejected the session or a batch.
     Stream(StreamError),
+    /// The grid cell never produced a curve (panicked or cancelled on
+    /// the sweep runner); the payload is the runner's cell message.
+    Cell(String),
 }
 
 impl std::fmt::Display for StreamingSweepError {
@@ -49,11 +53,24 @@ impl std::fmt::Display for StreamingSweepError {
         match self {
             Self::Collection(e) => write!(f, "collection failed: {e}"),
             Self::Stream(e) => write!(f, "streaming failed: {e}"),
+            Self::Cell(msg) => write!(f, "grid cell lost: {msg}"),
         }
     }
 }
 
 impl std::error::Error for StreamingSweepError {}
+
+/// One row of a streaming grid: the (dataset, method) pair and its curve
+/// (or why it is missing).
+#[derive(Debug)]
+pub struct StreamGridRow {
+    /// The dataset replayed.
+    pub dataset: PaperDataset,
+    /// The method re-converged per batch.
+    pub method: Method,
+    /// The warm-vs-cold curve, or the error that prevented it.
+    pub curve: Result<Vec<StreamCurvePoint>, StreamingSweepError>,
+}
 
 /// Replay a collection run over `dataset_id`'s configuration as
 /// `batches` equal batches and measure the accuracy-vs-answers-seen
@@ -100,6 +117,46 @@ pub fn streaming_curve(
     Ok(curve)
 }
 
+/// Run a grid of `(dataset, method)` streaming curves on the async
+/// [`SweepRunner`] — each pair is one cell (a whole replay), scheduled
+/// under the runner's concurrency budget with one progress event per
+/// finished pair. Row order matches `pairs`; a panicked or cancelled
+/// cell yields [`StreamingSweepError::Cell`] instead of taking the grid
+/// down.
+pub fn streaming_grid(
+    pairs: &[(PaperDataset, Method)],
+    batches: usize,
+    config: &ExpConfig,
+    runner: &SweepRunner,
+    token: &CancelToken,
+    on_progress: impl FnMut(&SweepProgress),
+) -> Vec<StreamGridRow> {
+    let cells: Vec<SweepCell<Result<Vec<StreamCurvePoint>, StreamingSweepError>>> = pairs
+        .iter()
+        .map(|&(dataset, method)| {
+            let config = *config;
+            let label = format!("{}×{}", method.name(), dataset.name());
+            SweepCell::new(label, move || {
+                streaming_curve(dataset, method, batches, &config)
+            })
+        })
+        .collect();
+    let outcome = runner.run(cells, token, on_progress);
+    pairs
+        .iter()
+        .zip(outcome.cells)
+        .map(|(&(dataset, method), cell)| StreamGridRow {
+            dataset,
+            method,
+            curve: match cell {
+                CellOutcome::Completed(curve) => curve,
+                CellOutcome::Failed(msg) => Err(StreamingSweepError::Cell(msg)),
+                CellOutcome::Cancelled => Err(StreamingSweepError::Cell("cancelled".into())),
+            },
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +192,47 @@ mod tests {
         let warm: usize = curve.iter().map(|p| p.iterations_warm).sum();
         let cold: usize = curve.iter().map(|p| p.iterations_cold).sum();
         assert!(warm < cold, "warm {warm} vs cold {cold} total iterations");
+    }
+
+    #[test]
+    fn grid_rows_match_lone_curves_bit_for_bit() {
+        let cfg = ExpConfig {
+            scale: 0.05,
+            repeats: 1,
+            seed: 11,
+            threads: 2,
+        };
+        let pairs = [
+            (PaperDataset::DProduct, Method::Ds),
+            (PaperDataset::DProduct, Method::Zc),
+            (PaperDataset::NEmotion, Method::Ds), // typed error row
+        ];
+        let runner = SweepRunner::new(cfg.threads);
+        let mut events = 0usize;
+        let rows = streaming_grid(&pairs, 4, &cfg, &runner, &CancelToken::new(), |_| {
+            events += 1
+        });
+        assert_eq!(rows.len(), 3);
+        assert_eq!(events, 3, "one progress event per pair");
+        for (row, &(dataset, method)) in rows.iter().zip(&pairs) {
+            assert_eq!(row.dataset, dataset);
+            assert_eq!(row.method, method);
+            let lone = streaming_curve(dataset, method, 4, &cfg);
+            match (&row.curve, &lone) {
+                (Ok(grid), Ok(lone)) => {
+                    assert_eq!(grid.len(), lone.len());
+                    for (g, l) in grid.iter().zip(lone) {
+                        assert_eq!(g.accuracy_warm.to_bits(), l.accuracy_warm.to_bits());
+                        assert_eq!(g.accuracy_cold.to_bits(), l.accuracy_cold.to_bits());
+                        assert_eq!(g.iterations_warm, l.iterations_warm);
+                    }
+                }
+                (Err(StreamingSweepError::Collection(_)), Err(_)) => {
+                    assert_eq!(dataset, PaperDataset::NEmotion);
+                }
+                other => panic!("grid/lone outcome mismatch: {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -3,14 +3,27 @@
 //! For each redundancy `r`, sub-sample `r` answers per task, run every
 //! applicable method, and average quality over repeated draws (the paper
 //! repeats 30 times).
+//!
+//! The grid runs on the async [`SweepRunner`] (budgeted concurrency,
+//! streaming progress, cooperative cancellation); aggregation happens in
+//! grid order, so the result is bit-identical to the sequential blocking
+//! reference [`redundancy_sweep_blocking`] — pinned by
+//! `tests/sweep_runner.rs`.
+
+use std::sync::Arc;
 
 use crowd_core::{InferenceOptions, Method};
 use crowd_data::datasets::PaperDataset;
-use crowd_data::subsample_redundancy;
+use crowd_data::{subsample_redundancy, Dataset};
 
-use crate::{parallel_map, run::evaluate, ExpConfig};
+use crate::runner::{CancelToken, CellOutcome, SweepCell, SweepProgress, SweepRunner};
+use crate::{run::evaluate, EvalOutcome, ExpConfig};
 
 /// One method's quality curve over redundancy values.
+///
+/// A point with **zero successful cells** is `f64::NAN`, not `0.0` — a
+/// missing measurement must stay distinguishable from a genuinely zero
+/// score; `failures` says how many of the repeats went missing.
 #[derive(Debug, Clone)]
 pub struct SweepCurve {
     /// The method.
@@ -24,6 +37,10 @@ pub struct SweepCurve {
     pub mae: Vec<f64>,
     /// Mean RMSE per redundancy point (numeric only).
     pub rmse: Vec<f64>,
+    /// Per redundancy point: repeats that produced **no** outcome for
+    /// this method (failed or cancelled cells). `0` everywhere on a
+    /// clean sweep.
+    pub failures: Vec<usize>,
 }
 
 /// Result of a full redundancy sweep on one dataset.
@@ -37,48 +54,81 @@ pub struct SweepResult {
     pub curves: Vec<SweepCurve>,
 }
 
-/// Run the redundancy sweep of Figures 4–6 on one dataset.
-///
-/// `redundancies` defaults (when `None`) to the paper's x-axes:
-/// `1..=3` for D_Product, `1..=20` for D_PosSent, `1..=5` / `1..=9` for
-/// S_Rel / S_Adult, `1..=10` for N_Emotion.
-pub fn redundancy_sweep(
+/// The independent RNG streams an experiment cell needs. A raw cell seed
+/// must never feed two consumers: before this split, the data-sampling
+/// RNG (sub-sample / golden split / bootstrap / collection) and every
+/// method's init RNG were *identical streams*.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum SeedPurpose {
+    /// Which `r` answers per task survive sub-sampling (Figures 4–6).
+    Subsample = 1,
+    /// Method initialisation (`InferenceOptions::seeded`).
+    Inference = 2,
+    /// Which tasks become golden in a hidden-test split (Figures 7–9).
+    GoldenSplit = 3,
+    /// The bootstrap qualification-test sample (Table 7).
+    Bootstrap = 4,
+    /// A simulated collection run (assignment comparison).
+    Collection = 5,
+}
+
+/// SplitMix64 finaliser — the standard 64-bit avalanche mix.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive the seed for one `(base, rep, r_idx, purpose)` cell stream by
+/// chaining SplitMix64 over the coordinates. Distinct purposes (and
+/// distinct cells) get decorrelated streams; same inputs reproduce.
+pub(crate) fn cell_seed(base: u64, rep: usize, r_idx: usize, purpose: SeedPurpose) -> u64 {
+    let mut h = splitmix64(base);
+    h = splitmix64(h ^ rep as u64);
+    h = splitmix64(h ^ r_idx as u64);
+    splitmix64(h ^ purpose as u64)
+}
+
+/// One grid cell's outputs: all methods on one `(rep, r)` sub-sample.
+struct Cell {
+    r_idx: usize,
+    outcomes: Vec<Option<EvalOutcome>>,
+}
+
+/// The cell computation, shared verbatim by the async and blocking paths
+/// (that sharing is what makes bit-identity a structural property).
+fn run_cell(
+    dataset: &Dataset,
+    methods: &[Method],
+    base_seed: u64,
+    rep: usize,
+    r_idx: usize,
+    r: usize,
+) -> Cell {
+    let sub = subsample_redundancy(
+        dataset,
+        r,
+        cell_seed(base_seed, rep, r_idx, SeedPurpose::Subsample),
+    );
+    let opts = InferenceOptions::seeded(cell_seed(base_seed, rep, r_idx, SeedPurpose::Inference));
+    let outcomes = methods
+        .iter()
+        .map(|&m| evaluate(m, &sub, &opts, None))
+        .collect();
+    Cell { r_idx, outcomes }
+}
+
+/// Aggregate cells (in grid order) into per-method mean curves. Cells
+/// that did not complete are `None` and count as failures at their
+/// redundancy point.
+fn aggregate(
     dataset_id: PaperDataset,
-    redundancies: Option<Vec<usize>>,
-    config: &ExpConfig,
+    redundancies: Vec<usize>,
+    methods: &[Method],
+    repeats: usize,
+    cells: &[Option<Cell>],
 ) -> SweepResult {
-    let dataset = dataset_id.generate(config.scale, config.seed);
-    let max_r = dataset.redundancy().round() as usize;
-    let redundancies = redundancies.unwrap_or_else(|| default_redundancies(dataset_id, max_r));
-    let methods = Method::for_task_type(dataset.task_type());
-
-    // Jobs: one per (repeat, redundancy); each runs all methods on the
-    // same sub-sample so methods are compared on identical data, exactly
-    // as in the paper.
-    struct Cell {
-        r_idx: usize,
-        outcomes: Vec<Option<crate::EvalOutcome>>,
-    }
-    let mut jobs: Vec<Box<dyn FnOnce() -> Cell + Send>> = Vec::new();
-    for rep in 0..config.repeats {
-        for (r_idx, &r) in redundancies.iter().enumerate() {
-            let dataset = &dataset;
-            let methods = &methods;
-            let seed = config.seed.wrapping_add(1000 * rep as u64 + r_idx as u64);
-            jobs.push(Box::new(move || {
-                let sub = subsample_redundancy(dataset, r, seed);
-                let opts = InferenceOptions::seeded(seed);
-                let outcomes = methods
-                    .iter()
-                    .map(|&m| evaluate(m, &sub, &opts, None))
-                    .collect();
-                Cell { r_idx, outcomes }
-            }));
-        }
-    }
-    let cells = parallel_map(config.threads, jobs);
-
-    // Aggregate means.
     let nr = redundancies.len();
     let nm = methods.len();
     let mut acc = vec![vec![0.0; nr]; nm];
@@ -86,7 +136,7 @@ pub fn redundancy_sweep(
     let mut mae = vec![vec![0.0; nr]; nm];
     let mut rmse = vec![vec![0.0; nr]; nm];
     let mut counts = vec![vec![0usize; nr]; nm];
-    for cell in cells {
+    for cell in cells.iter().flatten() {
         for (m_idx, outcome) in cell.outcomes.iter().enumerate() {
             if let Some(o) = outcome {
                 acc[m_idx][cell.r_idx] += o.accuracy;
@@ -104,7 +154,7 @@ pub fn redundancy_sweep(
             let norm = |v: &[f64]| {
                 v.iter()
                     .zip(&counts[m_idx])
-                    .map(|(&x, &c)| if c > 0 { x / c as f64 } else { 0.0 })
+                    .map(|(&x, &c)| if c > 0 { x / c as f64 } else { f64::NAN })
                     .collect::<Vec<f64>>()
             };
             SweepCurve {
@@ -113,6 +163,7 @@ pub fn redundancy_sweep(
                 f1: norm(&f1[m_idx]),
                 mae: norm(&mae[m_idx]),
                 rmse: norm(&rmse[m_idx]),
+                failures: counts[m_idx].iter().map(|&c| repeats - c).collect(),
             }
         })
         .collect();
@@ -124,7 +175,108 @@ pub fn redundancy_sweep(
     }
 }
 
-/// The paper's per-dataset x-axes, clipped to the available redundancy.
+/// Shared sweep setup: generated dataset, resolved x-axis, method list.
+fn sweep_inputs(
+    dataset_id: PaperDataset,
+    redundancies: Option<Vec<usize>>,
+    config: &ExpConfig,
+) -> (Dataset, Vec<usize>, Vec<Method>) {
+    let dataset = dataset_id.generate(config.scale, config.seed);
+    // Clip the x-axis by the true per-task maximum, not the rounded mean
+    // redundancy — on ragged logs the mean rounds below the largest
+    // answer count and silently truncated the axis.
+    let max_r = dataset.max_task_degree();
+    let redundancies = redundancies.unwrap_or_else(|| default_redundancies(dataset_id, max_r));
+    let methods = Method::for_task_type(dataset.task_type());
+    (dataset, redundancies, methods)
+}
+
+/// Run the redundancy sweep of Figures 4–6 on one dataset, on the async
+/// [`SweepRunner`] at `config.threads` budgeted concurrency.
+///
+/// `redundancies` defaults (when `None`) to the paper's x-axes:
+/// `1..=3` for D_Product, `1..=20` for D_PosSent, `1..=5` / `1..=9` for
+/// S_Rel / S_Adult, `1..=10` for N_Emotion.
+pub fn redundancy_sweep(
+    dataset_id: PaperDataset,
+    redundancies: Option<Vec<usize>>,
+    config: &ExpConfig,
+) -> SweepResult {
+    let runner = SweepRunner::new(config.threads);
+    redundancy_sweep_observed(
+        dataset_id,
+        redundancies,
+        config,
+        &runner,
+        &CancelToken::new(),
+        |_| {},
+    )
+}
+
+/// [`redundancy_sweep`] with the runner, cancellation token, and
+/// progress stream exposed: one [`SweepProgress`] event per grid cell in
+/// completion order (cell labels are `"rep {k} r={r}"`). Cancelled or
+/// panicked cells surface as NaN points / `failures` counts in the
+/// aggregated curves instead of poisoning the sweep.
+pub fn redundancy_sweep_observed(
+    dataset_id: PaperDataset,
+    redundancies: Option<Vec<usize>>,
+    config: &ExpConfig,
+    runner: &SweepRunner,
+    token: &CancelToken,
+    on_progress: impl FnMut(&SweepProgress),
+) -> SweepResult {
+    let (dataset, redundancies, methods) = sweep_inputs(dataset_id, redundancies, config);
+    let dataset = Arc::new(dataset);
+    let methods = Arc::new(methods);
+
+    // One cell per (repeat, redundancy); each runs all methods on the
+    // same sub-sample so methods are compared on identical data, exactly
+    // as in the paper.
+    let mut cells: Vec<SweepCell<Cell>> = Vec::new();
+    for rep in 0..config.repeats {
+        for (r_idx, &r) in redundancies.iter().enumerate() {
+            let dataset = Arc::clone(&dataset);
+            let methods = Arc::clone(&methods);
+            let base_seed = config.seed;
+            cells.push(SweepCell::new(format!("rep {rep} r={r}"), move || {
+                run_cell(&dataset, &methods, base_seed, rep, r_idx, r)
+            }));
+        }
+    }
+    let outcome = runner.run(cells, token, on_progress);
+    let cells: Vec<Option<Cell>> = outcome.cells.into_iter().map(CellOutcome::ok).collect();
+    aggregate(dataset_id, redundancies, &methods, config.repeats, &cells)
+}
+
+/// The sequential blocking reference: the same cells, one after another
+/// on the calling thread, aggregated in the same grid order. The async
+/// path must reproduce this **bit-identically** (`tests/sweep_runner.rs`
+/// pins it for the full Figures 4–6 grids).
+pub fn redundancy_sweep_blocking(
+    dataset_id: PaperDataset,
+    redundancies: Option<Vec<usize>>,
+    config: &ExpConfig,
+) -> SweepResult {
+    let (dataset, redundancies, methods) = sweep_inputs(dataset_id, redundancies, config);
+    let mut cells: Vec<Option<Cell>> = Vec::new();
+    for rep in 0..config.repeats {
+        for (r_idx, &r) in redundancies.iter().enumerate() {
+            cells.push(Some(run_cell(
+                &dataset,
+                &methods,
+                config.seed,
+                rep,
+                r_idx,
+                r,
+            )));
+        }
+    }
+    aggregate(dataset_id, redundancies, &methods, config.repeats, &cells)
+}
+
+/// The paper's per-dataset x-axes, clipped to the available redundancy
+/// (`max_r` = the dataset's **maximum** per-task answer count).
 pub fn default_redundancies(dataset: PaperDataset, max_r: usize) -> Vec<usize> {
     let upper = match dataset {
         PaperDataset::DProduct => 3,
@@ -157,6 +309,7 @@ mod tests {
         for c in &res.curves {
             assert_eq!(c.accuracy.len(), 2);
             assert!(c.accuracy.iter().all(|&a| (0.0..=1.0).contains(&a)));
+            assert_eq!(c.failures, vec![0, 0], "clean sweep has no failures");
         }
     }
 
@@ -217,5 +370,120 @@ mod tests {
             default_redundancies(PaperDataset::SAdult, 4),
             vec![1, 2, 3, 4]
         );
+    }
+
+    #[test]
+    fn axis_clips_by_max_task_degree_not_rounded_mean() {
+        // Regression: `default_redundancies` used to receive the *rounded
+        // mean* redundancy. On a ragged log the mean rounds below the
+        // largest per-task answer count and truncated the x-axis; the
+        // sweep must reach every redundancy some task actually has.
+        for id in PaperDataset::ALL {
+            let cfg = tiny_config();
+            let d = id.generate(cfg.scale, cfg.seed);
+            let max_deg = d.max_task_degree();
+            let mean_r = d.redundancy().round() as usize;
+            assert!(
+                max_deg >= mean_r,
+                "{}: degree stats inconsistent",
+                id.name()
+            );
+            let axis = default_redundancies(id, max_deg);
+            let paper_upper = match id {
+                PaperDataset::DProduct => 3,
+                PaperDataset::DPosSent => 20,
+                PaperDataset::SRel => 5,
+                PaperDataset::SAdult => 9,
+                PaperDataset::NEmotion => 10,
+            };
+            assert_eq!(
+                *axis.last().unwrap(),
+                paper_upper.min(max_deg.max(1)),
+                "{}: axis must extend to the true max degree",
+                id.name()
+            );
+        }
+    }
+
+    #[test]
+    fn subsample_and_inference_seeds_are_decorrelated() {
+        // Regression: both consumers used to receive the *same* seed, so
+        // the sub-sampling RNG and every method's init RNG were identical
+        // streams. The purpose-split streams must differ for every cell,
+        // and cells must not collide with each other.
+        let purposes = [
+            SeedPurpose::Subsample,
+            SeedPurpose::Inference,
+            SeedPurpose::GoldenSplit,
+            SeedPurpose::Bootstrap,
+            SeedPurpose::Collection,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for base in [0u64, 5, 7, u64::MAX] {
+            for rep in 0..30 {
+                for r_idx in 0..20 {
+                    for purpose in purposes {
+                        let s = cell_seed(base, rep, r_idx, purpose);
+                        assert!(
+                            seen.insert(s),
+                            "stream collision at ({base},{rep},{r_idx},{purpose:?})"
+                        );
+                    }
+                }
+            }
+        }
+        // Deterministic: same coordinates, same seed.
+        assert_eq!(
+            cell_seed(7, 3, 4, SeedPurpose::Subsample),
+            cell_seed(7, 3, 4, SeedPurpose::Subsample)
+        );
+    }
+
+    #[test]
+    fn empty_points_are_nan_with_failure_counts() {
+        // Regression: a redundancy point with zero successful cells used
+        // to aggregate to 0.0 — indistinguishable from a genuinely zero
+        // score. Feed the aggregator a grid where every cell of one
+        // column is missing.
+        let methods = vec![Method::Mv, Method::Ds];
+        let repeats = 3;
+        let cells: Vec<Option<Cell>> = (0..repeats)
+            .flat_map(|_| {
+                vec![
+                    Some(Cell {
+                        r_idx: 0,
+                        outcomes: vec![
+                            Some(EvalOutcome {
+                                accuracy: 0.5,
+                                f1: 0.5,
+                                mae: 0.0,
+                                rmse: 0.0,
+                                seconds: 0.0,
+                                iterations: 1,
+                                converged: true,
+                            }),
+                            None,
+                        ],
+                    }),
+                    None, // the whole r_idx=1 column failed
+                ]
+            })
+            .collect();
+        let res = aggregate(
+            PaperDataset::DProduct,
+            vec![1, 2],
+            &methods,
+            repeats,
+            &cells,
+        );
+        let mv = &res.curves[0];
+        assert_eq!(mv.accuracy[0], 0.5);
+        assert!(mv.accuracy[1].is_nan(), "missing point must be NaN, not 0");
+        assert_eq!(mv.failures, vec![0, repeats]);
+        // A method with no outcomes anywhere: NaN at every point, full
+        // failure counts.
+        let ds = &res.curves[1];
+        assert!(ds.accuracy.iter().all(|a| a.is_nan()));
+        assert_eq!(ds.failures, vec![repeats, repeats]);
     }
 }

@@ -4,7 +4,8 @@ use crowd_data::{Answer, Dataset};
 
 /// Accuracy (Equation 3): fraction of evaluated tasks whose inferred
 /// truth matches the ground truth. Tasks without ground truth are
-/// skipped; returns 0 when nothing is evaluable.
+/// skipped; returns `f64::NAN` when nothing is evaluable — a missing
+/// measurement must stay distinguishable from a genuinely zero score.
 pub fn accuracy(dataset: &Dataset, inferred: &[Answer]) -> f64 {
     accuracy_on(dataset, inferred, None)
 }
@@ -20,23 +21,30 @@ pub fn accuracy_on(dataset: &Dataset, inferred: &[Answer], eval: Option<&[usize]
             correct += 1;
         }
     });
-    correct as f64 / total.max(1) as f64
+    if total == 0 {
+        return f64::NAN;
+    }
+    correct as f64 / total as f64
 }
 
 /// F1-score (Equation 4): harmonic mean of precision and recall on the
 /// positive class (label 0, 'T'). Meaningful for decision-making tasks
-/// with class imbalance such as D_Product.
+/// with class imbalance such as D_Product. `f64::NAN` when no label
+/// pair is evaluable at all (zero *positive hits* among evaluated tasks
+/// is still the conventional `0.0`).
 pub fn f1_score(dataset: &Dataset, inferred: &[Answer]) -> f64 {
     f1_score_on(dataset, inferred, None)
 }
 
 /// [`f1_score`] restricted to an evaluation subset.
 pub fn f1_score_on(dataset: &Dataset, inferred: &[Answer], eval: Option<&[usize]>) -> f64 {
+    let mut evaluated = 0usize;
     let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
     for_each_eval_task(dataset, eval, |task, truth| {
         let (Answer::Label(p), Answer::Label(g)) = (&inferred[task], truth) else {
             return;
         };
+        evaluated += 1;
         match (*p, *g) {
             (0, 0) => tp += 1,
             (0, _) => fp += 1,
@@ -44,6 +52,9 @@ pub fn f1_score_on(dataset: &Dataset, inferred: &[Answer], eval: Option<&[usize]
             _ => {}
         }
     });
+    if evaluated == 0 {
+        return f64::NAN;
+    }
     let precision = tp as f64 / (tp + fp).max(1) as f64;
     let recall = tp as f64 / (tp + fn_).max(1) as f64;
     if precision + recall > 0.0 {
@@ -53,7 +64,8 @@ pub fn f1_score_on(dataset: &Dataset, inferred: &[Answer], eval: Option<&[usize]
     }
 }
 
-/// Mean absolute error (Equation 5) for numeric estimates.
+/// Mean absolute error (Equation 5) for numeric estimates; `f64::NAN`
+/// when no numeric task is evaluable.
 pub fn mae(dataset: &Dataset, inferred: &[Answer]) -> f64 {
     mae_on(dataset, inferred, None)
 }
@@ -69,11 +81,14 @@ pub fn mae_on(dataset: &Dataset, inferred: &[Answer], eval: Option<&[usize]>) ->
         total += 1;
         err += (p - g).abs();
     });
-    err / total.max(1) as f64
+    if total == 0 {
+        return f64::NAN;
+    }
+    err / total as f64
 }
 
 /// Root mean square error (Equation 5) — penalises large errors more
-/// than MAE.
+/// than MAE; `f64::NAN` when no numeric task is evaluable.
 pub fn rmse(dataset: &Dataset, inferred: &[Answer]) -> f64 {
     rmse_on(dataset, inferred, None)
 }
@@ -89,7 +104,10 @@ pub fn rmse_on(dataset: &Dataset, inferred: &[Answer], eval: Option<&[usize]>) -
         total += 1;
         err += (p - g).powi(2);
     });
-    (err / total.max(1) as f64).sqrt()
+    if total == 0 {
+        return f64::NAN;
+    }
+    (err / total as f64).sqrt()
 }
 
 /// Exact comparison for labels; numeric answers compare with a tight
@@ -223,5 +241,35 @@ mod tests {
         let d = b.build();
         let inferred = vec![Answer::Label(0), Answer::Label(1), Answer::Label(1)];
         assert_eq!(accuracy(&d, &inferred), 1.0);
+    }
+
+    #[test]
+    fn nothing_evaluable_is_nan_not_zero() {
+        // Regression: the `total.max(1)` empty-denominator pattern used
+        // to report 0.0 on datasets with no evaluable task —
+        // indistinguishable from a genuinely zero score.
+        let mut b = DatasetBuilder::new("nt", TaskType::DecisionMaking, 2, 1);
+        b.add_label(0, 0, 0).unwrap();
+        // no ground truth at all
+        let d = b.build();
+        let inferred = vec![Answer::Label(0), Answer::Label(1)];
+        assert!(accuracy(&d, &inferred).is_nan());
+        assert!(f1_score(&d, &inferred).is_nan());
+        // Same for the restricted-subset entry points on an empty subset.
+        assert!(accuracy_on(&d, &inferred, Some(&[])).is_nan());
+        assert!(f1_score_on(&d, &inferred, Some(&[])).is_nan());
+        // Numeric metrics: a numeric dataset with no truths.
+        let bn = DatasetBuilder::new("nn", TaskType::Numeric, 2, 1);
+        let dn = bn.build();
+        let inf_n = vec![Answer::Numeric(1.0), Answer::Numeric(2.0)];
+        assert!(mae(&dn, &inf_n).is_nan());
+        assert!(rmse(&dn, &inf_n).is_nan());
+        // But an evaluable-yet-wrong run still scores a real 0.0.
+        let mut b2 = DatasetBuilder::new("z", TaskType::DecisionMaking, 1, 1);
+        b2.add_label(0, 0, 0).unwrap();
+        b2.set_truth_label(0, 0).unwrap();
+        let d2 = b2.build();
+        assert_eq!(accuracy(&d2, &[Answer::Label(1)]), 0.0);
+        assert_eq!(f1_score(&d2, &[Answer::Label(1)]), 0.0);
     }
 }
