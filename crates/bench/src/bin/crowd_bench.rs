@@ -79,6 +79,11 @@ fn main() {
 
     let sweep_start = Instant::now();
     let mut cells: Vec<Cell> = Vec::new();
+    // The iteration cap behind every row's `converged` flag — recorded in
+    // the artifact so "hit the cap" rows (GLAD at scale 0.1, see the
+    // method docs) are interpretable, and so the regression gate's
+    // converged-flip rule is auditable against a known budget.
+    let mut max_iterations = 0usize;
 
     for dataset_id in PaperDataset::ALL {
         let dataset = dataset_id.generate(scale, 7);
@@ -100,6 +105,7 @@ fn main() {
                 continue;
             }
             let opts = InferenceOptions::seeded(7);
+            max_iterations = max_iterations.max(opts.max_iterations);
             // One untimed warm-up run settles page faults and branch caches.
             let warm = instance.infer(&dataset, &opts).expect("method runs");
             let mut times = Vec::with_capacity(repeats);
@@ -137,6 +143,7 @@ fn main() {
     let _ = writeln!(json, "  \"schema\": \"crowd-bench/table6/v1\",");
     let _ = writeln!(json, "  \"scale\": {scale},");
     let _ = writeln!(json, "  \"repeats\": {repeats},");
+    let _ = writeln!(json, "  \"max_iterations\": {max_iterations},");
     let _ = writeln!(json, "  \"total_seconds\": {total_seconds:.6},");
     match rss {
         Some(kb) => {

@@ -1,0 +1,180 @@
+//! `crowd-kernels-bench` — microbenchmarks for the batched
+//! transcendental kernels (`crowd_stats::kernels`).
+//!
+//! Times each kernel over a large contiguous buffer (and the scalar-std
+//! per-element loops they replaced, for comparison) and writes a
+//! `BENCH_kernels.json` artifact gated by `crowd-bench-check` against
+//! the committed baseline. Buffers are sized so one sweep costs on the
+//! order of a millisecond — above the comparator's absolute noise
+//! floor, so a real kernel regression fails while timer jitter cannot.
+//!
+//! Configuration (environment variables, all optional):
+//!
+//! - `CROWD_BENCH_REPEATS` — timed repeats per op (default `5`; the
+//!   minimum is the gated number).
+//! - `CROWD_KERNELS_OUT`   — output path (default `BENCH_kernels.json`).
+//!
+//! Usage: `cargo run --release -p crowd-bench --bin crowd-kernels-bench`
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use crowd_stats::kernels;
+use crowd_stats::DMat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Elements per buffer: one exp sweep ≈ 1–2 ms, comfortably above the
+/// regression comparator's 0.5 ms absolute floor.
+const N: usize = 1 << 18;
+/// Posterior-row width for the row-wise ops (the benchmark datasets
+/// have ℓ ∈ {2, 3, 4}; 4 is the widest hot case).
+const COLS: usize = 4;
+
+struct Row {
+    op: &'static str,
+    n: usize,
+    seconds_min: f64,
+    seconds_mean: f64,
+}
+
+fn time_op(repeats: usize, mut f: impl FnMut()) -> (f64, f64) {
+    // One untimed warm-up settles page faults and the branch caches.
+    f();
+    let mut times = Vec::with_capacity(repeats);
+    for _ in 0..repeats {
+        let start = Instant::now();
+        f();
+        times.push(start.elapsed().as_secs_f64());
+    }
+    let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    (min, mean)
+}
+
+fn main() {
+    let repeats: usize = std::env::var("CROWD_BENCH_REPEATS")
+        .ok()
+        .filter(|v| !v.trim().is_empty())
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(5)
+        .max(1);
+    let out_path =
+        std::env::var("CROWD_KERNELS_OUT").unwrap_or_else(|_| "BENCH_kernels.json".to_string());
+    let backend = if cfg!(feature = "fast-math") {
+        "fast-math"
+    } else {
+        "std"
+    };
+    eprintln!("crowd-kernels-bench: backend={backend} repeats={repeats} out={out_path}");
+
+    let mut rng = StdRng::seed_from_u64(7);
+    // Log-domain magnitudes typical of the E-steps: posteriors clamp at
+    // ln(1e-12) ≈ −27.6, multipliers at ±6.
+    let log_inputs: Vec<f64> = (0..N).map(|_| rng.gen_range(-28.0..0.0)).collect();
+    let prob_inputs: Vec<f64> = (0..N).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let weights: Vec<f64> = (0..N).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let mut scratch = vec![0.0f64; N];
+    let mut rows = DMat::zeros(N / COLS, COLS);
+
+    let mut results: Vec<Row> = Vec::new();
+    let mut bench = |op: &'static str, n: usize, f: &mut dyn FnMut()| {
+        let (min, mean) = time_op(repeats, f);
+        eprintln!(
+            "  {op:<24} {:>9.3} ms  ({:>6.2} ns/elem)",
+            min * 1e3,
+            min / n as f64 * 1e9
+        );
+        results.push(Row {
+            op,
+            n,
+            seconds_min: min,
+            seconds_mean: mean,
+        });
+    };
+
+    // Scalar-std reference loops (what the methods paid per element
+    // before the kernel layer).
+    bench("exp_scalar_std", N, &mut || {
+        scratch.copy_from_slice(&log_inputs);
+        for x in scratch.iter_mut() {
+            *x = x.exp();
+        }
+        black_box(scratch[N / 2]);
+    });
+    bench("safe_ln_scalar_std", N, &mut || {
+        scratch.copy_from_slice(&prob_inputs);
+        for x in scratch.iter_mut() {
+            *x = x.max(1e-12).ln();
+        }
+        black_box(scratch[N / 2]);
+    });
+
+    // Batched kernels.
+    bench("exp_slice", N, &mut || {
+        scratch.copy_from_slice(&log_inputs);
+        kernels::exp_slice(&mut scratch);
+        black_box(scratch[N / 2]);
+    });
+    bench("ln_slice", N, &mut || {
+        scratch.copy_from_slice(&prob_inputs);
+        kernels::ln_slice(&mut scratch);
+        black_box(scratch[N / 2]);
+    });
+    bench("safe_ln_slice", N, &mut || {
+        scratch.copy_from_slice(&prob_inputs);
+        kernels::safe_ln_slice(&mut scratch);
+        black_box(scratch[N / 2]);
+    });
+    bench("sigmoid_slice", N, &mut || {
+        scratch.copy_from_slice(&log_inputs);
+        kernels::sigmoid_slice(&mut scratch);
+        black_box(scratch[N / 2]);
+    });
+    bench("log_sum_exp_rows", N, &mut || {
+        let mut acc = 0.0;
+        for chunk in log_inputs.chunks_exact(COLS) {
+            acc += kernels::log_sum_exp(chunk);
+        }
+        black_box(acc);
+    });
+    bench("log_normalize_rows", N, &mut || {
+        rows.data_mut().copy_from_slice(&log_inputs);
+        kernels::log_normalize_rows(&mut rows);
+        black_box(rows.row(0)[0]);
+    });
+    bench("weighted_log_dot", N, &mut || {
+        black_box(kernels::weighted_log_dot(&weights, &prob_inputs));
+    });
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"crowd-bench/kernels/v1\",");
+    // Constant: the kernels have no dataset, but the comparator requires
+    // matching scales, which pins candidate and baseline to the same
+    // artifact shape.
+    let _ = writeln!(json, "  \"scale\": 1.0,");
+    let _ = writeln!(json, "  \"backend\": \"{backend}\",");
+    let _ = writeln!(json, "  \"repeats\": {repeats},");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"op\": \"{}\", \"n\": {}, \"seconds_min\": {:.6}, \"seconds_mean\": {:.6}, \"ns_per_elem\": {:.3}}}{}",
+            r.op,
+            r.n,
+            r.seconds_min,
+            r.seconds_mean,
+            r.seconds_min / r.n as f64 * 1e9,
+            comma
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write kernels bench output");
+    eprintln!(
+        "crowd-kernels-bench: wrote {} rows to {out_path}",
+        results.len()
+    );
+}

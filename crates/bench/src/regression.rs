@@ -13,9 +13,12 @@
 //! - A baseline row **missing** from the candidate is a regression
 //!   (silent coverage loss must fail loudly); candidate-only rows are
 //!   fine (new coverage).
-//! - A top-level boolean that was `true` in the baseline and is `false`
-//!   in the candidate (e.g. `warm_fewer_iterations_everywhere`) is a
-//!   regression.
+//! - A boolean that was `true` in the baseline and is `false` in the
+//!   candidate is a regression — top-level (e.g.
+//!   `warm_fewer_iterations_everywhere`) and per-row (e.g. `converged`:
+//!   a previously-converged (dataset, method) cell newly hitting its
+//!   iteration cap must fail loudly, not slip through as a wall-time
+//!   win).
 //! - Comparing artifacts with different `schema`s or `scale`s is a usage
 //!   **error**, not a pass: cross-scale wall times and accuracies are not
 //!   comparable.
@@ -51,12 +54,27 @@ impl Default for Thresholds {
 /// order. Measurement fields are everything else.
 const KEY_FIELDS: [&str; 5] = ["dataset", "method", "sessions", "batches", "batch_size"];
 
+/// Row-identity fields per schema (everything else on a row is a
+/// measurement). Scoped per schema — like [`time_field`] — so one
+/// schema's key names (the kernels bench's generic `op`/`n`) cannot
+/// silently become part of another schema's row identity.
+fn key_fields(schema: &str) -> &'static [&'static str] {
+    match schema {
+        "crowd-bench/kernels/v1" => &["op", "n"],
+        _ => &KEY_FIELDS,
+    }
+}
+
 /// Primary per-row wall-time metric per schema.
 fn time_field(schema: &str) -> Option<&'static str> {
     match schema {
         "crowd-bench/table6/v1" => Some("seconds_min"),
         "crowd-bench/stream/v1" => Some("seconds_warm_total"),
         "crowd-bench/serve/v1" => Some("seconds_total"),
+        // The kernels microbench reports ns_per_elem for humans, but the
+        // gate compares the repeat-minimum loop seconds so the absolute
+        // noise floor (`min_time_delta`) keeps its units.
+        "crowd-bench/kernels/v1" => Some("seconds_min"),
         _ => None,
     }
 }
@@ -152,9 +170,9 @@ impl fmt::Display for CompareError {
 
 impl std::error::Error for CompareError {}
 
-fn row_key(row: &Json) -> String {
+fn row_key(row: &Json, fields: &[&str]) -> String {
     let mut key = String::new();
-    for field in KEY_FIELDS {
+    for &field in fields {
         if let Some(v) = row.get(field) {
             use fmt::Write as _;
             let _ = match v {
@@ -233,11 +251,13 @@ pub fn compare(
         }
     }
 
-    let candidate_by_key: Vec<(String, &Json)> =
-        cand_rows.iter().map(|r| (row_key(r), r)).collect();
+    let candidate_by_key: Vec<(String, &Json)> = cand_rows
+        .iter()
+        .map(|r| (row_key(r, key_fields(base_schema)), r))
+        .collect();
 
     for base_row in base_rows {
-        let key = row_key(base_row);
+        let key = row_key(base_row, key_fields(base_schema));
         let Some((_, cand_row)) = candidate_by_key.iter().find(|(k, _)| *k == key) else {
             cmp.regressions.push(Regression {
                 row: key,
@@ -272,6 +292,34 @@ pub fn compare(
                     field: time_metric.to_string(),
                     detail: "time metric missing from the candidate row".to_string(),
                 }),
+            }
+        }
+
+        // Row booleans: `true` → `false` is a regression. The load-bearing
+        // case is `converged`: a (dataset, method) row that converged in
+        // the baseline but hits the iteration cap in the candidate is a
+        // quality loss even when its wall time looks fine. A baseline
+        // `true` whose field disappears from the candidate fails too —
+        // like the time/accuracy checks, silent coverage loss must fail
+        // loudly, or dropping the field would disable this rule.
+        if let Some(fields) = base_row.fields() {
+            for (name, value) in fields {
+                if value.as_bool() != Some(true) {
+                    continue;
+                }
+                match cand_row.get(name).and_then(Json::as_bool) {
+                    Some(false) => cmp.regressions.push(Regression {
+                        row: key.clone(),
+                        field: name.clone(),
+                        detail: "was true in the baseline row, false in the candidate".to_string(),
+                    }),
+                    None => cmp.regressions.push(Regression {
+                        row: key.clone(),
+                        field: name.clone(),
+                        detail: "boolean missing from the candidate row".to_string(),
+                    }),
+                    Some(true) => {}
+                }
             }
         }
 
@@ -447,6 +495,81 @@ mod tests {
         let cmp = compare(&dropped, &base, &Thresholds::default()).unwrap();
         assert!(cmp.passed());
         assert_eq!(cmp.rows_compared, 1);
+    }
+
+    #[test]
+    fn row_converged_flipping_false_fails() {
+        // The GLAD case: a row that converged in the baseline may not
+        // become unconverged in the candidate, regardless of wall time.
+        let base = mutate(&fixture(), 0, "converged", Json::Bool(true));
+        let cand = mutate(&base, 0, "converged", Json::Bool(false));
+        let cmp = compare(&base, &cand, &Thresholds::default()).unwrap();
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].field, "converged");
+        assert!(cmp.regressions[0].row.contains("dataset=D_Product"));
+        // An unconverged baseline row staying unconverged is fine...
+        let base_unconv = mutate(&fixture(), 0, "converged", Json::Bool(false));
+        let cand_unconv = mutate(&base_unconv, 0, "converged", Json::Bool(false));
+        assert!(compare(&base_unconv, &cand_unconv, &Thresholds::default())
+            .unwrap()
+            .passed());
+        // ...and newly converging is an improvement, not a failure.
+        let improved = mutate(&base_unconv, 0, "converged", Json::Bool(true));
+        assert!(compare(&base_unconv, &improved, &Thresholds::default())
+            .unwrap()
+            .passed());
+    }
+
+    #[test]
+    fn row_boolean_disappearing_fails() {
+        // Dropping a baseline-true row boolean (e.g. the emitter stops
+        // writing `converged`) must fail, not silently disable the rule.
+        let base = mutate(&fixture(), 0, "converged", Json::Bool(true));
+        let cmp = compare(&base, &fixture(), &Thresholds::default()).unwrap();
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions[0].field, "converged");
+        assert!(cmp.regressions[0].detail.contains("missing"));
+    }
+
+    #[test]
+    fn kernels_schema_keys_rows_by_op_and_n() {
+        let doc = |secs: f64| {
+            parse(&format!(
+                r#"{{"schema": "crowd-bench/kernels/v1", "scale": 1.0, "results": [
+                    {{"op": "exp_slice", "n": 1024, "seconds_min": {secs}, "ns_per_elem": 1.0}}
+                ]}}"#
+            ))
+            .unwrap()
+        };
+        // Same (op, n) identity: compared, and a big slowdown fails.
+        let cmp = compare(&doc(0.002), &doc(0.008), &Thresholds::default()).unwrap();
+        assert_eq!(cmp.rows_compared, 1);
+        assert!(!cmp.passed());
+        assert!(cmp.regressions[0].row.contains("op=exp_slice n=1024"));
+        // `n` is identity for this schema: a changed size is a missing
+        // row, not a silently re-keyed comparison.
+        let mut resized = doc(0.002);
+        if let Json::Obj(fields) = &mut resized {
+            for (k, v) in fields.iter_mut() {
+                if k == "results" {
+                    if let Json::Arr(rows) = v {
+                        if let Json::Obj(row) = &mut rows[0] {
+                            for (rk, rv) in row.iter_mut() {
+                                if rk == "n" {
+                                    *rv = Json::Num(2048.0);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let cmp = compare(&doc(0.002), &resized, &Thresholds::default()).unwrap();
+        assert!(!cmp.passed());
+        assert!(cmp.regressions[0]
+            .detail
+            .contains("missing from the candidate"));
     }
 
     #[test]

@@ -78,6 +78,8 @@ impl TruthInference for Bcc {
 
         let mut tally = vec![vec![0u32; l]; cat.n];
         let mut confusion_acc = vec![vec![vec![0.0f64; l]; l]; cat.m];
+        // Truth-sampling weight row, reused across tasks and sweeps.
+        let mut weights = vec![0.0f64; l];
 
         for sweep in 0..self.burn_in + self.samples {
             // Sample confusion matrices given z.
@@ -111,7 +113,7 @@ impl TruthInference for Bcc {
 
             // Sample z given confusion matrices and prior.
             for task in 0..cat.n {
-                let mut weights = prior.clone();
+                weights.copy_from_slice(&prior);
                 for (worker, label) in cat.task(task) {
                     for (j, wgt) in weights.iter_mut().enumerate() {
                         *wgt *= confusion[worker][j][label as usize].max(1e-12);

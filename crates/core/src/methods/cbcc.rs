@@ -15,6 +15,8 @@
 
 use crowd_data::{Dataset, TaskType};
 use crowd_stats::dist::{sample_categorical, sample_dirichlet};
+use crowd_stats::kernels::{exp_slice, safe_ln_slice};
+use crowd_stats::DMat;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -83,6 +85,15 @@ impl TruthInference for Cbcc {
         let mut tally = vec![vec![0u32; l]; cat.n];
         let mut comm_tally = vec![vec![0u32; mc]; cat.m];
         let mut confusion_acc = vec![vec![vec![0.0f64; l]; l]; mc];
+        // Log-domain community confusion tables, refreshed once per sweep
+        // with one batched safe_ln sweep (community `c`, truth row `j` at
+        // DMat row `c·ℓ + j`): the worker-assignment loop then adds table
+        // entries instead of paying a clamped `ln` per (answer, community).
+        let mut log_pi = DMat::zeros(mc * l, l);
+        let mut log_rho = vec![0.0f64; mc];
+        let mut logw = vec![0.0f64; mc];
+        let mut comm_weights = vec![0.0f64; mc];
+        let mut weights = vec![0.0f64; l];
 
         for sweep in 0..self.burn_in + self.samples {
             // 1. Sample community confusion matrices from pooled counts.
@@ -111,22 +122,43 @@ impl TruthInference for Cbcc {
             }
 
             // 2. Sample community sizes prior and worker assignments.
+            // The log tables refresh once per sweep: `ln ρ_c` and every
+            // `ln π^c[j][k]` (clamped at 1e-12, batched) — elementwise
+            // identical to the per-answer clamp-and-ln the loop below
+            // used to pay.
             let mut comm_counts = vec![1.0f64; mc];
             for &c in &community {
                 comm_counts[c] += 1.0;
             }
             let rho = sample_dirichlet(&mut rng, &comm_counts);
+            log_rho.copy_from_slice(&rho);
+            safe_ln_slice(&mut log_rho);
+            for (c, pc) in pi.iter().enumerate() {
+                for (j, row) in pc.iter().enumerate() {
+                    log_pi.row_mut(c * l + j).copy_from_slice(row);
+                }
+            }
+            safe_ln_slice(log_pi.data_mut());
+            let lp = log_pi.data();
+            let stride = l * l;
             for w in 0..cat.m {
-                // log-likelihood of w's answers under each community.
-                let mut logw: Vec<f64> = rho.iter().map(|&r| r.max(1e-12).ln()).collect();
+                // log-likelihood of w's answers under each community:
+                // walk the flat table at fixed (truth, label) offset,
+                // community-major.
+                logw.copy_from_slice(&log_rho);
                 for (task, label) in cat.worker(w) {
-                    for (c, lw) in logw.iter_mut().enumerate() {
-                        *lw += pi[c][z[task] as usize][label as usize].max(1e-12).ln();
+                    let mut idx = z[task] as usize * l + label as usize;
+                    for lw in logw.iter_mut() {
+                        *lw += lp[idx];
+                        idx += stride;
                     }
                 }
                 let max = logw.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                let weights: Vec<f64> = logw.iter().map(|&x| (x - max).exp()).collect();
-                community[w] = sample_categorical(&mut rng, &weights);
+                for (wt, &x) in comm_weights.iter_mut().zip(&logw) {
+                    *wt = x - max;
+                }
+                exp_slice(&mut comm_weights);
+                community[w] = sample_categorical(&mut rng, &comm_weights);
             }
 
             // 3. Sample the class prior and truths.
@@ -136,7 +168,7 @@ impl TruthInference for Cbcc {
             }
             let prior = sample_dirichlet(&mut rng, &class_counts);
             for task in 0..cat.n {
-                let mut weights = prior.clone();
+                weights.copy_from_slice(&prior);
                 for (worker, label) in cat.task(task) {
                     let c = community[worker];
                     for (j, wgt) in weights.iter_mut().enumerate() {

@@ -11,7 +11,8 @@
 //! symmetric smoothing count purely for numerical safety.
 
 use crowd_data::{Dataset, TaskType};
-use crowd_stats::{dist::log_normalize, ConvergenceTracker, DMat};
+use crowd_stats::kernels::{log_normalize, safe_ln_slice};
+use crowd_stats::{ConvergenceTracker, DMat};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -296,19 +297,18 @@ impl DsEngine {
 
 /// Refresh the log-domain lookup tables from the current confusion
 /// matrices and class prior (once per iteration; the E-step then runs
-/// `ln`-free).
+/// `ln`-free). One batched `safe_ln` sweep over each flat buffer —
+/// elementwise identical to the old per-cell `c.max(1e-12).ln()`.
 fn refresh_log_tables(
     confusion: &DMat,
     class_prior: &[f64],
     log_conf: &mut DMat,
     log_prior: &mut [f64],
 ) {
-    for (lc, &c) in log_conf.data_mut().iter_mut().zip(confusion.data()) {
-        *lc = c.max(1e-12).ln();
-    }
-    for (lp, &p) in log_prior.iter_mut().zip(class_prior) {
-        *lp = p.max(1e-12).ln();
-    }
+    log_conf.data_mut().copy_from_slice(confusion.data());
+    safe_ln_slice(log_conf.data_mut());
+    log_prior.copy_from_slice(class_prior);
+    safe_ln_slice(log_prior);
 }
 
 /// One E-step over the flat substrate: `post[t][j] ∝ prior[j] ·

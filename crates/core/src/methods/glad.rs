@@ -10,7 +10,8 @@
 //! Table 6.
 
 use crowd_data::{Dataset, TaskType};
-use crowd_stats::{dist::log_normalize, ConvergenceTracker};
+use crowd_stats::kernels::{self, exp_slice, ln_slice, log_normalize, sigmoid_slice};
+use crowd_stats::ConvergenceTracker;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -21,6 +22,26 @@ use crate::framework::{
 use crate::views::{initial_accuracy, Cat};
 
 /// GLAD: worker ability × task difficulty EM.
+///
+/// ## Iteration cap at benchmark scale
+///
+/// At `CROWD_BENCH_SCALE=0.1`, GLAD reports `converged: false` at the
+/// 100-iteration cap on the larger datasets (D_Product, S_Rel,
+/// S_Adult) while converging on the small D_PosSent. This is expected,
+/// not a defect: the shared [`ConvergenceTracker`] watches the mean
+/// absolute change of the full parameter vector `(α, ln β)`, and with
+/// thousands of per-task difficulties each nudged by
+/// `learning_rate · ∂Q/∂ln β` every M-step under only a weak Gaussian
+/// pull (`prior_precision = 0.01`), the mean parameter motion decays
+/// slowly — `ln β` keeps creeping long after the label posteriors have
+/// stabilised (the labels at the cap are pinned by the equivalence
+/// fixtures). A larger step size makes the gradient ascent oscillate
+/// against the ±8/±4 clamps instead of settling, and a smaller one
+/// converges even later, so the cap is the documented operating point;
+/// the bench artifact records the cap (`max_iterations`) and the
+/// regression gate fails any row that *was* converging and stops
+/// (`crowd-bench-check`'s converged-flip rule), which fences this
+/// documented state from silently spreading.
 #[derive(Debug, Clone, Copy)]
 pub struct Glad {
     /// Gradient-ascent learning rate in the M-step.
@@ -44,9 +65,9 @@ impl Default for Glad {
 
 fn sigmoid(x: f64) -> f64 {
     if x >= 0.0 {
-        1.0 / (1.0 + (-x).exp())
+        1.0 / (1.0 + kernels::exp(-x))
     } else {
-        let e = x.exp();
+        let e = kernels::exp(x);
         e / (1.0 + e)
     }
 }
@@ -107,7 +128,7 @@ impl Glad {
         let init_acc = initial_accuracy(options, cat.m, sigmoid(1.0));
         let mut alpha: Vec<f64> = init_acc
             .iter()
-            .map(|&a| (a / (1.0 - a)).ln().clamp(-4.0, 4.0))
+            .map(|&a| kernels::ln(a / (1.0 - a)).clamp(-4.0, 4.0))
             .collect();
         if let Some(warm) = &options.warm_start {
             for (w, a) in alpha.iter_mut().enumerate() {
@@ -115,7 +136,7 @@ impl Glad {
                     // σ⁻¹ round-trips the reported quality back to α; the
                     // wider clamp matches the loop's own ±8 bound.
                     let p = p.clamp(1e-4, 1.0 - 1e-4);
-                    *a = (p / (1.0 - p)).ln().clamp(-8.0, 8.0);
+                    *a = kernels::ln(p / (1.0 - p)).clamp(-8.0, 8.0);
                 }
             }
         }
@@ -124,33 +145,77 @@ impl Glad {
 
         let mut post = cat.majority_posteriors();
         // Pre-allocated scratch: per-task log-posterior, M-step gradients,
-        // and the convergence parameter vector. The loop below allocates
-        // nothing per iteration.
+        // the convergence parameter vector, the per-task difficulty table
+        // `beta`, and the answer-major batch buffers (`sig` holds every
+        // answer's σ(α_w·β_i); `lc`/`lw` the correct/wrong log terms).
+        // Batching runs over the *whole answer log* in task-major order —
+        // the CSR task rows are contiguous, so one cursor walks `sig` in
+        // step with the tasks — which keeps the kernel sweeps long even
+        // when individual tasks have only a handful of answers. The loop
+        // below allocates nothing per iteration.
         let mut logp = vec![0.0f64; cat.l];
         let mut grad_alpha = vec![0.0f64; cat.m];
         let mut grad_logbeta = vec![0.0f64; cat.n];
+        let mut beta = vec![0.0f64; cat.n];
+        let num_answers = cat.num_answers();
+        let mut sig = vec![0.0f64; num_answers];
+        let mut lc = vec![0.0f64; num_answers];
+        let mut lw = vec![0.0f64; num_answers];
         let mut params: Vec<f64> = Vec::with_capacity(cat.m + cat.n);
         let mut tracker = ConvergenceTracker::new(options.tolerance, options.max_iterations);
 
+        // Fill `sig` with α_w·β_i for every answer (task-major) and run
+        // one batched sigmoid over the lot. Values are bit-identical to
+        // the per-answer scalar `sigmoid(alpha[w] * beta)`.
+        fn fill_sigmoids(sig: &mut [f64], beta: &[f64], alpha: &[f64], cat: &Cat) {
+            let mut cursor = 0usize;
+            for (task, &b) in beta.iter().enumerate() {
+                let row = cat.task_row(task);
+                for (s, &(worker, _)) in sig[cursor..cursor + row.len()].iter_mut().zip(row) {
+                    *s = alpha[worker as usize] * b;
+                }
+                cursor += row.len();
+            }
+            sigmoid_slice(sig);
+        }
+
         loop {
-            // E-step: Pr(z | answers, α, β).
+            // E-step: Pr(z | answers, α, β). The difficulty table and
+            // every answer's correctness probability refresh as whole-log
+            // kernel sweeps (one exp batch, one sigmoid batch, two ln
+            // batches — 2 lns per answer instead of the ℓ the
+            // per-element form paid); the posterior accumulation is then
+            // a pure table walk. Elementwise identical to the scalar
+            // form.
+            beta.copy_from_slice(&log_beta);
+            exp_slice(&mut beta);
+            fill_sigmoids(&mut sig, &beta, &alpha, cat);
+            for ((s, c), w) in sig.iter().zip(lc.iter_mut()).zip(lw.iter_mut()) {
+                let p_correct = s.clamp(1e-9, 1.0 - 1e-9);
+                *c = p_correct;
+                *w = (1.0 - p_correct) / lm1;
+            }
+            ln_slice(&mut lc);
+            ln_slice(&mut lw);
+            let mut cursor = 0usize;
             for task in 0..cat.n {
-                if cat.golden[task].is_some() || cat.task_len(task) == 0 {
+                let row = cat.task_row(task);
+                let deg = row.len();
+                if cat.golden[task].is_some() || deg == 0 {
+                    cursor += deg;
                     continue;
                 }
-                let beta = log_beta[task].exp();
                 logp.fill(0.0);
-                for &(worker, label) in cat.task_row(task) {
-                    let p_correct = sigmoid(alpha[worker as usize] * beta).clamp(1e-9, 1.0 - 1e-9);
+                for (&(_, label), (&lci, &lwi)) in row.iter().zip(
+                    lc[cursor..cursor + deg]
+                        .iter()
+                        .zip(&lw[cursor..cursor + deg]),
+                ) {
                     for (z, lp) in logp.iter_mut().enumerate() {
-                        let p = if z == label as usize {
-                            p_correct
-                        } else {
-                            (1.0 - p_correct) / lm1
-                        };
-                        *lp += p.ln();
+                        *lp += if z == label as usize { lci } else { lwi };
                     }
                 }
+                cursor += deg;
                 log_normalize(&mut logp);
                 post.row_mut(task).copy_from_slice(&logp);
             }
@@ -163,19 +228,30 @@ impl Glad {
             // post[i][v_iw], and s = σ(α_w β_i):
             //   ∂Q/∂α_w    = Σ_i β_i (p_iw − s_iw) − λ(α_w − 1)
             //   ∂Q/∂ln β_i = β_i Σ_w α_w (p_iw − s_iw) − λ ln β_i
+            //
+            // The β table and σ evaluations batch over the whole answer
+            // log exactly as in the E-step; accumulation order is
+            // unchanged.
             for _ in 0..self.gradient_steps {
                 grad_alpha.fill(0.0);
                 grad_logbeta.fill(0.0);
+                beta.copy_from_slice(&log_beta);
+                exp_slice(&mut beta);
+                fill_sigmoids(&mut sig, &beta, &alpha, cat);
+                let mut cursor = 0usize;
                 for task in 0..cat.n {
-                    let beta = log_beta[task].exp();
+                    let b = beta[task];
                     let post_row = post.row(task);
-                    for &(worker, label) in cat.task_row(task) {
+                    let row = cat.task_row(task);
+                    let mut g_beta = 0.0;
+                    for (&(worker, label), &s) in row.iter().zip(&sig[cursor..cursor + row.len()]) {
                         let worker = worker as usize;
-                        let s = sigmoid(alpha[worker] * beta);
                         let p = post_row[label as usize];
-                        grad_alpha[worker] += beta * (p - s);
-                        grad_logbeta[task] += beta * alpha[worker] * (p - s);
+                        grad_alpha[worker] += b * (p - s);
+                        g_beta += b * alpha[worker] * (p - s);
                     }
+                    grad_logbeta[task] += g_beta;
+                    cursor += row.len();
                 }
                 for (w, g) in grad_alpha.iter().enumerate() {
                     alpha[w] += self.learning_rate * (g - self.prior_precision * (alpha[w] - 1.0));

@@ -159,7 +159,7 @@ impl TruthInference for Kos {
         let posteriors: Vec<Vec<f64>> = margins
             .iter()
             .map(|&s| {
-                let p = 1.0 / (1.0 + (-s).exp());
+                let p = 1.0 / (1.0 + crowd_stats::kernels::exp(-s));
                 vec![p, 1.0 - p]
             })
             .collect();

@@ -22,7 +22,8 @@
 //!    minimax conditional entropy" follow-up).
 
 use crowd_data::{Dataset, TaskType};
-use crowd_stats::{dist::log_normalize, ConvergenceTracker};
+use crowd_stats::kernels::{self, log_normalize, log_sum_exp};
+use crowd_stats::{ConvergenceTracker, DMat};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -87,29 +88,38 @@ impl TruthInference for Minimax {
         let cat = Cat::build(self.name(), dataset, options, true)?;
         let l = cat.l;
 
-        let mut tau = vec![vec![0.0f64; l]; cat.n];
-        let mut sigma = vec![vec![vec![0.0f64; l]; l]; cat.m];
+        // Flat-memory multipliers: τ is `n × ℓ`, σ packs every worker's
+        // `ℓ × ℓ` block as rows `w·ℓ + j` of one `(m·ℓ) × ℓ` matrix —
+        // the same layout the D&S confusion tables use. The gradient
+        // matrices are allocated once and refilled per step; the old
+        // nested-`Vec` form allocated `n + m·(ℓ+1)` vectors per gradient
+        // step and one ℓ-vector per (answer, j) model evaluation, which
+        // dominated Minimax's wall time.
+        let mut tau = DMat::zeros(cat.n, l);
+        let mut sigma = DMat::zeros(cat.m * l, l);
         // Break the label-permutation symmetry: seed σ diagonals positive.
-        for s in &mut sigma {
-            for (j, row) in s.iter_mut().enumerate() {
-                row[j] = 1.0;
+        for w in 0..cat.m {
+            for j in 0..l {
+                sigma[(w * l + j, j)] = 1.0;
             }
         }
+        let mut grad_tau = DMat::zeros(cat.n, l);
+        let mut grad_sigma = DMat::zeros(cat.m * l, l);
+        // Scratch for one model row π_iw^j(·) and one posterior row.
+        let mut lp_buf = vec![0.0f64; l];
+        let mut logp = vec![0.0f64; l];
+        // Per-task list of the truth hypotheses with non-negligible
+        // posterior mass, as `(j, q_i(j))` in ascending-`j` order. The
+        // posterior is fixed for the whole dual-ascent pass, so the
+        // `q_i(j) < 1e-9` skip the old code evaluated per (answer, j)
+        // is hoisted here and rebuilt once per outer iteration — the
+        // surviving (answer, j) pairs and their visit order are
+        // unchanged.
+        let mut active: Vec<(u8, f64)> = Vec::with_capacity(cat.n * l);
+        let mut active_off: Vec<usize> = vec![0; cat.n + 1];
 
         let mut post = cat.majority_posteriors();
         let mut tracker = ConvergenceTracker::new(options.tolerance, options.max_iterations);
-
-        // π_iw^j(k) over k, as log-probabilities.
-        let model_logprob = |tau_i: &[f64], sigma_w: &[Vec<f64>], j: usize| -> Vec<f64> {
-            let mut lp: Vec<f64> = (0..l).map(|k| tau_i[k] + sigma_w[j][k]).collect();
-            let mut probs = lp.clone();
-            log_normalize(&mut probs);
-            // Return normalized log-probs.
-            for (x, p) in lp.iter_mut().zip(&probs) {
-                *x = p.max(1e-12).ln();
-            }
-            lp
-        };
 
         // Degree normalisers: keep step sizes independent of how many
         // answers a task/worker has.
@@ -118,78 +128,65 @@ impl TruthInference for Minimax {
             .map(|w| cat.worker_len(w).max(1) as f64)
             .collect();
 
+        let mut st = State {
+            tau: &mut tau,
+            sigma: &mut sigma,
+            grad_tau: &mut grad_tau,
+            grad_sigma: &mut grad_sigma,
+            post: &mut post,
+            active: &mut active,
+            active_off: &mut active_off,
+            task_deg: &task_deg,
+            worker_deg: &worker_deg,
+        };
         loop {
-            // Dual ascent on τ, σ under the current truth posterior.
-            for _ in 0..self.gradient_steps {
-                let mut grad_tau = vec![vec![0.0f64; l]; cat.n];
-                let mut grad_sigma = vec![vec![vec![0.0f64; l]; l]; cat.m];
-
-                for task in 0..cat.n {
-                    for (worker, label) in cat.task(task) {
-                        for j in 0..l {
-                            let qj = post.row(task)[j];
-                            if qj < 1e-9 {
-                                continue;
-                            }
-                            // Model distribution for this (i, w, j).
-                            let mut lp: Vec<f64> =
-                                (0..l).map(|k| tau[task][k] + sigma[worker][j][k]).collect();
-                            log_normalize(&mut lp); // now probabilities
-                            for k in 0..l {
-                                let obs = if k == label as usize { 1.0 } else { 0.0 };
-                                let diff = qj * (obs - lp[k]);
-                                grad_tau[task][k] += diff;
-                                grad_sigma[worker][j][k] += diff;
-                            }
-                        }
-                    }
-                }
-
-                for (t, g) in grad_tau.iter().enumerate() {
-                    for k in 0..l {
-                        tau[t][k] +=
-                            self.learning_rate * (g[k] / task_deg[t] - self.l2_tau * tau[t][k]);
-                        tau[t][k] = tau[t][k].clamp(-6.0, 6.0);
-                    }
-                }
-                for (w, g) in grad_sigma.iter().enumerate() {
-                    for j in 0..l {
-                        for k in 0..l {
-                            sigma[w][j][k] += self.learning_rate
-                                * (g[j][k] / worker_deg[w] - self.l2_sigma * sigma[w][j][k]);
-                            sigma[w][j][k] = sigma[w][j][k].clamp(-6.0, 6.0);
-                        }
-                    }
-                }
-            }
-
-            // Truth update.
+            // Rebuild the active-hypothesis lists under the current
+            // posterior (see `active` above).
+            st.active.clear();
             for task in 0..cat.n {
-                if cat.golden[task].is_some() || cat.task_len(task) == 0 {
-                    continue;
-                }
-                let mut logp = vec![0.0f64; l];
-                for (worker, label) in cat.task(task) {
-                    for (j, lp) in logp.iter_mut().enumerate() {
-                        let model = model_logprob(&tau[task], &sigma[worker], j);
-                        *lp += model[label as usize];
+                for (j, &qj) in st.post.row(task).iter().enumerate() {
+                    if qj >= 1e-9 {
+                        st.active.push((j as u8, qj));
                     }
                 }
-                log_normalize(&mut logp);
-                post.row_mut(task).copy_from_slice(&logp);
+                st.active_off[task + 1] = st.active.len();
             }
-            cat.clamp_golden(&mut post);
 
-            if tracker.step(post.data()) {
+            // The two hot passes are specialised by ℓ so the model rows
+            // live in fixed-size stack arrays (no bounds checks, unrolled
+            // lanes); every dataset in the benchmark has ℓ ∈ {2, 3, 4}.
+            // The dynamic fallback performs the identical operations in
+            // the identical order on slices for any other ℓ (exercised by
+            // the `six_choice_fallback_runs` test).
+            match l {
+                2 => {
+                    dual_ascent::<2>(self, &cat, &mut st);
+                    truth_update::<2>(&cat, &mut st);
+                }
+                3 => {
+                    dual_ascent::<3>(self, &cat, &mut st);
+                    truth_update::<3>(&cat, &mut st);
+                }
+                4 => {
+                    dual_ascent::<4>(self, &cat, &mut st);
+                    truth_update::<4>(&cat, &mut st);
+                }
+                _ => {
+                    dual_ascent_dyn(self, &cat, &mut st, &mut lp_buf);
+                    truth_update_dyn(&cat, &mut st, &mut lp_buf, &mut logp);
+                }
+            }
+            cat.clamp_golden(st.post);
+
+            if tracker.step(st.post.data()) {
                 break;
             }
         }
 
         // Worker quality: the diagonal pull of σ (diverse-skill summary).
-        let worker_quality: Vec<WorkerQuality> = sigma
-            .iter()
-            .map(|s| {
-                let skills: Vec<f64> = (0..l).map(|j| s[j][j]).collect();
+        let worker_quality: Vec<WorkerQuality> = (0..cat.m)
+            .map(|w| {
+                let skills: Vec<f64> = (0..l).map(|j| sigma.row(w * l + j)[j]).collect();
                 WorkerQuality::Skills(skills)
             })
             .collect();
@@ -203,6 +200,234 @@ impl TruthInference for Minimax {
             converged: tracker.converged(),
             posteriors: Some(post.into_nested()),
         })
+    }
+}
+
+/// The mutable EM state threaded through the hot passes. Keeping the
+/// matrices behind one struct lets the specialised and dynamic passes
+/// share a signature while the borrow checker still sees disjoint
+/// fields.
+struct State<'a> {
+    tau: &'a mut DMat,
+    sigma: &'a mut DMat,
+    grad_tau: &'a mut DMat,
+    grad_sigma: &'a mut DMat,
+    post: &'a mut DMat,
+    active: &'a mut Vec<(u8, f64)>,
+    active_off: &'a mut [usize],
+    task_deg: &'a [f64],
+    worker_deg: &'a [f64],
+}
+
+/// Softmax over a fixed-width row, in exactly the operation order of
+/// [`kernels::log_normalize`] (the [`lse_fixed`] reduction, then a
+/// per-element `exp`, with degenerate rows spread uniformly) —
+/// bit-identical output, no slice bounds checks.
+#[inline(always)]
+fn softmax_fixed<const L: usize>(xs: &mut [f64; L]) {
+    let lse = lse_fixed(xs);
+    if !lse.is_finite() {
+        xs.fill(1.0 / L as f64);
+        return;
+    }
+    for x in xs.iter_mut() {
+        *x = kernels::exp(*x - lse);
+    }
+}
+
+/// Fixed-width [`kernels::log_sum_exp`], same operation order.
+#[inline(always)]
+fn lse_fixed<const L: usize>(xs: &[f64; L]) -> f64 {
+    let mut max = f64::NEG_INFINITY;
+    for &x in xs.iter() {
+        max = max.max(x);
+    }
+    if !max.is_finite() {
+        return max;
+    }
+    let mut sum = 0.0;
+    for &x in xs.iter() {
+        sum += if x == max { 1.0 } else { kernels::exp(x - max) };
+    }
+    max + kernels::ln(sum)
+}
+
+/// The regularised multiplier updates after one gradient accumulation
+/// (cold relative to the accumulation itself, so kept dynamic and
+/// shared by both paths).
+fn update_multipliers(mm: &Minimax, cat: &Cat, st: &mut State) {
+    let l = st.tau.cols();
+    for t in 0..cat.n {
+        let g = st.grad_tau.row(t);
+        let deg = st.task_deg[t];
+        let tau_row = st.tau.row_mut(t);
+        for k in 0..l {
+            tau_row[k] += mm.learning_rate * (g[k] / deg - mm.l2_tau * tau_row[k]);
+            tau_row[k] = tau_row[k].clamp(-6.0, 6.0);
+        }
+    }
+    for w in 0..cat.m {
+        let deg = st.worker_deg[w];
+        for j in 0..l {
+            let g = st.grad_sigma.row(w * l + j);
+            let sig_row = st.sigma.row_mut(w * l + j);
+            for k in 0..l {
+                sig_row[k] += mm.learning_rate * (g[k] / deg - mm.l2_sigma * sig_row[k]);
+                sig_row[k] = sig_row[k].clamp(-6.0, 6.0);
+            }
+        }
+    }
+}
+
+/// One dual-ascent pass (`gradient_steps` accumulate/update rounds),
+/// specialised by ℓ: model rows are `[f64; L]` stack arrays and every
+/// row borrow is a checked-once fixed-width conversion. Arithmetic and
+/// evaluation order match [`dual_ascent_dyn`] exactly.
+fn dual_ascent<const L: usize>(mm: &Minimax, cat: &Cat, st: &mut State) {
+    for _ in 0..mm.gradient_steps {
+        st.grad_tau.fill(0.0);
+        st.grad_sigma.fill(0.0);
+
+        for task in 0..cat.n {
+            let acts = &st.active[st.active_off[task]..st.active_off[task + 1]];
+            let tau_row: &[f64; L] = st.tau.row(task).try_into().expect("row width ℓ");
+            let gt_row: &mut [f64; L] = st.grad_tau.row_mut(task).try_into().expect("row width ℓ");
+            for &(worker, label) in cat.task_row(task) {
+                let base = worker as usize * L;
+                for &(j, qj) in acts.iter() {
+                    // Model distribution for this (i, w, j).
+                    let sig_row: &[f64; L] = st
+                        .sigma
+                        .row(base + j as usize)
+                        .try_into()
+                        .expect("row width ℓ");
+                    let mut lp = [0.0f64; L];
+                    for k in 0..L {
+                        lp[k] = tau_row[k] + sig_row[k];
+                    }
+                    softmax_fixed(&mut lp);
+                    let gs_row: &mut [f64; L] = st
+                        .grad_sigma
+                        .row_mut(base + j as usize)
+                        .try_into()
+                        .expect("row width ℓ");
+                    for k in 0..L {
+                        let obs = if k == label as usize { 1.0 } else { 0.0 };
+                        let diff = qj * (obs - lp[k]);
+                        gt_row[k] += diff;
+                        gs_row[k] += diff;
+                    }
+                }
+            }
+        }
+
+        update_multipliers(mm, cat, st);
+    }
+}
+
+/// Dynamic-width fallback for [`dual_ascent`] (ℓ outside the
+/// specialised range): same operations, same order, slice-based.
+fn dual_ascent_dyn(mm: &Minimax, cat: &Cat, st: &mut State, lp_buf: &mut [f64]) {
+    let l = st.tau.cols();
+    for _ in 0..mm.gradient_steps {
+        st.grad_tau.fill(0.0);
+        st.grad_sigma.fill(0.0);
+
+        for task in 0..cat.n {
+            let acts = &st.active[st.active_off[task]..st.active_off[task + 1]];
+            let tau_row = st.tau.row(task);
+            let gt_row = st.grad_tau.row_mut(task);
+            for &(worker, label) in cat.task_row(task) {
+                let base = worker as usize * l;
+                for &(j, qj) in acts.iter() {
+                    let sig_row = st.sigma.row(base + j as usize);
+                    for (lp, (&t, &s)) in lp_buf.iter_mut().zip(tau_row.iter().zip(sig_row)) {
+                        *lp = t + s;
+                    }
+                    log_normalize(lp_buf); // now probabilities
+                    let gs_row = st.grad_sigma.row_mut(base + j as usize);
+                    for (k, ((&p, gt), gs)) in lp_buf
+                        .iter()
+                        .zip(gt_row.iter_mut())
+                        .zip(gs_row.iter_mut())
+                        .enumerate()
+                    {
+                        let obs = if k == label as usize { 1.0 } else { 0.0 };
+                        let diff = qj * (obs - p);
+                        *gt += diff;
+                        *gs += diff;
+                    }
+                }
+            }
+        }
+
+        update_multipliers(mm, cat, st);
+    }
+}
+
+/// Truth update, specialised by ℓ. Only the answered label's model
+/// probability is needed, so per (answer, j) the pass evaluates the
+/// log-sum-exp of the model row once and exponentiates a single
+/// element — the same values the full row-normalise produced, minus
+/// ℓ−1 unused `exp`s and `ln`s per row.
+fn truth_update<const L: usize>(cat: &Cat, st: &mut State) {
+    for task in 0..cat.n {
+        if cat.golden[task].is_some() || cat.task_len(task) == 0 {
+            continue;
+        }
+        let mut logp = [0.0f64; L];
+        let tau_row: &[f64; L] = st.tau.row(task).try_into().expect("row width ℓ");
+        for &(worker, label) in cat.task_row(task) {
+            let base = worker as usize * L;
+            for (j, lp) in logp.iter_mut().enumerate() {
+                let sig_row: &[f64; L] = st.sigma.row(base + j).try_into().expect("row width ℓ");
+                let mut buf = [0.0f64; L];
+                for k in 0..L {
+                    buf[k] = tau_row[k] + sig_row[k];
+                }
+                let lse = lse_fixed(&buf);
+                // Mirror log_normalize's degenerate-input branch
+                // (all -inf → uniform mass).
+                let p = if lse.is_finite() {
+                    kernels::exp(buf[label as usize] - lse)
+                } else {
+                    1.0 / L as f64
+                };
+                *lp += kernels::safe_ln(p);
+            }
+        }
+        log_normalize(&mut logp);
+        st.post.row_mut(task).copy_from_slice(&logp);
+    }
+}
+
+/// Dynamic-width fallback for [`truth_update`].
+fn truth_update_dyn(cat: &Cat, st: &mut State, lp_buf: &mut [f64], logp: &mut [f64]) {
+    let l = st.tau.cols();
+    for task in 0..cat.n {
+        if cat.golden[task].is_some() || cat.task_len(task) == 0 {
+            continue;
+        }
+        logp.fill(0.0);
+        let tau_row = st.tau.row(task);
+        for &(worker, label) in cat.task_row(task) {
+            let worker = worker as usize;
+            for (j, lp) in logp.iter_mut().enumerate() {
+                let sig_row = st.sigma.row(worker * l + j);
+                for (b, (&t, &s)) in lp_buf.iter_mut().zip(tau_row.iter().zip(sig_row)) {
+                    *b = t + s;
+                }
+                let lse = log_sum_exp(lp_buf);
+                let p = if lse.is_finite() {
+                    kernels::exp(lp_buf[label as usize] - lse)
+                } else {
+                    1.0 / l as f64
+                };
+                *lp += kernels::safe_ln(p);
+            }
+        }
+        log_normalize(logp);
+        st.post.row_mut(task).copy_from_slice(logp);
     }
 }
 
@@ -255,6 +480,33 @@ mod tests {
         for &t in &split.golden {
             assert_eq!(Some(r.truths[t]), d.truth(t));
         }
+    }
+
+    #[test]
+    fn six_choice_fallback_runs() {
+        // ℓ = 6 is outside the specialised dispatch range, so this
+        // exercises the dynamic-width passes end to end.
+        use crowd_data::{DatasetBuilder, TaskType};
+        let mut b = DatasetBuilder::new("six", TaskType::SingleChoice { choices: 6 }, 12, 5);
+        for t in 0..12usize {
+            let truth = (t % 6) as u8;
+            b.set_truth_label(t, truth).unwrap();
+            for w in 0..5usize {
+                let noisy = if (t + w) % 4 == 0 {
+                    (truth + 1) % 6
+                } else {
+                    truth
+                };
+                b.add_label(t, w, noisy).unwrap();
+            }
+        }
+        let d = b.build();
+        let r = Minimax::default()
+            .infer(&d, &InferenceOptions::seeded(9))
+            .unwrap();
+        assert_result_sane(&d, &r);
+        let acc = accuracy(&d, &r);
+        assert!(acc > 0.5, "6-choice fallback accuracy {acc}");
     }
 
     #[test]

@@ -22,7 +22,8 @@
 
 use crowd_data::{Dataset, TaskType};
 use crowd_stats::dist::sample_gaussian;
-use crowd_stats::ConvergenceTracker;
+use crowd_stats::kernels::sigmoid_slice;
+use crowd_stats::{ConvergenceTracker, DMat};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -56,15 +57,6 @@ impl Default for Multi {
     }
 }
 
-fn sigmoid(x: f64) -> f64 {
-    if x >= 0.0 {
-        1.0 / (1.0 + (-x).exp())
-    } else {
-        let e = x.exp();
-        e / (1.0 + e)
-    }
-}
-
 impl TruthInference for Multi {
     fn name(&self) -> &'static str {
         "Multi"
@@ -92,27 +84,37 @@ impl TruthInference for Multi {
         // Task embeddings: axis 0 initialised from the majority-vote
         // signal (+1 for 'T'-leaning, −1 for 'F'-leaning), other axes
         // small noise. Worker vectors start at e_0 + noise, thresholds 0.
+        // Both live in flat row-major matrices (`n × K`, `m × K`) so the
+        // gradient sweeps read contiguous memory; the RNG draw order
+        // matches the old nested-`Vec` initialisation exactly.
         let post0 = cat.majority_posteriors();
-        let mut x: Vec<Vec<f64>> = (0..cat.n)
-            .map(|i| {
-                let mut v = vec![0.0; k];
-                v[0] = 2.0 * post0.row(i)[0] - 1.0;
-                for d in v.iter_mut().skip(1) {
-                    *d = sample_gaussian(&mut rng, 0.0, 0.1);
-                }
-                v
-            })
-            .collect();
-        let mut w: Vec<Vec<f64>> = (0..cat.m)
-            .map(|_| {
-                let mut v: Vec<f64> = (0..k)
-                    .map(|_| sample_gaussian(&mut rng, 0.0, 0.1))
-                    .collect();
-                v[0] += 1.0;
-                v
-            })
-            .collect();
+        let mut x = DMat::zeros(cat.n, k);
+        for i in 0..cat.n {
+            let row = x.row_mut(i);
+            row[0] = 2.0 * post0.row(i)[0] - 1.0;
+            for d in row.iter_mut().skip(1) {
+                *d = sample_gaussian(&mut rng, 0.0, 0.1);
+            }
+        }
+        let mut w = DMat::zeros(cat.m, k);
+        for i in 0..cat.m {
+            let row = w.row_mut(i);
+            for d in row.iter_mut() {
+                *d = sample_gaussian(&mut rng, 0.0, 0.1);
+            }
+            row[0] += 1.0;
+        }
         let mut tau = vec![0.0f64; cat.m];
+
+        // Per-iteration scratch, allocated once: gradient matrices, the
+        // convergence parameter vector, and the batched per-answer score
+        // buffer (sized by the largest task degree).
+        let mut gx = DMat::zeros(cat.n, k);
+        let mut gw = DMat::zeros(cat.m, k);
+        let mut gt = vec![0.0f64; cat.m];
+        let mut params: Vec<f64> = Vec::with_capacity((cat.n + cat.m) * k + cat.m);
+        let max_deg = (0..cat.n).map(|t| cat.task_len(t)).max().unwrap_or(0);
+        let mut sig = vec![0.0f64; max_deg];
 
         let mut tracker = ConvergenceTracker::new(options.tolerance, options.max_iterations);
 
@@ -126,23 +128,39 @@ impl TruthInference for Multi {
 
         loop {
             for _ in 0..self.gradient_steps {
-                let mut gx = vec![vec![0.0f64; k]; cat.n];
-                let mut gw = vec![vec![0.0f64; k]; cat.m];
-                let mut gt = vec![0.0f64; cat.m];
+                gx.fill(0.0);
+                gw.fill(0.0);
+                gt.fill(0.0);
 
+                // Two passes per task row: the dot-product scores go
+                // through one batched sigmoid sweep, then the error
+                // terms accumulate in the original answer order.
                 for task in 0..cat.n {
-                    for (worker, label) in cat.task(task) {
-                        let score: f64 = x[task]
+                    let row = cat.task_row(task);
+                    let deg = row.len();
+                    let x_row = x.row(task);
+                    for (s, &(worker, _)) in sig.iter_mut().zip(row) {
+                        *s = x_row
                             .iter()
-                            .zip(&w[worker])
+                            .zip(w.row(worker as usize))
                             .map(|(a, b)| a * b)
                             .sum::<f64>()
-                            - tau[worker];
+                            - tau[worker as usize];
+                    }
+                    sigmoid_slice(&mut sig[..deg]);
+                    let x_row = x.row(task);
+                    let gx_row = gx.row_mut(task);
+                    for (&(worker, label), &s) in row.iter().zip(&sig[..deg]) {
+                        let worker = worker as usize;
                         let target = if label == 0 { 1.0 } else { 0.0 };
-                        let err = target - sigmoid(score);
-                        for d in 0..k {
-                            gx[task][d] += err * w[worker][d];
-                            gw[worker][d] += err * x[task][d];
+                        let err = target - s;
+                        let w_row = w.row(worker);
+                        for (gx_d, &w_d) in gx_row.iter_mut().zip(w_row) {
+                            *gx_d += err * w_d;
+                        }
+                        let gw_row = gw.row_mut(worker);
+                        for (gw_d, &x_d) in gw_row.iter_mut().zip(x_row) {
+                            *gw_d += err * x_d;
                         }
                         gt[worker] -= err;
                     }
@@ -150,19 +168,25 @@ impl TruthInference for Multi {
 
                 let lr = self.learning_rate;
                 let lam = self.prior_precision;
-                for (t, (xi, gi)) in x.iter_mut().zip(&gx).enumerate() {
+                for t in 0..cat.n {
+                    let gi = gx.row(t);
+                    let deg = task_deg[t];
+                    let xi = x.row_mut(t);
                     for d in 0..k {
-                        xi[d] += lr * (gi[d] / task_deg[t] - lam * xi[d]);
+                        xi[d] += lr * (gi[d] / deg - lam * xi[d]);
                         xi[d] = xi[d].clamp(-6.0, 6.0);
                     }
                 }
                 // The worker prior is centred at e_0 (a competent,
                 // unbiased worker); it also anchors the global sign
                 // symmetry (x, w) → (−x, −w) to the MV-aligned branch.
-                for (wk, (wi, gi)) in w.iter_mut().zip(&gw).enumerate() {
+                for wk in 0..cat.m {
+                    let gi = gw.row(wk);
+                    let deg = worker_deg[wk];
+                    let wi = w.row_mut(wk);
                     for d in 0..k {
                         let prior_mean = if d == 0 { 1.0 } else { 0.0 };
-                        wi[d] += lr * (gi[d] / worker_deg[wk] - lam * (wi[d] - prior_mean));
+                        wi[d] += lr * (gi[d] / deg - lam * (wi[d] - prior_mean));
                         wi[d] = wi[d].clamp(-6.0, 6.0);
                     }
                 }
@@ -172,9 +196,10 @@ impl TruthInference for Multi {
                 }
             }
 
-            let mut params: Vec<f64> = x.iter().flatten().copied().collect();
-            params.extend(w.iter().flatten());
-            params.extend(&tau);
+            params.clear();
+            params.extend_from_slice(x.data());
+            params.extend_from_slice(w.data());
+            params.extend_from_slice(&tau);
             if tracker.step(&params) {
                 break;
             }
@@ -182,31 +207,33 @@ impl TruthInference for Multi {
 
         // Consensus direction: mean worker vector and threshold.
         let mut u = vec![0.0f64; k];
-        for wi in &w {
-            for d in 0..k {
-                u[d] += wi[d];
+        for wk in 0..cat.m {
+            for (ud, &wd) in u.iter_mut().zip(w.row(wk)) {
+                *ud += wd;
             }
         }
         u.iter_mut().for_each(|d| *d /= cat.m.max(1) as f64);
         let tau_bar: f64 = tau.iter().sum::<f64>() / cat.m.max(1) as f64;
 
+        // Final decode: one batched sigmoid over all task scores.
         let mut truths = vec![0u8; cat.n];
+        let mut scores = vec![0.0f64; cat.n];
+        for (task, s) in scores.iter_mut().enumerate() {
+            *s = x.row(task).iter().zip(&u).map(|(a, b)| a * b).sum::<f64>() - tau_bar;
+        }
+        sigmoid_slice(&mut scores);
         let mut posteriors = Vec::with_capacity(cat.n);
-        for task in 0..cat.n {
-            let score: f64 = x[task].iter().zip(&u).map(|(a, b)| a * b).sum::<f64>() - tau_bar;
-            let p = sigmoid(score);
+        for (task, &p) in scores.iter().enumerate() {
             truths[task] = if p >= 0.5 { 0 } else { 1 };
             posteriors.push(vec![p, 1.0 - p]);
         }
 
-        let worker_quality: Vec<WorkerQuality> = w
-            .into_iter()
-            .zip(tau)
-            .map(|(skills, bias)| {
+        let worker_quality: Vec<WorkerQuality> = (0..cat.m)
+            .map(|wk| {
                 // Report the skill vector; the threshold is the bias entry
                 // appended so diagnostics can reconstruct the model.
-                let mut s = skills;
-                s.push(bias);
+                let mut s = w.row(wk).to_vec();
+                s.push(tau[wk]);
                 WorkerQuality::Skills(s)
             })
             .collect();

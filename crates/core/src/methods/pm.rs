@@ -13,6 +13,7 @@
 //! normalisation) so quality weights are scale-free.
 
 use crowd_data::{Dataset, TaskType};
+use crowd_stats::kernels::safe_ln;
 use crowd_stats::summary::variance;
 use crowd_stats::ConvergenceTracker;
 use rand::rngs::StdRng;
@@ -135,7 +136,7 @@ impl Pm {
                 .fold(0.0f64, f64::max)
                 .max(self.epsilon);
             for (w, d) in dist.iter().enumerate() {
-                quality[w] = -((d + self.epsilon) / (max_d + self.epsilon)).ln();
+                quality[w] = -safe_ln((d + self.epsilon) / (max_d + self.epsilon));
             }
 
             for (p, &t) in params.iter_mut().zip(&truths) {
@@ -220,7 +221,7 @@ impl Pm {
                 .fold(0.0f64, f64::max)
                 .max(self.epsilon);
             for (w, d) in dist.iter().enumerate() {
-                quality[w] = -((d + self.epsilon) / (max_d + self.epsilon)).ln();
+                quality[w] = -safe_ln((d + self.epsilon) / (max_d + self.epsilon));
             }
 
             if tracker.step(&truths) {

@@ -13,8 +13,9 @@
 //!   `E[ln π_jk] = ψ(α̂_jk) − ψ(Σ_k α̂_jk)`.
 
 use crowd_data::{Dataset, TaskType};
+use crowd_stats::kernels::{ln_slice, log_normalize};
 use crowd_stats::special::digamma;
-use crowd_stats::{dist::log_normalize, ConvergenceTracker};
+use crowd_stats::ConvergenceTracker;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -80,20 +81,29 @@ impl TruthInference for ViMf {
         let mut logp = vec![0.0f64; l];
         if let crate::framework::QualityInit::Qualification(_) = &options.quality_init {
             let acc = initial_accuracy(options, cat.m, 0.7);
+            // Per-worker correct/wrong log terms, tabulated once with
+            // two batched ln sweeps (elementwise identical to the old
+            // per-answer `p.max(1e-9).ln()`), instead of ℓ `ln`s per
+            // answer.
+            let mut ln_correct: Vec<f64> = acc.iter().map(|&a| a.max(1e-9)).collect();
+            let mut ln_wrong: Vec<f64> = acc
+                .iter()
+                .map(|&a| ((1.0 - a) / (l - 1) as f64).max(1e-9))
+                .collect();
+            ln_slice(&mut ln_correct);
+            ln_slice(&mut ln_wrong);
             for task in 0..cat.n {
                 if cat.golden[task].is_some() || cat.task_len(task) == 0 {
                     continue;
                 }
                 logp.fill(0.0);
                 for (worker, label) in cat.task(task) {
-                    let a = acc[worker];
                     for (z, lp) in logp.iter_mut().enumerate() {
-                        let p = if z == label as usize {
-                            a
+                        *lp += if z == label as usize {
+                            ln_correct[worker]
                         } else {
-                            (1.0 - a) / (l - 1) as f64
+                            ln_wrong[worker]
                         };
-                        *lp += p.max(1e-9).ln();
                     }
                 }
                 log_normalize(&mut logp);
@@ -137,15 +147,22 @@ impl TruthInference for ViMf {
                 }
             }
 
-            // Update q(z_i).
+            // Update q(z_i): pure table additions against `eln`, walking
+            // each worker's ℓ×ℓ block column `label` by stride (the same
+            // access pattern as the D&S E-step), then one kernel
+            // log-normalise per posterior row.
+            let el = eln.data();
+            let stride = l * l;
             for task in 0..cat.n {
                 if cat.golden[task].is_some() || cat.task_len(task) == 0 {
                     continue;
                 }
                 logp.fill(0.0);
-                for (worker, label) in cat.task(task) {
-                    for (j, lp) in logp.iter_mut().enumerate() {
-                        *lp += eln.row(worker * l + j)[label as usize];
+                for &(worker, label) in cat.task_row(task) {
+                    let mut idx = worker as usize * stride + label as usize;
+                    for lp in logp.iter_mut() {
+                        *lp += el[idx];
+                        idx += l;
                     }
                 }
                 log_normalize(&mut logp);

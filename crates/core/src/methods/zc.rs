@@ -11,7 +11,8 @@
 //! matching the paper's §6.3.2–6.3.3 method lists.
 
 use crowd_data::{Dataset, TaskType};
-use crowd_stats::{dist::log_normalize, ConvergenceTracker};
+use crowd_stats::kernels::{log_normalize, safe_ln_slice};
+use crowd_stats::ConvergenceTracker;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -110,11 +111,14 @@ impl Zc {
 
         loop {
             // E-step: posterior over each task's truth under current q.
+            // The per-worker log tables refresh as two batched safe_ln
+            // sweeps (elementwise identical to the scalar clamp idiom).
             for w in 0..cat.m {
-                let q = quality[w];
-                ln_correct[w] = q.max(1e-12).ln();
-                ln_wrong[w] = ((1.0 - q) / lm1).max(1e-12).ln();
+                ln_correct[w] = quality[w];
+                ln_wrong[w] = (1.0 - quality[w]) / lm1;
             }
+            safe_ln_slice(&mut ln_correct);
+            safe_ln_slice(&mut ln_wrong);
             for task in 0..cat.n {
                 if cat.golden[task].is_some() {
                     continue; // stays clamped

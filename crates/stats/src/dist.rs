@@ -119,36 +119,19 @@ pub fn sample_categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usiz
 /// Numerically stable `log(Σ exp(x_i))`.
 ///
 /// Returns negative infinity on an empty slice (the sum of zero terms).
+/// The canonical implementation lives in [`crate::kernels`] (this alias
+/// keeps the long-standing `dist::log_sum_exp` path working and routes
+/// it through the feature-switched `exp`/`ln` backend).
 #[inline]
 pub fn log_sum_exp(xs: &[f64]) -> f64 {
-    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    if !max.is_finite() {
-        return max; // empty, or all -inf
-    }
-    // The max element contributes exp(0), which is exactly 1.0 in IEEE
-    // arithmetic — skipping that libm call changes no bit of the sum and
-    // removes one transcendental per call from the inference hot loops.
-    let sum: f64 = xs
-        .iter()
-        .map(|&x| if x == max { 1.0 } else { (x - max).exp() })
-        .sum();
-    max + sum.ln()
+    crate::kernels::log_sum_exp(xs)
 }
 
 /// Convert a log-probability vector into a normalized probability vector
-/// in place, stably.
+/// in place, stably (see [`crate::kernels::log_normalize`]).
 #[inline]
 pub fn log_normalize(xs: &mut [f64]) {
-    let lse = log_sum_exp(xs);
-    if !lse.is_finite() {
-        // Degenerate input: spread mass uniformly.
-        let uniform = 1.0 / xs.len().max(1) as f64;
-        xs.iter_mut().for_each(|x| *x = uniform);
-        return;
-    }
-    for x in xs.iter_mut() {
-        *x = (*x - lse).exp();
-    }
+    crate::kernels::log_normalize(xs)
 }
 
 /// Normalize a non-negative weight vector in place to sum to one; spreads

@@ -20,6 +20,7 @@ pub mod convergence;
 pub mod dist;
 pub mod dmat;
 pub mod histogram;
+pub mod kernels;
 pub mod special;
 pub mod summary;
 
@@ -31,6 +32,10 @@ pub use dist::{
 };
 pub use dmat::DMat;
 pub use histogram::Histogram;
+pub use kernels::{
+    exp_slice, ln_slice, log_normalize_rows, safe_ln, safe_ln_eps, safe_ln_slice, sigmoid_slice,
+    weighted_log_dot,
+};
 pub use special::{
     digamma, erf, erfc, inc_beta, inc_gamma_p, inc_gamma_q, ln_beta, ln_gamma, trigamma,
 };

@@ -1,0 +1,206 @@
+//! Property tests for the batched transcendental kernels: batched
+//! results must match the scalar-std reference elementwise over
+//! adversarial inputs — subnormals, ±∞, NaN, ±700-magnitude arguments
+//! (the exp overflow/underflow region), empty slices, and 1..=7-length
+//! tails that never reach the 4-lane body.
+//!
+//! The comparison contract depends on the backend the crate was built
+//! with:
+//!
+//! - **default**: bit-identical (0 ULP) — the kernels batch the exact
+//!   std calls, so any difference is a kernel bug;
+//! - **`fast-math`**: ≤ [`ULP_BOUND`] = 4 ULP against std for finite
+//!   results, with exact agreement on the special-value classes
+//!   (NaN/±∞/zero). This is the pinned error contract documented on
+//!   `crowd_stats::kernels`.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+use crowd_stats::kernels::{self, ulp_diff};
+use crowd_stats::DMat;
+
+/// Pinned per-element error bound against the scalar std reference.
+const ULP_BOUND: u64 = if cfg!(feature = "fast-math") { 4 } else { 0 };
+
+fn assert_close(got: f64, want: f64, ctx: &str) -> Result<(), TestCaseError> {
+    let d = ulp_diff(got, want);
+    // Written as a strict-inequality-of-successor so the default build's
+    // `ULP_BOUND = 0` does not trip `absurd_extreme_comparisons`.
+    prop_assert!(
+        d < ULP_BOUND + 1,
+        "{ctx}: batched {got:e} vs scalar-std {want:e} differ by {d} ULP (bound {ULP_BOUND})"
+    );
+    Ok(())
+}
+
+/// Adversarial f64s: ordinary log-domain magnitudes, the ±700 region
+/// where `exp` saturates, subnormals, exact zeros, infinities, and NaN.
+fn adversarial() -> impl Strategy<Value = f64> {
+    (0u8..10, -1.0f64..1.0).prop_map(|(class, u)| match class {
+        0 => u * 30.0,   // log-posterior range
+        1 => u * 750.0,  // exp overflow/underflow region
+        2 => u * 1e-3,   // near zero
+        3 => u * 5e-308, // subnormal / smallest-normal
+        4 => u * 1e300,  // huge magnitudes
+        5 => 0.0,
+        6 => f64::INFINITY,
+        7 => f64::NEG_INFINITY,
+        8 => f64::NAN,
+        _ => u, // [-1, 1]
+    })
+}
+
+/// Slices from empty through sub-lane tails (1..=7) up to several
+/// 4-lane chunks plus remainder.
+fn adversarial_slice() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(adversarial(), 0..23)
+}
+
+fn scalar_sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Scalar-std reference for `log_sum_exp` — the exact pre-kernel
+/// implementation (sequential sum, max-trick).
+fn reference_log_sum_exp(xs: &[f64]) -> f64 {
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return max;
+    }
+    let sum: f64 = xs
+        .iter()
+        .map(|&x| if x == max { 1.0 } else { (x - max).exp() })
+        .sum();
+    max + sum.ln()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn exp_slice_matches_scalar_std(xs in adversarial_slice()) {
+        let mut got = xs.clone();
+        kernels::exp_slice(&mut got);
+        for (i, (&x, &g)) in xs.iter().zip(&got).enumerate() {
+            assert_close(g, x.exp(), &format!("exp_slice[{i}] of {x:e}"))?;
+        }
+    }
+
+    #[test]
+    fn ln_slice_matches_scalar_std(xs in adversarial_slice()) {
+        let mut got = xs.clone();
+        kernels::ln_slice(&mut got);
+        for (i, (&x, &g)) in xs.iter().zip(&got).enumerate() {
+            assert_close(g, x.ln(), &format!("ln_slice[{i}] of {x:e}"))?;
+        }
+    }
+
+    #[test]
+    fn safe_ln_slice_matches_clamp_idiom(xs in adversarial_slice()) {
+        let mut got = xs.clone();
+        kernels::safe_ln_slice(&mut got);
+        for (i, (&x, &g)) in xs.iter().zip(&got).enumerate() {
+            assert_close(g, x.max(1e-12).ln(), &format!("safe_ln_slice[{i}] of {x:e}"))?;
+        }
+    }
+
+    #[test]
+    fn sigmoid_slice_matches_scalar_reference(xs in adversarial_slice()) {
+        let mut got = xs.clone();
+        kernels::sigmoid_slice(&mut got);
+        for (i, (&x, &g)) in xs.iter().zip(&got).enumerate() {
+            assert_close(g, scalar_sigmoid(x), &format!("sigmoid_slice[{i}] of {x:e}"))?;
+        }
+    }
+
+    #[test]
+    fn log_sum_exp_matches_reference(xs in adversarial_slice()) {
+        let got = crowd_stats::dist::log_sum_exp(&xs);
+        let want = reference_log_sum_exp(&xs);
+        assert_close(got, want, &format!("log_sum_exp of {xs:?}"))?;
+    }
+
+    /// Finite log-probability rows (the shape every E-step feeds the
+    /// kernel): each normalized row is a distribution, and in default
+    /// mode each element is bit-identical to the scalar reference.
+    #[test]
+    fn log_normalize_rows_produces_distributions(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-800.0f64..10.0, 3), 1..9)
+    ) {
+        let mut m = DMat::from_rows(&rows);
+        kernels::log_normalize_rows(&mut m);
+        for (i, row) in rows.iter().enumerate() {
+            // Scalar reference: lse then per-element exp.
+            let lse = reference_log_sum_exp(row);
+            let sum: f64 = m.row(i).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "row {i} sums to {sum}");
+            for (j, (&x, &g)) in row.iter().zip(m.row(i)).enumerate() {
+                assert_close(g, (x - lse).exp(), &format!("row {i} col {j}"))?;
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_log_dot_matches_open_coded_sum(
+        pairs in proptest::collection::vec((0.0f64..1.0, adversarial()), 0..23)
+    ) {
+        let (w, x): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let got = kernels::weighted_log_dot(&w, &x);
+        let want: f64 = w
+            .iter()
+            .zip(&x)
+            .map(|(&w, &x)| w * x.max(1e-12).ln())
+            .sum();
+        if ULP_BOUND == 0 {
+            prop_assert_eq!(got.to_bits(), want.to_bits(), "{} vs {}", got, want);
+        } else {
+            // Accumulated fast-math error over up to 22 terms; equal
+            // special values (±inf from infinite inputs, NaN) pass.
+            prop_assert!(
+                got == want
+                    || (got.is_nan() && want.is_nan())
+                    || (got - want).abs() <= 1e-12 * want.abs().max(1.0),
+                "{got} vs {want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_and_degenerate_slices() {
+    // Empty slices are no-ops / identities.
+    let mut empty: [f64; 0] = [];
+    kernels::exp_slice(&mut empty);
+    kernels::ln_slice(&mut empty);
+    assert_eq!(crowd_stats::dist::log_sum_exp(&[]), f64::NEG_INFINITY);
+    assert_eq!(kernels::weighted_log_dot(&[], &[]), 0.0);
+    // All -inf (zero probability everywhere) → uniform.
+    let mut xs = [f64::NEG_INFINITY; 3];
+    crowd_stats::dist::log_normalize(&mut xs);
+    assert!(xs.iter().all(|&x| (x - 1.0 / 3.0).abs() < 1e-15));
+}
+
+#[test]
+fn saturation_thresholds_match_std() {
+    // The exact overflow/underflow saturation classes must agree with
+    // std in both backends.
+    let mut xs = [709.0, 710.0, 745.0, -745.0, -746.0, -800.0];
+    kernels::exp_slice(&mut xs);
+    assert!(xs[0].is_finite());
+    assert_eq!(xs[1], f64::INFINITY);
+    assert_eq!(xs[2], f64::INFINITY);
+    assert!(
+        xs[3] >= 0.0 && xs[3] < 1e-320,
+        "deep underflow: {:e}",
+        xs[3]
+    );
+    assert_eq!(xs[4], 0.0);
+    assert_eq!(xs[5], 0.0);
+}
