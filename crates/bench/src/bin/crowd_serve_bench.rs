@@ -9,6 +9,28 @@
 //! sessions (the comparator gates on it — multi-tenancy must not cost
 //! quality).
 //!
+//! Each cell is measured in three **modes** (the `mode` row field is
+//! part of the comparator's row identity):
+//!
+//! - `mem` — durability off; the pure in-memory service as before.
+//! - `wal` — per-session write-ahead logging and snapshot checkpoints
+//!   on (`FsyncPolicy::Never`, so the row isolates the WAL's
+//!   serialisation + buffered-write overhead from the host's fsync
+//!   latency, which is a per-deployment durability/throughput knob —
+//!   see ARCHITECTURE.md; the fsync policies themselves are covered by
+//!   the durability test suite). The top-level
+//!   `wal_overhead_within_bound` boolean records that every `wal` cell
+//!   stayed within the regression gate's 25% wall-time bound of its
+//!   `mem` twin — committed `true`, so the gate fails if WAL overhead
+//!   ever outgrows the bound.
+//! - `recovery` — wall time for `CrowdServe::recover` to rebuild every
+//!   session of the cell from the logs the `wal` run left behind
+//!   (snapshot fast path + WAL tail replay). `answers_total` is the
+//!   answer count restored, so `throughput_answers_per_sec` reads as
+//!   recovery bandwidth; accuracy is measured on the *recovered*
+//!   sessions, so the no-accuracy-regression gate also pins recovery
+//!   fidelity.
+//!
 //! Configuration (environment variables, all optional):
 //!
 //! - `CROWD_BENCH_SCALE` — dataset scale in `(0, 1]` (default `0.1`);
@@ -21,13 +43,14 @@
 //! Usage: `cargo run --release -p crowd-bench --bin crowd-serve-bench`
 
 use std::fmt::Write as _;
+use std::path::Path;
 use std::time::Instant;
 
 use crowd_core::Method;
 use crowd_data::datasets::PaperDataset;
 use crowd_data::{collect, AnswerRecord, AssignmentStrategy, Dataset, StreamSession};
 use crowd_metrics::accuracy;
-use crowd_serve::{CrowdServe, ServeConfig};
+use crowd_serve::{CrowdServe, DurabilityConfig, FsyncPolicy, ServeConfig};
 use crowd_stream::StreamConfig;
 
 /// Concurrent-session counts (the service must sustain ≥ 8).
@@ -36,12 +59,19 @@ const SESSION_COUNTS: [usize; 4] = [1, 2, 8, 16];
 /// Batches each session's stream is split into.
 const BATCH_COUNTS: [usize; 2] = [8, 32];
 
+/// Snapshot cadence for the durable modes. Chosen so the batch counts
+/// (8 and 32) are not multiples of it: the final converge frame is then
+/// never covered by a snapshot, and the recovered sessions always carry
+/// a replayed last report to measure accuracy on.
+const SNAPSHOT_EVERY: u64 = 3;
+
 struct Tenant {
     dataset: Dataset,
     batches: Vec<Vec<AnswerRecord>>,
 }
 
 struct Row {
+    mode: &'static str,
     sessions: usize,
     batches: usize,
     batch_size: usize,
@@ -52,6 +82,15 @@ struct Row {
     seconds_per_tick_max: f64,
     throughput: f64,
     accuracy_mean: f64,
+}
+
+fn durable_cfg(dir: &Path) -> DurabilityConfig {
+    DurabilityConfig {
+        dir: dir.to_path_buf(),
+        fsync: FsyncPolicy::Never,
+        snapshot_every_converges: SNAPSHOT_EVERY,
+        max_session_restarts: 3,
+    }
 }
 
 fn main() {
@@ -74,6 +113,10 @@ fn main() {
     let budget = sim_cfg.num_tasks * sim_cfg.redundancy.max(1);
     let max_sessions = *SESSION_COUNTS.iter().max().unwrap();
 
+    let wal_root = std::env::temp_dir().join(format!("crowd-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_root);
+    std::fs::create_dir_all(&wal_root).expect("create WAL scratch dir");
+
     // One replayable stream per potential tenant, generated once.
     let tenants: Vec<Tenant> = (0..max_sessions)
         .map(|s| {
@@ -88,6 +131,8 @@ fn main() {
 
     let sweep_start = Instant::now();
     let mut rows: Vec<Row> = Vec::new();
+    let mut wal_within_bound = true;
+    let mut wal_ratio_max = 0.0f64;
 
     for sessions in SESSION_COUNTS {
         for batches in BATCH_COUNTS {
@@ -108,10 +153,13 @@ fn main() {
                 .max(1);
 
             // One full replay of the cell through a fresh service;
-            // deterministic in everything but wall clock.
-            let run_cell = || {
+            // deterministic in everything but wall clock. With a WAL
+            // directory the same schedule additionally logs every batch
+            // and converge and snapshots on cadence.
+            let run_cell = |wal_dir: Option<&Path>| {
                 let serve = CrowdServe::new(ServeConfig {
                     shards: sessions.min(8),
+                    durability: wal_dir.map(durable_cfg),
                     ..ServeConfig::default()
                 })
                 .expect("valid config");
@@ -161,42 +209,127 @@ fn main() {
                 (seconds_total, tick_seconds, answers_total, accuracy_mean)
             };
 
+            let push_row =
+                |rows: &mut Vec<Row>, mode: &'static str, measured: (f64, Vec<f64>, usize, f64)| {
+                    let (seconds_total, tick_seconds, answers_total, accuracy_mean) = measured;
+                    let ticks = tick_seconds.len();
+                    let row = Row {
+                        mode,
+                        sessions,
+                        batches,
+                        batch_size,
+                        answers_total,
+                        ticks,
+                        seconds_total,
+                        seconds_per_tick_mean: if ticks == 0 {
+                            0.0
+                        } else {
+                            tick_seconds.iter().sum::<f64>() / ticks as f64
+                        },
+                        seconds_per_tick_max: tick_seconds.iter().cloned().fold(0.0, f64::max),
+                        throughput: answers_total as f64 / seconds_total.max(1e-12),
+                        accuracy_mean,
+                    };
+                    eprintln!(
+                    "  {:<8} sessions={:>2} batches={:>3}: {:>9.1} answers/s, total {:>8.3} ms, \
+                     accuracy {:.4}",
+                    row.mode,
+                    row.sessions,
+                    row.batches,
+                    row.throughput,
+                    row.seconds_total * 1e3,
+                    row.accuracy_mean,
+                );
+                    rows.push(row);
+                    seconds_total
+                };
+
             // Warm up once, then keep the fastest of `repeats` replays —
             // single measurements of a ~10ms cell are dominated by
             // cold-start noise, which is exactly what the regression gate
             // must not flake on.
-            run_cell();
-            let (seconds_total, tick_seconds, answers_total, accuracy_mean) = (0..repeats)
-                .map(|_| run_cell())
+            run_cell(None);
+            let mem = (0..repeats)
+                .map(|_| run_cell(None))
                 .min_by(|a, b| a.0.total_cmp(&b.0))
                 .expect("at least one repeat");
+            let mem_seconds = push_row(&mut rows, "mem", mem);
 
-            let ticks = tick_seconds.len();
-            let row = Row {
-                sessions,
-                batches,
-                batch_size,
-                answers_total,
-                ticks,
-                seconds_total,
-                seconds_per_tick_mean: tick_seconds.iter().sum::<f64>() / ticks as f64,
-                seconds_per_tick_max: tick_seconds.iter().cloned().fold(0.0, f64::max),
-                throughput: answers_total as f64 / seconds_total.max(1e-12),
-                accuracy_mean,
+            // WAL mode: a fresh log directory per replay (session ids and
+            // file names restart from zero each time); the last replay's
+            // directory is kept as the recovery mode's input.
+            let wal_dir = |i: usize| wal_root.join(format!("cell-{sessions}x{batches}-{i}"));
+            let fresh_dir = |i: usize| {
+                let dir = wal_dir(i);
+                let _ = std::fs::remove_dir_all(&dir);
+                dir
             };
-            eprintln!(
-                "  sessions={:>2} batches={:>3}: {:>9.1} answers/s, tick mean {:>7.3} ms, \
-                 max {:>7.3} ms, accuracy {:.4}",
-                row.sessions,
-                row.batches,
-                row.throughput,
-                row.seconds_per_tick_mean * 1e3,
-                row.seconds_per_tick_max * 1e3,
-                row.accuracy_mean,
+            run_cell(Some(&fresh_dir(0)));
+            let wal = (1..=repeats)
+                .map(|i| run_cell(Some(&fresh_dir(i))))
+                .min_by(|a, b| a.0.total_cmp(&b.0))
+                .expect("at least one repeat");
+            let wal_seconds = push_row(&mut rows, "wal", wal);
+            let ratio = wal_seconds / mem_seconds.max(1e-12);
+            wal_ratio_max = wal_ratio_max.max(ratio);
+            // Same bound shape as the regression gate: relative threshold
+            // plus the absolute noise floor for microsecond-scale cells.
+            if wal_seconds > mem_seconds * 1.25 && wal_seconds - mem_seconds >= 5e-4 {
+                wal_within_bound = false;
+                eprintln!(
+                    "  WARNING: wal mode exceeded the 25% bound over mem \
+                     ({wal_seconds:.6}s vs {mem_seconds:.6}s)"
+                );
+            }
+
+            // Recovery mode: rebuild every session of the cell from the
+            // last WAL replay's directory. A clean shutdown leaves no torn
+            // tail, so recovery is idempotent and can be re-timed.
+            let kept = wal_dir(repeats);
+            let recover_cell = || {
+                let start = Instant::now();
+                let (recovered, report) = CrowdServe::recover(ServeConfig {
+                    shards: sessions.min(8),
+                    durability: Some(durable_cfg(&kept)),
+                    ..ServeConfig::default()
+                })
+                .expect("recovery succeeds");
+                let seconds = start.elapsed().as_secs_f64();
+                assert_eq!(report.sessions_recovered, sessions, "all sessions recover");
+                assert_eq!(report.sessions_skipped, 0, "clean logs: none skipped");
+                let sids = recovered.sessions();
+                let accuracy_mean = cell_tenants
+                    .iter()
+                    .zip(&sids)
+                    .map(|(t, &sid)| {
+                        let report = recovered
+                            .last_report(sid)
+                            .expect("session alive")
+                            .expect("replayed past the last snapshot");
+                        accuracy(&t.dataset, &report.result.truths)
+                    })
+                    .sum::<f64>()
+                    / sessions as f64;
+                (seconds, accuracy_mean)
+            };
+            recover_cell();
+            let (rec_seconds, rec_accuracy) = (0..repeats)
+                .map(|_| recover_cell())
+                .min_by(|a, b| a.0.total_cmp(&b.0))
+                .expect("at least one repeat");
+            let answers_total = cell_tenants
+                .iter()
+                .map(|t| t.batches.iter().map(Vec::len).sum::<usize>())
+                .sum();
+            push_row(
+                &mut rows,
+                "recovery",
+                (rec_seconds, Vec::new(), answers_total, rec_accuracy),
             );
-            rows.push(row);
         }
     }
+
+    let _ = std::fs::remove_dir_all(&wal_root);
 
     let total_seconds = sweep_start.elapsed().as_secs_f64();
     let mut json = String::new();
@@ -206,15 +339,19 @@ fn main() {
     let _ = writeln!(json, "  \"dataset\": \"{}\",", dataset_id.name());
     let _ = writeln!(json, "  \"method\": \"D&S\",");
     let _ = writeln!(json, "  \"total_seconds\": {total_seconds:.6},");
+    let _ = writeln!(json, "  \"wal_overhead_within_bound\": {wal_within_bound},");
+    let _ = writeln!(json, "  \"wal_overhead_max_ratio\": {wal_ratio_max:.4},");
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
         let _ = writeln!(
             json,
-            "    {{\"sessions\": {}, \"batches\": {}, \"batch_size\": {}, \"answers_total\": {}, \
+            "    {{\"mode\": \"{}\", \"sessions\": {}, \"batches\": {}, \"batch_size\": {}, \
+             \"answers_total\": {}, \
              \"ticks\": {}, \"seconds_total\": {:.6}, \"seconds_per_tick_mean\": {:.6}, \
              \"seconds_per_tick_max\": {:.6}, \"throughput_answers_per_sec\": {:.1}, \
              \"accuracy_mean\": {:.6}}}{}",
+            r.mode,
             r.sessions,
             r.batches,
             r.batch_size,
@@ -231,7 +368,8 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).expect("write serve bench output");
     eprintln!(
-        "crowd-serve-bench: wrote {} rows to {out_path} in {total_seconds:.1}s",
+        "crowd-serve-bench: wrote {} rows to {out_path} in {total_seconds:.1}s \
+         (max wal/mem wall-time ratio {wal_ratio_max:.3})",
         rows.len()
     );
 }

@@ -51,8 +51,18 @@ impl Default for Thresholds {
 }
 
 /// The fields that identify a row within a results array, in display
-/// order. Measurement fields are everything else.
-const KEY_FIELDS: [&str; 5] = ["dataset", "method", "sessions", "batches", "batch_size"];
+/// order. Measurement fields are everything else. `mode` distinguishes
+/// the serve bench's durability variants (`mem` / `wal` / `recovery`) —
+/// rows missing the field (older artifacts, other schemas) simply skip
+/// it, so pre-`mode` baselines keep comparing.
+const KEY_FIELDS: [&str; 6] = [
+    "dataset",
+    "method",
+    "mode",
+    "sessions",
+    "batches",
+    "batch_size",
+];
 
 /// Row-identity fields per schema (everything else on a row is a
 /// measurement). Scoped per schema — like [`time_field`] — so one
@@ -567,6 +577,36 @@ mod tests {
         }
         let cmp = compare(&doc(0.002), &resized, &Thresholds::default()).unwrap();
         assert!(!cmp.passed());
+        assert!(cmp.regressions[0]
+            .detail
+            .contains("missing from the candidate"));
+    }
+
+    #[test]
+    fn serve_mode_is_row_identity() {
+        let doc = |mode: &str, secs: f64| {
+            parse(&format!(
+                r#"{{"schema": "crowd-bench/serve/v1", "scale": 0.1, "results": [
+                    {{"mode": "{mode}", "sessions": 8, "batches": 32, "batch_size": 40,
+                      "seconds_total": {secs}, "accuracy_mean": 0.93}}
+                ]}}"#
+            ))
+            .unwrap()
+        };
+        // Same mode: compared as one row.
+        let cmp = compare(
+            &doc("wal", 0.01),
+            &doc("wal", 0.011),
+            &Thresholds::default(),
+        )
+        .unwrap();
+        assert_eq!(cmp.rows_compared, 1);
+        assert!(cmp.passed());
+        // A different mode is a different row — the baseline row goes
+        // missing rather than a `wal` candidate masking a `mem` baseline.
+        let cmp = compare(&doc("mem", 0.01), &doc("wal", 0.01), &Thresholds::default()).unwrap();
+        assert!(!cmp.passed());
+        assert!(cmp.regressions[0].row.contains("mode=mem"));
         assert!(cmp.regressions[0]
             .detail
             .contains("missing from the candidate"));

@@ -1,0 +1,431 @@
+//! Periodic snapshot checkpoints of warm `StreamEngine` state.
+//!
+//! A snapshot lets recovery skip re-running EM over the WAL prefix it
+//! covers: the answer log itself is rebuilt by (cheap, deterministic)
+//! `push_batch` replay, while the expensive part — the warm posteriors
+//! and worker-quality parameters the converge schedule produced — is
+//! restored from the checkpoint. The file records the replay position
+//! it was taken at (`cum_batches` batch frames absorbed, `cum_converges`
+//! converge frames applied) so the replayer knows exactly where to
+//! switch from "push, skip EM" to "push and converge".
+//!
+//! Layout (single frame, same checksum discipline as the WAL):
+//!
+//! ```text
+//! file    := magic:u32le("CSNP")  len:u32le  crc:u32le  payload[len]
+//! payload := version:u8  cum_batches:u64  cum_converges:u64  checkpoint
+//! ```
+//!
+//! Writes are atomic: the frame goes to a `.tmp` sibling, is fsynced,
+//! then renamed over the target — a crash mid-write leaves either the
+//! old snapshot or none, never a torn one. Corruption from outside
+//! (bit rot, manual truncation) is still caught by the checksum, and
+//! any unreadable snapshot simply downgrades recovery to full-WAL
+//! replay — snapshots are an optimisation, never a correctness
+//! dependency.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::Path;
+
+use crowd_core::{WarmStart, WorkerQuality};
+use crowd_stream::EngineCheckpoint;
+
+use super::fault::{FaultKind, FaultPlan, FaultSite};
+use super::wal::{crc32, Dec, Enc};
+
+const MAGIC: u32 = 0x434f_4e53; // "SNOC" little-endian → reads as "CSNP" tag
+const VERSION: u8 = 1;
+const MAX_SNAPSHOT_LEN: u32 = 256 << 20;
+
+/// A decoded snapshot: an engine checkpoint plus the WAL replay
+/// position it was taken at.
+#[derive(Debug, Clone)]
+pub struct SnapshotData {
+    /// Batch frames the engine had absorbed when the snapshot was taken.
+    pub cum_batches: u64,
+    /// Converge frames that had been applied when the snapshot was taken.
+    pub cum_converges: u64,
+    /// The warm engine state (see [`EngineCheckpoint`]).
+    pub checkpoint: EngineCheckpoint,
+}
+
+fn encode_worker_quality(e: &mut Enc, q: &WorkerQuality) {
+    match q {
+        WorkerQuality::Probability(p) => {
+            e.u8(0);
+            e.f64(*p);
+        }
+        WorkerQuality::Weight(w) => {
+            e.u8(1);
+            e.f64(*w);
+        }
+        WorkerQuality::Confusion(m) => {
+            e.u8(2);
+            e.u64(m.len() as u64);
+            e.u64(m.first().map_or(0, |r| r.len()) as u64);
+            for row in m {
+                for v in row {
+                    e.f64(*v);
+                }
+            }
+        }
+        WorkerQuality::Variance(v) => {
+            e.u8(3);
+            e.f64(*v);
+        }
+        WorkerQuality::BiasVariance { bias, variance } => {
+            e.u8(4);
+            e.f64(*bias);
+            e.f64(*variance);
+        }
+        WorkerQuality::Skills(s) => {
+            e.u8(5);
+            e.u64(s.len() as u64);
+            for v in s {
+                e.f64(*v);
+            }
+        }
+        WorkerQuality::Unmodeled => e.u8(6),
+    }
+}
+
+fn decode_worker_quality(d: &mut Dec<'_>) -> Option<WorkerQuality> {
+    Some(match d.u8()? {
+        0 => WorkerQuality::Probability(d.f64()?),
+        1 => WorkerQuality::Weight(d.f64()?),
+        2 => {
+            let rows = usize::try_from(d.u64()?).ok()?;
+            let cols = usize::try_from(d.u64()?).ok()?;
+            if rows.checked_mul(cols)? > (1 << 24) {
+                return None;
+            }
+            let mut m = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                let mut row = Vec::with_capacity(cols);
+                for _ in 0..cols {
+                    row.push(d.f64()?);
+                }
+                m.push(row);
+            }
+            WorkerQuality::Confusion(m)
+        }
+        3 => WorkerQuality::Variance(d.f64()?),
+        4 => WorkerQuality::BiasVariance {
+            bias: d.f64()?,
+            variance: d.f64()?,
+        },
+        5 => {
+            let len = usize::try_from(d.u64()?).ok()?;
+            if len > (1 << 24) {
+                return None;
+            }
+            let mut s = Vec::with_capacity(len);
+            for _ in 0..len {
+                s.push(d.f64()?);
+            }
+            WorkerQuality::Skills(s)
+        }
+        6 => WorkerQuality::Unmodeled,
+        _ => return None,
+    })
+}
+
+fn encode_checkpoint(e: &mut Enc, cp: &EngineCheckpoint) {
+    e.u64(cp.answers_seen as u64);
+    e.u64(cp.converges as u64);
+    e.u64(cp.pending_answers as u64);
+    e.u8(cp.last_converged as u8);
+    match &cp.warm {
+        None => e.u8(0),
+        Some(w) => {
+            e.u8(1);
+            match &w.posteriors {
+                None => e.u8(0),
+                Some(p) => {
+                    e.u8(1);
+                    e.u64(p.len() as u64);
+                    e.u64(p.first().map_or(0, |r| r.len()) as u64);
+                    for row in p {
+                        for v in row {
+                            e.f64(*v);
+                        }
+                    }
+                }
+            }
+            e.u64(w.worker_quality.len() as u64);
+            for q in &w.worker_quality {
+                encode_worker_quality(e, q);
+            }
+        }
+    }
+}
+
+fn decode_checkpoint(d: &mut Dec<'_>) -> Option<EngineCheckpoint> {
+    let answers_seen = usize::try_from(d.u64()?).ok()?;
+    let converges = usize::try_from(d.u64()?).ok()?;
+    let pending_answers = usize::try_from(d.u64()?).ok()?;
+    let last_converged = match d.u8()? {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    let warm = match d.u8()? {
+        0 => None,
+        1 => {
+            let posteriors = match d.u8()? {
+                0 => None,
+                1 => {
+                    let rows = usize::try_from(d.u64()?).ok()?;
+                    let cols = usize::try_from(d.u64()?).ok()?;
+                    if rows.checked_mul(cols)? > (1 << 28) {
+                        return None;
+                    }
+                    let mut p = Vec::with_capacity(rows);
+                    for _ in 0..rows {
+                        let mut row = Vec::with_capacity(cols);
+                        for _ in 0..cols {
+                            row.push(d.f64()?);
+                        }
+                        p.push(row);
+                    }
+                    Some(p)
+                }
+                _ => return None,
+            };
+            let n = usize::try_from(d.u64()?).ok()?;
+            if n > (1 << 24) {
+                return None;
+            }
+            let mut worker_quality = Vec::with_capacity(n);
+            for _ in 0..n {
+                worker_quality.push(decode_worker_quality(d)?);
+            }
+            Some(WarmStart {
+                posteriors,
+                worker_quality,
+            })
+        }
+        _ => return None,
+    };
+    Some(EngineCheckpoint {
+        answers_seen,
+        warm,
+        converges,
+        pending_answers,
+        last_converged,
+    })
+}
+
+/// Atomically write `data` to `path` (tmp + fsync + rename), consulting
+/// `fault` at the given per-session snapshot `index`. On `Err` the
+/// previous snapshot (if any) is untouched.
+///
+/// `sync` mirrors the WAL's fsync policy: `false` (from
+/// `FsyncPolicy::Never`) skips the data and directory fsyncs — the
+/// rename is still atomic against in-process crashes, and a power-loss
+/// torn page is caught by the read-side checksum, downgrading recovery
+/// to full-WAL replay rather than corrupting it.
+pub fn write_snapshot(
+    path: &Path,
+    session: u64,
+    index: u64,
+    fault: &FaultPlan,
+    data: &SnapshotData,
+    sync: bool,
+) -> io::Result<()> {
+    let site = FaultSite::Snapshot { session, index };
+    match fault.decide(site) {
+        Some(FaultKind::Error) | Some(FaultKind::Panic) => {
+            return Err(io::Error::other("injected snapshot write error"));
+        }
+        Some(FaultKind::Torn) => {
+            // A "torn" snapshot write crashes before the rename: the tmp
+            // file may be garbage but the real snapshot never changes.
+            let tmp = path.with_extension("snap.tmp");
+            let bytes = snapshot_bytes(data);
+            let keep = fault.torn_keep(site, bytes.len());
+            let _ = fs::write(&tmp, &bytes[..keep]);
+            return Err(io::Error::other("injected torn snapshot write"));
+        }
+        None => {}
+    }
+    let tmp = path.with_extension("snap.tmp");
+    let bytes = snapshot_bytes(data);
+    let mut f = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(&tmp)?;
+    f.write_all(&bytes)?;
+    if sync {
+        f.sync_data()?;
+    }
+    drop(f);
+    fs::rename(&tmp, path)?;
+    // Directory sync is best-effort: rename durability matters for a
+    // power-loss window, not for the in-process crash model we test.
+    if sync {
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+    }
+    Ok(())
+}
+
+fn snapshot_bytes(data: &SnapshotData) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u8(VERSION);
+    e.u64(data.cum_batches);
+    e.u64(data.cum_converges);
+    encode_checkpoint(&mut e, &data.checkpoint);
+    let payload = e.0;
+    let mut out = Vec::with_capacity(12 + payload.len());
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Read and validate a snapshot. `None` for *any* problem — missing
+/// file, bad magic, checksum mismatch, short read, unknown version —
+/// because every such case has the same answer: fall back to full-WAL
+/// replay.
+pub fn read_snapshot(path: &Path) -> Option<SnapshotData> {
+    let mut bytes = Vec::new();
+    File::open(path).ok()?.read_to_end(&mut bytes).ok()?;
+    if bytes.len() < 12 {
+        return None;
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().ok()?);
+    let len = u32::from_le_bytes(bytes[4..8].try_into().ok()?);
+    let crc = u32::from_le_bytes(bytes[8..12].try_into().ok()?);
+    if magic != MAGIC || len > MAX_SNAPSHOT_LEN {
+        return None;
+    }
+    let payload = bytes.get(12..12 + len as usize)?;
+    if crc32(payload) != crc {
+        return None;
+    }
+    let mut d = Dec::new(payload);
+    if d.u8()? != VERSION {
+        return None;
+    }
+    let cum_batches = d.u64()?;
+    let cum_converges = d.u64()?;
+    let checkpoint = decode_checkpoint(&mut d)?;
+    d.finished().then_some(SnapshotData {
+        cum_batches,
+        cum_converges,
+        checkpoint,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("crowd-snap-test-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("s.snap")
+    }
+
+    fn sample() -> SnapshotData {
+        SnapshotData {
+            cum_batches: 12,
+            cum_converges: 3,
+            checkpoint: EngineCheckpoint {
+                answers_seen: 240,
+                warm: Some(WarmStart {
+                    posteriors: Some(vec![vec![0.25, 0.75], vec![0.5, 0.5]]),
+                    worker_quality: vec![
+                        WorkerQuality::Probability(0.8),
+                        WorkerQuality::Confusion(vec![vec![0.9, 0.1], vec![0.2, 0.8]]),
+                        WorkerQuality::BiasVariance {
+                            bias: 0.1,
+                            variance: 2.0,
+                        },
+                        WorkerQuality::Skills(vec![1.0, -0.5]),
+                        WorkerQuality::Unmodeled,
+                    ],
+                }),
+                converges: 3,
+                pending_answers: 0,
+                last_converged: true,
+            },
+        }
+    }
+
+    fn assert_round_trips(data: &SnapshotData, back: &SnapshotData) {
+        assert_eq!(back.cum_batches, data.cum_batches);
+        assert_eq!(back.cum_converges, data.cum_converges);
+        assert_eq!(back.checkpoint.answers_seen, data.checkpoint.answers_seen);
+        assert_eq!(back.checkpoint.converges, data.checkpoint.converges);
+        assert_eq!(
+            back.checkpoint.last_converged,
+            data.checkpoint.last_converged
+        );
+        let (a, b) = (
+            back.checkpoint.warm.as_ref().unwrap(),
+            data.checkpoint.warm.as_ref().unwrap(),
+        );
+        assert_eq!(a.posteriors, b.posteriors);
+        assert_eq!(a.worker_quality.len(), b.worker_quality.len());
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_identically() {
+        let path = tmp("roundtrip");
+        let data = sample();
+        write_snapshot(&path, 0, 0, &FaultPlan::none(), &data, true).unwrap();
+        let back = read_snapshot(&path).expect("snapshot reads back");
+        assert_round_trips(&data, &back);
+    }
+
+    #[test]
+    fn corrupt_snapshot_reads_as_none() {
+        let path = tmp("corrupt");
+        write_snapshot(&path, 0, 0, &FaultPlan::none(), &sample(), true).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_snapshot(&path).is_none());
+        // Truncation too.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+        assert!(read_snapshot(&path).is_none());
+    }
+
+    #[test]
+    fn injected_snapshot_fault_preserves_previous_snapshot() {
+        let path = tmp("inject");
+        let first = sample();
+        write_snapshot(&path, 5, 0, &FaultPlan::none(), &first, true).unwrap();
+        let fault = FaultPlan::seeded(11)
+            .schedule(
+                FaultSite::Snapshot {
+                    session: 5,
+                    index: 1,
+                },
+                FaultKind::Torn,
+            )
+            .build();
+        let mut second = sample();
+        second.cum_batches = 99;
+        write_snapshot(&path, 5, 1, &fault, &second, false).unwrap_err();
+        let back = read_snapshot(&path).expect("old snapshot survives");
+        assert_eq!(back.cum_batches, first.cum_batches);
+    }
+
+    #[test]
+    fn missing_snapshot_reads_as_none() {
+        assert!(read_snapshot(Path::new("/nonexistent/x.snap")).is_none());
+    }
+}

@@ -37,6 +37,18 @@
 //!   retires a session — pending ingest drained, one final converge, all
 //!   state returned to the caller.
 //!
+//! - **Durability** (opt-in via [`ServeConfig::durability`]): every
+//!   submit is write-ahead logged to a per-session checksummed WAL
+//!   before it is enqueued, warm engine state is checkpointed to
+//!   snapshots on a converge cadence, and [`CrowdServe::recover`]
+//!   rebuilds every session bit-identically after a crash — tolerating
+//!   torn WAL tails (truncated to the last valid frame) and corrupt
+//!   snapshots (silent downgrade to full-WAL replay). Poisoned sessions
+//!   auto-restart from their last checkpoint, backpressure gains a
+//!   deterministic-jitter [`RetryPolicy`], and chaos testing threads a
+//!   seeded [`FaultPlan`] through every I/O and converge path. See the
+//!   [`durable`] module and ARCHITECTURE.md §durability.
+//!
 //! Determinism: a session's batches are applied in submission order and
 //! each converge is bit-identical at any thread count, so every session's
 //! outputs equal a sequential single-session replay of the same batch
@@ -69,11 +81,15 @@
 
 #![warn(missing_docs)]
 
+pub mod durable;
 mod service;
 mod shard;
 
+pub use durable::fault::{FaultKind, FaultPlan, FaultPlanBuilder, FaultSite};
+pub use durable::{DurabilityConfig, FsyncPolicy, RecoveryReport};
 pub use service::{
-    CrowdServe, EvictedSession, ServeConfig, ServeStats, SessionId, SessionStats, TickReport,
+    CrowdServe, EvictedSession, RetryPolicy, ServeConfig, ServeStats, SessionId, SessionStats,
+    TickReport,
 };
 
 use crowd_stream::StreamError;
@@ -106,6 +122,28 @@ pub enum ServeError {
     },
     /// The underlying streaming engine rejected the session or a record.
     Stream(StreamError),
+    /// A durability operation failed: the WAL could not be created,
+    /// appended to, or is wedged (an earlier torn/failed write left the
+    /// on-disk log behind the in-memory engine). The submit that
+    /// triggered it was **not** enqueued.
+    Durability {
+        /// The affected session (`None` for service-wide failures such
+        /// as an unreadable durability directory).
+        session: Option<SessionId>,
+        /// What failed.
+        detail: String,
+    },
+    /// [`CrowdServe::submit_with_retry`] ran out of attempts; the last
+    /// rejection is preserved.
+    RetriesExhausted {
+        /// The session whose batch kept being rejected.
+        session: SessionId,
+        /// How many attempts were made.
+        attempts: u32,
+        /// The final attempt's error (always
+        /// [`ServeError::Backpressure`] today).
+        last_error: Box<ServeError>,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -127,6 +165,18 @@ impl fmt::Display for ServeError {
                  {queued_answers}/{capacity} answers"
             ),
             Self::Stream(e) => write!(f, "stream error: {e}"),
+            Self::Durability { session, detail } => match session {
+                Some(sid) => write!(f, "durability failure on session {sid}: {detail}"),
+                None => write!(f, "durability failure: {detail}"),
+            },
+            Self::RetriesExhausted {
+                session,
+                attempts,
+                last_error,
+            } => write!(
+                f,
+                "submit to session {session} failed after {attempts} attempts: {last_error}"
+            ),
         }
     }
 }
@@ -135,6 +185,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Stream(e) => Some(e),
+            Self::RetriesExhausted { last_error, .. } => Some(last_error),
             _ => None,
         }
     }

@@ -1,5 +1,12 @@
-//! Shard internals: the bounded ingest queue, the session table, and the
-//! drain-tick executor body that runs on a pool worker.
+//! Shard internals: the bounded ingest queue, the session table, the
+//! per-session WAL handles, and the drain-tick executor body that runs
+//! on a pool worker.
+//!
+//! Lock ordering (deadlock freedom): `slot → wal → ingest`, with the
+//! session-table and WAL-table map locks held only for lookups. The
+//! submit path takes `wal → ingest` (after a brief, released slot
+//! check); the drain takes `ingest` alone to steal the queue, then
+//! `slot → wal` per session. No path takes them in a conflicting order.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::AssertUnwindSafe;
@@ -9,6 +16,10 @@ use std::time::{Duration, Instant};
 use crowd_data::AnswerRecord;
 use crowd_stream::{ConvergeBudget, StreamEngine, StreamReport};
 
+use crate::durable::fault::{FaultPlan, FaultSite};
+use crate::durable::snapshot::{write_snapshot, SnapshotData};
+use crate::durable::wal::WalWriter;
+use crate::durable::{self, DurabilityConfig};
 use crate::SessionId;
 
 /// One batch of answers waiting in a shard's ingest queue.
@@ -28,10 +39,49 @@ pub(crate) struct SessionSlot {
     /// must check that flag.
     pub last_report: Option<StreamReport>,
     /// `Some(message)` once a converge panicked; the slot refuses further
-    /// work until evicted.
+    /// work until restarted (durable sessions, next tick) or evicted.
     pub poisoned: Option<String>,
+    /// Converge attempts so far (the [`FaultSite::Converge`] index —
+    /// panicked attempts count, so a restarted session's retry draws a
+    /// fresh fault decision).
+    pub converge_attempts: u64,
+    /// Checkpoint auto-restarts consumed (bounded by
+    /// [`DurabilityConfig::max_session_restarts`]).
+    pub restarts: u32,
     /// Test-only fault injection: the next converge on this slot panics.
     pub debug_panic_next_converge: bool,
+}
+
+impl SessionSlot {
+    pub fn new(engine: StreamEngine) -> Self {
+        Self {
+            engine,
+            last_report: None,
+            poisoned: None,
+            converge_attempts: 0,
+            restarts: 0,
+            debug_panic_next_converge: false,
+        }
+    }
+}
+
+/// A session's durability state: the WAL writer plus the frame counters
+/// that tie the log to the engine. Lives outside [`SessionSlot`] so a
+/// submit's WAL append (possibly an fsync) never holds the slot lock
+/// and never blocks reads.
+pub(crate) struct SessionWal {
+    pub writer: WalWriter,
+    /// Batch frames appended (submit side).
+    pub batches_appended: u64,
+    /// Batch frames ingested into the engine (drain side) — the
+    /// `cum_batches` recorded by the next converge frame.
+    pub batches_ingested: u64,
+    /// Converge frames appended.
+    pub converges_logged: u64,
+    /// Successful converges since the last snapshot.
+    pub converges_since_snapshot: u64,
+    /// Snapshots written (the [`FaultSite::Snapshot`] index).
+    pub snapshots_written: u64,
 }
 
 /// The ingest queue, bounded in **answers** (not envelopes) so queue
@@ -48,8 +98,18 @@ pub(crate) struct ShardTickStats {
     pub sessions_converged: usize,
     pub sessions_budget_exhausted: usize,
     pub sessions_deadline_deferred: usize,
+    pub sessions_restarted: usize,
     pub newly_poisoned: Vec<SessionId>,
     pub ingest_errors: Vec<(SessionId, String)>,
+}
+
+/// Per-tick context a drain needs beyond the budget: the durability
+/// configuration (for WAL converge frames, snapshot cadence, and
+/// checkpoint auto-restarts) and the fault plan.
+#[derive(Clone, Default)]
+pub(crate) struct DrainCtx {
+    pub durability: Option<DurabilityConfig>,
+    pub fault: FaultPlan,
 }
 
 pub(crate) struct Shard {
@@ -57,6 +117,9 @@ pub(crate) struct Shard {
     /// The session table. The map lock is held only for lookups and
     /// insert/remove — never across a converge.
     pub sessions: Mutex<BTreeMap<u64, Arc<Mutex<SessionSlot>>>>,
+    /// Per-session WAL handles (present only when durability is on).
+    /// Same discipline as the session table: map lock for lookups only.
+    pub wals: Mutex<BTreeMap<u64, Arc<Mutex<SessionWal>>>>,
     /// Serialises whole drains against evictions: an eviction must
     /// observe either the pre-drain queue (and pull its envelopes out
     /// itself) or the post-drain engines (envelopes applied) — never a
@@ -79,6 +142,7 @@ impl Shard {
                 queued_answers: 0,
             }),
             sessions: Mutex::new(BTreeMap::new()),
+            wals: Mutex::new(BTreeMap::new()),
             drain_gate: Mutex::new(()),
         }
     }
@@ -88,10 +152,19 @@ impl Shard {
         lock(&self.sessions).get(&raw).cloned()
     }
 
+    /// Fetch one session's WAL handle (brief map lock).
+    pub fn wal(&self, raw: u64) -> Option<Arc<Mutex<SessionWal>>> {
+        lock(&self.wals).get(&raw).cloned()
+    }
+
     /// The drain-tick body, run on a pool worker thread (or inline).
     ///
-    /// Two phases:
+    /// Three phases:
     ///
+    /// 0. **Restart** — with durability on, poisoned sessions that still
+    ///    have restart budget are rebuilt from their last checkpoint +
+    ///    WAL replay and resume serving (graceful degradation instead of
+    ///    dying).
     /// 1. **Ingest** — move every queued envelope into its engine, in
     ///    FIFO submission order (per-session order is what the
     ///    bit-identical replay property rests on).
@@ -99,15 +172,28 @@ impl Shard {
     ///    previous tick's budget ran out), run one budgeted converge.
     ///    Sessions are visited in ascending id order; once `deadline`
     ///    passes, remaining dirty sessions are deferred to the next tick.
+    ///    With durability on, each successful converge appends a WAL
+    ///    converge frame (pinning the replay schedule) and, on cadence,
+    ///    an atomic snapshot of the warm state.
     ///
     /// Each session is locked individually for its own ingest/converge,
     /// so reads of other sessions proceed throughout the tick. A panic
     /// inside one session's converge is caught, poisons only that
     /// session, and the drain moves on to the next one.
-    pub fn drain(&self, budget: ConvergeBudget, deadline: Option<Duration>) -> ShardTickStats {
+    pub fn drain(
+        &self,
+        budget: ConvergeBudget,
+        deadline: Option<Duration>,
+        ctx: &DrainCtx,
+    ) -> ShardTickStats {
         let _gate = lock(&self.drain_gate);
         let started = Instant::now();
         let mut stats = ShardTickStats::default();
+
+        // Phase 0: checkpoint auto-restarts.
+        if ctx.durability.is_some() {
+            self.restart_poisoned(ctx, &mut stats);
+        }
 
         // Take the whole queue in one lock hold; submitters regain the
         // full capacity immediately.
@@ -132,9 +218,18 @@ impl Shard {
             };
             let mut slot = lock(&slot);
             if slot.poisoned.is_some() {
-                stats
-                    .ingest_errors
-                    .push((sid, "session poisoned; batch dropped".to_string()));
+                // Keep the batch (it raced the poisoning panic into the
+                // queue, and with durability it is already acknowledged in
+                // the WAL): a restartable session ingests it after its
+                // next-tick checkpoint restart, and an evicted one
+                // surfaces it in `EvictedSession::undrained`. Requeueing
+                // at the back is order-safe — submits to a poisoned
+                // session are refused, so no younger envelope of this
+                // session can already be ahead of it.
+                drop(slot);
+                let mut q = lock(&self.ingest);
+                q.queued_answers += env.records.len();
+                q.queue.push_back(env);
                 continue;
             }
             match slot.engine.push_batch(&env.records) {
@@ -144,6 +239,15 @@ impl Shard {
                     stats
                         .ingest_errors
                         .push((sid, format!("record {accepted} rejected: {e}")));
+                }
+            }
+            // The batch left the queue and entered the engine (even a
+            // partially-rejected one: the rejection is deterministic and
+            // replays identically) — advance the WAL's ingest cursor so
+            // the next converge frame covers it.
+            if ctx.durability.is_some() {
+                if let Some(wal) = self.wal(env.session) {
+                    lock(&wal).batches_ingested += 1;
                 }
             }
         }
@@ -166,11 +270,23 @@ impl Shard {
                     continue;
                 }
             }
-            let inject = std::mem::take(&mut slot.debug_panic_next_converge);
+            let inject_debug = std::mem::take(&mut slot.debug_panic_next_converge);
+            let attempt = slot.converge_attempts;
+            slot.converge_attempts += 1;
+            let inject_fault = ctx
+                .fault
+                .decide(FaultSite::Converge {
+                    session: raw,
+                    index: attempt,
+                })
+                .is_some();
             let engine = &mut slot.engine;
             let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                if inject {
+                if inject_debug {
                     panic!("injected converge panic");
+                }
+                if inject_fault {
+                    panic!("injected converge panic (fault plan)");
                 }
                 engine.converge_budgeted(budget)
             }));
@@ -182,6 +298,9 @@ impl Shard {
                         stats.sessions_budget_exhausted += 1;
                     }
                     slot.last_report = Some(report);
+                    if let Some(dur) = &ctx.durability {
+                        self.log_converge(raw, &slot, budget, dur, ctx, &mut stats);
+                    }
                 }
                 Ok(Err(e)) => {
                     // A typed engine error (not a panic): the engine is
@@ -200,6 +319,144 @@ impl Shard {
         }
         stats
     }
+
+    /// Append a converge frame for a just-completed converge and, on
+    /// cadence, write a snapshot of the warm state. Called with the slot
+    /// lock held (slot → wal is the sanctioned order).
+    ///
+    /// A converge-frame append failure **wedges** the WAL: the engine
+    /// has converged but the log no longer records it, so any later
+    /// replay would diverge from the live trajectory. Wedging makes the
+    /// degradation explicit — reads keep serving, but further submits
+    /// fail typed until the session is restarted or evicted. A snapshot
+    /// failure, by contrast, is only logged: snapshots are an
+    /// optimisation and recovery falls back to full-WAL replay.
+    fn log_converge(
+        &self,
+        raw: u64,
+        slot: &SessionSlot,
+        budget: ConvergeBudget,
+        dur: &DurabilityConfig,
+        ctx: &DrainCtx,
+        stats: &mut ShardTickStats,
+    ) {
+        let Some(wal) = self.wal(raw) else { return };
+        let mut wal = lock(&wal);
+        if wal.writer.broken().is_some() {
+            return;
+        }
+        let cum = wal.batches_ingested;
+        let logged_budget = u64::try_from(budget.max_iterations).unwrap_or(u64::MAX);
+        if let Err(e) = wal.writer.append_converge(cum, logged_budget) {
+            wal.writer
+                .wedge(format!("converge frame append failed: {e}"));
+            stats.ingest_errors.push((
+                SessionId::from_raw(raw),
+                format!("wal wedged (converge frame append failed: {e}); submits will fail until restart/evict"),
+            ));
+            return;
+        }
+        wal.converges_logged += 1;
+        wal.converges_since_snapshot += 1;
+        if dur.snapshot_every_converges > 0
+            && wal.converges_since_snapshot >= dur.snapshot_every_converges
+        {
+            wal.converges_since_snapshot = 0;
+            let index = wal.snapshots_written;
+            wal.snapshots_written += 1;
+            let data = SnapshotData {
+                cum_batches: cum,
+                cum_converges: wal.converges_logged,
+                checkpoint: slot.engine.checkpoint(),
+            };
+            let path = durable::snapshot_path(&dur.dir, raw);
+            let sync = dur.fsync != durable::FsyncPolicy::Never;
+            if let Err(e) = write_snapshot(&path, raw, index, &ctx.fault, &data, sync) {
+                stats.ingest_errors.push((
+                    SessionId::from_raw(raw),
+                    format!("snapshot write failed (recovery will replay the full wal): {e}"),
+                ));
+            }
+        }
+    }
+
+    /// Phase 0: rebuild poisoned sessions from snapshot + WAL replay.
+    ///
+    /// The recovered engine is advanced to exactly the batches the live
+    /// engine had ingested (`batches_ingested`): tail frames beyond the
+    /// last converge marker are pushed only up to that cursor — the rest
+    /// are still sitting in the in-memory ingest queue and will be
+    /// ingested by phase 1 as usual (pushing them here would make phase 1
+    /// re-push duplicates, whose rejection would silently drop the whole
+    /// remainder of each batch).
+    fn restart_poisoned(&self, ctx: &DrainCtx, stats: &mut ShardTickStats) {
+        let Some(dur) = &ctx.durability else { return };
+        let snapshot: Vec<(u64, Arc<Mutex<SessionSlot>>)> = lock(&self.sessions)
+            .iter()
+            .map(|(&raw, slot)| (raw, Arc::clone(slot)))
+            .collect();
+        for (raw, slot_arc) in snapshot {
+            let mut slot = lock(&slot_arc);
+            if slot.poisoned.is_none() || slot.restarts >= dur.max_session_restarts {
+                continue;
+            }
+            let sid = SessionId::from_raw(raw);
+            let Some(wal_arc) = self.wal(raw) else {
+                continue;
+            };
+            let mut wal = lock(&wal_arc);
+            match durable::recover_session(&dur.dir, raw) {
+                Ok(mut r) => {
+                    // Advance to the live ingest cursor (see above).
+                    let ingested_past_converge =
+                        usize::try_from(wal.batches_ingested.saturating_sub(r.cum_batches))
+                            .unwrap_or(usize::MAX)
+                            .min(r.tail_batches.len());
+                    for batch in &r.tail_batches[..ingested_past_converge] {
+                        let _ = r.engine.push_batch(batch);
+                    }
+                    // Heal a wedged writer by reopening on the valid
+                    // prefix (truncating any torn tail).
+                    if wal.writer.broken().is_some() || r.torn {
+                        let path = durable::wal_path(&dur.dir, raw);
+                        match WalWriter::reopen(
+                            &path,
+                            raw,
+                            dur.fsync,
+                            ctx.fault.clone(),
+                            r.valid_len,
+                            r.valid_frames,
+                        ) {
+                            Ok(writer) => {
+                                wal.writer = writer;
+                                wal.batches_appended = r.cum_batches + r.tail_batches.len() as u64;
+                                wal.batches_ingested =
+                                    r.cum_batches + ingested_past_converge as u64;
+                                wal.converges_logged = r.cum_converges;
+                            }
+                            Err(e) => {
+                                stats.ingest_errors.push((
+                                    sid,
+                                    format!("restart aborted: wal reopen failed: {e}"),
+                                ));
+                                continue;
+                            }
+                        }
+                    }
+                    slot.engine = r.engine;
+                    slot.last_report = r.last_report;
+                    slot.poisoned = None;
+                    slot.restarts += 1;
+                    stats.sessions_restarted += 1;
+                }
+                Err(e) => {
+                    stats
+                        .ingest_errors
+                        .push((sid, format!("restart failed: {e}")));
+                }
+            }
+        }
+    }
 }
 
 /// Best-effort panic payload rendering for poison records.
@@ -210,5 +467,51 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         s.clone()
     } else {
         "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowd_core::Method;
+    use crowd_data::{Answer, TaskType};
+    use crowd_stream::StreamConfig;
+
+    #[test]
+    fn poisoned_session_batches_are_requeued_not_dropped() {
+        // A batch that raced the poisoning panic into the queue must
+        // survive drains (it is acknowledged; eviction or a restart will
+        // account for it) rather than being silently discarded.
+        let shard = Shard::new();
+        let config = StreamConfig::new(Method::Mv, TaskType::DecisionMaking, 2, 2);
+        let mut slot = SessionSlot::new(StreamEngine::new(config).unwrap());
+        slot.poisoned = Some("injected".to_string());
+        lock(&shard.sessions).insert(7, Arc::new(Mutex::new(slot)));
+        let records = vec![AnswerRecord {
+            task: 0,
+            worker: 0,
+            answer: Answer::Label(1),
+        }];
+        {
+            let mut q = lock(&shard.ingest);
+            q.queued_answers = records.len();
+            q.queue.push_back(Envelope {
+                session: 7,
+                records: records.clone(),
+            });
+        }
+        for _ in 0..3 {
+            let stats = shard.drain(
+                ConvergeBudget::iterations(usize::MAX),
+                None,
+                &DrainCtx::default(),
+            );
+            assert_eq!(stats.answers_ingested, 0);
+            assert!(stats.ingest_errors.is_empty());
+        }
+        let q = lock(&shard.ingest);
+        assert_eq!(q.queued_answers, 1);
+        assert_eq!(q.queue.len(), 1);
+        assert_eq!(q.queue[0].records, records);
     }
 }

@@ -1,0 +1,255 @@
+//! Seeded chaos: random faults on every injection site — WAL appends
+//! (clean errors and torn writes), snapshot writes, and converge panics —
+//! driven through a full serve workload, then crash-recovered.
+//!
+//! The seed comes from `CROWD_FAULT_SEED` (the CI chaos job runs a seed
+//! matrix); any failure reproduces exactly from its seed. Invariants:
+//!
+//! 1. The service never panics and never returns an untyped failure —
+//!    every fault surfaces as a `ServeError` variant or a tick-report
+//!    entry.
+//! 2. Whatever the faults did, `CrowdServe::recover` on the directory
+//!    succeeds: every session either recovers or is skipped with a
+//!    reason.
+//! 3. Recovery through the snapshot fast path and recovery through pure
+//!    WAL replay agree (snapshots are never a correctness dependency).
+//! 4. Recovery is idempotent: recovering the same directory twice yields
+//!    the same state.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crowd_core::Method;
+use crowd_data::{Answer, AnswerRecord, TaskType};
+use crowd_serve::{
+    CrowdServe, DurabilityConfig, FaultPlan, FsyncPolicy, ServeConfig, ServeError, SessionId,
+};
+use crowd_stream::StreamConfig;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "crowd-serve-chaos-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).unwrap();
+        Self(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn chaos_seed() -> u64 {
+    match std::env::var("CROWD_FAULT_SEED") {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("CROWD_FAULT_SEED must be a u64, got {s:?}")),
+        Err(_) => 0xC0FFEE,
+    }
+}
+
+const SESSIONS: usize = 4;
+const ROUNDS: usize = 12;
+const BATCH: usize = 5;
+const TASKS: usize = 30;
+const WORKERS: usize = 10;
+
+fn session_config() -> StreamConfig {
+    StreamConfig::new(Method::Ds, TaskType::DecisionMaking, TASKS, WORKERS)
+}
+
+/// Unique (task, worker) per record within a session for the whole run.
+fn round_batch(round: usize) -> Vec<AnswerRecord> {
+    (round * BATCH..(round + 1) * BATCH)
+        .map(|j| AnswerRecord {
+            task: j % TASKS,
+            worker: (j / TASKS) % WORKERS,
+            answer: Answer::Label((j / 3 % 2) as u8),
+        })
+        .collect()
+}
+
+fn chaos_config(dir: &Path, seed: u64) -> ServeConfig {
+    ServeConfig {
+        shards: 2,
+        durability: Some(DurabilityConfig {
+            dir: dir.to_path_buf(),
+            fsync: FsyncPolicy::EveryN(2),
+            snapshot_every_converges: 2,
+            max_session_restarts: 2,
+        }),
+        fault: FaultPlan::seeded(seed)
+            .wal_error_rate(0.08)
+            .wal_torn_rate(0.04)
+            .snapshot_error_rate(0.30)
+            .converge_panic_rate(0.10)
+            .build(),
+        ..ServeConfig::default()
+    }
+}
+
+fn recovery_config(dir: &Path) -> ServeConfig {
+    ServeConfig {
+        shards: 2,
+        durability: Some(DurabilityConfig {
+            dir: dir.to_path_buf(),
+            fsync: FsyncPolicy::Always,
+            snapshot_every_converges: 2,
+            max_session_restarts: 2,
+        }),
+        ..ServeConfig::default()
+    }
+}
+
+fn pluralities(serve: &CrowdServe) -> Vec<(SessionId, Option<Vec<Option<u8>>>)> {
+    serve
+        .sessions()
+        .into_iter()
+        .map(|sid| (sid, serve.plurality(sid).ok()))
+        .collect()
+}
+
+#[test]
+fn chaos_workload_stays_typed_and_crash_recovers() {
+    let seed = chaos_seed();
+    let dir = TempDir::new("run");
+    let serve = CrowdServe::new(chaos_config(dir.path(), seed)).unwrap();
+    let ids: Vec<SessionId> = (0..SESSIONS)
+        .map(|_| serve.create_session(session_config()).unwrap())
+        .collect();
+
+    let mut typed_errors = 0usize;
+    let mut tick_errors = 0usize;
+    let mut poisonings = 0usize;
+    let mut restarts = 0usize;
+    for round in 0..ROUNDS {
+        for &sid in &ids {
+            // Invariant 1: every submit outcome is Ok or a typed error.
+            // One bounded retry on Durability — injected clean errors are
+            // transient; a wedged WAL keeps refusing, which is fine.
+            for _attempt in 0..2 {
+                match serve.submit(sid, round_batch(round)) {
+                    Ok(()) => break,
+                    Err(
+                        ServeError::Durability { .. }
+                        | ServeError::SessionPoisoned(_)
+                        | ServeError::Backpressure { .. },
+                    ) => {
+                        typed_errors += 1;
+                    }
+                    Err(other) => panic!("seed {seed}: unexpected error {other}"),
+                }
+            }
+        }
+        let tick = serve.drain_tick();
+        assert_eq!(tick.shard_failures, 0, "seed {seed}");
+        tick_errors += tick.errors.len();
+        poisonings += tick.poisoned.len();
+        restarts += tick.sessions_restarted;
+        // Reads stay typed throughout.
+        for &sid in &ids {
+            match serve.plurality(sid) {
+                Ok(p) => assert_eq!(p.len(), TASKS, "seed {seed}"),
+                Err(ServeError::SessionPoisoned(_)) => {}
+                Err(other) => panic!("seed {seed}: unexpected read error {other}"),
+            }
+        }
+    }
+    println!(
+        "seed {seed}: {typed_errors} typed submit errors, {tick_errors} tick errors, \
+         {poisonings} poisonings, {restarts} restarts"
+    );
+    drop(serve); // crash boundary (files are whatever the faults left)
+
+    // Invariant 2: recovery always succeeds, accounting for every session.
+    let (recovered, report) = CrowdServe::recover(recovery_config(dir.path())).unwrap();
+    assert_eq!(
+        report.sessions_recovered + report.sessions_skipped,
+        SESSIONS,
+        "seed {seed}: {report:?}"
+    );
+    for (sid, reason) in &report.skipped {
+        println!("seed {seed}: session {sid} skipped: {reason}");
+    }
+    let with_snap = pluralities(&recovered);
+
+    // Invariant 4: recovering the same directory again lands in the same
+    // state (the first recovery's truncation already healed the logs).
+    let (again, report2) = CrowdServe::recover(recovery_config(dir.path())).unwrap();
+    assert_eq!(report2.sessions_recovered, report.sessions_recovered);
+    assert_eq!(report2.torn_tails_truncated, 0, "first recovery truncated");
+    assert_eq!(pluralities(&again), with_snap, "seed {seed}");
+    drop(again);
+
+    // Invariant 3: delete every snapshot and recover once more — pure WAL
+    // replay must agree with the snapshot-assisted recovery.
+    drop(recovered);
+    for entry in std::fs::read_dir(dir.path()).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "snap") {
+            std::fs::remove_file(path).unwrap();
+        }
+    }
+    let (replayed, report3) = CrowdServe::recover(recovery_config(dir.path())).unwrap();
+    assert_eq!(report3.snapshots_used, 0);
+    assert_eq!(
+        pluralities(&replayed),
+        with_snap,
+        "seed {seed}: snapshot path diverged from replay path"
+    );
+
+    // The recovered service is serviceable: drain the requeued tails and
+    // push a fresh round into every recovered session.
+    replayed.drain_tick();
+    for sid in replayed.sessions() {
+        replayed.submit(sid, round_batch(ROUNDS)).unwrap();
+    }
+    let tick = replayed.drain_tick();
+    assert_eq!(tick.shard_failures, 0, "seed {seed}");
+}
+
+#[test]
+fn chaos_is_deterministic_per_seed() {
+    let seed = chaos_seed();
+    let mut outcomes = Vec::new();
+    for _ in 0..2 {
+        let dir = TempDir::new("det");
+        let serve = CrowdServe::new(chaos_config(dir.path(), seed)).unwrap();
+        let ids: Vec<SessionId> = (0..SESSIONS)
+            .map(|_| serve.create_session(session_config()).unwrap())
+            .collect();
+        let mut trace = Vec::new();
+        for round in 0..ROUNDS {
+            for &sid in &ids {
+                trace.push(match serve.submit(sid, round_batch(round)) {
+                    Ok(()) => "ok".to_string(),
+                    Err(e) => format!("{e}"),
+                });
+            }
+            let tick = serve.drain_tick();
+            trace.push(format!(
+                "tick: ingested={} poisoned={:?} restarted={} errors={:?}",
+                tick.answers_ingested, tick.poisoned, tick.sessions_restarted, tick.errors
+            ));
+        }
+        outcomes.push(trace);
+    }
+    assert_eq!(
+        outcomes[0], outcomes[1],
+        "seed {seed}: identical seed must replay the identical fault trace"
+    );
+}

@@ -12,7 +12,9 @@
 use crowd_core::Method;
 use crowd_data::datasets::PaperDataset;
 use crowd_data::{AnswerRecord, StreamSession};
-use crowd_serve::{CrowdServe, ServeConfig, ServeError, SessionId};
+use crowd_serve::{
+    CrowdServe, FaultKind, FaultPlan, FaultSite, ServeConfig, ServeError, SessionId,
+};
 use crowd_stream::{ConvergeBudget, StreamConfig, StreamEngine};
 use proptest::prelude::*;
 
@@ -186,8 +188,20 @@ fn eight_sessions_bit_identical_to_sequential() {
 #[test]
 fn panic_in_one_session_leaves_siblings_serving() {
     let sessions: Vec<_> = (0..4).map(|i| session_batches(40 + i, 2)).collect();
+    // Deterministic chaos: session 1 (creation order) panics on its
+    // second converge attempt (index 1), scheduled through the fault
+    // plan rather than any test-only hook.
     let serve = CrowdServe::new(ServeConfig {
         shards: 2,
+        fault: FaultPlan::seeded(0)
+            .schedule(
+                FaultSite::Converge {
+                    session: 1,
+                    index: 1,
+                },
+                FaultKind::Panic,
+            )
+            .build(),
         ..ServeConfig::default()
     })
     .unwrap();
@@ -202,11 +216,10 @@ fn panic_in_one_session_leaves_siblings_serving() {
     }
     serve.drain_tick();
 
-    // Inject a converge panic into session 1 for the second round.
+    // Second round: the scheduled fault fires inside session 1's converge.
     for (k, (_, batches)) in sessions.iter().enumerate() {
         serve.submit(ids[k], batches[1].clone()).unwrap();
     }
-    serve.debug_panic_next_converge(ids[1]).unwrap();
     let tick = serve.drain_tick();
     assert_eq!(tick.poisoned, vec![ids[1]]);
     assert_eq!(tick.shard_failures, 0);

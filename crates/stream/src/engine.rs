@@ -74,6 +74,38 @@ impl Default for ConvergeBudget {
     }
 }
 
+/// The warm-resumable state of a [`StreamEngine`] at a quiescent point —
+/// everything recovery needs **besides** the answer log itself.
+///
+/// The answer log (and everything derived from it: delta views, seen
+/// set) is deliberately *not* part of a checkpoint: it is cheap to
+/// rebuild by replaying pushes, and the write-ahead log in `crowd-serve`
+/// already stores it durably. A checkpoint captures only the state that
+/// is *expensive* to recompute — the converged warm posteriors and
+/// worker qualities — plus the bookkeeping counters that make the
+/// restored engine indistinguishable from the original
+/// ([`needs_converge`](StreamEngine::needs_converge) answers the same,
+/// resumed converges follow the same EM trajectory bit for bit).
+///
+/// Install with [`StreamEngine::restore_checkpoint`] **after** replaying
+/// the same `answers_seen` answers into a fresh engine; the restore
+/// validates the count so a checkpoint can never be spliced onto the
+/// wrong log prefix.
+#[derive(Debug, Clone)]
+pub struct EngineCheckpoint {
+    /// Answers the engine had absorbed when the checkpoint was taken.
+    pub answers_seen: usize,
+    /// The warm state (post-shrinkage, exactly as the next converge
+    /// would resume from it). `None` before the first converge.
+    pub warm: Option<WarmStart>,
+    /// Converges run so far.
+    pub converges: usize,
+    /// Answers accepted since the last converge.
+    pub pending_answers: usize,
+    /// Whether the last converge met the convergence criterion.
+    pub last_converged: bool,
+}
+
 /// What one converge produced.
 #[derive(Debug, Clone)]
 pub struct StreamReport {
@@ -124,6 +156,20 @@ impl SeenSet {
                 }
             }
             Self::Sparse(set) => set.insert(key),
+        }
+    }
+
+    /// Un-record the pair (rollback when a later step of an insert
+    /// rejects the answer).
+    fn remove(&mut self, key: u64) {
+        match self {
+            Self::Dense(words) => {
+                let (slot, mask) = ((key / 64) as usize, 1u64 << (key % 64));
+                words[slot] &= !mask;
+            }
+            Self::Sparse(set) => {
+                set.remove(&key);
+            }
         }
     }
 }
@@ -253,7 +299,14 @@ impl StreamEngine {
         if !self.seen.insert(key) {
             return Err(StreamError::DuplicateAnswer { task, worker });
         }
-        self.view.push(task, worker, label)?;
+        if let Err(e) = self.view.push(task, worker, label) {
+            // Unreachable after the validations above (the view checks the
+            // same bounds), but if it ever fires the seen-bit must roll
+            // back — a rejected answer leaves NO trace, which is what the
+            // push_batch partial-apply contract promises.
+            self.seen.remove(key);
+            return Err(e);
+        }
         self.pending_answers += 1;
         // Keep the amortised maintenance cost constant; converge()
         // compacts the rest.
@@ -267,6 +320,23 @@ impl StreamEngine {
     /// [`crowd_data::StreamBatch`](crowd_data::assignment::StreamBatch)).
     /// Stops at the first invalid record, returning how many were
     /// accepted alongside the error.
+    ///
+    /// # Partial-apply contract
+    ///
+    /// On `Err((accepted, e))`, records `0..accepted` have been fully
+    /// applied and `records[accepted]` (and everything after it) has
+    /// left the engine **untouched**: each record is validated in full —
+    /// ranges, answer kind, duplicate `(task, worker)` — before any
+    /// engine structure is mutated, so the view, the seen-set, and the
+    /// pending-answer counter always agree. The engine remains
+    /// consistent and resumable: further pushes, converges, and reads
+    /// behave exactly as if `records[..accepted]` had been pushed one by
+    /// one, and replaying the same batch sequence into a fresh engine
+    /// stops at the same record with the same error (the basis of
+    /// deterministic WAL replay in `crowd-serve`). Note that re-pushing
+    /// a half-applied batch into the *same* engine stops at record 0
+    /// with a duplicate rejection — resubmission must slice off the
+    /// accepted prefix.
     pub fn push_batch(&mut self, records: &[AnswerRecord]) -> Result<usize, (usize, StreamError)> {
         for (i, r) in records.iter().enumerate() {
             self.push(r.task, r.worker, r.answer).map_err(|e| (i, e))?;
@@ -379,6 +449,42 @@ impl StreamEngine {
         self.warm = None;
     }
 
+    /// Export the warm-resumable state for durable snapshots (see
+    /// [`EngineCheckpoint`] for what is and is not captured).
+    pub fn checkpoint(&self) -> EngineCheckpoint {
+        EngineCheckpoint {
+            answers_seen: self.view.num_answers(),
+            warm: self.warm.clone(),
+            converges: self.converges,
+            pending_answers: self.pending_answers,
+            last_converged: self.last_converged,
+        }
+    }
+
+    /// Install a previously exported checkpoint onto an engine that has
+    /// replayed the same answer-log prefix. After this call the engine's
+    /// converge trajectory is bit-identical to the engine the checkpoint
+    /// was taken from.
+    ///
+    /// Fails with [`StreamError::CheckpointMismatch`] when the engine's
+    /// answer count differs from the checkpoint's — installing warm
+    /// state onto a different log prefix would silently corrupt the
+    /// session rather than resume it. The engine is left unchanged on
+    /// error.
+    pub fn restore_checkpoint(&mut self, cp: EngineCheckpoint) -> Result<(), StreamError> {
+        if cp.answers_seen != self.view.num_answers() {
+            return Err(StreamError::CheckpointMismatch {
+                checkpoint_answers: cp.answers_seen,
+                engine_answers: self.view.num_answers(),
+            });
+        }
+        self.warm = cp.warm;
+        self.converges = cp.converges;
+        self.pending_answers = cp.pending_answers;
+        self.last_converged = cp.last_converged;
+        Ok(())
+    }
+
     /// Compact the delta views now (converge does this lazily) — exposed
     /// so benchmarks can separate view maintenance from re-convergence
     /// cost.
@@ -466,6 +572,98 @@ mod tests {
             Err(StreamError::TaskOutOfRange { .. })
         ));
         assert_eq!(e.answers_seen(), 1);
+    }
+
+    #[test]
+    fn push_batch_partial_apply_contract() {
+        // The contract crowd-serve's WAL replay rests on: a rejected
+        // batch applies exactly its valid prefix, the offending record
+        // and everything after it leave no trace, the engine stays
+        // resumable, and a fresh engine rejects identically.
+        use crowd_data::AnswerRecord;
+        let rec = |task: usize, worker: usize, label: u8| AnswerRecord {
+            task,
+            worker,
+            answer: Answer::Label(label),
+        };
+        let numeric = |task: usize, worker: usize| AnswerRecord {
+            task,
+            worker,
+            answer: Answer::Numeric(0.5),
+        };
+        let cases: Vec<(&str, Vec<AnswerRecord>, usize)> = vec![
+            (
+                "task out of range",
+                vec![rec(0, 0, 1), rec(1, 0, 0), rec(9, 1, 1), rec(2, 1, 0)],
+                2,
+            ),
+            (
+                "worker out of range",
+                vec![rec(0, 0, 1), rec(1, 8, 0), rec(2, 1, 0)],
+                1,
+            ),
+            (
+                "label out of range",
+                vec![rec(0, 0, 1), rec(1, 0, 9), rec(2, 1, 0)],
+                1,
+            ),
+            (
+                "duplicate within the batch",
+                vec![rec(0, 0, 1), rec(1, 0, 0), rec(0, 0, 0), rec(2, 1, 0)],
+                2,
+            ),
+            (
+                "answer kind mismatch",
+                vec![rec(0, 0, 1), numeric(1, 0), rec(2, 1, 0)],
+                1,
+            ),
+        ];
+        for (name, batch, expected_accepted) in cases {
+            let mut engine = StreamEngine::new(decision_config(Method::Ds, 4, 3)).unwrap();
+            let (accepted, err) = engine.push_batch(&batch).unwrap_err();
+            assert_eq!(accepted, expected_accepted, "{name}");
+            // Only the valid prefix entered the engine.
+            assert_eq!(engine.answers_seen(), accepted, "{name}");
+            assert_eq!(engine.pending_answers(), accepted, "{name}");
+            // A fresh engine stops at the same record with the same error
+            // (the determinism WAL replay relies on).
+            let mut fresh = StreamEngine::new(decision_config(Method::Ds, 4, 3)).unwrap();
+            let (accepted2, err2) = fresh.push_batch(&batch).unwrap_err();
+            assert_eq!(accepted2, accepted, "{name}");
+            assert_eq!(err2.to_string(), err.to_string(), "{name}");
+            // The rejected suffix left no trace: the offending record's
+            // slot is still free (a duplicate would now be rejected only
+            // if the prefix claimed it), and the engine is resumable —
+            // pushing the remaining valid records and converging matches
+            // an engine fed the valid records directly.
+            let valid: Vec<AnswerRecord> = {
+                let mut seen = std::collections::HashSet::new();
+                batch
+                    .iter()
+                    .filter(|r| {
+                        r.task < 4
+                            && r.worker < 3
+                            && r.answer.label().is_some_and(|l| l < 2)
+                            && seen.insert((r.task, r.worker))
+                    })
+                    .cloned()
+                    .collect()
+            };
+            engine
+                .push_batch(&valid[accepted..])
+                .unwrap_or_else(|(_, e)| {
+                    panic!("{name}: engine not resumable after rejection: {e}")
+                });
+            let resumed = engine.converge().unwrap();
+            let mut reference = StreamEngine::new(decision_config(Method::Ds, 4, 3)).unwrap();
+            reference.push_batch(&valid).unwrap();
+            let direct = reference.converge().unwrap();
+            assert_eq!(resumed.result.truths, direct.result.truths, "{name}");
+            assert_eq!(
+                resumed.result.posteriors, direct.result.posteriors,
+                "{name}"
+            );
+        }
     }
 
     #[test]
@@ -604,6 +802,118 @@ mod tests {
         e.converge_cold().unwrap();
         assert_eq!(e.pending_answers(), 1);
         assert!(e.needs_converge());
+    }
+
+    #[test]
+    fn push_batch_partial_failure_leaves_engine_consistent_and_resumable() {
+        // The documented partial-apply contract: on Err((accepted, e)),
+        // records[..accepted] are in, records[accepted..] left no trace,
+        // and the engine behaves exactly like one that was only ever fed
+        // the accepted prefix (plus whatever is pushed afterwards).
+        let d = PaperDataset::DProduct.generate(0.05, 3);
+        let cfg = decision_config(Method::Ds, d.num_tasks(), d.num_workers());
+        let records = d.records();
+        let split = records.len() / 2;
+
+        let mut batch: Vec<AnswerRecord> = records[..split].to_vec();
+        // Invalid mid-batch record (task out of range) followed by valid
+        // ones that must NOT be applied.
+        batch.push(AnswerRecord {
+            task: d.num_tasks() + 7,
+            worker: 0,
+            answer: Answer::Label(0),
+        });
+        batch.extend(records[split..].iter().cloned());
+
+        let mut broken = StreamEngine::new(cfg.clone()).unwrap();
+        let (accepted, err) = broken.push_batch(&batch).unwrap_err();
+        assert_eq!(accepted, split);
+        assert!(matches!(err, StreamError::TaskOutOfRange { .. }));
+        assert_eq!(broken.answers_seen(), split);
+        assert_eq!(broken.pending_answers(), split);
+        // Re-pushing the same batch fails at the same record, now as a
+        // duplicate of the applied prefix's first record — determinism
+        // the WAL replay path relies on (same bytes, same outcome).
+        let (re_accepted, _) = broken.push_batch(&batch).unwrap_err();
+        assert_eq!(re_accepted, 0);
+        assert_eq!(broken.answers_seen(), split);
+
+        // Resume: push the valid remainder, converge, and compare to an
+        // engine that never saw the invalid record.
+        broken.push_batch(&records[split..]).unwrap();
+        let mut clean = StreamEngine::new(cfg).unwrap();
+        clean.push_batch(records).unwrap();
+        let b = broken.converge().unwrap();
+        let c = clean.converge().unwrap();
+        assert_eq!(b.result.truths, c.result.truths);
+        assert_eq!(
+            posterior_bits(&b.result.posteriors),
+            posterior_bits(&c.result.posteriors)
+        );
+    }
+
+    fn posterior_bits(p: &Option<Vec<Vec<f64>>>) -> Vec<Vec<u64>> {
+        p.as_ref()
+            .map(|rows| {
+                rows.iter()
+                    .map(|r| r.iter().map(|x| x.to_bits()).collect())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        // Run a stream halfway, checkpoint, rebuild a fresh engine from
+        // the same answer prefix + checkpoint, then continue both: every
+        // subsequent converge must be bit-identical.
+        let d = PaperDataset::DProduct.generate(0.06, 21);
+        let cfg = decision_config(Method::Ds, d.num_tasks(), d.num_workers());
+        let records = d.records();
+        let split = records.len() / 2;
+
+        let mut original = StreamEngine::new(cfg.clone()).unwrap();
+        original.push_batch(&records[..split]).unwrap();
+        original
+            .converge_budgeted(ConvergeBudget::iterations(4))
+            .unwrap();
+        let cp = original.checkpoint();
+        assert_eq!(cp.answers_seen, split);
+        assert_eq!(cp.converges, 1);
+
+        let mut restored = StreamEngine::new(cfg).unwrap();
+        // Wrong prefix → typed error, engine untouched.
+        assert!(matches!(
+            restored.restore_checkpoint(cp.clone()),
+            Err(StreamError::CheckpointMismatch { .. })
+        ));
+        restored.push_batch(&records[..split]).unwrap();
+        restored.restore_checkpoint(cp).unwrap();
+        assert_eq!(restored.converges(), original.converges());
+        assert_eq!(restored.pending_answers(), original.pending_answers());
+        assert_eq!(restored.needs_converge(), original.needs_converge());
+
+        // Continue both through the same schedule.
+        original.push_batch(&records[split..]).unwrap();
+        restored.push_batch(&records[split..]).unwrap();
+        loop {
+            let a = original
+                .converge_budgeted(ConvergeBudget::iterations(3))
+                .unwrap();
+            let b = restored
+                .converge_budgeted(ConvergeBudget::iterations(3))
+                .unwrap();
+            assert_eq!(a.result.truths, b.result.truths);
+            assert_eq!(a.result.iterations, b.result.iterations);
+            assert_eq!(
+                posterior_bits(&a.result.posteriors),
+                posterior_bits(&b.result.posteriors)
+            );
+            assert_eq!(a.result.converged, b.result.converged);
+            if a.result.converged {
+                break;
+            }
+        }
     }
 
     #[test]

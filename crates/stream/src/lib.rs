@@ -52,7 +52,7 @@ pub mod delta;
 pub mod engine;
 
 pub use delta::{DeltaCat, DeltaNum};
-pub use engine::{ConvergeBudget, StreamConfig, StreamEngine, StreamReport};
+pub use engine::{ConvergeBudget, EngineCheckpoint, StreamConfig, StreamEngine, StreamReport};
 
 use crowd_core::InferenceError;
 use crowd_data::TaskType;
@@ -111,6 +111,15 @@ pub enum StreamError {
     },
     /// `converge` was called before any answer arrived.
     EmptyStream,
+    /// A checkpoint was installed onto an engine holding a different
+    /// answer-log prefix (see
+    /// [`StreamEngine::restore_checkpoint`](crate::StreamEngine::restore_checkpoint)).
+    CheckpointMismatch {
+        /// Answers the checkpoint was taken over.
+        checkpoint_answers: usize,
+        /// Answers the engine has absorbed.
+        engine_answers: usize,
+    },
     /// The underlying inference run failed.
     Inference(InferenceError),
 }
@@ -145,6 +154,14 @@ impl fmt::Display for StreamError {
                 write!(f, "method {method} has no streaming (warm-start) path")
             }
             Self::EmptyStream => write!(f, "stream has no answers yet"),
+            Self::CheckpointMismatch {
+                checkpoint_answers,
+                engine_answers,
+            } => write!(
+                f,
+                "checkpoint over {checkpoint_answers} answers cannot be installed on an \
+                 engine holding {engine_answers}"
+            ),
             Self::Inference(e) => write!(f, "inference failed: {e}"),
         }
     }
