@@ -153,6 +153,7 @@ fn main() {
             let _ = writeln!(json, "  \"peak_rss_kb\": null,");
         }
     }
+    let _ = writeln!(json, "  \"obs\": {},", crowd_obs::snapshot().to_json());
     json.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let comma = if i + 1 == cells.len() { "" } else { "," };

@@ -157,6 +157,7 @@ fn main() {
     let _ = writeln!(json, "  \"scale\": 1.0,");
     let _ = writeln!(json, "  \"backend\": \"{backend}\",");
     let _ = writeln!(json, "  \"repeats\": {repeats},");
+    let _ = writeln!(json, "  \"obs\": {},", crowd_obs::snapshot().to_json());
     json.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };

@@ -31,6 +31,18 @@
 //!   sessions, so the no-accuracy-regression gate also pins recovery
 //!   fidelity.
 //!
+//! Each `mem` cell is additionally re-run with `crowd-obs` recording
+//! switched off (`crowd_obs::set_enabled(false)`) — the A/B that prices
+//! the observability spine. The top-level `obs_overhead_within_bound`
+//! boolean records that the metrics-on mem sweep stayed within 3% of
+//! the metrics-off total wall time (aggregate over all cells, with an
+//! absolute noise floor — single ~10ms cells are too noisy to gate
+//! individually); `obs_overhead_max_ratio` reports the noisiest single
+//! cell for the curious. Committed `true` in the baseline, so the
+//! regression gate fails if metrics ever stop being cheap enough to
+//! leave on. The final registry snapshot is embedded under `"obs"`,
+//! which `crowd-obs-check` validates structurally in CI.
+//!
 //! Configuration (environment variables, all optional):
 //!
 //! - `CROWD_BENCH_SCALE` — dataset scale in `(0, 1]` (default `0.1`);
@@ -133,6 +145,12 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     let mut wal_within_bound = true;
     let mut wal_ratio_max = 0.0f64;
+    let mut obs_on_total = 0.0f64;
+    let mut obs_off_total = 0.0f64;
+    let mut obs_ratio_max = 0.0f64;
+    // The A/B below flips the process-global switch; make sure the sweep
+    // starts (and every durable-mode row runs) with recording on.
+    crowd_obs::set_enabled(true);
 
     for sessions in SESSION_COUNTS {
         for batches in BATCH_COUNTS {
@@ -249,11 +267,46 @@ fn main() {
             // cold-start noise, which is exactly what the regression gate
             // must not flake on.
             run_cell(None);
-            let mem = (0..repeats)
-                .map(|_| run_cell(None))
-                .min_by(|a, b| a.0.total_cmp(&b.0))
-                .expect("at least one repeat");
-            let mem_seconds = push_row(&mut rows, "mem", mem);
+            // The mem measurement doubles as the observability A/B: each
+            // repeat replays the cell twice, once with `crowd-obs`
+            // recording on and once off, in alternating order so slow
+            // environmental drift (CPU frequency, noisy neighbours) hits
+            // both sides equally instead of biasing whichever side ran
+            // last. Min per side, like every other timing in the file.
+            // The off-side is not pushed as a row (the comparator's row
+            // set is mode × grid); only the aggregate bound below gates
+            // it.
+            let mut mem: Option<(f64, Vec<f64>, usize, f64)> = None;
+            let mut obs_off_seconds = f64::INFINITY;
+            for i in 0..repeats {
+                let order = if i % 2 == 0 {
+                    [true, false]
+                } else {
+                    [false, true]
+                };
+                for on in order {
+                    crowd_obs::set_enabled(on);
+                    let measured = run_cell(None);
+                    if on {
+                        if mem.as_ref().is_none_or(|best| measured.0 < best.0) {
+                            mem = Some(measured);
+                        }
+                    } else {
+                        obs_off_seconds = obs_off_seconds.min(measured.0);
+                    }
+                }
+            }
+            crowd_obs::set_enabled(true);
+            let mem_seconds = push_row(&mut rows, "mem", mem.expect("at least one repeat"));
+            obs_on_total += mem_seconds;
+            obs_off_total += obs_off_seconds;
+            obs_ratio_max = obs_ratio_max.max(mem_seconds / obs_off_seconds.max(1e-12));
+            eprintln!(
+                "  obs-off  sessions={sessions:>2} batches={batches:>3}: total {:>8.3} ms \
+                 (on/off ratio {:.3})",
+                obs_off_seconds * 1e3,
+                mem_seconds / obs_off_seconds.max(1e-12),
+            );
 
             // WAL mode: a fresh log directory per replay (session ids and
             // file names restart from zero each time); the last replay's
@@ -331,6 +384,18 @@ fn main() {
 
     let _ = std::fs::remove_dir_all(&wal_root);
 
+    // ≤ 3% aggregate overhead, with an absolute floor so a sub-millisecond
+    // wobble on a fast machine cannot fail the gate (same shape as the
+    // wal/mem bound above).
+    let obs_within_bound =
+        !(obs_on_total > obs_off_total * 1.03 && obs_on_total - obs_off_total >= 1e-3);
+    if !obs_within_bound {
+        eprintln!(
+            "  WARNING: metrics-on mem sweep exceeded the 3% bound over metrics-off \
+             ({obs_on_total:.6}s vs {obs_off_total:.6}s)"
+        );
+    }
+
     let total_seconds = sweep_start.elapsed().as_secs_f64();
     let mut json = String::new();
     json.push_str("{\n");
@@ -341,6 +406,11 @@ fn main() {
     let _ = writeln!(json, "  \"total_seconds\": {total_seconds:.6},");
     let _ = writeln!(json, "  \"wal_overhead_within_bound\": {wal_within_bound},");
     let _ = writeln!(json, "  \"wal_overhead_max_ratio\": {wal_ratio_max:.4},");
+    let _ = writeln!(json, "  \"obs_overhead_within_bound\": {obs_within_bound},");
+    let obs_ratio_agg = obs_on_total / obs_off_total.max(1e-12);
+    let _ = writeln!(json, "  \"obs_overhead_ratio\": {obs_ratio_agg:.4},");
+    let _ = writeln!(json, "  \"obs_overhead_max_ratio\": {obs_ratio_max:.4},");
+    let _ = writeln!(json, "  \"obs\": {},", crowd_obs::snapshot().to_json());
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };

@@ -158,6 +158,7 @@ fn main() {
         json,
         "  \"warm_fewer_iterations_everywhere\": {warm_wins_everywhere},"
     );
+    let _ = writeln!(json, "  \"obs\": {},", crowd_obs::snapshot().to_json());
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };

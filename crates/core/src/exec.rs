@@ -39,6 +39,42 @@ use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Observability handles (`core.pool.*`), cached per site so the registry
+// map lock is paid once per process, not per dispatch.
+// ---------------------------------------------------------------------------
+
+fn obs_submits() -> &'static crowd_obs::Counter {
+    static H: OnceLock<crowd_obs::Counter> = OnceLock::new();
+    H.get_or_init(|| crowd_obs::counter("core.pool.submits_total"))
+}
+
+fn obs_batches() -> &'static crowd_obs::Counter {
+    static H: OnceLock<crowd_obs::Counter> = OnceLock::new();
+    H.get_or_init(|| crowd_obs::counter("core.pool.batches_total"))
+}
+
+fn obs_inline_batches() -> &'static crowd_obs::Counter {
+    static H: OnceLock<crowd_obs::Counter> = OnceLock::new();
+    H.get_or_init(|| crowd_obs::counter("core.pool.inline_batches_total"))
+}
+
+fn obs_queue_depth() -> &'static crowd_obs::Gauge {
+    static H: OnceLock<crowd_obs::Gauge> = OnceLock::new();
+    H.get_or_init(|| crowd_obs::gauge("core.pool.queue_depth"))
+}
+
+fn obs_jobs_in_flight() -> &'static crowd_obs::Gauge {
+    static H: OnceLock<crowd_obs::Gauge> = OnceLock::new();
+    H.get_or_init(|| crowd_obs::gauge("core.pool.jobs_in_flight"))
+}
+
+fn obs_dispatch_seconds() -> &'static crowd_obs::Histogram {
+    static H: OnceLock<crowd_obs::Histogram> = OnceLock::new();
+    H.get_or_init(|| crowd_obs::histogram("core.pool.dispatch_seconds"))
+}
 
 // ---------------------------------------------------------------------------
 // The persistent worker pool.
@@ -60,6 +96,9 @@ unsafe impl Send for JobPtr {}
 struct QueuedJob {
     job: Box<dyn FnOnce() + Send>,
     ticket: Arc<TicketInner>,
+    /// Enqueue instant for the `core.pool.dispatch_seconds` queue-time
+    /// histogram; `None` while recording is disabled (no clock read).
+    queued_at: Option<Instant>,
 }
 
 /// Shared state behind a [`JobTicket`].
@@ -291,6 +330,31 @@ impl WorkerPool {
         self.handles.lock().expect("pool handles").len()
     }
 
+    /// Free-standing jobs submitted via [`WorkerPool::submit`]/
+    /// [`WorkerPool::submit_with_result`] that are queued but not yet
+    /// started. Cheap (one short mutex acquire); the live signal behind
+    /// the `core.pool.queue_depth` gauge.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.state.lock().expect("pool state").queue.len()
+    }
+
+    /// Free-standing jobs currently executing on pool workers.
+    pub fn jobs_in_flight(&self) -> usize {
+        self.inner.state.lock().expect("pool state").queued_running
+    }
+
+    /// Workers currently executing inside an open fan-out batch.
+    pub fn batch_workers_running(&self) -> usize {
+        self.inner.state.lock().expect("pool state").running
+    }
+
+    /// Whether the pool is fully quiescent: no queued jobs, no running
+    /// jobs, no batch in flight. Liveness probe for tests and drains.
+    pub fn is_idle(&self) -> bool {
+        let st = self.inner.state.lock().expect("pool state");
+        st.queue.is_empty() && st.queued_running == 0 && st.running == 0 && st.job.is_none()
+    }
+
     /// Run `job` on the calling thread plus up to `extra_workers` pool
     /// threads, returning once every participant has finished. The job is
     /// expected to do its own work splitting (the callers here steal over
@@ -305,10 +369,15 @@ impl WorkerPool {
     /// to `job()` inline on the calling thread.
     pub fn run_batch(&self, extra_workers: usize, job: &(dyn Fn() + Sync)) {
         if extra_workers == 0 || IN_BATCH.with(|f| f.get()) {
+            // The fan-out decision that ran inline (nested fan-out or no
+            // extra workers) — the signal for tuning the `PARALLEL_*`
+            // size gates.
+            obs_inline_batches().inc();
             let _guard = BatchFlagGuard::enter();
             job();
             return;
         }
+        obs_batches().inc();
         // Poison-tolerant: the guard protects no data (it only serialises
         // batches), and a panic from a *previous* batch's job must not
         // disable the pool for the rest of a long-lived process.
@@ -395,7 +464,10 @@ impl WorkerPool {
             st.queue.push_back(QueuedJob {
                 job: Box::new(job),
                 ticket: Arc::clone(&inner),
+                queued_at: crowd_obs::enabled().then(Instant::now),
             });
+            obs_submits().inc();
+            obs_queue_depth().set(st.queue.len() as i64);
             let demand = st.queue.len() + st.queued_running;
             drop(st);
             self.ensure_workers(demand);
@@ -501,7 +573,12 @@ fn worker_loop(inner: &PoolInner) {
         // sibling job.
         if let Some(q) = st.queue.pop_front() {
             st.queued_running += 1;
+            obs_queue_depth().set(st.queue.len() as i64);
+            obs_jobs_in_flight().set(st.queued_running as i64);
             drop(st);
+            if let Some(t0) = q.queued_at {
+                obs_dispatch_seconds().record(t0.elapsed().as_secs_f64());
+            }
             let result = std::panic::catch_unwind(AssertUnwindSafe(q.job));
             finish_ticket(
                 &q.ticket,
@@ -512,6 +589,7 @@ fn worker_loop(inner: &PoolInner) {
             );
             st = inner.state.lock().expect("pool state");
             st.queued_running -= 1;
+            obs_jobs_in_flight().set(st.queued_running as i64);
             continue;
         }
         st = inner.work.wait(st).expect("pool work wait");
@@ -991,6 +1069,57 @@ mod tests {
         for t in stuck {
             assert!(matches!(t.join(), JobOutcome::Cancelled));
         }
+    }
+
+    #[test]
+    fn introspection_sees_depth_rise_and_drain() {
+        // One worker, blocked on a gate: every further submit must be
+        // visible as queue depth from outside, and the depth must drain
+        // back to a fully idle pool once the gate opens.
+        let pool = WorkerPool::new(1);
+        assert!(pool.is_idle());
+        assert_eq!(pool.queue_depth(), 0);
+
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let started = Arc::new(AtomicUsize::new(0));
+        let g = Arc::clone(&gate);
+        let s = Arc::clone(&started);
+        let blocker = pool.submit(move || {
+            s.store(1, Ordering::SeqCst);
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        });
+        while started.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.jobs_in_flight(), 1, "blocker is running");
+        assert!(!pool.is_idle());
+
+        // The single worker is blocked, so these can only queue.
+        let queued: Vec<JobTicket> = (0..5).map(|_| pool.submit(|| ())).collect();
+        assert_eq!(pool.queue_depth(), 5, "submits behind a blocked worker");
+
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        assert!(matches!(blocker.join(), JobOutcome::Completed));
+        for t in queued {
+            assert!(matches!(t.join(), JobOutcome::Completed));
+        }
+        assert_eq!(pool.queue_depth(), 0, "queue drained");
+        // The last ticket completes before the worker re-takes the state
+        // lock to decrement `queued_running`; spin briefly for idle.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while !pool.is_idle() {
+            assert!(std::time::Instant::now() < deadline, "pool never idled");
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.jobs_in_flight(), 0);
     }
 
     #[test]

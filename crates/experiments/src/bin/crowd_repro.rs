@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! crowd-repro [--quick|--standard|--full] [--scale S] [--repeats N]
-//!             [--seed K] [--threads T] [--progress] <experiment> [...]
+//!             [--seed K] [--threads T] [--progress] [--metrics]
+//!             <experiment> [...]
 //!
 //! experiments:
 //!   table5        dataset statistics (Table 5)
@@ -25,6 +26,12 @@
 //! `--progress` streams one line per finished sweep cell to stderr while
 //! the grid experiments (fig4–6, table6, streaming) run on the async
 //! `SweepRunner` — live completed/failed counts, completion order.
+//!
+//! `--metrics` dumps the process-global `crowd-obs` registry (counters,
+//! gauges, latency histograms accumulated across every experiment run)
+//! as JSON on stdout after the last experiment. Recording honours the
+//! `CROWD_OBS` environment switch; with `CROWD_OBS=0` the dump is
+//! structurally valid but all zeros.
 //! ```
 
 use crowd_core::Method;
@@ -79,6 +86,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = ExpConfig::standard();
     let mut progress = false;
+    let mut metrics = false;
     let mut experiments: Vec<String> = Vec::new();
 
     let mut it = args.iter().peekable();
@@ -92,6 +100,7 @@ fn main() {
             "--seed" => config.seed = parse_next(&mut it, "--seed"),
             "--threads" => config.threads = parse_next(&mut it, "--threads"),
             "--progress" => progress = true,
+            "--metrics" => metrics = true,
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -126,6 +135,11 @@ fn main() {
             print_usage();
             std::process::exit(2);
         }
+    }
+
+    if metrics {
+        println!("== metrics (crowd-obs registry) ==");
+        println!("{}", crowd_obs::snapshot().to_json());
     }
 }
 
@@ -187,9 +201,10 @@ fn parse_next<T: std::str::FromStr>(
 fn print_usage() {
     println!(
         "usage: crowd-repro [--quick|--standard|--full] [--scale S] [--repeats N] \
-         [--seed K] [--threads T] [--progress] <experiment>...\n\
+         [--seed K] [--threads T] [--progress] [--metrics] <experiment>...\n\
          experiments: example table5 consistency fig2 fig3 fig4 fig5 fig6 table6 \
-         table7 fig7 fig8 fig9 streaming assignment advisor ablation all"
+         table7 fig7 fig8 fig9 streaming assignment advisor ablation all\n\
+         --metrics dumps the crowd-obs registry as JSON after the last experiment"
     );
 }
 

@@ -33,9 +33,29 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use crowd_core::exec::{JobError, TypedTicket, WorkerPool};
+
+fn obs_cell_seconds() -> &'static crowd_obs::Histogram {
+    static H: OnceLock<crowd_obs::Histogram> = OnceLock::new();
+    H.get_or_init(|| crowd_obs::histogram("exp.sweep.cell_seconds"))
+}
+
+fn obs_cells() -> &'static crowd_obs::Counter {
+    static H: OnceLock<crowd_obs::Counter> = OnceLock::new();
+    H.get_or_init(|| crowd_obs::counter("exp.sweep.cells_total"))
+}
+
+fn obs_panics() -> &'static crowd_obs::Counter {
+    static H: OnceLock<crowd_obs::Counter> = OnceLock::new();
+    H.get_or_init(|| crowd_obs::counter("exp.sweep.cell_panics_total"))
+}
+
+fn obs_cancelled() -> &'static crowd_obs::Counter {
+    static H: OnceLock<crowd_obs::Counter> = OnceLock::new();
+    H.get_or_init(|| crowd_obs::counter("exp.sweep.cells_cancelled_total"))
+}
 
 /// Cooperative cancellation flag shared between a sweep's driver and its
 /// in-flight cells. Cloning shares the flag.
@@ -162,6 +182,16 @@ pub struct SweepOutcome<T> {
 /// the ticket, not the channel.
 type CellNote = (usize, CellStatus);
 
+/// Bumps `exp.sweep.cell_panics_total` if dropped during unwind; the
+/// happy path defuses it with `mem::forget`.
+struct CountPanicOnDrop;
+
+impl Drop for CountPanicOnDrop {
+    fn drop(&mut self) {
+        obs_panics().inc();
+    }
+}
+
 /// Sends exactly one note per started cell — including during a panic
 /// unwind, which is what makes the driver's `recv` loop total.
 struct NoteOnDrop {
@@ -238,9 +268,20 @@ impl SweepRunner {
                     };
                     if token.is_cancelled() {
                         note.status = CellStatus::Cancelled;
+                        obs_cancelled().inc();
                         return None;
                     }
+                    // The timer's Drop records even through a panic
+                    // unwind, so `exp.sweep.cell_seconds` covers panicked
+                    // cells too; the panic itself is counted separately
+                    // by the guard below.
+                    let timer = obs_cell_seconds().start_timer();
+                    let panic_guard = CountPanicOnDrop;
                     let value = job();
+                    std::mem::forget(panic_guard);
+                    let dt = timer.stop();
+                    obs_cells().inc();
+                    crowd_obs::journal::record(crowd_obs::SpanKind::SweepCell, index as u64, dt);
                     note.status = CellStatus::Completed;
                     Some(value)
                 })

@@ -31,6 +31,7 @@ pub mod wal;
 
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 use crowd_data::AnswerRecord;
 use crowd_stream::{ConvergeBudget, StreamConfig, StreamEngine, StreamError, StreamReport};
@@ -84,6 +85,48 @@ impl DurabilityConfig {
     }
 }
 
+/// Wall-clock cost of each recovery phase, in the order they run.
+/// Mirrored into the `serve.recovery.*_seconds` metrics and the
+/// `recovery_phase` journal spans (key 0=scan, 1=snapshot load,
+/// 2=replay, 3=requeue).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryPhaseTimings {
+    /// Directory scan plus reading every WAL's valid prefix off disk.
+    pub scan: Duration,
+    /// Reading and validating snapshot files (downgrade checks included).
+    pub snapshot_load: Duration,
+    /// Re-pushing batches and re-running converges (the EM work).
+    pub replay: Duration,
+    /// Re-enqueueing tail batches onto ingest queues.
+    pub requeue: Duration,
+}
+
+impl RecoveryPhaseTimings {
+    pub(crate) fn absorb(&mut self, other: &RecoveryPhaseTimings) {
+        self.scan += other.scan;
+        self.snapshot_load += other.snapshot_load;
+        self.replay += other.replay;
+        self.requeue += other.requeue;
+    }
+}
+
+/// What recovery read and replayed for one session — the on-disk counts
+/// a durability audit checks against the WAL actually written.
+#[derive(Debug, Clone)]
+pub struct RecoveredSessionCounts {
+    /// The recovered session.
+    pub session: crate::SessionId,
+    /// Valid WAL frames read (header included).
+    pub wal_frames: u64,
+    /// Valid WAL bytes read (the prefix the reopen truncates to).
+    pub wal_bytes: u64,
+    /// Converges actually re-run for this session (EM work).
+    pub converges_replayed: u64,
+    /// Answers from this session's tail batches re-enqueued for the next
+    /// drain tick.
+    pub answers_requeued: usize,
+}
+
 /// What [`CrowdServe::recover`](crate::CrowdServe::recover) did.
 #[derive(Debug, Clone, Default)]
 pub struct RecoveryReport {
@@ -110,6 +153,12 @@ pub struct RecoveryReport {
     /// Why each skipped session could not be rebuilt (parallel to
     /// `sessions_skipped`).
     pub skipped: Vec<(crate::SessionId, String)>,
+    /// Per-phase wall-clock timings (also exported as
+    /// `serve.recovery.*_seconds` metrics).
+    pub timings: RecoveryPhaseTimings,
+    /// Per-session frame/byte/replay counts, one entry per recovered
+    /// session, ascending id order.
+    pub per_session: Vec<RecoveredSessionCounts>,
 }
 
 pub(crate) fn wal_path(dir: &Path, raw: u64) -> PathBuf {
@@ -163,6 +212,9 @@ pub(crate) struct ReplayedSession {
     pub valid_frames: u64,
     /// The WAL had bytes past the valid prefix.
     pub torn: bool,
+    /// Per-phase wall time spent rebuilding this session (scan = WAL
+    /// read; requeue is the caller's phase and stays zero here).
+    pub timings: RecoveryPhaseTimings,
 }
 
 pub(crate) enum SessionRecoveryError {
@@ -198,7 +250,10 @@ pub(crate) fn recover_session(
     dir: &Path,
     raw: u64,
 ) -> Result<ReplayedSession, SessionRecoveryError> {
+    let mut timings = RecoveryPhaseTimings::default();
+    let t0 = Instant::now();
     let contents = wal::read_wal(&wal_path(dir, raw)).map_err(SessionRecoveryError::Io)?;
+    timings.scan = t0.elapsed();
     let Some(config) = contents.config.clone() else {
         return Err(SessionRecoveryError::NoHeader);
     };
@@ -206,11 +261,14 @@ pub(crate) fn recover_session(
     // "Present" means the file exists — a snapshot that exists but cannot
     // be read (corrupt, torn, wrong version) counts as a fallback, not as
     // a session that never had one.
+    let t0 = Instant::now();
     let snapshot_present = snap_path.exists();
     let snap =
         snapshot::read_snapshot(&snap_path).filter(|s| snapshot_consistent(s, &contents.frames));
+    timings.snapshot_load = t0.elapsed();
     let mut snapshot_fallback = snapshot_present && snap.is_none();
 
+    let t0 = Instant::now();
     let replayed = match replay(&config, &contents.frames, snap.as_ref()) {
         Ok(r) => r,
         Err(ReplayFail::Snapshot) => {
@@ -225,8 +283,10 @@ pub(crate) fn recover_session(
         }
         Err(ReplayFail::Stream(e)) => return Err(SessionRecoveryError::Stream(e)),
     };
+    timings.replay = t0.elapsed();
 
     Ok(ReplayedSession {
+        timings,
         snapshot_used: replayed.snapshot_used,
         snapshot_fallback,
         engine: replayed.engine,

@@ -516,12 +516,16 @@ impl WalWriter {
         match self.fault.decide(site) {
             Some(FaultKind::Error) | Some(FaultKind::Panic) => {
                 // Clean injected failure: nothing written, retryable.
+                crate::obs::wal_faults().inc();
+                crowd_obs::journal::record(crowd_obs::SpanKind::FaultInjected, self.session, 0.0);
                 return Err(io::Error::other("injected wal append error"));
             }
             Some(FaultKind::Torn) => {
                 // A crash mid-write: a strict prefix lands and the
                 // writer wedges (the in-process repair path is exactly
                 // what a real crash would NOT get to run).
+                crate::obs::wal_faults().inc();
+                crowd_obs::journal::record(crowd_obs::SpanKind::FaultInjected, self.session, 0.0);
                 let keep = self.fault.torn_keep(site, bytes.len());
                 let _ = self.file.write_all(&bytes[..keep]);
                 let _ = self.file.sync_data();
@@ -530,7 +534,12 @@ impl WalWriter {
             }
             None => {}
         }
+        // The append timer covers the write plus any policy-driven fsync
+        // (the full latency a submit pays for durability).
+        let timer = crate::obs::wal_append_seconds().start_timer();
         if let Err(e) = self.file.write_all(&bytes).and_then(|()| self.maybe_sync()) {
+            timer.discard();
+            crate::obs::wal_append_failures().inc();
             // Best-effort repair: truncate back to the last good frame
             // boundary so the log stays consistent and the error is
             // transient; if even that fails, wedge.
@@ -543,18 +552,21 @@ impl WalWriter {
             }
             return Err(e);
         }
+        let dt = timer.stop();
+        crate::obs::wal_appends().inc();
+        crowd_obs::journal::record(crowd_obs::SpanKind::WalAppend, self.session, dt);
         self.len += bytes.len() as u64;
         Ok(())
     }
 
     fn maybe_sync(&mut self) -> io::Result<()> {
         match self.policy {
-            FsyncPolicy::Always => self.file.sync_data(),
+            FsyncPolicy::Always => self.timed_sync(),
             FsyncPolicy::EveryN(n) => {
                 self.unsynced += 1;
                 if self.unsynced >= n.max(1) {
                     self.unsynced = 0;
-                    self.file.sync_data()
+                    self.timed_sync()
                 } else {
                     Ok(())
                 }
@@ -563,10 +575,23 @@ impl WalWriter {
         }
     }
 
+    fn timed_sync(&mut self) -> io::Result<()> {
+        let timer = crate::obs::wal_fsync_seconds().start_timer();
+        let result = self.file.sync_data();
+        if result.is_ok() {
+            let dt = timer.stop();
+            crate::obs::wal_fsyncs().inc();
+            crowd_obs::journal::record(crowd_obs::SpanKind::WalFsync, self.session, dt);
+        } else {
+            timer.discard();
+        }
+        result
+    }
+
     /// Flush buffered appends to disk regardless of policy.
     pub fn sync(&mut self) -> io::Result<()> {
         self.unsynced = 0;
-        self.file.sync_data()
+        self.timed_sync()
     }
 
     /// The WAL file path.

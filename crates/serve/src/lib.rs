@@ -82,11 +82,14 @@
 #![warn(missing_docs)]
 
 pub mod durable;
+mod obs;
 mod service;
 mod shard;
 
 pub use durable::fault::{FaultKind, FaultPlan, FaultPlanBuilder, FaultSite};
-pub use durable::{DurabilityConfig, FsyncPolicy, RecoveryReport};
+pub use durable::{
+    DurabilityConfig, FsyncPolicy, RecoveredSessionCounts, RecoveryPhaseTimings, RecoveryReport,
+};
 pub use service::{
     CrowdServe, EvictedSession, RetryPolicy, ServeConfig, ServeStats, SessionId, SessionStats,
     TickReport,

@@ -12,6 +12,7 @@ use crowd_stream::{ConvergeBudget, StreamConfig, StreamEngine, StreamReport};
 use crate::durable::fault::{splitmix64, FaultPlan};
 use crate::durable::wal::WalWriter;
 use crate::durable::{self, DurabilityConfig, RecoveryReport};
+use crate::obs;
 use crate::shard::{
     lock, panic_message, DrainCtx, Envelope, SessionSlot, SessionWal, Shard, ShardTickStats,
 };
@@ -302,10 +303,12 @@ impl CrowdServe {
         };
         let serve = Self::new(config)?;
         let mut report = RecoveryReport::default();
+        let t_scan = Instant::now();
         let ids = durable::scan_wal_sessions(&dur.dir).map_err(|e| ServeError::Durability {
             session: None,
             detail: format!("cannot scan durability dir {}: {e}", dur.dir.display()),
         })?;
+        report.timings.scan = t_scan.elapsed();
         let mut max_id = None;
         for raw in ids {
             max_id = Some(raw);
@@ -327,6 +330,7 @@ impl CrowdServe {
             if r.snapshot_fallback {
                 report.snapshot_fallbacks += 1;
             }
+            report.timings.absorb(&r.timings);
             report.converges_replayed += r.converges_run;
             // Reopen the WAL on its valid prefix (this truncates any torn
             // tail) so post-recovery submits extend a clean log.
@@ -362,16 +366,46 @@ impl CrowdServe {
             let mut slot = SessionSlot::new(r.engine);
             slot.last_report = r.last_report;
             lock(&shard.sessions).insert(raw, Arc::new(Mutex::new(slot)));
+            let t_requeue = Instant::now();
+            let mut requeued = 0usize;
             let mut q = lock(&shard.ingest);
             for records in r.tail_batches {
-                report.answers_requeued += records.len();
+                requeued += records.len();
                 q.queued_answers += records.len();
+                obs::ingest_queued().add(records.len() as i64);
                 q.queue.push_back(Envelope {
                     session: raw,
                     records,
                 });
             }
+            drop(q);
+            report.timings.requeue += t_requeue.elapsed();
+            report.answers_requeued += requeued;
+            report.per_session.push(durable::RecoveredSessionCounts {
+                session: sid,
+                wal_frames: r.valid_frames,
+                wal_bytes: r.valid_len,
+                converges_replayed: r.converges_run,
+                answers_requeued: requeued,
+            });
+            obs::recovery_converges_replayed().add(r.converges_run);
+            obs::recovery_answers_requeued().add(requeued as u64);
+            obs::recovery_wal_frames().add(r.valid_frames);
+            obs::recovery_wal_bytes().add(r.valid_len);
             report.sessions_recovered += 1;
+        }
+        obs::recovery_sessions_recovered().add(report.sessions_recovered as u64);
+        obs::recovery_sessions_skipped().add(report.sessions_skipped as u64);
+        let t = &report.timings;
+        for (hist, phase, dt) in [
+            (obs::recovery_scan_seconds(), 0u64, t.scan),
+            (obs::recovery_snapshot_load_seconds(), 1, t.snapshot_load),
+            (obs::recovery_replay_seconds(), 2, t.replay),
+            (obs::recovery_requeue_seconds(), 3, t.requeue),
+        ] {
+            let secs = dt.as_secs_f64();
+            hist.record(secs);
+            crowd_obs::journal::record(crowd_obs::SpanKind::RecoveryPhase, phase, secs);
         }
         serve
             .next_session
@@ -502,6 +536,8 @@ impl CrowdServe {
         }
         let mut q = lock(&shard.ingest);
         if q.queued_answers > 0 && q.queued_answers + records.len() > self.config.queue_capacity {
+            obs::ingest_backpressure().inc();
+            crowd_obs::journal::record(crowd_obs::SpanKind::BackpressureReject, session.raw(), 0.0);
             return Err(ServeError::Backpressure {
                 session,
                 shard: shard_idx,
@@ -518,6 +554,9 @@ impl CrowdServe {
                 })?;
             w.batches_appended += 1;
         }
+        obs::ingest_batches().inc();
+        obs::ingest_answers().add(records.len() as u64);
+        obs::ingest_queued().add(records.len() as i64);
         q.queued_answers += records.len();
         q.queue.push_back(Envelope {
             session: session.raw(),
@@ -722,6 +761,8 @@ impl CrowdServe {
             q.queued_answers = q.queue.iter().map(|e| e.records.len()).sum();
             mine
         };
+        let pulled: usize = pending.iter().map(|e| e.records.len()).sum();
+        obs::ingest_queued().add(-(pulled as i64));
 
         let slot = lock(&shard.sessions)
             .remove(&session.raw())

@@ -20,6 +20,7 @@ use crate::durable::fault::{FaultPlan, FaultSite};
 use crate::durable::snapshot::{write_snapshot, SnapshotData};
 use crate::durable::wal::WalWriter;
 use crate::durable::{self, DurabilityConfig};
+use crate::obs;
 use crate::SessionId;
 
 /// One batch of answers waiting in a shard's ingest queue.
@@ -188,6 +189,7 @@ impl Shard {
     ) -> ShardTickStats {
         let _gate = lock(&self.drain_gate);
         let started = Instant::now();
+        let tick_timer = obs::shard_tick_seconds().start_timer();
         let mut stats = ShardTickStats::default();
 
         // Phase 0: checkpoint auto-restarts.
@@ -199,6 +201,7 @@ impl Shard {
         // full capacity immediately.
         let envelopes: Vec<Envelope> = {
             let mut q = lock(&self.ingest);
+            obs::ingest_queued().add(-(q.queued_answers as i64));
             q.queued_answers = 0;
             q.queue.drain(..).collect()
         };
@@ -229,6 +232,7 @@ impl Shard {
                 drop(slot);
                 let mut q = lock(&self.ingest);
                 q.queued_answers += env.records.len();
+                obs::ingest_queued().add(env.records.len() as i64);
                 q.queue.push_back(env);
                 continue;
             }
@@ -267,6 +271,7 @@ impl Shard {
             if let Some(limit) = deadline {
                 if started.elapsed() >= limit {
                     stats.sessions_deadline_deferred += 1;
+                    obs::shard_deadline_deferred().inc();
                     continue;
                 }
             }
@@ -294,8 +299,10 @@ impl Shard {
                 Ok(Ok(report)) => {
                     if report.result.converged {
                         stats.sessions_converged += 1;
+                        obs::shard_sessions_converged().inc();
                     } else {
                         stats.sessions_budget_exhausted += 1;
+                        obs::shard_budget_exhausted().inc();
                     }
                     slot.last_report = Some(report);
                     if let Some(dur) = &ctx.durability {
@@ -314,9 +321,17 @@ impl Shard {
                     let msg = panic_message(payload.as_ref());
                     slot.poisoned = Some(msg);
                     stats.newly_poisoned.push(SessionId::from_raw(raw));
+                    obs::shard_poisoned().inc();
                 }
             }
         }
+        obs::shard_answers_ingested().add(stats.answers_ingested as u64);
+        let dt = tick_timer.stop();
+        crowd_obs::journal::record(
+            crowd_obs::SpanKind::DrainTick,
+            stats.answers_ingested as u64,
+            dt,
+        );
         stats
     }
 
@@ -371,11 +386,18 @@ impl Shard {
             };
             let path = durable::snapshot_path(&dur.dir, raw);
             let sync = dur.fsync != durable::FsyncPolicy::Never;
-            if let Err(e) = write_snapshot(&path, raw, index, &ctx.fault, &data, sync) {
+            let timer = obs::snapshot_write_seconds().start_timer();
+            let result = write_snapshot(&path, raw, index, &ctx.fault, &data, sync);
+            let dt = timer.stop();
+            crowd_obs::journal::record(crowd_obs::SpanKind::SnapshotWrite, raw, dt);
+            if let Err(e) = result {
+                obs::snapshot_failures().inc();
                 stats.ingest_errors.push((
                     SessionId::from_raw(raw),
                     format!("snapshot write failed (recovery will replay the full wal): {e}"),
                 ));
+            } else {
+                obs::snapshot_writes().inc();
             }
         }
     }
@@ -448,6 +470,15 @@ impl Shard {
                     slot.poisoned = None;
                     slot.restarts += 1;
                     stats.sessions_restarted += 1;
+                    obs::shard_restarts().inc();
+                    crowd_obs::journal::record(
+                        crowd_obs::SpanKind::SessionRestart,
+                        raw,
+                        (r.timings.scan + r.timings.snapshot_load + r.timings.replay).as_secs_f64(),
+                    );
+                    obs::recovery_snapshot_load_seconds()
+                        .record(r.timings.snapshot_load.as_secs_f64());
+                    obs::recovery_replay_seconds().record(r.timings.replay.as_secs_f64());
                 }
                 Err(e) => {
                     stats

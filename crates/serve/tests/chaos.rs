@@ -220,6 +220,35 @@ fn chaos_workload_stays_typed_and_crash_recovers() {
     }
     let tick = replayed.drain_tick();
     assert_eq!(tick.shard_failures, 0, "seed {seed}");
+
+    // The whole ordeal leaves a metrics trail: injected faults, session
+    // restarts, and all four recovery phases show up in the
+    // process-global registry (registry counts are cumulative across the
+    // test binary, hence the `>=` comparisons).
+    let obs = crowd_obs::snapshot();
+    assert!(
+        obs.counter("serve.wal.faults_total") + obs.counter("serve.snapshot.faults_total") > 0,
+        "seed {seed}: fault injection left no metric trail"
+    );
+    assert!(
+        obs.counter("serve.shard.session_restarts_total") >= restarts as u64,
+        "seed {seed}: restarts under-counted"
+    );
+    assert!(
+        obs.counter("serve.recovery.sessions_recovered_total") >= report.sessions_recovered as u64,
+        "seed {seed}: recoveries under-counted"
+    );
+    for phase in [
+        "serve.recovery.scan_seconds",
+        "serve.recovery.snapshot_load_seconds",
+        "serve.recovery.replay_seconds",
+        "serve.recovery.requeue_seconds",
+    ] {
+        let h = obs
+            .histogram(phase)
+            .unwrap_or_else(|| panic!("seed {seed}: {phase} missing from snapshot"));
+        assert!(h.count > 0, "seed {seed}: {phase} never recorded");
+    }
 }
 
 #[test]

@@ -322,6 +322,7 @@ fn truncation_at_every_byte_offset_recovers_longest_valid_prefix() {
                 assert_eq!(report.sessions_recovered, 0, "cut={cut}");
                 assert_eq!(report.sessions_skipped, 1, "cut={cut}");
                 assert_eq!(report.skipped.len(), 1);
+                assert!(report.per_session.is_empty(), "cut={cut}");
             }
             Some((engine_answers, queued)) => {
                 assert_eq!(report.sessions_recovered, 1, "cut={cut}");
@@ -333,6 +334,22 @@ fn truncation_at_every_byte_offset_recovers_longest_valid_prefix() {
                     "cut={cut}"
                 );
                 assert_eq!(report.answers_requeued, queued, "cut={cut}");
+                // Per-session accounting matches the frame structure of
+                // the WAL bytes actually on disk: every complete frame
+                // within the cut counts, torn tail bytes do not.
+                let disk = std::fs::read(&wal_path).unwrap();
+                let valid = frames_of(&disk);
+                assert_eq!(report.per_session.len(), 1, "cut={cut}");
+                let counts = &report.per_session[0];
+                assert_eq!(counts.wal_frames, valid.len() as u64, "cut={cut}");
+                assert_eq!(
+                    counts.wal_bytes,
+                    valid.last().map_or(0, |&(end, _)| end) as u64,
+                    "cut={cut}"
+                );
+                let converges = valid.iter().filter(|&&(_, k)| k == KIND_CONVERGE).count();
+                assert_eq!(counts.converges_replayed, converges as u64, "cut={cut}");
+                assert_eq!(counts.answers_requeued, queued, "cut={cut}");
                 let sid = serve.sessions()[0];
                 assert_eq!(
                     serve.session_stats(sid).unwrap().answers_seen,

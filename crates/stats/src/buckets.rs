@@ -1,0 +1,269 @@
+//! Shared histogram bucketing math.
+//!
+//! Two bucket layouts live behind one indexing contract: the fixed-range
+//! linear layout of [`crate::Histogram`] (Figures 2–3 of the paper) and
+//! the log-linear latency layout the `crowd-obs` metrics registry builds
+//! its lock-free atomic histograms on. Both map every finite `f64`
+//! (and, totals-preserving, every NaN) to a bucket index and expose the
+//! inverse `bounds(i)` mapping, so any consumer — a plain `Vec<u64>`, an
+//! atomic bucket array, a renderer — shares one implementation of the
+//! bucketing arithmetic.
+
+/// Equal-width buckets over `[lo, hi)` with clamping at both edges:
+/// values below `lo` land in bucket 0, values at or above `hi` in the
+/// last bucket, NaN in bucket 0. Totals are always preserved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearBuckets {
+    lo: f64,
+    hi: f64,
+    bins: usize,
+}
+
+impl LinearBuckets {
+    /// `bins` equal-width buckets over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi` or either bound is not finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid range [{lo}, {hi})"
+        );
+        Self { lo, hi, bins }
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.bins
+    }
+
+    /// Whether the layout has no buckets (never true — `new` rejects 0).
+    pub fn is_empty(&self) -> bool {
+        self.bins == 0
+    }
+
+    /// Lower bound of the covered range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the covered range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Bucket index for `value`, clamped into `0..len()`. NaN maps to
+    /// bucket 0 (it compares as "not above" every boundary).
+    pub fn index(&self, value: f64) -> usize {
+        let width = (self.hi - self.lo) / self.bins as f64;
+        let raw = ((value - self.lo) / width).floor();
+        // NaN→0 falls out of clamp (NaN.clamp(0, n) is NaN, and
+        // `NaN as usize` saturates to 0).
+        raw.clamp(0.0, (self.bins - 1) as f64) as usize
+    }
+
+    /// Inclusive-exclusive bounds `[lo_i, hi_i)` of bucket `i`.
+    pub fn bounds(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.bins as f64;
+        (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
+    }
+}
+
+/// Log-linear buckets for positive, heavy-tailed measurements (latency
+/// seconds): `decades` decades starting at `min`, each split into
+/// `per_decade` equal-width linear buckets, plus an underflow bucket 0
+/// (`value < min`, zero, negatives, NaN) and a final overflow bucket
+/// (`value >= min * 10^decades`).
+///
+/// With `min = 1e-6`, `decades = 9`, `per_decade = 9` the boundaries run
+/// 1µs, 2µs, …, 9µs, 10µs, 20µs, … up to 1000s in 83 buckets — relative
+/// resolution bounded by ~2× at the coarse end of a decade, good enough
+/// for p50/p95/p99 readouts without per-recording floating-point `log`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogLinearBuckets {
+    min: f64,
+    decades: usize,
+    per_decade: usize,
+    /// The `decades * per_decade + 1` finite bucket boundaries, computed
+    /// once so `index` and `bounds` agree bit-for-bit on every edge.
+    edges: Vec<f64>,
+}
+
+impl LogLinearBuckets {
+    /// A layout of `decades` decades above `min`, each split linearly
+    /// into `per_decade` buckets.
+    ///
+    /// # Panics
+    /// Panics if `min` is not finite and positive, or either count is 0.
+    pub fn new(min: f64, decades: usize, per_decade: usize) -> Self {
+        assert!(
+            min.is_finite() && min > 0.0,
+            "log-linear min must be positive and finite, got {min}"
+        );
+        assert!(decades > 0, "need at least one decade");
+        assert!(per_decade > 0, "need at least one bucket per decade");
+        let mut edges = Vec::with_capacity(decades * per_decade + 1);
+        edges.push(min);
+        for d in 0..decades {
+            let lo = min * 10f64.powi(d as i32);
+            let hi = min * 10f64.powi(d as i32 + 1);
+            let width = (hi - lo) / per_decade as f64;
+            for sub in 1..per_decade {
+                edges.push(lo + sub as f64 * width);
+            }
+            // The decade's last edge is the next decade's first: force
+            // the exact power so the two computations cannot disagree.
+            edges.push(hi);
+        }
+        assert!(
+            edges.last().copied().unwrap_or(f64::INFINITY).is_finite(),
+            "layout overflows f64: min {min}, {decades} decades"
+        );
+        Self {
+            min,
+            decades,
+            per_decade,
+            edges,
+        }
+    }
+
+    /// The default latency layout: 1µs to 1000s, 9 linear buckets per
+    /// decade (boundaries at 1–9µs, 10–90µs, … in unit steps).
+    pub fn latency_seconds() -> Self {
+        Self::new(1e-6, 9, 9)
+    }
+
+    /// Total number of buckets, underflow and overflow included.
+    pub fn len(&self) -> usize {
+        self.decades * self.per_decade + 2
+    }
+
+    /// Whether the layout has no buckets (never true).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Start of the first decade (underflow threshold).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Number of decades covered.
+    pub fn decades(&self) -> usize {
+        self.decades
+    }
+
+    /// Linear subdivisions per decade.
+    pub fn per_decade(&self) -> usize {
+        self.per_decade
+    }
+
+    /// Bucket index for `value`. Sub-`min` values (zero, negatives, NaN
+    /// included) go to the underflow bucket 0; values at or beyond the
+    /// last decade go to the overflow bucket `len() - 1`.
+    pub fn index(&self, value: f64) -> usize {
+        if value.is_nan() || value < self.min {
+            return 0; // underflow, including NaN
+        }
+        if value >= *self.edges.last().expect("non-empty edges") {
+            return self.len() - 1; // overflow
+        }
+        // Binary search over ~80 precomputed edges (no log10 on the
+        // record path): `partition_point` counts edges ≤ value, which for
+        // value ∈ [edges[k-1], edges[k]) is exactly k — interior bucket k.
+        self.edges.partition_point(|&e| e <= value)
+    }
+
+    /// Inclusive-exclusive bounds `[lo_i, hi_i)` of bucket `i`. The
+    /// underflow bucket reports `(0.0, min)`, the overflow bucket
+    /// `(min * 10^decades, +inf)`.
+    pub fn bounds(&self, i: usize) -> (f64, f64) {
+        if i == 0 {
+            return (0.0, self.min);
+        }
+        if i >= self.len() - 1 {
+            return (*self.edges.last().expect("non-empty edges"), f64::INFINITY);
+        }
+        (self.edges[i - 1], self.edges[i])
+    }
+
+    /// Representative upper edge of bucket `i` for quantile readout: the
+    /// bucket's exclusive upper bound, except the overflow bucket, which
+    /// reports its (finite) lower bound.
+    pub fn quantile_edge(&self, i: usize) -> f64 {
+        let (lo, hi) = self.bounds(i);
+        if hi.is_finite() {
+            hi
+        } else {
+            lo
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_matches_expected_partition() {
+        let b = LinearBuckets::new(0.0, 1.0, 4);
+        assert_eq!(b.index(0.0), 0);
+        assert_eq!(b.index(0.24), 0);
+        assert_eq!(b.index(0.25), 1);
+        assert_eq!(b.index(0.99), 3);
+        assert_eq!(b.index(-5.0), 0);
+        assert_eq!(b.index(2.0), 3);
+        assert_eq!(b.index(f64::NAN), 0);
+        assert_eq!(b.bounds(1), (0.25, 0.5));
+    }
+
+    #[test]
+    fn log_linear_covers_every_float_once() {
+        let b = LogLinearBuckets::latency_seconds();
+        assert_eq!(b.len(), 83);
+        // Underflow: zero, negatives, NaN, sub-min.
+        for v in [0.0, -1.0, f64::NAN, 5e-7, f64::NEG_INFINITY] {
+            assert_eq!(b.index(v), 0, "{v}");
+        }
+        // Exact decade boundaries open a new decade.
+        assert_eq!(b.index(1e-6), 1);
+        assert_eq!(b.index(9.99e-6), 9);
+        assert_eq!(b.index(1e-5), 10);
+        assert_eq!(b.index(1e-3), 28);
+        // Overflow at and beyond the top.
+        assert_eq!(b.index(1000.0), 82);
+        assert_eq!(b.index(f64::INFINITY), 82);
+        assert_eq!(b.index(999.0), 81);
+    }
+
+    #[test]
+    fn log_linear_bounds_invert_index() {
+        let b = LogLinearBuckets::new(1e-3, 4, 5);
+        for i in 0..b.len() {
+            let (lo, hi) = b.bounds(i);
+            assert!(lo < hi, "bucket {i}: [{lo}, {hi})");
+            if i > 0 {
+                assert_eq!(b.index(lo), i, "lower bound of bucket {i}");
+            }
+            if hi.is_finite() {
+                // The upper bound belongs to the next bucket.
+                assert_eq!(b.index(hi), i + 1, "upper bound of bucket {i}");
+                // A midpoint stays inside.
+                assert_eq!(b.index(0.5 * (lo + hi)), i, "midpoint of bucket {i}");
+            }
+        }
+        // Buckets tile: each bucket's hi is the next bucket's lo.
+        for i in 1..b.len() - 1 {
+            assert_eq!(b.bounds(i).1, b.bounds(i + 1).0, "gap after bucket {i}");
+        }
+    }
+
+    #[test]
+    fn quantile_edges_are_finite() {
+        let b = LogLinearBuckets::latency_seconds();
+        for i in 0..b.len() {
+            assert!(b.quantile_edge(i).is_finite(), "bucket {i}");
+        }
+    }
+}

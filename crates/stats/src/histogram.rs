@@ -5,15 +5,18 @@
 //! worker). This module provides the binning and a terminal renderer the
 //! experiment harness uses to print the same shapes.
 
+use crate::buckets::LinearBuckets;
+
 /// A histogram over `[lo, hi)` with equally sized bins.
 ///
 /// Values below `lo` clamp into the first bin and values at or above `hi`
 /// clamp into the last, so totals are preserved (the paper's figures also
-/// show every worker somewhere).
+/// show every worker somewhere). The bucketing arithmetic lives in
+/// [`LinearBuckets`], shared with the atomic latency histograms of
+/// `crowd-obs`.
 #[derive(Debug, Clone)]
 pub struct Histogram {
-    lo: f64,
-    hi: f64,
+    buckets: LinearBuckets,
     counts: Vec<u64>,
 }
 
@@ -23,14 +26,8 @@ impl Histogram {
     /// # Panics
     /// Panics if `bins == 0` or `lo >= hi` or either bound is not finite.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
-        assert!(bins > 0, "histogram needs at least one bin");
-        assert!(
-            lo.is_finite() && hi.is_finite() && lo < hi,
-            "invalid range [{lo}, {hi})"
-        );
         Self {
-            lo,
-            hi,
+            buckets: LinearBuckets::new(lo, hi, bins),
             counts: vec![0; bins],
         }
     }
@@ -42,19 +39,17 @@ impl Histogram {
 
     /// Lower bound of the histogram range.
     pub fn lo(&self) -> f64 {
-        self.lo
+        self.buckets.lo()
     }
 
     /// Upper bound of the histogram range.
     pub fn hi(&self) -> f64 {
-        self.hi
+        self.buckets.hi()
     }
 
     /// Index of the bin a value falls into (with clamping at the edges).
     pub fn bin_index(&self, value: f64) -> usize {
-        let width = (self.hi - self.lo) / self.counts.len() as f64;
-        let raw = ((value - self.lo) / width).floor();
-        raw.clamp(0.0, (self.counts.len() - 1) as f64) as usize
+        self.buckets.index(value)
     }
 
     /// Record one observation.
@@ -87,8 +82,7 @@ impl Histogram {
 
     /// Inclusive-exclusive bounds `[lo_i, hi_i)` of bin `i`.
     pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
-        let width = (self.hi - self.lo) / self.counts.len() as f64;
-        (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
+        self.buckets.bounds(i)
     }
 
     /// Midpoint of bin `i`.

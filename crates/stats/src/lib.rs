@@ -15,6 +15,7 @@
 
 #![warn(missing_docs)]
 
+pub mod buckets;
 pub mod chi2;
 pub mod convergence;
 pub mod dist;
@@ -24,6 +25,7 @@ pub mod kernels;
 pub mod special;
 pub mod summary;
 
+pub use buckets::{LinearBuckets, LogLinearBuckets};
 pub use chi2::{chi2_cdf, chi2_inv_cdf, chi2_quantile_975};
 pub use convergence::ConvergenceTracker;
 pub use dist::{

@@ -8,6 +8,40 @@ use crowd_data::{Answer, AnswerRecord, TaskType};
 use crate::delta::DeltaCat;
 use crate::StreamError;
 
+use std::sync::OnceLock;
+
+// Cached `stream.engine.*` metric handles (see ARCHITECTURE.md §
+// Observability for the naming scheme). Registration happens once per
+// process; the hot paths below touch only atomics.
+fn obs_batches() -> &'static crowd_obs::Counter {
+    static H: OnceLock<crowd_obs::Counter> = OnceLock::new();
+    H.get_or_init(|| crowd_obs::counter("stream.engine.batches_total"))
+}
+fn obs_batch_answers() -> &'static crowd_obs::Counter {
+    static H: OnceLock<crowd_obs::Counter> = OnceLock::new();
+    H.get_or_init(|| crowd_obs::counter("stream.engine.batch_answers_total"))
+}
+fn obs_push_seconds() -> &'static crowd_obs::Histogram {
+    static H: OnceLock<crowd_obs::Histogram> = OnceLock::new();
+    H.get_or_init(|| crowd_obs::histogram("stream.engine.batch_push_seconds"))
+}
+fn obs_converge_seconds() -> &'static crowd_obs::Histogram {
+    static H: OnceLock<crowd_obs::Histogram> = OnceLock::new();
+    H.get_or_init(|| crowd_obs::histogram("stream.engine.converge_seconds"))
+}
+fn obs_converge_iterations() -> &'static crowd_obs::Histogram {
+    static H: OnceLock<crowd_obs::Histogram> = OnceLock::new();
+    H.get_or_init(|| crowd_obs::histogram("stream.engine.converge_iterations"))
+}
+fn obs_warm_resumes() -> &'static crowd_obs::Counter {
+    static H: OnceLock<crowd_obs::Counter> = OnceLock::new();
+    H.get_or_init(|| crowd_obs::counter("stream.engine.warm_resumes_total"))
+}
+fn obs_cold_converges() -> &'static crowd_obs::Counter {
+    static H: OnceLock<crowd_obs::Counter> = OnceLock::new();
+    H.get_or_init(|| crowd_obs::counter("stream.engine.cold_converges_total"))
+}
+
 /// Pseudo-count governing how fast warm worker state earns full trust:
 /// a worker's warm quality keeps weight `c / (c + 12)` after `c`
 /// answers (half trust at 12 answers, ~90% at 100).
@@ -338,10 +372,20 @@ impl StreamEngine {
     /// with a duplicate rejection — resubmission must slice off the
     /// accepted prefix.
     pub fn push_batch(&mut self, records: &[AnswerRecord]) -> Result<usize, (usize, StreamError)> {
-        for (i, r) in records.iter().enumerate() {
-            self.push(r.task, r.worker, r.answer).map_err(|e| (i, e))?;
-        }
-        Ok(records.len())
+        let timer = obs_push_seconds().start_timer();
+        let mut accepted = 0usize;
+        let out = (|| {
+            for (i, r) in records.iter().enumerate() {
+                self.push(r.task, r.worker, r.answer).map_err(|e| (i, e))?;
+                accepted = i + 1;
+            }
+            Ok(records.len())
+        })();
+        let dt = timer.stop();
+        obs_batches().inc();
+        obs_batch_answers().add(accepted as u64);
+        crowd_obs::journal::record(crowd_obs::SpanKind::BatchPush, accepted as u64, dt);
+        out
     }
 
     /// Live per-task plurality estimates over everything pushed so far —
@@ -385,7 +429,20 @@ impl StreamEngine {
         // unperturbed, or repeated re-shrinking turns the resume loop
         // into a limit cycle that never meets the tolerance.
         let shrink = self.pending_answers > 0;
+        let timer = obs_converge_seconds().start_timer();
         let report = self.run_capped(self.warm.clone(), cap)?;
+        let dt = timer.stop();
+        obs_converge_iterations().record(report.result.iterations as f64);
+        if report.warm {
+            obs_warm_resumes().inc();
+        } else {
+            obs_cold_converges().inc();
+        }
+        crowd_obs::journal::record(
+            crowd_obs::SpanKind::Converge,
+            report.result.iterations as u64,
+            dt,
+        );
         let mut warm = WarmStart::from_result(&report.result);
         if shrink {
             self.shrink_worker_state(&mut warm);
