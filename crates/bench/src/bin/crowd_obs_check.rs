@@ -24,22 +24,26 @@ use crowd_bench::json::{self, Json};
 use std::process::ExitCode;
 
 /// Counters the serve bench's workload cannot avoid incrementing.
-const EXPECT_SERVE_COUNTERS: [&str; 8] = [
+const EXPECT_SERVE_COUNTERS: [&str; 11] = [
     "core.pool.submits_total",
     "serve.ingest.answers_total",
     "serve.ingest.batches_total",
     "serve.recovery.sessions_recovered_total",
     "serve.snapshot.writes_total",
+    "serve.truth.publishes_total",
+    "serve.truth.reads_total",
+    "serve.truth.retired_freed_total",
     "serve.wal.appends_total",
     "stream.engine.batches_total",
     "stream.engine.warm_resumes_total",
 ];
 
 /// Histograms likewise guaranteed non-empty by the serve bench.
-const EXPECT_SERVE_HISTOGRAMS: [&str; 6] = [
+const EXPECT_SERVE_HISTOGRAMS: [&str; 7] = [
     "core.pool.dispatch_seconds",
     "serve.recovery.replay_seconds",
     "serve.shard.tick_seconds",
+    "serve.truth.read_seconds",
     "serve.wal.append_seconds",
     "stream.engine.batch_push_seconds",
     "stream.engine.converge_seconds",

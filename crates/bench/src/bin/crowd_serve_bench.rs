@@ -30,6 +30,18 @@
 //!   recovery bandwidth; accuracy is measured on the *recovered*
 //!   sessions, so the no-accuracy-regression gate also pins recovery
 //!   fidelity.
+//! - `mixed` — the wait-free read path under a mixed workload: one
+//!   writer thread per session submits each round while 4 reader
+//!   threads poll `TruthReader::snapshot` round-robin over the cell's
+//!   sessions, for the whole replay (converges in flight) and then
+//!   against the idle service. The row reports busy/idle read p50/p99
+//!   (sampled every 64th read) and aggregate `reads_per_sec`, plus two
+//!   booleans the gate pins: `reads_wait_free_within_bound` (busy p99 ≤
+//!   max(10× idle p99, 1ms — the absolute floor absorbs scheduler
+//!   preemption on saturated hosts)) and `read_throughput_within_bound`
+//!   (≥ 10⁶ reads/s from the 4 threads). `read_p99_seconds` is also
+//!   time-gated directly. A lock-taking read path fails these
+//!   immediately: readers would serialise behind every converge.
 //!
 //! Each `mem` cell is additionally re-run with `crowd-obs` recording
 //! switched off (`crowd_obs::set_enabled(false)`) — the A/B that prices
@@ -56,13 +68,14 @@
 
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use crowd_core::Method;
 use crowd_data::datasets::PaperDataset;
 use crowd_data::{collect, AnswerRecord, AssignmentStrategy, Dataset, StreamSession};
 use crowd_metrics::accuracy;
-use crowd_serve::{CrowdServe, DurabilityConfig, FsyncPolicy, ServeConfig};
+use crowd_serve::{CrowdServe, DurabilityConfig, FsyncPolicy, ServeConfig, TruthReader};
 use crowd_stream::StreamConfig;
 
 /// Concurrent-session counts (the service must sustain ≥ 8).
@@ -70,6 +83,20 @@ const SESSION_COUNTS: [usize; 4] = [1, 2, 8, 16];
 
 /// Batches each session's stream is split into.
 const BATCH_COUNTS: [usize; 2] = [8, 32];
+
+/// Reader threads in the `mixed` mode (the ISSUE's acceptance bound is
+/// stated for 4 readers).
+const READER_THREADS: usize = 4;
+
+/// Latency-sample cadence: every Nth read is individually timed. The
+/// untimed reads still count toward `reads_per_sec`, so the throughput
+/// figure is not distorted by `Instant::now` overhead on every call.
+const SAMPLE_EVERY: u64 = 64;
+
+/// Reads per thread in the idle phase (fixed count — the idle p99 is the
+/// wait-free bound's denominator, so it needs enough samples to be
+/// stable, but should not dominate the sweep's wall time).
+const IDLE_READS_PER_THREAD: u64 = 100_000;
 
 /// Snapshot cadence for the durable modes. Chosen so the batch counts
 /// (8 and 32) are not multiples of it: the final converge frame is then
@@ -94,6 +121,49 @@ struct Row {
     seconds_per_tick_max: f64,
     throughput: f64,
     accuracy_mean: f64,
+    /// Read-path measurements; present only on `mixed` rows.
+    mixed: Option<MixedStats>,
+}
+
+/// The `mixed` mode's read-path measurements.
+struct MixedStats {
+    reads_total: u64,
+    reads_per_sec: f64,
+    read_p50_seconds: f64,
+    read_p99_seconds: f64,
+    read_p50_seconds_idle: f64,
+    read_p99_seconds_idle: f64,
+    wait_free: bool,
+    throughput_ok: bool,
+}
+
+/// Nearest-rank percentile (q in [0, 1]); sorts in place.
+fn percentile(samples: &mut [f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_unstable_by(f64::total_cmp);
+    samples[((samples.len() - 1) as f64 * q).round() as usize]
+}
+
+/// One reader thread's loop: poll `snapshot()` round-robin over the
+/// cell's sessions until `stop` is raised or `max_reads` is reached.
+/// Returns the read count and the sampled per-read latencies.
+fn poll_readers(readers: &[TruthReader], stop: &AtomicBool, max_reads: u64) -> (u64, Vec<f64>) {
+    let mut reads = 0u64;
+    let mut samples = Vec::with_capacity(4096);
+    while reads < max_reads && !stop.load(Ordering::Relaxed) {
+        let reader = &readers[(reads % readers.len() as u64) as usize];
+        if reads.is_multiple_of(SAMPLE_EVERY) {
+            let t = Instant::now();
+            std::hint::black_box(reader.snapshot());
+            samples.push(t.elapsed().as_secs_f64());
+        } else {
+            std::hint::black_box(reader.snapshot());
+        }
+        reads += 1;
+    }
+    (reads, samples)
 }
 
 fn durable_cfg(dir: &Path) -> DurabilityConfig {
@@ -145,6 +215,8 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     let mut wal_within_bound = true;
     let mut wal_ratio_max = 0.0f64;
+    let mut reads_wait_free = true;
+    let mut reads_throughput_ok = true;
     let mut obs_on_total = 0.0f64;
     let mut obs_off_total = 0.0f64;
     let mut obs_ratio_max = 0.0f64;
@@ -216,10 +288,8 @@ fn main() {
                     .iter()
                     .zip(&ids)
                     .map(|(t, &sid)| {
-                        let report = serve
-                            .last_report(sid)
-                            .expect("session alive")
-                            .expect("converged");
+                        let snap = serve.truth(sid).expect("session alive");
+                        let report = snap.report.as_ref().expect("converged");
                         accuracy(&t.dataset, &report.result.truths)
                     })
                     .sum::<f64>()
@@ -227,28 +297,31 @@ fn main() {
                 (seconds_total, tick_seconds, answers_total, accuracy_mean)
             };
 
-            let push_row =
-                |rows: &mut Vec<Row>, mode: &'static str, measured: (f64, Vec<f64>, usize, f64)| {
-                    let (seconds_total, tick_seconds, answers_total, accuracy_mean) = measured;
-                    let ticks = tick_seconds.len();
-                    let row = Row {
-                        mode,
-                        sessions,
-                        batches,
-                        batch_size,
-                        answers_total,
-                        ticks,
-                        seconds_total,
-                        seconds_per_tick_mean: if ticks == 0 {
-                            0.0
-                        } else {
-                            tick_seconds.iter().sum::<f64>() / ticks as f64
-                        },
-                        seconds_per_tick_max: tick_seconds.iter().cloned().fold(0.0, f64::max),
-                        throughput: answers_total as f64 / seconds_total.max(1e-12),
-                        accuracy_mean,
-                    };
-                    eprintln!(
+            let push_row = |rows: &mut Vec<Row>,
+                            mode: &'static str,
+                            measured: (f64, Vec<f64>, usize, f64),
+                            mixed: Option<MixedStats>| {
+                let (seconds_total, tick_seconds, answers_total, accuracy_mean) = measured;
+                let ticks = tick_seconds.len();
+                let row = Row {
+                    mode,
+                    sessions,
+                    batches,
+                    batch_size,
+                    answers_total,
+                    ticks,
+                    seconds_total,
+                    seconds_per_tick_mean: if ticks == 0 {
+                        0.0
+                    } else {
+                        tick_seconds.iter().sum::<f64>() / ticks as f64
+                    },
+                    seconds_per_tick_max: tick_seconds.iter().cloned().fold(0.0, f64::max),
+                    throughput: answers_total as f64 / seconds_total.max(1e-12),
+                    accuracy_mean,
+                    mixed,
+                };
+                eprintln!(
                     "  {:<8} sessions={:>2} batches={:>3}: {:>9.1} answers/s, total {:>8.3} ms, \
                      accuracy {:.4}",
                     row.mode,
@@ -258,9 +331,9 @@ fn main() {
                     row.seconds_total * 1e3,
                     row.accuracy_mean,
                 );
-                    rows.push(row);
-                    seconds_total
-                };
+                rows.push(row);
+                seconds_total
+            };
 
             // Warm up once, then keep the fastest of `repeats` replays —
             // single measurements of a ~10ms cell are dominated by
@@ -297,7 +370,7 @@ fn main() {
                 }
             }
             crowd_obs::set_enabled(true);
-            let mem_seconds = push_row(&mut rows, "mem", mem.expect("at least one repeat"));
+            let mem_seconds = push_row(&mut rows, "mem", mem.expect("at least one repeat"), None);
             obs_on_total += mem_seconds;
             obs_off_total += obs_off_seconds;
             obs_ratio_max = obs_ratio_max.max(mem_seconds / obs_off_seconds.max(1e-12));
@@ -322,7 +395,7 @@ fn main() {
                 .map(|i| run_cell(Some(&fresh_dir(i))))
                 .min_by(|a, b| a.0.total_cmp(&b.0))
                 .expect("at least one repeat");
-            let wal_seconds = push_row(&mut rows, "wal", wal);
+            let wal_seconds = push_row(&mut rows, "wal", wal, None);
             let ratio = wal_seconds / mem_seconds.max(1e-12);
             wal_ratio_max = wal_ratio_max.max(ratio);
             // Same bound shape as the regression gate: relative threshold
@@ -355,9 +428,10 @@ fn main() {
                     .iter()
                     .zip(&sids)
                     .map(|(t, &sid)| {
-                        let report = recovered
-                            .last_report(sid)
-                            .expect("session alive")
+                        let snap = recovered.truth(sid).expect("session alive");
+                        let report = snap
+                            .report
+                            .as_ref()
                             .expect("replayed past the last snapshot");
                         accuracy(&t.dataset, &report.result.truths)
                     })
@@ -378,7 +452,162 @@ fn main() {
                 &mut rows,
                 "recovery",
                 (rec_seconds, Vec::new(), answers_total, rec_accuracy),
+                None,
             );
+
+            // Mixed mode: the same replay with READER_THREADS threads
+            // hammering `TruthReader::snapshot` the whole time (busy
+            // phase: converges in flight), then against the idle service
+            // (idle phase: the wait-free bound's denominator). One writer
+            // thread per session submits each round, like a real
+            // multi-tenant frontend.
+            let run_mixed = || {
+                let serve = CrowdServe::new(ServeConfig {
+                    shards: sessions.min(8),
+                    ..ServeConfig::default()
+                })
+                .expect("valid config");
+                let ids: Vec<_> = cell_tenants
+                    .iter()
+                    .map(|t| {
+                        serve
+                            .create_session(StreamConfig::new(
+                                Method::Ds,
+                                t.dataset.task_type(),
+                                t.dataset.num_tasks(),
+                                t.dataset.num_workers(),
+                            ))
+                            .expect("valid session")
+                    })
+                    .collect();
+                let rounds = cell_tenants.iter().map(|t| t.batches.len()).max().unwrap();
+                let stop = AtomicBool::new(false);
+                let mut answers_total = 0usize;
+                let mut tick_seconds: Vec<f64> = Vec::with_capacity(rounds);
+                let (busy_elapsed, busy_reads, mut busy_samples) = std::thread::scope(|scope| {
+                    let pollers: Vec<_> = (0..READER_THREADS)
+                        .map(|_| {
+                            // Each thread owns its reader clones (and so
+                            // its own hazard slots) — no sharing.
+                            let readers: Vec<TruthReader> = ids
+                                .iter()
+                                .map(|&sid| serve.reader(sid).expect("session alive"))
+                                .collect();
+                            let stop = &stop;
+                            scope.spawn(move || poll_readers(&readers, stop, u64::MAX))
+                        })
+                        .collect();
+                    let start = Instant::now();
+                    for round in 0..rounds {
+                        std::thread::scope(|writers| {
+                            for (k, t) in cell_tenants.iter().enumerate() {
+                                if let Some(batch) = t.batches.get(round) {
+                                    let serve = &serve;
+                                    let sid = ids[k];
+                                    writers.spawn(move || {
+                                        serve.submit(sid, batch.clone()).expect("in capacity")
+                                    });
+                                }
+                            }
+                        });
+                        let tick_start = Instant::now();
+                        let tick = serve.drain_tick();
+                        tick_seconds.push(tick_start.elapsed().as_secs_f64());
+                        answers_total += tick.answers_ingested;
+                        assert_eq!(tick.shard_failures, 0, "shard drain failed");
+                        assert!(tick.errors.is_empty(), "replay is valid: {:?}", tick.errors);
+                    }
+                    let elapsed = start.elapsed().as_secs_f64();
+                    stop.store(true, Ordering::Relaxed);
+                    let mut reads = 0u64;
+                    let mut samples = Vec::new();
+                    for p in pollers {
+                        let (n, s) = p.join().expect("reader thread");
+                        reads += n;
+                        samples.extend(s);
+                    }
+                    (elapsed, reads, samples)
+                });
+                // Idle phase: same service and sessions, nothing writing.
+                let never = AtomicBool::new(false);
+                let mut idle_samples: Vec<f64> = std::thread::scope(|scope| {
+                    let pollers: Vec<_> = (0..READER_THREADS)
+                        .map(|_| {
+                            let readers: Vec<TruthReader> = ids
+                                .iter()
+                                .map(|&sid| serve.reader(sid).expect("session alive"))
+                                .collect();
+                            let never = &never;
+                            scope.spawn(move || {
+                                poll_readers(&readers, never, IDLE_READS_PER_THREAD).1
+                            })
+                        })
+                        .collect();
+                    pollers
+                        .into_iter()
+                        .flat_map(|p| p.join().expect("reader thread"))
+                        .collect()
+                });
+                let accuracy_mean = cell_tenants
+                    .iter()
+                    .zip(&ids)
+                    .map(|(t, &sid)| {
+                        let snap = serve.truth(sid).expect("session alive");
+                        let report = snap.report.as_ref().expect("converged");
+                        accuracy(&t.dataset, &report.result.truths)
+                    })
+                    .sum::<f64>()
+                    / sessions as f64;
+                let reads_per_sec = busy_reads as f64 / busy_elapsed.max(1e-12);
+                let read_p99_seconds = percentile(&mut busy_samples, 0.99);
+                let read_p99_seconds_idle = percentile(&mut idle_samples, 0.99);
+                let stats = MixedStats {
+                    reads_total: busy_reads,
+                    reads_per_sec,
+                    read_p50_seconds: percentile(&mut busy_samples, 0.50),
+                    read_p99_seconds,
+                    read_p50_seconds_idle: percentile(&mut idle_samples, 0.50),
+                    read_p99_seconds_idle,
+                    // Busy p99 within 10× of idle p99, with a 1ms absolute
+                    // floor: on a saturated host a sampled read can
+                    // straddle a scheduler preemption, which is not the
+                    // read path's doing.
+                    wait_free: read_p99_seconds <= (10.0 * read_p99_seconds_idle).max(1e-3),
+                    throughput_ok: reads_per_sec >= 1e6,
+                };
+                (
+                    (busy_elapsed, tick_seconds, answers_total, accuracy_mean),
+                    stats,
+                )
+            };
+            run_mixed(); // warm-up
+            let (mixed_measured, mixed_stats) = (0..repeats)
+                .map(|_| run_mixed())
+                .min_by(|a, b| a.0 .0.total_cmp(&b.0 .0))
+                .expect("at least one repeat");
+            if !mixed_stats.wait_free {
+                reads_wait_free = false;
+                eprintln!(
+                    "  WARNING: busy read p99 {:.6}s exceeded the wait-free bound \
+                     (idle p99 {:.6}s)",
+                    mixed_stats.read_p99_seconds, mixed_stats.read_p99_seconds_idle
+                );
+            }
+            if !mixed_stats.throughput_ok {
+                reads_throughput_ok = false;
+                eprintln!(
+                    "  WARNING: {:.0} reads/s under the 1e6 bound",
+                    mixed_stats.reads_per_sec
+                );
+            }
+            eprintln!(
+                "  mixed    sessions={sessions:>2} batches={batches:>3}: {:>9.0} reads/s, \
+                 read p99 {:>7.1} µs busy / {:>7.1} µs idle",
+                mixed_stats.reads_per_sec,
+                mixed_stats.read_p99_seconds * 1e6,
+                mixed_stats.read_p99_seconds_idle * 1e6,
+            );
+            push_row(&mut rows, "mixed", mixed_measured, Some(mixed_stats));
         }
     }
 
@@ -406,6 +635,14 @@ fn main() {
     let _ = writeln!(json, "  \"total_seconds\": {total_seconds:.6},");
     let _ = writeln!(json, "  \"wal_overhead_within_bound\": {wal_within_bound},");
     let _ = writeln!(json, "  \"wal_overhead_max_ratio\": {wal_ratio_max:.4},");
+    let _ = writeln!(
+        json,
+        "  \"reads_wait_free_within_bound\": {reads_wait_free},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"read_throughput_within_bound\": {reads_throughput_ok},"
+    );
     let _ = writeln!(json, "  \"obs_overhead_within_bound\": {obs_within_bound},");
     let obs_ratio_agg = obs_on_total / obs_off_total.max(1e-12);
     let _ = writeln!(json, "  \"obs_overhead_ratio\": {obs_ratio_agg:.4},");
@@ -414,13 +651,13 @@ fn main() {
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
-        let _ = writeln!(
+        let _ = write!(
             json,
             "    {{\"mode\": \"{}\", \"sessions\": {}, \"batches\": {}, \"batch_size\": {}, \
              \"answers_total\": {}, \
              \"ticks\": {}, \"seconds_total\": {:.6}, \"seconds_per_tick_mean\": {:.6}, \
              \"seconds_per_tick_max\": {:.6}, \"throughput_answers_per_sec\": {:.1}, \
-             \"accuracy_mean\": {:.6}}}{}",
+             \"accuracy_mean\": {:.6}",
             r.mode,
             r.sessions,
             r.batches,
@@ -432,8 +669,26 @@ fn main() {
             r.seconds_per_tick_max,
             r.throughput,
             r.accuracy_mean,
-            comma
         );
+        if let Some(m) = &r.mixed {
+            let _ = write!(
+                json,
+                ", \"readers\": {READER_THREADS}, \"reads_total\": {}, \
+                 \"reads_per_sec\": {:.1}, \"read_p50_seconds\": {:.9}, \
+                 \"read_p99_seconds\": {:.9}, \"read_p50_seconds_idle\": {:.9}, \
+                 \"read_p99_seconds_idle\": {:.9}, \"reads_wait_free_within_bound\": {}, \
+                 \"read_throughput_within_bound\": {}",
+                m.reads_total,
+                m.reads_per_sec,
+                m.read_p50_seconds,
+                m.read_p99_seconds,
+                m.read_p50_seconds_idle,
+                m.read_p99_seconds_idle,
+                m.wait_free,
+                m.throughput_ok,
+            );
+        }
+        let _ = writeln!(json, "}}{comma}");
     }
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).expect("write serve bench output");

@@ -55,13 +55,14 @@ impl Default for Thresholds {
 /// the serve bench's durability variants (`mem` / `wal` / `recovery`) —
 /// rows missing the field (older artifacts, other schemas) simply skip
 /// it, so pre-`mode` baselines keep comparing.
-const KEY_FIELDS: [&str; 6] = [
+const KEY_FIELDS: [&str; 7] = [
     "dataset",
     "method",
     "mode",
     "sessions",
     "batches",
     "batch_size",
+    "readers",
 ];
 
 /// Row-identity fields per schema (everything else on a row is a
@@ -72,6 +73,17 @@ fn key_fields(schema: &str) -> &'static [&'static str] {
     match schema {
         "crowd-bench/kernels/v1" => &["op", "n"],
         _ => &KEY_FIELDS,
+    }
+}
+
+/// Additional per-row wall-time metrics gated with the same bounded
+/// relative check as the primary. Only rows that carry the field in the
+/// baseline are checked — the serve bench's `mixed` rows report read
+/// latencies that its `mem`/`wal`/`recovery` rows do not have.
+fn extra_time_fields(schema: &str) -> &'static [&'static str] {
+    match schema {
+        "crowd-bench/serve/v1" => &["read_p99_seconds"],
+        _ => &[],
     }
 }
 
@@ -278,9 +290,16 @@ pub fn compare(
         };
         cmp.rows_compared += 1;
 
-        // Wall time: bounded relative regression.
-        if let Some(base_t) = base_row.get(time_metric).and_then(Json::as_num) {
-            match cand_row.get(time_metric).and_then(Json::as_num) {
+        // Wall time: bounded relative regression, on the schema's primary
+        // metric plus any extra latency metrics the baseline row carries
+        // (the serve bench's `mixed` rows gate `read_p99_seconds` here).
+        for field in
+            std::iter::once(time_metric).chain(extra_time_fields(base_schema).iter().copied())
+        {
+            let Some(base_t) = base_row.get(field).and_then(Json::as_num) else {
+                continue;
+            };
+            match cand_row.get(field).and_then(Json::as_num) {
                 Some(cand_t) => {
                     if base_t > 0.0
                         && cand_t > base_t * (1.0 + thresholds.max_time_regression)
@@ -288,7 +307,7 @@ pub fn compare(
                     {
                         cmp.regressions.push(Regression {
                             row: key.clone(),
-                            field: time_metric.to_string(),
+                            field: field.to_string(),
                             detail: format!(
                                 "{cand_t:.6}s vs baseline {base_t:.6}s (+{:.1}%, limit +{:.1}%)",
                                 (cand_t / base_t - 1.0) * 100.0,
@@ -299,7 +318,7 @@ pub fn compare(
                 }
                 None => cmp.regressions.push(Regression {
                     row: key.clone(),
-                    field: time_metric.to_string(),
+                    field: field.to_string(),
                     detail: "time metric missing from the candidate row".to_string(),
                 }),
             }
@@ -610,6 +629,49 @@ mod tests {
         assert!(cmp.regressions[0]
             .detail
             .contains("missing from the candidate"));
+    }
+
+    #[test]
+    fn serve_mixed_rows_gate_read_p99() {
+        let doc = |p99: f64, wait_free: bool| {
+            parse(&format!(
+                r#"{{"schema": "crowd-bench/serve/v1", "scale": 0.1, "results": [
+                    {{"mode": "mixed", "sessions": 8, "batches": 32, "batch_size": 40,
+                      "readers": 4, "seconds_total": 0.01, "read_p99_seconds": {p99},
+                      "reads_wait_free_within_bound": {wait_free}}}
+                ]}}"#
+            ))
+            .unwrap()
+        };
+        // Within bounds: passes.
+        let cmp = compare(
+            &doc(0.002, true),
+            &doc(0.0021, true),
+            &Thresholds::default(),
+        )
+        .unwrap();
+        assert_eq!(cmp.rows_compared, 1);
+        assert!(cmp.passed());
+        // read_p99_seconds blowing past the relative bound (and the
+        // absolute floor) fails on that field specifically.
+        let cmp = compare(&doc(0.002, true), &doc(0.02, true), &Thresholds::default()).unwrap();
+        assert!(!cmp.passed());
+        assert!(cmp
+            .regressions
+            .iter()
+            .any(|r| r.field == "read_p99_seconds"));
+        // The wait-free boolean flipping false fails like any row boolean.
+        let cmp = compare(
+            &doc(0.002, true),
+            &doc(0.002, false),
+            &Thresholds::default(),
+        )
+        .unwrap();
+        assert!(!cmp.passed());
+        assert!(cmp
+            .regressions
+            .iter()
+            .any(|r| r.field == "reads_wait_free_within_bound"));
     }
 
     #[test]

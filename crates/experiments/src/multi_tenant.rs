@@ -18,7 +18,7 @@ use crowd_core::Method;
 use crowd_data::datasets::PaperDataset;
 use crowd_data::{collect, AnswerRecord, AssignmentStrategy, DataError, Dataset, StreamSession};
 use crowd_metrics::accuracy;
-use crowd_serve::{CrowdServe, ServeConfig, ServeError, SessionId};
+use crowd_serve::{CrowdServe, ServeConfig, ServeError, SessionId, TruthReader};
 use crowd_stream::StreamConfig;
 
 use crate::runner::{CancelToken, CellOutcome, SweepCell, SweepRunner};
@@ -121,6 +121,7 @@ pub fn multi_tenant_replay(
         dataset: Dataset,
         batches: Vec<Vec<AnswerRecord>>,
         session: SessionId,
+        reader: TruthReader,
     }
 
     let serve = CrowdServe::new(ServeConfig {
@@ -181,11 +182,13 @@ pub fn multi_tenant_replay(
             seed.dataset.num_tasks(),
             seed.dataset.num_workers(),
         ))?;
+        let reader = serve.reader(session)?;
         tenants.push(Tenant {
             name: seed.name,
             batches: seed.batches,
             dataset: seed.dataset,
             session,
+            reader,
         });
     }
 
@@ -212,12 +215,11 @@ pub fn multi_tenant_replay(
                 submitted = true;
             }
         }
-        let dirty = tenants.iter().any(|t| {
-            matches!(
-                serve.session_stats(t.session).map(|s| s.needs_converge),
-                Ok(true)
-            )
-        });
+        // The per-tenant reader handles answer from the published truth
+        // snapshots — no engine lock, no serve call at all.
+        let dirty = tenants
+            .iter()
+            .any(|t| t.reader.snapshot().stats.needs_converge);
         if round >= rounds && !submitted && !dirty {
             break;
         }
@@ -231,11 +233,13 @@ pub fn multi_tenant_replay(
             seconds: start.elapsed().as_secs_f64(),
         });
         for (t, curve) in tenants.iter().zip(curves.iter_mut()) {
-            let stats = serve.session_stats(t.session)?;
-            if let Some(report) = serve.last_report(t.session)? {
+            // One snapshot carries both the counters and the report, so
+            // answers_seen and accuracy always describe the same epoch.
+            let snap = t.reader.snapshot();
+            if let Some(report) = &snap.report {
                 curve.points.push(TenantPoint {
                     round,
-                    answers_seen: stats.answers_seen,
+                    answers_seen: snap.stats.answers_seen,
                     accuracy: accuracy(&t.dataset, &report.result.truths),
                     converged: report.result.converged,
                 });

@@ -23,14 +23,19 @@
 //!   optional wall-clock deadline per shard. A session that runs out of
 //!   budget resumes from its [`WarmStart`](crowd_core::WarmStart) on the
 //!   next tick, so one heavy tenant cannot monopolise a shard.
-//! - **Reads** never block behind *other* sessions' inference — every
-//!   session has its own lock, so a tick converging a heavy shard-mate
-//!   does not stall a read (a read of a session whose *own* converge is
-//!   running waits for that converge). [`CrowdServe::plurality`] is the
-//!   live `O(|V|)` estimate off the delta views;
-//!   [`CrowdServe::posteriors`]/[`CrowdServe::last_report`] return the
-//!   most recent drained state, with `result.converged` distinguishing a
-//!   fixed point from a budget-sliced snapshot.
+//! - **Reads are wait-free**: every drain tick publishes an immutable
+//!   [`TruthSnapshot`] per touched session behind an atomic pointer
+//!   swap, so readers never touch an engine lock — not even the lock of
+//!   the session *being read* while its own converge is in flight.
+//!   [`CrowdServe::truth`] returns the current snapshot (plurality
+//!   labels, converged posteriors, last [`StreamReport`](crowd_stream::StreamReport),
+//!   counters — all from the same publish **epoch**);
+//!   [`CrowdServe::reader`] hands out a clonable [`TruthReader`] whose
+//!   `snapshot()` skips even the session-map lookup. Snapshots carry a
+//!   typed [`SnapshotState`] that degrades to `SnapshotStale` /
+//!   `SessionGone` across poisoning and eviction instead of erroring.
+//!   See ARCHITECTURE.md §read-path for the memory-reclamation
+//!   argument.
 //! - **Isolation**: a panic inside one session's converge poisons only
 //!   that session ([`ServeError::SessionPoisoned`] on later use); sibling
 //!   sessions and shards keep serving. [`CrowdServe::evict`] gracefully
@@ -85,6 +90,7 @@ pub mod durable;
 mod obs;
 mod service;
 mod shard;
+mod truth;
 
 pub use durable::fault::{FaultKind, FaultPlan, FaultPlanBuilder, FaultSite};
 pub use durable::{
@@ -94,6 +100,10 @@ pub use service::{
     CrowdServe, EvictedSession, RetryPolicy, ServeConfig, ServeStats, SessionId, SessionStats,
     TickReport,
 };
+pub use truth::{SnapshotState, TruthReader, TruthSnapshot};
+
+#[cfg(any(test, feature = "fault-inject"))]
+pub use service::ConvergeGate;
 
 use crowd_stream::StreamError;
 use std::fmt;

@@ -14,8 +14,10 @@ use crate::durable::wal::WalWriter;
 use crate::durable::{self, DurabilityConfig, RecoveryReport};
 use crate::obs;
 use crate::shard::{
-    lock, panic_message, DrainCtx, Envelope, SessionSlot, SessionWal, Shard, ShardTickStats,
+    lock, panic_message, publish_session, DrainCtx, Envelope, SessionSlot, SessionWal, Shard,
+    ShardTickStats,
 };
+use crate::truth::{Published, SnapshotState, TruthReader, TruthSnapshot};
 use crate::ServeError;
 
 /// Opaque session identifier, stable for the session's lifetime (and,
@@ -175,7 +177,7 @@ impl TickReport {
 }
 
 /// Per-session counters for observability.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SessionStats {
     /// The session.
     pub session: SessionId,
@@ -238,6 +240,56 @@ pub struct CrowdServe {
     shards: Vec<Arc<Shard>>,
     pool: WorkerPool,
     next_session: AtomicU64,
+    /// Published sorted list of live session ids, swapped on
+    /// create/evict/recover so [`sessions`](Self::sessions) and
+    /// [`stats`](Self::stats) never take a sessions-map lock.
+    registry: Published<Vec<SessionId>>,
+}
+
+/// Test-only rendezvous for pinning a converge "in flight": the drain
+/// worker parks on it (slot lock held) until the test releases it.
+/// Compiled only for this crate's tests and under `fault-inject`.
+#[cfg(any(test, feature = "fault-inject"))]
+#[doc(hidden)]
+#[derive(Default)]
+pub struct ConvergeGate {
+    entered: (Mutex<bool>, std::sync::Condvar),
+    release: (Mutex<bool>, std::sync::Condvar),
+}
+
+#[cfg(any(test, feature = "fault-inject"))]
+impl ConvergeGate {
+    /// Drain side: announce entry, then park until released.
+    pub(crate) fn park(&self) {
+        *lock(&self.entered.0) = true;
+        self.entered.1.notify_all();
+        let mut released = lock(&self.release.0);
+        while !*released {
+            released = self
+                .release
+                .1
+                .wait(released)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Test side: block until the converge is parked on the gate.
+    pub fn wait_entered(&self) {
+        let mut entered = lock(&self.entered.0);
+        while !*entered {
+            entered = self
+                .entered
+                .1
+                .wait(entered)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Test side: let the parked converge proceed.
+    pub fn release(&self) {
+        *lock(&self.release.0) = true;
+        self.release.1.notify_all();
+    }
 }
 
 impl CrowdServe {
@@ -266,11 +318,12 @@ impl CrowdServe {
                 detail: format!("cannot create durability dir {}: {e}", dur.dir.display()),
             })?;
         }
-        let shards = (0..config.shards).map(|_| Arc::new(Shard::new())).collect();
+        let shards = (0..config.shards).map(|i| Arc::new(Shard::new(i))).collect();
         Ok(Self {
             pool: WorkerPool::new(config.shards),
             shards,
             next_session: AtomicU64::new(0),
+            registry: Published::new(0, |_| Vec::new()),
             config,
         })
     }
@@ -310,6 +363,7 @@ impl CrowdServe {
         })?;
         report.timings.scan = t_scan.elapsed();
         let mut max_id = None;
+        let mut recovered_ids: Vec<SessionId> = Vec::new();
         for raw in ids {
             max_id = Some(raw);
             let sid = SessionId::from_raw(raw);
@@ -365,6 +419,17 @@ impl CrowdServe {
             );
             let mut slot = SessionSlot::new(r.engine);
             slot.last_report = r.last_report;
+            slot.batches_ingested = r.cum_batches;
+            // Republish the recovered truth, seeding the epoch counter
+            // from the durable ingest/converge totals so snapshot epochs
+            // keep increasing across the crash (ARCHITECTURE.md § read
+            // path) — a reader that outlives the process restart never
+            // sees its epoch go backwards.
+            let cell = Arc::new(Published::new(r.cum_batches + r.cum_converges, |epoch| {
+                crate::shard::snapshot_from_slot(&slot, sid, shard.index, epoch)
+            }));
+            obs::truth_publishes().inc();
+            lock(&shard.truths).insert(raw, cell);
             lock(&shard.sessions).insert(raw, Arc::new(Mutex::new(slot)));
             let t_requeue = Instant::now();
             let mut requeued = 0usize;
@@ -379,6 +444,7 @@ impl CrowdServe {
                 });
             }
             drop(q);
+            shard.queued_answers.fetch_add(requeued, Ordering::SeqCst);
             report.timings.requeue += t_requeue.elapsed();
             report.answers_requeued += requeued;
             report.per_session.push(durable::RecoveredSessionCounts {
@@ -392,8 +458,11 @@ impl CrowdServe {
             obs::recovery_answers_requeued().add(requeued as u64);
             obs::recovery_wal_frames().add(r.valid_frames);
             obs::recovery_wal_bytes().add(r.valid_len);
+            recovered_ids.push(sid);
             report.sessions_recovered += 1;
         }
+        recovered_ids.sort_unstable();
+        serve.registry.publish_with(move |_, _| recovered_ids);
         obs::recovery_sessions_recovered().add(report.sessions_recovered as u64);
         obs::recovery_sessions_skipped().add(report.sessions_skipped as u64);
         let t = &report.timings;
@@ -430,20 +499,10 @@ impl CrowdServe {
 
     /// Ids of every live session, ascending — the way to re-address
     /// sessions after [`CrowdServe::recover`] (ids are stable across
-    /// recovery).
+    /// recovery). Served from a published registry snapshot: polling
+    /// this never takes a sessions-map lock.
     pub fn sessions(&self) -> Vec<SessionId> {
-        let mut ids: Vec<SessionId> = self
-            .shards
-            .iter()
-            .flat_map(|shard| {
-                lock(&shard.sessions)
-                    .keys()
-                    .map(|&raw| SessionId::from_raw(raw))
-                    .collect::<Vec<_>>()
-            })
-            .collect();
-        ids.sort_unstable();
-        ids
+        self.registry.read().as_ref().clone()
     }
 
     /// Open a streaming session. The engine validates the config (task
@@ -480,8 +539,23 @@ impl CrowdServe {
                 })),
             );
         }
-        lock(&shard.sessions).insert(raw, Arc::new(Mutex::new(SessionSlot::new(engine))));
-        Ok(SessionId::from_raw(raw))
+        let sid = SessionId::from_raw(raw);
+        let slot = SessionSlot::new(engine);
+        // Publish the session's first truth snapshot (epoch 1) before it
+        // is registered: a reader can never observe an empty cell.
+        let cell = Arc::new(Published::new(0, |epoch| {
+            crate::shard::snapshot_from_slot(&slot, sid, shard.index, epoch)
+        }));
+        obs::truth_publishes().inc();
+        lock(&shard.truths).insert(raw, cell);
+        lock(&shard.sessions).insert(raw, Arc::new(Mutex::new(slot)));
+        self.registry.publish_with(|prior, _| {
+            let mut ids = prior.clone();
+            let at = ids.partition_point(|&s| s < sid);
+            ids.insert(at, sid);
+            ids
+        });
+        Ok(sid)
     }
 
     /// Enqueue an answer batch for `session` — the async-style ingest
@@ -557,6 +631,7 @@ impl CrowdServe {
         obs::ingest_batches().inc();
         obs::ingest_answers().add(records.len() as u64);
         obs::ingest_queued().add(records.len() as i64);
+        shard.queued_answers.fetch_add(records.len(), Ordering::SeqCst);
         q.queued_answers += records.len();
         q.queue.push_back(Envelope {
             session: session.raw(),
@@ -660,70 +735,122 @@ impl CrowdServe {
         report
     }
 
-    /// Live per-task plurality estimates for `session` — `O(|V|)` off the
-    /// delta views, no EM, includes answers not yet converged over (but
-    /// not answers still in the ingest queue).
+    /// A clonable, `Send + Sync` [`TruthReader`] handle for polling
+    /// `session`'s published [`TruthSnapshot`] — the wait-free read
+    /// path. The handle outlives poisoning, checkpoint restarts, and
+    /// even eviction: instead of erroring mid-poll, its snapshots
+    /// degrade to the typed [`SnapshotState::SnapshotStale`] /
+    /// [`SnapshotState::SessionGone`] states.
+    ///
+    /// Clone the handle per polling thread (each clone owns its hazard
+    /// slot); [`TruthReader::snapshot`] then never takes any service
+    /// lock — it completes in sub-microsecond time while the session's
+    /// own converge is in flight (`tests/read_path.rs`, and measured by
+    /// `crowd-serve-bench --mode mixed`).
+    pub fn reader(&self, session: SessionId) -> Result<TruthReader, ServeError> {
+        let cell = self.shards[self.shard_of(session)]
+            .truth(session.raw())
+            .ok_or(ServeError::UnknownSession(session))?;
+        Ok(TruthReader::new(session, cell))
+    }
+
+    /// The current published [`TruthSnapshot`] for `session` — one
+    /// coherent read replacing the deprecated
+    /// [`plurality`](Self::plurality) / [`posteriors`](Self::posteriors)
+    /// / [`last_report`](Self::last_report) /
+    /// [`session_stats`](Self::session_stats) quartet: every field comes
+    /// from the same publish epoch, so they can never disagree about
+    /// which tick they describe.
+    ///
+    /// This entry point does one brief cell lookup (a map lock, never a
+    /// session slot lock) and then a wait-free pointer load; it never
+    /// waits for ingest or converge work. For a polling loop, take a
+    /// [`reader`](Self::reader) handle instead and skip the lookup too.
+    /// Returns [`ServeError::UnknownSession`] once the session has been
+    /// evicted (a [`TruthReader`] held across the eviction keeps
+    /// serving the terminal [`SnapshotState::SessionGone`] snapshot).
+    pub fn truth(&self, session: SessionId) -> Result<Arc<TruthSnapshot>, ServeError> {
+        let cell = self.shards[self.shard_of(session)]
+            .truth(session.raw())
+            .ok_or(ServeError::UnknownSession(session))?;
+        let timer = obs::truth_read_seconds().start_timer();
+        let snap = cell.read();
+        timer.stop();
+        obs::truth_reads().inc();
+        Ok(snap)
+    }
+
+    /// Live per-task plurality estimates for `session`, as of the last
+    /// drain tick that touched it.
+    #[deprecated(
+        note = "read TruthSnapshot::plurality via CrowdServe::truth or CrowdServe::reader — \
+                one snapshot carries plurality, posteriors, report, and stats from the same epoch"
+    )]
     pub fn plurality(&self, session: SessionId) -> Result<Vec<Option<u8>>, ServeError> {
-        self.with_active_slot(session, |slot| slot.engine.current_estimates())
+        let snap = self.truth(session)?;
+        if snap.state.is_stale() {
+            return Err(ServeError::SessionPoisoned(session));
+        }
+        Ok(snap.plurality.clone())
     }
 
     /// The latest drained per-task posteriors for `session` (`None`
-    /// before the first converge). After a budget-exhausted tick this is
-    /// the freshest *unconverged* snapshot; use
-    /// [`last_report`](Self::last_report) and check `result.converged`
-    /// when a fixed point is required.
+    /// before the first converge).
+    #[deprecated(
+        note = "read TruthSnapshot::posteriors via CrowdServe::truth or CrowdServe::reader — \
+                one snapshot carries plurality, posteriors, report, and stats from the same epoch"
+    )]
     #[allow(clippy::type_complexity)]
     pub fn posteriors(&self, session: SessionId) -> Result<Option<Vec<Vec<f64>>>, ServeError> {
-        self.with_active_slot(session, |slot| {
-            slot.last_report
-                .as_ref()
-                .and_then(|r| r.result.posteriors.clone())
-        })
+        let snap = self.truth(session)?;
+        if snap.state.is_stale() {
+            return Err(ServeError::SessionPoisoned(session));
+        }
+        Ok(snap.posteriors().map(<[Vec<f64>]>::to_vec))
     }
 
     /// The latest drain-tick report for `session` (`None` before the
     /// first converge). `result.converged` distinguishes a reached fixed
     /// point from a budget-sliced snapshot still resuming across ticks.
+    #[deprecated(
+        note = "read TruthSnapshot::report via CrowdServe::truth or CrowdServe::reader — \
+                one snapshot carries plurality, posteriors, report, and stats from the same epoch"
+    )]
     pub fn last_report(&self, session: SessionId) -> Result<Option<StreamReport>, ServeError> {
-        self.with_active_slot(session, |slot| slot.last_report.clone())
+        let snap = self.truth(session)?;
+        if snap.state.is_stale() {
+            return Err(ServeError::SessionPoisoned(session));
+        }
+        Ok(snap.report.clone())
     }
 
     /// Per-session counters. Works on poisoned sessions too (that is the
     /// point of observability).
+    #[deprecated(
+        note = "read TruthSnapshot::stats via CrowdServe::truth or CrowdServe::reader — \
+                one snapshot carries plurality, posteriors, report, and stats from the same epoch"
+    )]
     pub fn session_stats(&self, session: SessionId) -> Result<SessionStats, ServeError> {
-        let shard_idx = self.shard_of(session);
-        let slot = self.shards[shard_idx]
-            .slot(session.raw())
-            .ok_or(ServeError::UnknownSession(session))?;
-        let slot = lock(&slot);
-        Ok(SessionStats {
-            session,
-            shard: shard_idx,
-            answers_seen: slot.engine.answers_seen(),
-            pending_answers: slot.engine.pending_answers(),
-            converges: slot.engine.converges(),
-            needs_converge: slot.engine.needs_converge(),
-            poisoned: slot.poisoned.is_some(),
-            restarts: slot.restarts,
-        })
+        Ok(self.truth(session)?.stats.clone())
     }
 
-    /// Service-wide counters.
+    /// Service-wide counters, served wait-free from the published
+    /// session registry and per-shard atomic mirrors — polling this
+    /// takes no sessions-map, slot, or queue lock.
     pub fn stats(&self) -> ServeStats {
-        let mut sessions = 0;
-        let mut poisoned = 0;
-        let mut queued = 0;
-        for shard in &self.shards {
-            let slots: Vec<_> = lock(&shard.sessions).values().cloned().collect();
-            sessions += slots.len();
-            poisoned += slots.iter().filter(|s| lock(s).poisoned.is_some()).count();
-            queued += lock(&shard.ingest).queued_answers;
-        }
         ServeStats {
             shards: self.shards.len(),
-            sessions,
-            poisoned_sessions: poisoned,
-            queued_answers: queued,
+            sessions: self.registry.read().len(),
+            poisoned_sessions: self
+                .shards
+                .iter()
+                .map(|s| s.poisoned_sessions.load(Ordering::SeqCst))
+                .sum(),
+            queued_answers: self
+                .shards
+                .iter()
+                .map(|s| s.queued_answers.load(Ordering::SeqCst))
+                .sum(),
         }
     }
 
@@ -763,12 +890,16 @@ impl CrowdServe {
         };
         let pulled: usize = pending.iter().map(|e| e.records.len()).sum();
         obs::ingest_queued().add(-(pulled as i64));
+        shard.queued_answers.fetch_sub(pulled, Ordering::SeqCst);
 
         let slot = lock(&shard.sessions)
             .remove(&session.raw())
             .ok_or(ServeError::UnknownSession(session))?;
         let wal = lock(&shard.wals).remove(&session.raw());
         let mut slot = lock(&slot);
+        if slot.poisoned.is_some() {
+            shard.poisoned_sessions.fetch_sub(1, Ordering::SeqCst);
+        }
 
         let mut undrained = Vec::new();
         if slot.poisoned.is_none() {
@@ -803,6 +934,25 @@ impl CrowdServe {
             let _ = std::fs::remove_file(durable::wal_path(&dur.dir, session.raw()));
             let _ = std::fs::remove_file(durable::snapshot_path(&dur.dir, session.raw()));
         }
+
+        // Publish the terminal snapshot (carrying the session's final
+        // state) before the cell leaves the truths map: readers holding
+        // a TruthReader across the eviction land on `SessionGone` with
+        // the last truths intact, never on a torn or vanished cell.
+        if let Some(cell) = lock(&shard.truths).remove(&session.raw()) {
+            publish_session(
+                &cell,
+                &slot,
+                session,
+                shard.index,
+                Some(SnapshotState::SessionGone),
+            );
+        }
+        self.registry.publish_with(move |prior, _| {
+            let mut next = prior.clone();
+            next.retain(|&s| s != session);
+            next
+        });
 
         Ok(EvictedSession {
             session,
@@ -843,19 +993,23 @@ impl CrowdServe {
         Ok(())
     }
 
-    fn with_active_slot<T>(
+    /// Test-only fault injection: make the next converge on `session`
+    /// park on `gate` inside the drain tick, holding the session slot
+    /// lock until the test calls [`ConvergeGate::release`]. This is how
+    /// the wait-free claim is tested: with a converge deliberately
+    /// wedged mid-tick, reader snapshots must still complete instantly.
+    #[cfg(any(test, feature = "fault-inject"))]
+    #[doc(hidden)]
+    pub fn debug_block_next_converge(
         &self,
         session: SessionId,
-        f: impl FnOnce(&SessionSlot) -> T,
-    ) -> Result<T, ServeError> {
+        gate: Arc<ConvergeGate>,
+    ) -> Result<(), ServeError> {
         let slot = self.shards[self.shard_of(session)]
             .slot(session.raw())
             .ok_or(ServeError::UnknownSession(session))?;
-        let slot = lock(&slot);
-        if slot.poisoned.is_some() {
-            return Err(ServeError::SessionPoisoned(session));
-        }
-        Ok(f(&slot))
+        lock(&slot).debug_block_next_converge = Some(gate);
+        Ok(())
     }
 }
 
@@ -935,16 +1089,18 @@ mod tests {
         serve
             .submit(sid, vec![rec(0, 0, 1), rec(0, 1, 1), rec(1, 0, 0)])
             .unwrap();
-        // Nothing ingested until the tick.
-        assert_eq!(serve.session_stats(sid).unwrap().answers_seen, 0);
+        // Nothing ingested until the tick — the published snapshot still
+        // describes the empty session.
+        assert_eq!(serve.truth(sid).unwrap().stats.answers_seen, 0);
         assert_eq!(serve.stats().queued_answers, 3);
         let tick = serve.drain_tick();
         assert_eq!(tick.answers_ingested, 3);
         assert_eq!(tick.sessions_converged, 1);
         assert_eq!(tick.shard_failures, 0);
         assert!(tick.errors.is_empty());
-        assert_eq!(serve.plurality(sid).unwrap(), vec![Some(1), Some(0), None]);
-        let report = serve.last_report(sid).unwrap().unwrap();
+        let snap = serve.truth(sid).unwrap();
+        assert_eq!(snap.plurality, vec![Some(1), Some(0), None]);
+        let report = snap.report.as_ref().unwrap();
         assert_eq!(report.answers_seen, 3);
         assert!(report.result.converged);
     }
@@ -966,7 +1122,11 @@ mod tests {
             Err(ServeError::UnknownSession(_))
         ));
         assert!(matches!(
-            serve.plurality(ghost),
+            serve.truth(ghost),
+            Err(ServeError::UnknownSession(_))
+        ));
+        assert!(matches!(
+            serve.reader(ghost),
             Err(ServeError::UnknownSession(_))
         ));
         assert!(matches!(
@@ -1022,7 +1182,7 @@ mod tests {
             .unwrap();
         let tick = serve.drain_tick();
         assert_eq!(tick.answers_ingested, 6);
-        assert_eq!(serve.session_stats(sid).unwrap().answers_seen, 10);
+        assert_eq!(serve.truth(sid).unwrap().stats.answers_seen, 10);
     }
 
     #[test]
@@ -1115,7 +1275,7 @@ mod tests {
         assert_eq!(tick.errors.len(), 1);
         assert!(tick.errors[0].1.contains("out of range"));
         // Session is alive and serving.
-        assert_eq!(serve.plurality(sid).unwrap()[0], Some(1));
+        assert_eq!(serve.truth(sid).unwrap().plurality[0], Some(1));
         serve.submit(sid, vec![rec(1, 1, 0)]).unwrap();
         let tick = serve.drain_tick();
         assert_eq!(tick.answers_ingested, 1);
@@ -1141,13 +1301,13 @@ mod tests {
         let report = evicted.final_report.expect("final converge ran");
         assert_eq!(report.answers_seen, 2);
         assert!(matches!(
-            serve.plurality(sid),
+            serve.truth(sid),
             Err(ServeError::UnknownSession(_))
         ));
         // The sibling session's queued batch survived the queue surgery.
         let tick = serve.drain_tick();
         assert_eq!(tick.answers_ingested, 1);
-        assert_eq!(serve.session_stats(other).unwrap().answers_seen, 1);
+        assert_eq!(serve.truth(other).unwrap().stats.answers_seen, 1);
     }
 
     #[test]
@@ -1226,7 +1386,7 @@ mod tests {
             assert!(reports.iter().all(|r| r.shard_failures == 0));
         }
         for &sid in &sids {
-            assert_eq!(serve.session_stats(sid).unwrap().answers_seen, 8);
+            assert_eq!(serve.truth(sid).unwrap().stats.answers_seen, 8);
         }
     }
 
@@ -1247,7 +1407,115 @@ mod tests {
         assert_eq!(tick.answers_ingested, 2);
         assert_eq!(tick.sessions_converged, 0);
         assert_eq!(tick.sessions_deadline_deferred, 2);
-        assert!(serve.session_stats(a).unwrap().needs_converge);
-        assert!(serve.last_report(a).unwrap().is_none());
+        let snap = serve.truth(a).unwrap();
+        assert!(snap.stats.needs_converge);
+        assert!(snap.report.is_none());
+    }
+
+    #[test]
+    fn wedged_converge_never_stalls_readers_or_stats() {
+        let serve = CrowdServe::new(ServeConfig {
+            shards: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let sid = serve.create_session(decision_session(3, 3)).unwrap();
+        serve.submit(sid, vec![rec(0, 0, 1)]).unwrap();
+        serve.drain_tick();
+        let reader = serve.reader(sid).unwrap();
+        let epoch_before = reader.snapshot().epoch;
+
+        let gate = Arc::new(ConvergeGate::default());
+        serve
+            .debug_block_next_converge(sid, Arc::clone(&gate))
+            .unwrap();
+        serve.submit(sid, vec![rec(1, 1, 1)]).unwrap();
+        std::thread::scope(|scope| {
+            let tick = scope.spawn(|| serve.drain_tick());
+            gate.wait_entered();
+            // The session's own converge is now wedged mid-tick, holding
+            // the slot lock. A lock-taking reader would hang here until
+            // the release below; the published-snapshot path must finish
+            // every read immediately — and so must the registry-backed
+            // service-wide getters.
+            let start = Instant::now();
+            for _ in 0..1_000 {
+                let snap = reader.snapshot();
+                assert_eq!(snap.epoch, epoch_before, "no publish while wedged");
+                assert!(snap.state.is_live());
+            }
+            let elapsed = start.elapsed();
+            assert_eq!(serve.stats().sessions, 1);
+            assert_eq!(serve.stats().queued_answers, 0, "already ingested");
+            assert_eq!(serve.sessions(), vec![sid]);
+            assert!(
+                elapsed < Duration::from_secs(1),
+                "1000 reads against a wedged converge took {elapsed:?}"
+            );
+            gate.release();
+            let tick = tick.join().unwrap();
+            assert_eq!(tick.answers_ingested, 1);
+            assert_eq!(tick.sessions_converged, 1);
+        });
+        let snap = reader.snapshot();
+        assert!(snap.epoch > epoch_before, "tick end published");
+        assert_eq!(snap.stats.answers_seen, 2);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_preserve_their_contracts() {
+        let serve = CrowdServe::new(ServeConfig {
+            shards: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let sid = serve.create_session(decision_session(2, 2)).unwrap();
+        serve.submit(sid, vec![rec(0, 0, 1), rec(1, 1, 0)]).unwrap();
+        serve.drain_tick();
+
+        // Healthy: every wrapper serves the same truths as the snapshot.
+        let snap = serve.truth(sid).unwrap();
+        assert_eq!(serve.plurality(sid).unwrap(), snap.plurality);
+        assert_eq!(serve.posteriors(sid).unwrap().as_deref(), snap.posteriors());
+        assert_eq!(
+            serve.last_report(sid).unwrap().map(|r| r.answers_seen),
+            snap.report.as_ref().map(|r| r.answers_seen)
+        );
+        assert_eq!(serve.session_stats(sid).unwrap(), snap.stats);
+
+        // Unknown session: typed, as before.
+        let ghost = SessionId::from_raw(999);
+        assert!(matches!(
+            serve.plurality(ghost),
+            Err(ServeError::UnknownSession(_))
+        ));
+        assert!(matches!(
+            serve.session_stats(ghost),
+            Err(ServeError::UnknownSession(_))
+        ));
+
+        // Poisoned: the value getters keep failing typed; session_stats
+        // keeps working (that is the point of observability).
+        serve.debug_panic_next_converge(sid).unwrap();
+        serve.submit(sid, vec![rec(0, 1, 1)]).unwrap();
+        let tick = serve.drain_tick();
+        assert_eq!(tick.poisoned, vec![sid]);
+        assert!(matches!(
+            serve.plurality(sid),
+            Err(ServeError::SessionPoisoned(_))
+        ));
+        assert!(matches!(
+            serve.posteriors(sid),
+            Err(ServeError::SessionPoisoned(_))
+        ));
+        assert!(matches!(
+            serve.last_report(sid),
+            Err(ServeError::SessionPoisoned(_))
+        ));
+        let stats = serve.session_stats(sid).unwrap();
+        assert!(stats.poisoned);
+        // The batch was ingested before the converge panicked.
+        assert_eq!(stats.answers_seen, 3, "pre-panic counters still served");
     }
 }

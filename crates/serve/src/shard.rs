@@ -8,8 +8,9 @@
 //! check); the drain takes `ingest` alone to steal the queue, then
 //! `slot → wal` per session. No path takes them in a conflicting order.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -21,6 +22,8 @@ use crate::durable::snapshot::{write_snapshot, SnapshotData};
 use crate::durable::wal::WalWriter;
 use crate::durable::{self, DurabilityConfig};
 use crate::obs;
+use crate::service::SessionStats;
+use crate::truth::{Published, SnapshotState, TruthSnapshot};
 use crate::SessionId;
 
 /// One batch of answers waiting in a shard's ingest queue.
@@ -49,8 +52,17 @@ pub(crate) struct SessionSlot {
     /// Checkpoint auto-restarts consumed (bounded by
     /// [`DurabilityConfig::max_session_restarts`]).
     pub restarts: u32,
+    /// Answer batches the engine has absorbed (the in-memory twin of the
+    /// WAL's ingest cursor) — published as
+    /// [`TruthSnapshot::cum_batches`].
+    pub batches_ingested: u64,
     /// Test-only fault injection: the next converge on this slot panics.
     pub debug_panic_next_converge: bool,
+    /// Test-only: the next converge on this slot parks on this gate
+    /// (with the slot lock held) until released — how the wait-free
+    /// read-path tests pin a converge "in flight".
+    #[cfg(any(test, feature = "fault-inject"))]
+    pub debug_block_next_converge: Option<Arc<crate::service::ConvergeGate>>,
 }
 
 impl SessionSlot {
@@ -61,7 +73,10 @@ impl SessionSlot {
             poisoned: None,
             converge_attempts: 0,
             restarts: 0,
+            batches_ingested: 0,
             debug_panic_next_converge: false,
+            #[cfg(any(test, feature = "fault-inject"))]
+            debug_block_next_converge: None,
         }
     }
 }
@@ -114,6 +129,9 @@ pub(crate) struct DrainCtx {
 }
 
 pub(crate) struct Shard {
+    /// This shard's index in the service's shard vector (recorded in
+    /// published [`SessionStats`]).
+    pub index: usize,
     pub ingest: Mutex<IngestQueue>,
     /// The session table. The map lock is held only for lookups and
     /// insert/remove — never across a converge.
@@ -121,11 +139,22 @@ pub(crate) struct Shard {
     /// Per-session WAL handles (present only when durability is on).
     /// Same discipline as the session table: map lock for lookups only.
     pub wals: Mutex<BTreeMap<u64, Arc<Mutex<SessionWal>>>>,
+    /// Per-session published truth cells — the wait-free read path. The
+    /// map lock is for lookups and insert/remove only; reads and
+    /// publishes go through the cell, never this lock.
+    pub truths: Mutex<BTreeMap<u64, Arc<Published<TruthSnapshot>>>>,
     /// Serialises whole drains against evictions: an eviction must
     /// observe either the pre-drain queue (and pull its envelopes out
     /// itself) or the post-drain engines (envelopes applied) — never a
     /// drain that has stolen the queue but not yet applied it.
     pub drain_gate: Mutex<()>,
+    /// Lock-free mirror of `ingest.queued_answers`, kept in step at
+    /// every queue mutation so [`CrowdServe::stats`](crate::CrowdServe::stats)
+    /// polls without touching the queue lock.
+    pub queued_answers: AtomicUsize,
+    /// Lock-free count of currently-poisoned sessions on this shard
+    /// (same purpose).
+    pub poisoned_sessions: AtomicUsize,
 }
 
 /// All shard locks tolerate poisoning: the guarded data is kept
@@ -136,15 +165,19 @@ pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 impl Shard {
-    pub fn new() -> Self {
+    pub fn new(index: usize) -> Self {
         Self {
+            index,
             ingest: Mutex::new(IngestQueue {
                 queue: VecDeque::new(),
                 queued_answers: 0,
             }),
             sessions: Mutex::new(BTreeMap::new()),
             wals: Mutex::new(BTreeMap::new()),
+            truths: Mutex::new(BTreeMap::new()),
             drain_gate: Mutex::new(()),
+            queued_answers: AtomicUsize::new(0),
+            poisoned_sessions: AtomicUsize::new(0),
         }
     }
 
@@ -156,6 +189,11 @@ impl Shard {
     /// Fetch one session's WAL handle (brief map lock).
     pub fn wal(&self, raw: u64) -> Option<Arc<Mutex<SessionWal>>> {
         lock(&self.wals).get(&raw).cloned()
+    }
+
+    /// Fetch one session's published truth cell (brief map lock).
+    pub fn truth(&self, raw: u64) -> Option<Arc<Published<TruthSnapshot>>> {
+        lock(&self.truths).get(&raw).cloned()
     }
 
     /// The drain-tick body, run on a pool worker thread (or inline).
@@ -191,10 +229,13 @@ impl Shard {
         let started = Instant::now();
         let tick_timer = obs::shard_tick_seconds().start_timer();
         let mut stats = ShardTickStats::default();
+        // Sessions whose published snapshot must be refreshed at the end
+        // of this tick (ingested, converged, poisoned, or restarted).
+        let mut touched: BTreeSet<u64> = BTreeSet::new();
 
         // Phase 0: checkpoint auto-restarts.
         if ctx.durability.is_some() {
-            self.restart_poisoned(ctx, &mut stats);
+            self.restart_poisoned(ctx, &mut stats, &mut touched);
         }
 
         // Take the whole queue in one lock hold; submitters regain the
@@ -202,6 +243,7 @@ impl Shard {
         let envelopes: Vec<Envelope> = {
             let mut q = lock(&self.ingest);
             obs::ingest_queued().add(-(q.queued_answers as i64));
+            self.queued_answers.fetch_sub(q.queued_answers, Ordering::SeqCst);
             q.queued_answers = 0;
             q.queue.drain(..).collect()
         };
@@ -232,6 +274,8 @@ impl Shard {
                 drop(slot);
                 let mut q = lock(&self.ingest);
                 q.queued_answers += env.records.len();
+                self.queued_answers
+                    .fetch_add(env.records.len(), Ordering::SeqCst);
                 obs::ingest_queued().add(env.records.len() as i64);
                 q.queue.push_back(env);
                 continue;
@@ -245,6 +289,8 @@ impl Shard {
                         .push((sid, format!("record {accepted} rejected: {e}")));
                 }
             }
+            slot.batches_ingested += 1;
+            touched.insert(env.session);
             // The batch left the queue and entered the engine (even a
             // partially-rejected one: the rejection is deterministic and
             // replays identically) — advance the WAL's ingest cursor so
@@ -276,6 +322,8 @@ impl Shard {
                 }
             }
             let inject_debug = std::mem::take(&mut slot.debug_panic_next_converge);
+            #[cfg(any(test, feature = "fault-inject"))]
+            let inject_block = std::mem::take(&mut slot.debug_block_next_converge);
             let attempt = slot.converge_attempts;
             slot.converge_attempts += 1;
             let inject_fault = ctx
@@ -293,6 +341,10 @@ impl Shard {
                 if inject_fault {
                     panic!("injected converge panic (fault plan)");
                 }
+                #[cfg(any(test, feature = "fault-inject"))]
+                if let Some(gate) = inject_block {
+                    gate.park(); // holds the slot lock until released
+                }
                 engine.converge_budgeted(budget)
             }));
             match outcome {
@@ -305,6 +357,7 @@ impl Shard {
                         obs::shard_budget_exhausted().inc();
                     }
                     slot.last_report = Some(report);
+                    touched.insert(raw);
                     if let Some(dur) = &ctx.durability {
                         self.log_converge(raw, &slot, budget, dur, ctx, &mut stats);
                     }
@@ -321,9 +374,22 @@ impl Shard {
                     let msg = panic_message(payload.as_ref());
                     slot.poisoned = Some(msg);
                     stats.newly_poisoned.push(SessionId::from_raw(raw));
+                    touched.insert(raw);
+                    self.poisoned_sessions.fetch_add(1, Ordering::SeqCst);
                     obs::shard_poisoned().inc();
                 }
             }
+        }
+
+        // Publish a fresh truth snapshot for every session this tick
+        // changed — the single write that the wait-free read path sees.
+        // Each slot is re-locked briefly; the drain gate keeps the state
+        // it captured from moving under us.
+        for &raw in &touched {
+            let Some(cell) = self.truth(raw) else { continue };
+            let Some(slot) = self.slot(raw) else { continue };
+            let slot = lock(&slot);
+            publish_session(&cell, &slot, SessionId::from_raw(raw), self.index, None);
         }
         obs::shard_answers_ingested().add(stats.answers_ingested as u64);
         let dt = tick_timer.stop();
@@ -411,7 +477,12 @@ impl Shard {
     /// ingested by phase 1 as usual (pushing them here would make phase 1
     /// re-push duplicates, whose rejection would silently drop the whole
     /// remainder of each batch).
-    fn restart_poisoned(&self, ctx: &DrainCtx, stats: &mut ShardTickStats) {
+    fn restart_poisoned(
+        &self,
+        ctx: &DrainCtx,
+        stats: &mut ShardTickStats,
+        touched: &mut BTreeSet<u64>,
+    ) {
         let Some(dur) = &ctx.durability else { return };
         let snapshot: Vec<(u64, Arc<Mutex<SessionSlot>>)> = lock(&self.sessions)
             .iter()
@@ -469,6 +540,9 @@ impl Shard {
                     slot.last_report = r.last_report;
                     slot.poisoned = None;
                     slot.restarts += 1;
+                    slot.batches_ingested = wal.batches_ingested;
+                    self.poisoned_sessions.fetch_sub(1, Ordering::SeqCst);
+                    touched.insert(raw);
                     stats.sessions_restarted += 1;
                     obs::shard_restarts().inc();
                     crowd_obs::journal::record(
@@ -487,6 +561,90 @@ impl Shard {
                 }
             }
         }
+    }
+}
+
+/// Publish a fresh [`TruthSnapshot`] for one session from its locked
+/// slot. Every field is read under this single slot hold, which is what
+/// makes the snapshot internally consistent ("same tick" semantics).
+///
+/// For a poisoned slot the engine is not trusted (the panic may have
+/// left mid-converge state behind): `plurality` is carried forward from
+/// the previous snapshot and the state degrades to
+/// [`SnapshotState::SnapshotStale`]. `last_report` is always safe — the
+/// panic never touches it. `state_override` lets the evict path publish
+/// the terminal [`SnapshotState::SessionGone`] snapshot.
+pub(crate) fn publish_session(
+    cell: &Published<TruthSnapshot>,
+    slot: &SessionSlot,
+    session: SessionId,
+    shard_idx: usize,
+    state_override: Option<SnapshotState>,
+) {
+    cell.publish_with(|prior, epoch| {
+        let state = state_override.clone().unwrap_or_else(|| match &slot.poisoned {
+            Some(reason) => SnapshotState::SnapshotStale {
+                reason: reason.clone(),
+            },
+            None => SnapshotState::Live,
+        });
+        let summary = slot.engine.summary();
+        TruthSnapshot {
+            session,
+            epoch,
+            state,
+            cum_batches: slot.batches_ingested,
+            // A panicked converge may have left the engine's views
+            // mid-update: only scalar counters are read from it; the
+            // estimates are carried forward from the last good snapshot.
+            plurality: if slot.poisoned.is_none() {
+                slot.engine.current_estimates()
+            } else {
+                prior.plurality.clone()
+            },
+            report: slot.last_report.clone(),
+            stats: SessionStats {
+                session,
+                shard: shard_idx,
+                answers_seen: summary.answers_seen,
+                pending_answers: summary.pending_answers,
+                converges: summary.converges,
+                needs_converge: summary.needs_converge,
+                poisoned: slot.poisoned.is_some(),
+                restarts: slot.restarts,
+            },
+        }
+    });
+    obs::truth_publishes().inc();
+}
+
+/// Build a snapshot of a *healthy* slot's state (the engine is trusted;
+/// callers publishing for a poisoned slot overwrite `plurality` and
+/// `state`, see [`publish_session`]).
+pub(crate) fn snapshot_from_slot(
+    slot: &SessionSlot,
+    session: SessionId,
+    shard_idx: usize,
+    epoch: u64,
+) -> TruthSnapshot {
+    let summary = slot.engine.summary();
+    TruthSnapshot {
+        session,
+        epoch,
+        state: SnapshotState::Live,
+        cum_batches: slot.batches_ingested,
+        plurality: slot.engine.current_estimates(),
+        report: slot.last_report.clone(),
+        stats: SessionStats {
+            session,
+            shard: shard_idx,
+            answers_seen: summary.answers_seen,
+            pending_answers: summary.pending_answers,
+            converges: summary.converges,
+            needs_converge: summary.needs_converge,
+            poisoned: slot.poisoned.is_some(),
+            restarts: slot.restarts,
+        },
     }
 }
 
@@ -513,7 +671,7 @@ mod tests {
         // A batch that raced the poisoning panic into the queue must
         // survive drains (it is acknowledged; eviction or a restart will
         // account for it) rather than being silently discarded.
-        let shard = Shard::new();
+        let shard = Shard::new(0);
         let config = StreamConfig::new(Method::Mv, TaskType::DecisionMaking, 2, 2);
         let mut slot = SessionSlot::new(StreamEngine::new(config).unwrap());
         slot.poisoned = Some("injected".to_string());
@@ -526,6 +684,7 @@ mod tests {
         {
             let mut q = lock(&shard.ingest);
             q.queued_answers = records.len();
+            shard.queued_answers.store(records.len(), Ordering::SeqCst);
             q.queue.push_back(Envelope {
                 session: 7,
                 records: records.clone(),

@@ -25,9 +25,9 @@ use crowd_data::datasets::PaperDataset;
 use crowd_data::{Answer, AnswerRecord, StreamSession, TaskType};
 use crowd_serve::{
     CrowdServe, DurabilityConfig, FaultKind, FaultPlan, FaultSite, FsyncPolicy, ServeConfig,
-    ServeError,
+    ServeError, SessionId,
 };
-use crowd_stream::StreamConfig;
+use crowd_stream::{StreamConfig, StreamReport};
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------------------
@@ -99,6 +99,17 @@ fn posterior_bits(p: &Option<Vec<Vec<f64>>>) -> Vec<Vec<u64>> {
         .unwrap_or_default()
 }
 
+/// The published plurality for `sid` — what the retired lock-taking
+/// `plurality()` getter used to serve.
+fn plur_of(serve: &CrowdServe, sid: SessionId) -> Vec<Option<u8>> {
+    serve.truth(sid).unwrap().plurality.clone()
+}
+
+/// The published last report for `sid`.
+fn report_of(serve: &CrowdServe, sid: SessionId) -> Option<StreamReport> {
+    serve.truth(sid).unwrap().report.clone()
+}
+
 /// Everything the uninterrupted run leaves behind: per-tick plurality
 /// snapshots (`plur[t]` = after tick `t`; `plur[0]` = empty session),
 /// the final truths + posterior bits, and the raw WAL/snapshot bytes.
@@ -120,15 +131,15 @@ fn run_reference(
     let dir = TempDir::new("ref");
     let serve = CrowdServe::new(durable_config(dir.path(), snapshot_every)).unwrap();
     let sid = serve.create_session(config.clone()).unwrap();
-    let mut plur = vec![serve.plurality(sid).unwrap()];
+    let mut plur = vec![plur_of(&serve, sid)];
     for batch in batches {
         serve.submit(sid, batch.clone()).unwrap();
         let tick = serve.drain_tick();
         assert!(tick.errors.is_empty(), "{:?}", tick.errors);
         assert!(tick.poisoned.is_empty());
-        plur.push(serve.plurality(sid).unwrap());
+        plur.push(plur_of(&serve, sid));
     }
-    let report = serve.last_report(sid).unwrap().expect("converged");
+    let report = report_of(&serve, sid).expect("converged");
     let wal = std::fs::read(dir.path().join("wal-0.log")).unwrap();
     let snap = std::fs::read(dir.path().join("snap-0.snap")).ok();
     Reference {
@@ -208,11 +219,11 @@ fn kill_at_every_frame_boundary_recovers_bit_identically() {
             // Immediately after recovery the engine holds exactly the
             // converged prefix; logged-but-unconverged batches are queued.
             assert_eq!(
-                serve.plurality(sid).unwrap(),
+                plur_of(&serve, sid),
                 reference.plur[converged],
                 "{method:?}/{dataset:?} kill={kill}: post-recovery plurality"
             );
-            let stats = serve.session_stats(sid).unwrap();
+            let stats = serve.truth(sid).unwrap().stats.clone();
             let tail_answers: usize = batches[converged..ingested].iter().map(Vec::len).sum();
             assert_eq!(serve.stats().queued_answers, tail_answers);
             assert_eq!(
@@ -232,10 +243,10 @@ fn kill_at_every_frame_boundary_recovers_bit_identically() {
                 assert!(tick.errors.is_empty(), "{:?}", tick.errors);
             }
             assert_eq!(
-                serve.plurality(sid).unwrap(),
+                plur_of(&serve, sid),
                 *reference.plur.last().unwrap()
             );
-            let report = serve.last_report(sid).unwrap().expect("converged");
+            let report = report_of(&serve, sid).expect("converged");
             assert_eq!(
                 report.result.truths, reference.truths,
                 "{method:?}/{dataset:?} kill={kill}: final truths"
@@ -352,7 +363,7 @@ fn truncation_at_every_byte_offset_recovers_longest_valid_prefix() {
                 assert_eq!(counts.answers_requeued, queued, "cut={cut}");
                 let sid = serve.sessions()[0];
                 assert_eq!(
-                    serve.session_stats(sid).unwrap().answers_seen,
+                    serve.truth(sid).unwrap().stats.answers_seen,
                     engine_answers,
                     "cut={cut}"
                 );
@@ -360,7 +371,7 @@ fn truncation_at_every_byte_offset_recovers_longest_valid_prefix() {
                 // any) drains, and new submits append to the healed log.
                 serve.drain_tick();
                 assert_eq!(
-                    serve.session_stats(sid).unwrap().answers_seen,
+                    serve.truth(sid).unwrap().stats.answers_seen,
                     engine_answers + queued,
                     "cut={cut}"
                 );
@@ -413,7 +424,7 @@ proptest! {
                 prop_assert_eq!(report.sessions_recovered, 1);
                 let sid = serve.sessions()[0];
                 prop_assert_eq!(
-                    serve.session_stats(sid).unwrap().answers_seen,
+                    serve.truth(sid).unwrap().stats.answers_seen,
                     engine_answers
                 );
                 prop_assert_eq!(report.answers_requeued, queued);
@@ -457,19 +468,16 @@ fn intact_snapshot_fast_path_is_bit_identical_to_full_replay() {
     );
     let sid = fast.sessions()[0];
     assert_eq!(
-        fast.plurality(sid).unwrap(),
-        slow.plurality(sid).unwrap(),
+        plur_of(&fast, sid),
+        plur_of(&slow, sid),
         "snapshot path ≡ replay path"
     );
     assert_eq!(
-        fast.plurality(sid).unwrap(),
+        plur_of(&fast, sid),
         *reference.plur.last().unwrap()
     );
     for serve in [&fast, &slow] {
-        let report = serve
-            .last_report(sid)
-            .unwrap()
-            .expect("converge 5 replayed");
+        let report = report_of(serve, sid).expect("converge 5 replayed");
         assert_eq!(report.result.truths, reference.truths);
         assert_eq!(
             posterior_bits(&report.result.posteriors),
@@ -495,10 +503,7 @@ fn corrupt_snapshot_falls_back_to_full_wal_replay() {
     assert_eq!(report.snapshots_used, 0);
     assert_eq!(report.snapshot_fallbacks, 1, "corruption detected");
     let sid = serve.sessions()[0];
-    let last = serve
-        .last_report(sid)
-        .unwrap()
-        .expect("full replay converged");
+    let last = report_of(&serve, sid).expect("full replay converged");
     assert_eq!(last.result.truths, reference.truths);
     assert_eq!(
         posterior_bits(&last.result.posteriors),
@@ -519,7 +524,7 @@ fn recovery_is_idempotent() {
     for _ in 0..2 {
         let (serve, report) = CrowdServe::recover(durable_config(dir.path(), 2)).unwrap();
         assert_eq!(report.sessions_recovered, 1);
-        pluralities.push(serve.plurality(serve.sessions()[0]).unwrap());
+        pluralities.push(plur_of(&serve, serve.sessions()[0]));
     }
     assert_eq!(
         pluralities[0], pluralities[1],
@@ -558,10 +563,7 @@ fn poisoned_session_auto_restarts_from_checkpoint_bit_identically() {
             // The scheduled panic fires: the session is poisoned, reads
             // fail typed…
             assert_eq!(tick.poisoned, vec![sid]);
-            assert!(matches!(
-                serve.plurality(sid),
-                Err(ServeError::SessionPoisoned(_))
-            ));
+            assert!(serve.truth(sid).unwrap().state.is_stale());
             // …and the next tick restarts it from checkpoint + WAL and
             // re-runs the interrupted converge, landing exactly where the
             // clean run was after its own tick 3.
@@ -569,14 +571,14 @@ fn poisoned_session_auto_restarts_from_checkpoint_bit_identically() {
             assert_eq!(tick.sessions_restarted, 1);
             assert!(tick.poisoned.is_empty());
             assert!(tick.errors.is_empty(), "{:?}", tick.errors);
-            assert_eq!(serve.plurality(sid).unwrap(), reference.plur[t + 1]);
-            assert_eq!(serve.session_stats(sid).unwrap().restarts, 1);
+            assert_eq!(plur_of(&serve, sid), reference.plur[t + 1]);
+            assert_eq!(serve.truth(sid).unwrap().stats.restarts, 1);
         } else {
             assert!(tick.poisoned.is_empty());
-            assert_eq!(serve.plurality(sid).unwrap(), reference.plur[t + 1]);
+            assert_eq!(plur_of(&serve, sid), reference.plur[t + 1]);
         }
     }
-    let report = serve.last_report(sid).unwrap().expect("converged");
+    let report = report_of(&serve, sid).expect("converged");
     assert_eq!(report.result.truths, reference.truths);
     assert_eq!(
         posterior_bits(&report.result.posteriors),
@@ -640,8 +642,8 @@ fn wedged_wal_fails_submits_typed_while_reads_keep_serving() {
     assert!(tick.errors[0].1.contains("wedged"), "{}", tick.errors[0].1);
 
     // Reads still serve the converged state…
-    assert_eq!(serve.plurality(sid).unwrap().len(), 6);
-    assert!(serve.last_report(sid).unwrap().is_some());
+    assert_eq!(plur_of(&serve, sid).len(), 6);
+    assert!(report_of(&serve, sid).is_some());
     // …but submits refuse typed until restart/evict.
     match serve.submit(sid, batches[1].clone()).unwrap_err() {
         ServeError::Durability { session, detail } => {
@@ -675,7 +677,7 @@ fn relaxed_fsync_policies_still_recover_after_clean_process_exit() {
         assert_eq!(report.sessions_recovered, 1, "{policy:?}");
         let sid = serve.sessions()[0];
         let total: usize = batches.iter().map(Vec::len).sum();
-        assert_eq!(serve.session_stats(sid).unwrap().answers_seen, total);
+        assert_eq!(serve.truth(sid).unwrap().stats.answers_seen, total);
     }
 }
 

@@ -82,7 +82,7 @@ fn run_served(
     for _ in 0..400 {
         if ids
             .iter()
-            .all(|&sid| !serve.session_stats(sid).unwrap().needs_converge)
+            .all(|&sid| !serve.truth(sid).unwrap().stats.needs_converge)
         {
             break;
         }
@@ -90,12 +90,9 @@ fn run_served(
     }
     ids.iter()
         .map(|&sid| {
-            let stats = serve.session_stats(sid).unwrap();
-            assert!(!stats.needs_converge, "session never converged");
-            let report = serve
-                .last_report(sid)
-                .unwrap()
-                .expect("converged at least once");
+            let snap = serve.truth(sid).unwrap();
+            assert!(!snap.stats.needs_converge, "session never converged");
+            let report = snap.report.as_ref().expect("converged at least once");
             (
                 report.result.truths.clone(),
                 posterior_bits(&report.result.posteriors),
@@ -225,11 +222,10 @@ fn panic_in_one_session_leaves_siblings_serving() {
     assert_eq!(tick.shard_failures, 0);
     assert_eq!(tick.sessions_converged, 3, "siblings converged this tick");
 
-    // The poisoned session refuses work with a typed error...
-    assert!(matches!(
-        serve.plurality(ids[1]),
-        Err(ServeError::SessionPoisoned(_))
-    ));
+    // The poisoned session's published truth degrades to the typed
+    // stale state (writes still refuse with a typed error)...
+    let snap = serve.truth(ids[1]).unwrap();
+    assert!(snap.state.is_stale(), "poisoned publish: {:?}", snap.state);
     assert!(matches!(
         serve.submit(ids[1], sessions[1].1[0].clone()),
         Err(ServeError::SessionPoisoned(_))
@@ -240,7 +236,8 @@ fn panic_in_one_session_leaves_siblings_serving() {
     // session) matches its sequential single-session replay exactly.
     let sequential = run_sequential(usize::MAX, &sessions);
     for k in [0usize, 2, 3] {
-        let report = serve.last_report(ids[k]).unwrap().unwrap();
+        let snap = serve.truth(ids[k]).unwrap();
+        let report = snap.report.as_ref().unwrap();
         assert_eq!(report.result.truths, sequential[k].0, "session {k}");
         assert_eq!(posterior_bits(&report.result.posteriors), sequential[k].1);
     }

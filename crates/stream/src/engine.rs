@@ -140,6 +140,23 @@ pub struct EngineCheckpoint {
     pub last_converged: bool,
 }
 
+/// The engine's scalar counters, extracted in one call (see
+/// [`StreamEngine::summary`]) so a caller assembling a published
+/// snapshot reads them from a single instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineSummary {
+    /// Answers accepted so far.
+    pub answers_seen: usize,
+    /// Answers accepted since the last warm converge.
+    pub pending_answers: usize,
+    /// Converges run so far.
+    pub converges: usize,
+    /// Delta compactions run so far.
+    pub compactions: usize,
+    /// Whether the next drain tick would re-converge this engine.
+    pub needs_converge: bool,
+}
+
 /// What one converge produced.
 #[derive(Debug, Clone)]
 pub struct StreamReport {
@@ -297,6 +314,19 @@ impl StreamEngine {
     /// convergence criterion.
     pub fn needs_converge(&self) -> bool {
         self.pending_answers > 0 || !self.last_converged
+    }
+
+    /// All scalar counters in one read — the cheap extraction hook for
+    /// snapshot publication (`crowd-serve`'s truth snapshots): `O(1)`,
+    /// no CSR or delta state is cloned or compacted.
+    pub fn summary(&self) -> EngineSummary {
+        EngineSummary {
+            answers_seen: self.answers_seen(),
+            pending_answers: self.pending_answers,
+            converges: self.converges,
+            compactions: self.compactions,
+            needs_converge: self.needs_converge(),
+        }
     }
 
     /// Accept one answer. Rejects out-of-range indices, non-label

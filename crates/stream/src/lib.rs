@@ -52,7 +52,9 @@ pub mod delta;
 pub mod engine;
 
 pub use delta::{DeltaCat, DeltaNum};
-pub use engine::{ConvergeBudget, EngineCheckpoint, StreamConfig, StreamEngine, StreamReport};
+pub use engine::{
+    ConvergeBudget, EngineCheckpoint, EngineSummary, StreamConfig, StreamEngine, StreamReport,
+};
 
 use crowd_core::InferenceError;
 use crowd_data::TaskType;
