@@ -24,8 +24,9 @@ use crowd_bench::json::{self, Json};
 use std::process::ExitCode;
 
 /// Counters the serve bench's workload cannot avoid incrementing.
-const EXPECT_SERVE_COUNTERS: [&str; 11] = [
+const EXPECT_SERVE_COUNTERS: [&str; 12] = [
     "core.pool.submits_total",
+    "core.shard.dirty_rebuilds_total",
     "serve.ingest.answers_total",
     "serve.ingest.batches_total",
     "serve.recovery.sessions_recovered_total",
@@ -39,8 +40,10 @@ const EXPECT_SERVE_COUNTERS: [&str; 11] = [
 ];
 
 /// Histograms likewise guaranteed non-empty by the serve bench.
-const EXPECT_SERVE_HISTOGRAMS: [&str; 7] = [
+const EXPECT_SERVE_HISTOGRAMS: [&str; 9] = [
     "core.pool.dispatch_seconds",
+    "core.shard.estep_seconds",
+    "core.shard.reduce_seconds",
     "serve.recovery.replay_seconds",
     "serve.shard.tick_seconds",
     "serve.truth.read_seconds",

@@ -72,6 +72,7 @@ const KEY_FIELDS: [&str; 7] = [
 fn key_fields(schema: &str) -> &'static [&'static str] {
     match schema {
         "crowd-bench/kernels/v1" => &["op", "n"],
+        "crowd-bench/shard/v1" => &["tasks", "shards"],
         _ => &KEY_FIELDS,
     }
 }
@@ -97,6 +98,7 @@ fn time_field(schema: &str) -> Option<&'static str> {
         // gate compares the repeat-minimum loop seconds so the absolute
         // noise floor (`min_time_delta`) keeps its units.
         "crowd-bench/kernels/v1" => Some("seconds_min"),
+        "crowd-bench/shard/v1" => Some("seconds_total"),
         _ => None,
     }
 }
@@ -599,6 +601,32 @@ mod tests {
         assert!(cmp.regressions[0]
             .detail
             .contains("missing from the candidate"));
+    }
+
+    #[test]
+    fn shard_schema_keys_rows_by_tasks_and_shards_and_gates_flatness() {
+        let doc = |secs: f64, flat: bool| {
+            parse(&format!(
+                r#"{{"schema": "crowd-bench/shard/v1", "scale": 0.1, "scaling_flat": {flat},
+                    "results": [
+                    {{"tasks": 100000, "shards": 4, "answers": 300000,
+                      "seconds_total": {secs}, "answers_per_sec": 1.0, "accuracy_mean": 0.9}}
+                ]}}"#
+            ))
+            .unwrap()
+        };
+        // Same (tasks, shards) identity: compared; a big slowdown fails.
+        let cmp = compare(&doc(0.1, true), &doc(0.4, true), &Thresholds::default()).unwrap();
+        assert_eq!(cmp.rows_compared, 1);
+        assert!(!cmp.passed());
+        assert!(cmp.regressions[0].row.contains("tasks=100000 shards=4"));
+        assert_eq!(cmp.regressions[0].field, "seconds_total");
+        // The scaling-flatness headline gates like the serve bench's
+        // `wal_overhead_within_bound`: true → false fails.
+        let cmp = compare(&doc(0.1, true), &doc(0.1, false), &Thresholds::default()).unwrap();
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions[0].row, "<top-level>");
+        assert_eq!(cmp.regressions[0].field, "scaling_flat");
     }
 
     #[test]

@@ -726,6 +726,41 @@ where
     global_pool().run_batch(threads - 1, &worker);
 }
 
+/// Combine per-shard partials in a **fixed, shard-count-independent
+/// shape**: repeated rounds of adjacent pairwise combines (`0⊕1`, `2⊕3`,
+/// …, odd tail carried) until one value remains. The combine order is a
+/// pure function of `items.len()`, never of thread timing — there is no
+/// parallelism here by design, so two runs over the same partials always
+/// produce the same result.
+///
+/// Use it for reductions whose combine is **exact or order-free**:
+/// integer counts, maxima/minima, flag unions, disjoint-range merges.
+/// For f64 *sums* the pairwise shape still differs from a left fold
+/// (floating-point addition is not associative), which is why the
+/// sharded EM M-steps do **not** tree-reduce their confusion partials:
+/// they fold shards sequentially in ascending order, reproducing the
+/// unsharded task-major walk bit-for-bit (see
+/// `methods/ds.rs::run_sharded` and ARCHITECTURE.md §sharded substrate).
+///
+/// Returns `None` for an empty input.
+pub fn tree_reduce<T>(mut items: Vec<T>, combine: impl Fn(T, T) -> T) -> Option<T> {
+    if items.is_empty() {
+        return None;
+    }
+    while items.len() > 1 {
+        let mut next = Vec::with_capacity(items.len().div_ceil(2));
+        let mut it = items.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(combine(a, b)),
+                None => next.push(a),
+            }
+        }
+        items = next;
+    }
+    items.pop()
+}
+
 /// A malformed `CROWD_*` environment override.
 ///
 /// Deployment knobs that are silently ignored when mistyped
@@ -851,6 +886,34 @@ mod tests {
     fn chunks_empty_is_noop() {
         let mut data: Vec<u8> = vec![];
         parallel_chunks(4, &mut data, 3, |_, _| panic!("no chunks expected"));
+    }
+
+    #[test]
+    fn tree_reduce_shape_is_deterministic_and_total() {
+        assert_eq!(tree_reduce(Vec::<u32>::new(), u32::max), None);
+        assert_eq!(tree_reduce(vec![7u32], u32::max), Some(7));
+        // Exact ops see every element exactly once, any length (incl.
+        // odd tails at every round).
+        for n in 1usize..40 {
+            let items: Vec<u64> = (0..n as u64).map(|i| 1u64 << (i % 60)).collect();
+            let expect: u64 = items.iter().copied().fold(0, |a, b| a | b);
+            assert_eq!(tree_reduce(items, |a, b| a | b), Some(expect), "n={n}");
+            assert_eq!(
+                tree_reduce((0..n).collect::<Vec<usize>>(), usize::max),
+                Some(n - 1)
+            );
+        }
+        // The combine shape is a pure function of the length: record it
+        // via a string trace and pin the 5-element shape.
+        let trace = tree_reduce(
+            vec!["a", "b", "c", "d", "e"]
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<String>>(),
+            |a, b| format!("({a}{b})"),
+        )
+        .unwrap();
+        assert_eq!(trace, "(((ab)(cd))e)");
     }
 
     #[test]

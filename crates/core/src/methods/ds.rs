@@ -21,7 +21,7 @@ use crate::framework::{
     validate_common, InferenceError, InferenceOptions, InferenceResult, QualityInit,
     TruthInference, WorkerQuality,
 };
-use crate::views::{initial_accuracy, Cat};
+use crate::views::{initial_accuracy, Cat, ShardedView};
 
 /// M-step work (≈ `|V|·ℓ + m·ℓ²` flops) below which the worker fan-out
 /// stays on the calling thread. The serial path performs **zero heap
@@ -37,7 +37,7 @@ use crate::views::{initial_accuracy, Cat};
 /// dropped from 2¹⁸ to 2¹⁴ units (~13µs of serial work, comfortably
 /// above multi-core worker wake-up latency). Below it the serial path
 /// also keeps the loop allocation-free.
-const PARALLEL_MSTEP_MIN_WORK: usize = 1 << 14;
+pub(crate) const PARALLEL_MSTEP_MIN_WORK: usize = 1 << 14;
 
 /// E-step work below which the task fan-out stays on the calling thread.
 /// Each task's posterior row is computed independently (reads the shared
@@ -50,7 +50,7 @@ const PARALLEL_MSTEP_MIN_WORK: usize = 1 << 14;
 /// stealing design caps the downside: the dispatching thread starts on
 /// the chunks immediately, so a fan-out nobody helps with costs only the
 /// notify (~0.2µs) over the serial sweep.
-const PARALLEL_ESTEP_MIN_WORK: usize = 1 << 13;
+pub(crate) const PARALLEL_ESTEP_MIN_WORK: usize = 1 << 13;
 
 /// Shared EM engine for D&S-family methods, on the flat-memory substrate:
 /// posteriors are an `n × ℓ` [`DMat`], all worker confusion matrices live
@@ -293,6 +293,199 @@ impl DsEngine {
             posteriors: Some(post.into_nested()),
         })
     }
+
+    /// Run the EM loop on a task-range sharded view — the million-task
+    /// substrate. Same model, same arithmetic, restructured around the
+    /// shard directory:
+    ///
+    /// - **E-step** fans out *per shard* through the worker pool: each
+    ///   shard owns a contiguous, disjoint block of posterior rows
+    ///   (`split_at_mut` chain over the flat buffer), and every task row
+    ///   is computed by exactly the [`e_step`] arithmetic — so the
+    ///   result is bit-identical to the unsharded sweep at any shard
+    ///   count, and the working set per job is one shard, not the
+    ///   dataset.
+    /// - **M-step** accumulates each worker's confusion counts by
+    ///   folding that worker's per-shard adjacency rows in **ascending
+    ///   shard order** (a continuation fold, not a pairwise tree): the
+    ///   canonical task-ascending order of
+    ///   [`ShardedView::shard_worker_row`] makes the visit sequence — and
+    ///   hence the non-associative f64 sum — independent of the shard
+    ///   count, and equal to the flat `worker_row` walk whenever the flat
+    ///   rows are task-ascending (every dataset built task-by-task).
+    ///   Parallelism comes from the per-worker chunk fan-out, exactly as
+    ///   in [`Self::run_view`]. Exact cross-shard reductions (counts,
+    ///   maxima) go through [`exec::tree_reduce`]; the f64 partials
+    ///   deliberately do not — see its docs.
+    pub fn run_sharded(
+        &self,
+        view: &ShardedView,
+        options: &InferenceOptions,
+    ) -> Result<InferenceResult, InferenceError> {
+        if view.num_answers() == 0 {
+            return Err(InferenceError::EmptyDataset);
+        }
+        crate::framework::validate_view_options(view.m, options)?;
+        let l = view.l;
+
+        let mut post = view.majority_posteriors();
+        let mut confusion = DMat::zeros(view.m * l, l);
+        let mut class_prior = vec![1.0 / l as f64; l];
+        let mut need_estep_first = false;
+        if let Some(warm) = &options.warm_start {
+            if let Some(prev_post) = &warm.posteriors {
+                for (task, row) in prev_post.iter().enumerate().take(view.n) {
+                    if row.len() == l
+                        && view.golden()[task].is_none()
+                        && view.task_len(task) > 0
+                    {
+                        post.row_mut(task).copy_from_slice(row);
+                    }
+                }
+            }
+            let default_acc = 0.7;
+            let off_default = (1.0 - default_acc) / (l - 1).max(1) as f64;
+            for w in 0..view.m {
+                let prev = warm.worker_quality.get(w).and_then(|q| match q {
+                    WorkerQuality::Confusion(m)
+                        if m.len() == l && m.iter().all(|row| row.len() == l) =>
+                    {
+                        Some(m)
+                    }
+                    _ => None,
+                });
+                for j in 0..l {
+                    let row = confusion.row_mut(w * l + j);
+                    match prev {
+                        Some(m) => row.copy_from_slice(&m[j]),
+                        None => {
+                            row.fill(off_default);
+                            row[j] = default_acc;
+                        }
+                    }
+                }
+            }
+            class_prior.fill(0.0);
+            for row in post.data().chunks_exact(l) {
+                for (prior, &p) in class_prior.iter_mut().zip(row) {
+                    *prior += p;
+                }
+            }
+            let total: f64 = class_prior.iter().sum();
+            if total > 0.0 {
+                class_prior.iter_mut().for_each(|prior| *prior /= total);
+            } else {
+                class_prior.fill(1.0 / l as f64);
+            }
+            need_estep_first = true;
+        } else if let QualityInit::Qualification(_) = &options.quality_init {
+            let acc = initial_accuracy(options, view.m, 0.7);
+            for (w, &a) in acc.iter().enumerate() {
+                let off = (1.0 - a) / (l - 1).max(1) as f64;
+                for j in 0..l {
+                    let row = confusion.row_mut(w * l + j);
+                    row.fill(off);
+                    row[j] = a;
+                }
+            }
+            need_estep_first = true;
+        }
+
+        let mut log_conf = DMat::zeros(view.m * l, l);
+        let mut log_prior = vec![0.0f64; l];
+
+        let thread_budget = options.threads.unwrap_or_else(exec::default_threads).max(1);
+        let mstep_work = view.num_answers() * l + view.m * l * l;
+        let mstep_threads = if mstep_work >= PARALLEL_MSTEP_MIN_WORK {
+            thread_budget
+        } else {
+            1
+        };
+        let estep_work = view.num_answers() * l + 3 * view.n * l;
+        let estep_threads = if estep_work >= PARALLEL_ESTEP_MIN_WORK {
+            thread_budget
+        } else {
+            1
+        };
+
+        let mut tracker = ConvergenceTracker::new(options.tolerance, options.max_iterations);
+        let mut iterations = 0usize;
+        let converged;
+
+        loop {
+            if need_estep_first {
+                refresh_log_tables(&confusion, &class_prior, &mut log_conf, &mut log_prior);
+                e_step_sharded(view, &log_conf, &log_prior, &mut post, estep_threads);
+                need_estep_first = false;
+            }
+
+            // M-step: the per-worker continuation fold across shards.
+            {
+                let _reduce_timer = crate::views::obs_reduce_seconds().start_timer();
+                let diag = self.diag_prior;
+                let off = self.off_prior;
+                let post_ref = &post;
+                exec::parallel_chunks(mstep_threads, confusion.data_mut(), l * l, |w, chunk| {
+                    chunk.fill(off);
+                    for j in 0..l {
+                        chunk[j * l + j] = diag;
+                    }
+                    for s in 0..view.num_shards() {
+                        for &(task, label) in view.shard_worker_row(s, w) {
+                            let post_row = post_ref.row(task as usize);
+                            for j in 0..l {
+                                chunk[j * l + label as usize] += post_row[j];
+                            }
+                        }
+                    }
+                    for row in chunk.chunks_mut(l) {
+                        let total: f64 = row.iter().sum();
+                        row.iter_mut().for_each(|c| *c /= total);
+                    }
+                });
+            }
+
+            class_prior.fill(0.0);
+            for row in post.data().chunks_exact(l) {
+                for (prior, &p) in class_prior.iter_mut().zip(row) {
+                    *prior += p;
+                }
+            }
+            class_prior
+                .iter_mut()
+                .for_each(|prior| *prior /= view.n.max(1) as f64);
+            let prior_sum: f64 = class_prior.iter().sum();
+            if prior_sum <= 0.0 {
+                class_prior.fill(1.0 / l as f64);
+            }
+
+            refresh_log_tables(&confusion, &class_prior, &mut log_conf, &mut log_prior);
+            e_step_sharded(view, &log_conf, &log_prior, &mut post, estep_threads);
+
+            iterations += 1;
+            if tracker.step(confusion.data()) {
+                converged = tracker.converged();
+                break;
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let labels = view.decode(&post, &mut rng);
+        let worker_quality = (0..view.m)
+            .map(|w| {
+                WorkerQuality::Confusion(
+                    (0..l).map(|j| confusion.row(w * l + j).to_vec()).collect(),
+                )
+            })
+            .collect();
+        Ok(InferenceResult {
+            truths: Cat::answers(&labels),
+            worker_quality,
+            iterations,
+            converged,
+            posteriors: Some(post.into_nested()),
+        })
+    }
 }
 
 /// Refresh the log-domain lookup tables from the current confusion
@@ -383,6 +576,68 @@ fn e_step(
     cat.clamp_golden(post);
 }
 
+/// One E-step over the sharded substrate: shard `s` owns posterior rows
+/// `starts[s]..starts[s+1]` — a contiguous, disjoint block of the flat
+/// buffer carved off a `split_at_mut` chain — and runs the exact
+/// [`e_step`] per-task arithmetic over its own task rows. Shards fan out
+/// through [`exec::parallel_map`]; with `threads == 1` the jobs run
+/// in shard order on the calling thread. Either way every task row is
+/// produced by the same adds in the same order, so the posteriors are
+/// bit-identical to the unsharded sweep at any shard count.
+fn e_step_sharded(
+    view: &ShardedView,
+    log_conf: &DMat,
+    log_prior: &[f64],
+    post: &mut DMat,
+    threads: usize,
+) {
+    let l = view.l;
+    let stride = l * l;
+    let lc = log_conf.data();
+    let golden = view.golden();
+    {
+        // Carve per-shard row blocks off the flat posterior buffer.
+        let mut blocks: Vec<(usize, &mut [f64])> = Vec::with_capacity(view.num_shards());
+        let mut rest: &mut [f64] = post.data_mut();
+        for s in 0..view.num_shards() {
+            let range = view.shard_tasks(s);
+            let (head, tail) = rest.split_at_mut((range.end - range.start) * l);
+            blocks.push((s, head));
+            rest = tail;
+        }
+        let jobs: Vec<_> = blocks
+            .into_iter()
+            .map(|(s, block)| {
+                move || {
+                    let timer = crate::views::obs_estep_seconds().start_timer();
+                    let start = view.shard_tasks(s).start;
+                    let mut logp = vec![0.0f64; l];
+                    for (local, row) in block.chunks_mut(l).enumerate() {
+                        let task = start + local;
+                        let answers = view.shard_task_row(s, local);
+                        if golden[task].is_some() || answers.is_empty() {
+                            continue;
+                        }
+                        logp.copy_from_slice(log_prior);
+                        for &(worker, label) in answers {
+                            let mut idx = worker as usize * stride + label as usize;
+                            for lp in logp.iter_mut() {
+                                *lp += lc[idx];
+                                idx += l;
+                            }
+                        }
+                        log_normalize(&mut logp);
+                        row.copy_from_slice(&logp);
+                    }
+                    drop(timer);
+                }
+            })
+            .collect();
+        exec::parallel_map(threads, jobs);
+    }
+    view.clamp_golden(post);
+}
+
 /// Dawid–Skene EM.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Ds;
@@ -405,6 +660,23 @@ impl Ds {
             off_prior: 0.01,
         }
         .run_view(view, options)
+    }
+
+    /// Run D&S on a task-range sharded view (per-shard E-steps, shard-
+    /// ascending M-step fold) — bit-identical to [`Self::infer_view`] on
+    /// the equivalent flat view at any shard count; see
+    /// [`DsEngine::run_sharded`].
+    pub fn infer_sharded(
+        &self,
+        view: &ShardedView,
+        options: &InferenceOptions,
+    ) -> Result<InferenceResult, InferenceError> {
+        DsEngine {
+            method: self.name(),
+            diag_prior: 0.01,
+            off_prior: 0.01,
+        }
+        .run_sharded(view, options)
     }
 }
 

@@ -286,6 +286,181 @@ impl Glad {
             posteriors: Some(post.into_nested()),
         })
     }
+
+    /// Run GLAD on a task-range sharded view. GLAD is task-major
+    /// throughout — the E-step posterior accumulation, the σ table
+    /// fills, and the M-step gradient scatter all walk task rows in
+    /// ascending task order and never a worker row — so iterating shards
+    /// in ascending order with a global answer cursor (the shard's
+    /// [`crate::views::ShardedView::shard_entry_offset`]) reproduces the
+    /// flat walk **bit-for-bit on any record order**, at any shard
+    /// count. The per-shard E/M passes are timed into the `core.shard.*`
+    /// histograms; the worker-side gradients are the one cross-shard
+    /// accumulation, and they fold in the same task-major visit order as
+    /// the flat loop.
+    pub fn infer_sharded(
+        &self,
+        view: &crate::views::ShardedView,
+        options: &InferenceOptions,
+    ) -> Result<InferenceResult, InferenceError> {
+        use crate::views::ShardedView;
+
+        if view.num_answers() == 0 {
+            return Err(InferenceError::EmptyDataset);
+        }
+        crate::framework::validate_view_options(view.m, options)?;
+        let lm1 = (view.l - 1).max(1) as f64;
+
+        let init_acc = initial_accuracy(options, view.m, sigmoid(1.0));
+        let mut alpha: Vec<f64> = init_acc
+            .iter()
+            .map(|&a| kernels::ln(a / (1.0 - a)).clamp(-4.0, 4.0))
+            .collect();
+        if let Some(warm) = &options.warm_start {
+            for (w, a) in alpha.iter_mut().enumerate() {
+                if let Some(p) = warm.worker_quality.get(w).and_then(WorkerQuality::scalar) {
+                    let p = p.clamp(1e-4, 1.0 - 1e-4);
+                    *a = kernels::ln(p / (1.0 - p)).clamp(-8.0, 8.0);
+                }
+            }
+        }
+        let mut log_beta = vec![0.0f64; view.n];
+
+        let mut post = view.majority_posteriors();
+        let mut logp = vec![0.0f64; view.l];
+        let mut grad_alpha = vec![0.0f64; view.m];
+        let mut grad_logbeta = vec![0.0f64; view.n];
+        let mut beta = vec![0.0f64; view.n];
+        let num_answers = view.num_answers();
+        let mut sig = vec![0.0f64; num_answers];
+        let mut lc = vec![0.0f64; num_answers];
+        let mut lw = vec![0.0f64; num_answers];
+        let mut params: Vec<f64> = Vec::with_capacity(view.m + view.n);
+        let mut tracker = ConvergenceTracker::new(options.tolerance, options.max_iterations);
+
+        // Same α_w·β_i fill as the flat path, walked shard-by-shard: the
+        // cursor for shard `s` starts at its global entry offset, and the
+        // concatenation of shard task rows *is* the flat task-major
+        // order.
+        fn fill_sigmoids(sig: &mut [f64], beta: &[f64], alpha: &[f64], view: &ShardedView) {
+            for s in 0..view.num_shards() {
+                let mut cursor = view.shard_entry_offset(s);
+                let range = view.shard_tasks(s);
+                for task in range.clone() {
+                    let b = beta[task];
+                    let row = view.shard_task_row(s, task - range.start);
+                    for (sv, &(worker, _)) in sig[cursor..cursor + row.len()].iter_mut().zip(row)
+                    {
+                        *sv = alpha[worker as usize] * b;
+                    }
+                    cursor += row.len();
+                }
+            }
+            sigmoid_slice(sig);
+        }
+
+        loop {
+            beta.copy_from_slice(&log_beta);
+            exp_slice(&mut beta);
+            fill_sigmoids(&mut sig, &beta, &alpha, view);
+            for ((s, c), w) in sig.iter().zip(lc.iter_mut()).zip(lw.iter_mut()) {
+                let p_correct = s.clamp(1e-9, 1.0 - 1e-9);
+                *c = p_correct;
+                *w = (1.0 - p_correct) / lm1;
+            }
+            ln_slice(&mut lc);
+            ln_slice(&mut lw);
+            {
+                let _timer = crate::views::obs_estep_seconds().start_timer();
+                for s in 0..view.num_shards() {
+                    let mut cursor = view.shard_entry_offset(s);
+                    let range = view.shard_tasks(s);
+                    for task in range.clone() {
+                        let row = view.shard_task_row(s, task - range.start);
+                        let deg = row.len();
+                        if view.golden()[task].is_some() || deg == 0 {
+                            cursor += deg;
+                            continue;
+                        }
+                        logp.fill(0.0);
+                        for (&(_, label), (&lci, &lwi)) in row.iter().zip(
+                            lc[cursor..cursor + deg]
+                                .iter()
+                                .zip(&lw[cursor..cursor + deg]),
+                        ) {
+                            for (z, lp) in logp.iter_mut().enumerate() {
+                                *lp += if z == label as usize { lci } else { lwi };
+                            }
+                        }
+                        cursor += deg;
+                        log_normalize(&mut logp);
+                        post.row_mut(task).copy_from_slice(&logp);
+                    }
+                }
+            }
+            view.clamp_golden(&mut post);
+
+            {
+                let _timer = crate::views::obs_reduce_seconds().start_timer();
+                for _ in 0..self.gradient_steps {
+                    grad_alpha.fill(0.0);
+                    grad_logbeta.fill(0.0);
+                    beta.copy_from_slice(&log_beta);
+                    exp_slice(&mut beta);
+                    fill_sigmoids(&mut sig, &beta, &alpha, view);
+                    for s in 0..view.num_shards() {
+                        let mut cursor = view.shard_entry_offset(s);
+                        let range = view.shard_tasks(s);
+                        for task in range.clone() {
+                            let b = beta[task];
+                            let post_row = post.row(task);
+                            let row = view.shard_task_row(s, task - range.start);
+                            let mut g_beta = 0.0;
+                            for (&(worker, label), &sv) in
+                                row.iter().zip(&sig[cursor..cursor + row.len()])
+                            {
+                                let worker = worker as usize;
+                                let p = post_row[label as usize];
+                                grad_alpha[worker] += b * (p - sv);
+                                g_beta += b * alpha[worker] * (p - sv);
+                            }
+                            grad_logbeta[task] += g_beta;
+                            cursor += row.len();
+                        }
+                    }
+                    for (w, g) in grad_alpha.iter().enumerate() {
+                        alpha[w] +=
+                            self.learning_rate * (g - self.prior_precision * (alpha[w] - 1.0));
+                        alpha[w] = alpha[w].clamp(-8.0, 8.0);
+                    }
+                    for (t, g) in grad_logbeta.iter().enumerate() {
+                        log_beta[t] += self.learning_rate * (g - self.prior_precision * log_beta[t]);
+                        log_beta[t] = log_beta[t].clamp(-4.0, 4.0);
+                    }
+                }
+            }
+
+            params.clear();
+            params.extend_from_slice(&alpha);
+            params.extend_from_slice(&log_beta);
+            if tracker.step(&params) {
+                break;
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let labels = view.decode(&post, &mut rng);
+        Ok(InferenceResult {
+            truths: Cat::answers(&labels),
+            worker_quality: alpha
+                .into_iter()
+                .map(|a| WorkerQuality::Probability(sigmoid(a)))
+                .collect(),
+            iterations: tracker.iterations(),
+            converged: tracker.converged(),
+            posteriors: Some(post.into_nested()),
+        })
+    }
 }
 
 #[cfg(test)]

@@ -49,6 +49,22 @@ impl Lfc {
         }
         .run_view(view, options)
     }
+
+    /// Run LFC on a task-range sharded view — bit-identical to
+    /// [`Self::infer_view`] on the equivalent flat view at any shard
+    /// count; see `DsEngine::run_sharded`.
+    pub fn infer_sharded(
+        &self,
+        view: &crate::views::ShardedView,
+        options: &InferenceOptions,
+    ) -> Result<InferenceResult, InferenceError> {
+        DsEngine {
+            method: self.name(),
+            diag_prior: self.diag_prior,
+            off_prior: self.off_prior,
+        }
+        .run_sharded(view, options)
+    }
 }
 
 impl TruthInference for Lfc {

@@ -167,6 +167,145 @@ impl Zc {
             posteriors: Some(post.into_nested()),
         })
     }
+
+    /// Run ZC on a task-range sharded view — the million-task substrate.
+    /// The E-step fans out per shard (each shard owns a disjoint block of
+    /// posterior rows; every task row is the exact [`Self::infer_view`]
+    /// arithmetic, so posteriors are bit-identical at any shard count).
+    /// The M-step folds each worker's per-shard adjacency rows in
+    /// ascending shard order: the canonical task-ascending row order
+    /// makes the expected-correct sum shard-count-invariant, and equal to
+    /// the flat `cat.worker(w)` walk on task-grouped logs.
+    pub fn infer_sharded(
+        &self,
+        view: &crate::views::ShardedView,
+        options: &InferenceOptions,
+    ) -> Result<InferenceResult, InferenceError> {
+        use crate::exec;
+        use crate::views::ShardedView;
+
+        if view.num_answers() == 0 {
+            return Err(InferenceError::EmptyDataset);
+        }
+        crate::framework::validate_view_options(view.m, options)?;
+        let l = view.l;
+        let lm1 = (l - 1).max(1) as f64;
+
+        let mut quality = initial_accuracy(options, view.m, 0.7);
+        if let Some(warm) = &options.warm_start {
+            for (w, q) in quality.iter_mut().enumerate() {
+                if let Some(prev) = warm.worker_quality.get(w).and_then(WorkerQuality::scalar) {
+                    *q = prev.clamp(1e-6, 1.0 - 1e-6);
+                }
+            }
+        }
+        let mut post = view.majority_posteriors();
+        let mut ln_correct = vec![0.0f64; view.m];
+        let mut ln_wrong = vec![0.0f64; view.m];
+        let mut tracker = ConvergenceTracker::new(options.tolerance, options.max_iterations);
+
+        let thread_budget = options.threads.unwrap_or_else(exec::default_threads).max(1);
+        let estep_work = view.num_answers() * l + 3 * view.n * l;
+        let estep_threads = if estep_work >= super::ds::PARALLEL_ESTEP_MIN_WORK {
+            thread_budget
+        } else {
+            1
+        };
+
+        fn e_step_sharded(
+            view: &ShardedView,
+            ln_correct: &[f64],
+            ln_wrong: &[f64],
+            post: &mut crowd_stats::DMat,
+            threads: usize,
+        ) {
+            let l = view.l;
+            let golden = view.golden();
+            {
+                let mut blocks: Vec<(usize, &mut [f64])> =
+                    Vec::with_capacity(view.num_shards());
+                let mut rest: &mut [f64] = post.data_mut();
+                for s in 0..view.num_shards() {
+                    let range = view.shard_tasks(s);
+                    let (head, tail) = rest.split_at_mut((range.end - range.start) * l);
+                    blocks.push((s, head));
+                    rest = tail;
+                }
+                let jobs: Vec<_> = blocks
+                    .into_iter()
+                    .map(|(s, block)| {
+                        move || {
+                            let _timer =
+                                crate::views::obs_estep_seconds().start_timer();
+                            let start = view.shard_tasks(s).start;
+                            let mut logp = vec![0.0f64; l];
+                            for (local, row) in block.chunks_mut(l).enumerate() {
+                                let task = start + local;
+                                let answers = view.shard_task_row(s, local);
+                                if golden[task].is_some() || answers.is_empty() {
+                                    continue;
+                                }
+                                logp.fill(0.0);
+                                for &(worker, label) in answers {
+                                    let (lc, lw) =
+                                        (ln_correct[worker as usize], ln_wrong[worker as usize]);
+                                    for (z, lp) in logp.iter_mut().enumerate() {
+                                        *lp += if z == label as usize { lc } else { lw };
+                                    }
+                                }
+                                log_normalize(&mut logp);
+                                row.copy_from_slice(&logp);
+                            }
+                        }
+                    })
+                    .collect();
+                exec::parallel_map(threads, jobs);
+            }
+            view.clamp_golden(post);
+        }
+
+        loop {
+            for w in 0..view.m {
+                ln_correct[w] = quality[w];
+                ln_wrong[w] = (1.0 - quality[w]) / lm1;
+            }
+            safe_ln_slice(&mut ln_correct);
+            safe_ln_slice(&mut ln_wrong);
+            e_step_sharded(view, &ln_correct, &ln_wrong, &mut post, estep_threads);
+
+            // M-step: per-worker continuation fold, shards ascending.
+            {
+                let _timer = crate::views::obs_reduce_seconds().start_timer();
+                for (w, q) in quality.iter_mut().enumerate() {
+                    let mut expected_correct = 0.0;
+                    for s in 0..view.num_shards() {
+                        for &(task, label) in view.shard_worker_row(s, w) {
+                            expected_correct += post.row(task as usize)[label as usize];
+                        }
+                    }
+                    let denom = view.worker_len(w) as f64 + 2.0 * self.smoothing;
+                    *q = (expected_correct + self.smoothing) / denom;
+                }
+            }
+
+            if tracker.step(&quality) {
+                break;
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let labels = view.decode(&post, &mut rng);
+        Ok(InferenceResult {
+            truths: Cat::answers(&labels),
+            worker_quality: quality
+                .into_iter()
+                .map(WorkerQuality::Probability)
+                .collect(),
+            iterations: tracker.iterations(),
+            converged: tracker.converged(),
+            posteriors: Some(post.into_nested()),
+        })
+    }
 }
 
 #[cfg(test)]

@@ -19,6 +19,11 @@ use rand::Rng;
 
 use crate::framework::{InferenceError, InferenceOptions};
 
+mod sharded;
+
+pub use sharded::ShardedView;
+pub(crate) use sharded::{obs_estep_seconds, obs_reduce_seconds};
+
 /// Compressed sparse rows: `entries` holds each row's items contiguously,
 /// `offsets[i]..offsets[i+1]` delimits row `i`. Entry columns are `u32`
 /// (tasks and workers both fit comfortably), keeping the buffer compact.
@@ -63,6 +68,55 @@ impl<V: Copy> Csr<V> {
                 entries
             }
         };
+        Self { offsets, entries }
+    }
+
+    /// Build from `(row, col, value)` triples in a **single pass**, for
+    /// callers that already know each row's entry count (the delta views
+    /// track per-row degrees; the sharded builders count while
+    /// bucketing). Unlike [`Csr::from_triples`] the iterator is consumed
+    /// once and needs no `Clone` bound — the constructor for sources
+    /// that cannot be cheaply re-iterated, e.g. a streamed answer
+    /// generator that never materialises the log.
+    ///
+    /// Triple order within each row is preserved (same stable
+    /// counting-sort layout as the two-pass path, so the two
+    /// constructors produce identical buffers for identical input).
+    ///
+    /// # Panics
+    /// Panics if a triple's row is out of range or a row receives more
+    /// or fewer entries than `row_counts` promised — a miscounted CSR
+    /// would mis-slice every downstream hot loop.
+    pub fn from_triples_counted(
+        row_counts: &[u32],
+        triples: impl Iterator<Item = (usize, u32, V)>,
+    ) -> Self {
+        let num_rows = row_counts.len();
+        let mut offsets = vec![0u32; num_rows + 1];
+        for (i, &c) in row_counts.iter().enumerate() {
+            offsets[i + 1] = offsets[i] + c;
+        }
+        let total = offsets[num_rows] as usize;
+        let mut entries: Vec<(u32, V)> = Vec::with_capacity(total);
+        let mut cursor: Vec<u32> = offsets[..num_rows].to_vec();
+        let mut placed = 0usize;
+        for (row, col, v) in triples {
+            assert!(row < num_rows, "triple row {row} ≥ {num_rows}");
+            let slot = cursor[row] as usize;
+            assert!(
+                slot < offsets[row + 1] as usize,
+                "row {row} received more entries than counted"
+            );
+            if entries.is_empty() {
+                // First triple seeds the placeholder fill (V: Copy, no
+                // Default bound) — same trick as the two-pass path.
+                entries = vec![(col, v); total];
+            }
+            entries[slot] = (col, v);
+            cursor[row] += 1;
+            placed += 1;
+        }
+        assert_eq!(placed, total, "row counts promised {total} entries");
         Self { offsets, entries }
     }
 
@@ -641,6 +695,45 @@ mod tests {
                 prop_assert_eq!(num.worker_len(w), dataset.worker_degree(w));
             }
         }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The single-pass counted constructor and the two-pass `Clone`
+        /// constructor produce identical CSR buffers for identical
+        /// triples — offsets, entry order, everything.
+        #[test]
+        fn counted_constructor_matches_two_pass(
+            n in 1usize..12,
+            edges in proptest::collection::vec((0usize..12, 0u32..9, 0u8..4), 0..60),
+        ) {
+            let triples: Vec<(usize, u32, u8)> =
+                edges.into_iter().map(|(t, w, v)| (t % n, w, v)).collect();
+            let two_pass = Csr::from_triples(n, triples.iter().copied());
+            let mut counts = vec![0u32; n];
+            for &(row, _, _) in &triples {
+                counts[row] += 1;
+            }
+            let counted = Csr::from_triples_counted(&counts, triples.iter().copied());
+            prop_assert_eq!(&two_pass.offsets, &counted.offsets);
+            prop_assert_eq!(&two_pass.entries, &counted.entries);
+        }
+    }
+
+    #[test]
+    fn counted_constructor_rejects_miscounts() {
+        let triples = [(0usize, 1u32, 7u8), (1, 2, 3)];
+        // Undercounted row 1.
+        let r = std::panic::catch_unwind(|| {
+            Csr::from_triples_counted(&[1, 0], triples.iter().copied())
+        });
+        assert!(r.is_err(), "undercount must panic");
+        // Overcounted total.
+        let r = std::panic::catch_unwind(|| {
+            Csr::from_triples_counted(&[2, 2], triples.iter().copied())
+        });
+        assert!(r.is_err(), "overcount must panic");
     }
 
     #[test]

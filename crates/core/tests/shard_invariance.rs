@@ -1,0 +1,225 @@
+//! Shard-invariance property tests: every migrated method's sharded
+//! path must be **bit-identical** to its flat path — posteriors, truths,
+//! worker quality, iteration count — at every shard count, including the
+//! adversarial directory shapes (more shards than tasks, one task per
+//! shard, empty shards from gap-heavy logs).
+//!
+//! Why bit equality is the right bar (and achievable): E-steps are
+//! per-task independent, so fanning them out per shard changes nothing;
+//! the M-steps fold each worker's per-shard adjacency rows in ascending
+//! shard order over the *canonical* task-ascending worker rows, so the
+//! non-associative f64 accumulation visits answers in exactly the flat
+//! order whenever the flat worker rows are task-ascending — true for
+//! every dataset built task-by-task, which all fixtures here are (and
+//! which `ShardedView::from_records` canonicalises to). GLAD never walks
+//! a worker row at all, so its guarantee is unconditional.
+
+use crowd_core::methods::{Ds, Glad, Lfc, Mv, Zc};
+use crowd_core::views::{Cat, ShardedView};
+use crowd_core::{InferenceOptions, InferenceResult, WorkerQuality};
+use crowd_data::{Dataset, DatasetBuilder, StreamSim, TaskType};
+
+/// The tested shard counts: the required {1, 2, 7, 16} plus `n` (every
+/// shard holds one task) and `n + 5` (tail shards are empty ranges).
+fn shard_counts(n: usize) -> Vec<usize> {
+    vec![1, 2, 7, 16, n, n + 5]
+}
+
+fn fixtures() -> Vec<(&'static str, Dataset)> {
+    // A streamed synthetic log (task-major by construction)…
+    let streamed = StreamSim::new(11, 60, 12, 3, 4).to_dataset("streamed");
+    // …and a hand-built ragged log with answer gaps (tasks 3 and 7
+    // empty) so some shards come out empty even at low shard counts.
+    let mut b = DatasetBuilder::new("ragged", TaskType::DecisionMaking, 9, 5);
+    for (t, w, l) in [
+        (0usize, 0usize, 0u8),
+        (0, 1, 1),
+        (0, 2, 0),
+        (1, 3, 1),
+        (1, 4, 1),
+        (2, 0, 0),
+        (4, 1, 0),
+        (4, 2, 1),
+        (4, 3, 0),
+        (5, 4, 0),
+        (6, 0, 1),
+        (6, 1, 1),
+        (8, 2, 0),
+        (8, 4, 1),
+    ] {
+        b.add_label(t, w, l).unwrap();
+    }
+    let ragged = b.build();
+    vec![("streamed", streamed), ("ragged", ragged)]
+}
+
+fn posterior_bits(r: &InferenceResult) -> Vec<u64> {
+    r.posteriors
+        .as_ref()
+        .expect("method reports posteriors")
+        .iter()
+        .flatten()
+        .map(|p| p.to_bits())
+        .collect()
+}
+
+fn quality_bits(r: &InferenceResult) -> Vec<u64> {
+    r.worker_quality
+        .iter()
+        .flat_map(|q| match q {
+            WorkerQuality::Probability(p) => vec![p.to_bits()],
+            WorkerQuality::Confusion(m) => {
+                m.iter().flatten().map(|c| c.to_bits()).collect::<Vec<u64>>()
+            }
+            WorkerQuality::Unmodeled => vec![],
+            other => panic!("unexpected quality kind {other:?}"),
+        })
+        .collect()
+}
+
+fn assert_identical(name: &str, shards: usize, flat: &InferenceResult, sharded: &InferenceResult) {
+    assert_eq!(
+        flat.truths, sharded.truths,
+        "{name}: truths diverged at {shards} shards"
+    );
+    assert_eq!(
+        posterior_bits(flat),
+        posterior_bits(sharded),
+        "{name}: posteriors diverged at {shards} shards"
+    );
+    assert_eq!(
+        quality_bits(flat),
+        quality_bits(sharded),
+        "{name}: worker quality diverged at {shards} shards"
+    );
+    assert_eq!(
+        (flat.iterations, flat.converged),
+        (sharded.iterations, sharded.converged),
+        "{name}: trajectory diverged at {shards} shards"
+    );
+}
+
+fn check_method(
+    name: &str,
+    flat_run: impl Fn(&Cat, &InferenceOptions) -> InferenceResult,
+    sharded_run: impl Fn(&ShardedView, &InferenceOptions) -> InferenceResult,
+) {
+    for (dataset_name, d) in fixtures() {
+        let options = InferenceOptions::seeded(17);
+        let cat = Cat::build("shard-test", &d, &options, true).unwrap();
+        let flat = flat_run(&cat, &options);
+        for shards in shard_counts(cat.n) {
+            let view = ShardedView::from_cat(&cat, shards);
+            let sharded = sharded_run(&view, &options);
+            assert_identical(
+                &format!("{name}/{dataset_name}"),
+                shards,
+                &flat,
+                &sharded,
+            );
+        }
+    }
+}
+
+#[test]
+fn ds_bit_identical_across_shard_counts() {
+    check_method(
+        "D&S",
+        |cat, o| Ds.infer_view(cat, o).unwrap(),
+        |view, o| Ds.infer_sharded(view, o).unwrap(),
+    );
+}
+
+#[test]
+fn lfc_bit_identical_across_shard_counts() {
+    check_method(
+        "LFC",
+        |cat, o| Lfc::default().infer_view(cat, o).unwrap(),
+        |view, o| Lfc::default().infer_sharded(view, o).unwrap(),
+    );
+}
+
+#[test]
+fn zc_bit_identical_across_shard_counts() {
+    check_method(
+        "ZC",
+        |cat, o| Zc::default().infer_view(cat, o).unwrap(),
+        |view, o| Zc::default().infer_sharded(view, o).unwrap(),
+    );
+}
+
+#[test]
+fn glad_bit_identical_across_shard_counts() {
+    check_method(
+        "GLAD",
+        |cat, o| Glad::default().infer_view(cat, o).unwrap(),
+        |view, o| Glad::default().infer_sharded(view, o).unwrap(),
+    );
+}
+
+#[test]
+fn mv_flatten_shim_bit_identical() {
+    // Mv has no native sharded path; the compatibility shim routes it
+    // through `ShardedView::flatten`. On task-grouped logs the flattened
+    // view is entry-identical to the original, so the result matches
+    // bit for bit.
+    for (dataset_name, d) in fixtures() {
+        let options = InferenceOptions::seeded(17);
+        let cat = Cat::build("shard-test", &d, &options, true).unwrap();
+        let flat = Mv.infer_view(&cat, &options).unwrap();
+        for shards in shard_counts(cat.n) {
+            let view = ShardedView::from_cat(&cat, shards);
+            let back = view.flatten();
+            let sharded = Mv.infer_view(&back, &options).unwrap();
+            assert_identical(&format!("MV/{dataset_name}"), shards, &flat, &sharded);
+        }
+    }
+}
+
+#[test]
+fn warm_started_sharded_runs_stay_bit_identical() {
+    // Warm starts (the streaming resume path) must not break the
+    // guarantee: resume flat-vs-sharded from the same previous state and
+    // compare.
+    let d = StreamSim::new(5, 40, 10, 2, 3).to_dataset("warm");
+    let cold_options = InferenceOptions::seeded(3);
+    let cat = Cat::build("shard-test", &d, &cold_options, true).unwrap();
+    let cold = Ds.infer_view(&cat, &cold_options).unwrap();
+    let warm_options = InferenceOptions {
+        warm_start: Some(crowd_core::WarmStart::from_result(&cold)),
+        ..InferenceOptions::seeded(3)
+    };
+    let flat = Ds.infer_view(&cat, &warm_options).unwrap();
+    for shards in [1usize, 2, 7, 16] {
+        let view = ShardedView::from_cat(&cat, shards);
+        let sharded = Ds.infer_sharded(&view, &warm_options).unwrap();
+        assert_identical("D&S-warm", shards, &flat, &sharded);
+    }
+}
+
+#[test]
+fn streamed_construction_matches_sliced_construction_end_to_end() {
+    // `from_records` (single-pass streaming build) must be
+    // indistinguishable from slicing the equivalent flat view — run the
+    // full EM on both and compare.
+    let sim = StreamSim::new(29, 50, 9, 3, 3);
+    let d = sim.to_dataset("stream-e2e");
+    let options = InferenceOptions::seeded(8);
+    // The flat view keeps golden empty (use_golden=false ⇒ no clamps) so
+    // the streamed build with no golden matches.
+    let cat = Cat::build("shard-test", &d, &options, false).unwrap();
+    for shards in [3usize, 8] {
+        let sliced = ShardedView::from_cat(&cat, shards);
+        let streamed = ShardedView::from_records(
+            sim.num_tasks(),
+            sim.num_workers(),
+            sim.num_choices() as usize,
+            shards,
+            sim.records(),
+            vec![None; sim.num_tasks()],
+        );
+        let a = Ds.infer_sharded(&sliced, &options).unwrap();
+        let b = Ds.infer_sharded(&streamed, &options).unwrap();
+        assert_identical("D&S-streamed", shards, &a, &b);
+    }
+}

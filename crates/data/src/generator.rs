@@ -479,6 +479,200 @@ enum SimAnswer {
     Numeric(f64),
 }
 
+// ---------------------------------------------------------------------------
+// Streaming generator: million-task scale, O(1) memory, seed-stable.
+// ---------------------------------------------------------------------------
+
+/// splitmix64 — the finalizer used as the per-coordinate hash of the
+/// streaming generator: every drawn quantity is a pure function of
+/// `(seed, purpose, coordinates)`, so the stream can be replayed from any
+/// point without carrying RNG state.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Hash a purpose tag plus up to three coordinates into a u64.
+fn mix(seed: u64, purpose: u64, a: u64, b: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(purpose ^ splitmix64(a).wrapping_add(b.wrapping_mul(0x9e3779b97f4a7c15))))
+}
+
+/// Map a hash to a uniform f64 in `[0, 1)` (top 53 bits).
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+const PURPOSE_TRUTH: u64 = 0x54525554; // "TRUT"
+const PURPOSE_ACC: u64 = 0x41434355; // "ACCU"
+const PURPOSE_PICK: u64 = 0x5049434b; // "PICK"
+const PURPOSE_ANS: u64 = 0x414e5357; // "ANSW"
+
+/// A **streaming** crowd simulator for scale benchmarks: emits a
+/// task-major `(task, worker, label)` record stream of `num_tasks ×
+/// redundancy` answers in **O(1) memory** — no `Vec<AnswerRecord>`, no
+/// RNG state. Every quantity (task truth, worker accuracy, per-task
+/// worker picks, per-answer correctness) is a pure splitmix64 hash of
+/// `(seed, purpose, coordinates)`, so:
+///
+/// - the stream is byte-identical across runs and platforms for a given
+///   `(config, seed)` — seed-stable by construction;
+/// - any subrange can be regenerated independently (the warm-resume
+///   dirty-shard tests rebuild single shards from
+///   [`StreamSim::task_records`]);
+/// - generation never perturbs measurement: there is no shared RNG whose
+///   consumption order could differ between sharded and flat paths.
+///
+/// Workers answer correctly with per-worker accuracy uniform in
+/// `[0.55, 0.95]`; errors spread uniformly over the other `ℓ − 1`
+/// labels; each task gets `redundancy` **distinct** workers (rejection
+/// sampling over the hash stream).
+#[derive(Debug, Clone, Copy)]
+pub struct StreamSim {
+    seed: u64,
+    num_tasks: usize,
+    num_workers: usize,
+    num_choices: u8,
+    redundancy: usize,
+}
+
+impl StreamSim {
+    /// Configure a stream. `redundancy` must not exceed `num_workers`
+    /// (a worker answers a task at most once), and the task type is
+    /// always categorical with `num_choices ≥ 2`.
+    ///
+    /// # Panics
+    /// Panics on zero tasks/workers, `num_choices < 2`, or
+    /// `redundancy > num_workers`.
+    pub fn new(
+        seed: u64,
+        num_tasks: usize,
+        num_workers: usize,
+        num_choices: u8,
+        redundancy: usize,
+    ) -> Self {
+        assert!(num_tasks > 0, "need at least one task");
+        assert!(num_workers > 0, "need at least one worker");
+        assert!(num_choices >= 2, "need at least two choices");
+        assert!(
+            redundancy >= 1 && redundancy <= num_workers,
+            "redundancy {redundancy} must be in 1..={num_workers}"
+        );
+        Self {
+            seed,
+            num_tasks,
+            num_workers,
+            num_choices,
+            redundancy,
+        }
+    }
+
+    /// Number of tasks `n`.
+    pub fn num_tasks(&self) -> usize {
+        self.num_tasks
+    }
+
+    /// Number of workers `|W|`.
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// Number of categorical choices `ℓ`.
+    pub fn num_choices(&self) -> u8 {
+        self.num_choices
+    }
+
+    /// Total answers the stream will emit (`n × redundancy`).
+    pub fn num_answers(&self) -> usize {
+        self.num_tasks * self.redundancy
+    }
+
+    /// Ground truth of `task` — a pure hash, no state.
+    pub fn truth(&self, task: usize) -> u8 {
+        (mix(self.seed, PURPOSE_TRUTH, task as u64, 0) % self.num_choices as u64) as u8
+    }
+
+    /// Latent accuracy of `worker`, uniform in `[0.55, 0.95]` — a pure
+    /// hash, no state.
+    pub fn worker_accuracy(&self, worker: usize) -> f64 {
+        0.55 + 0.40 * unit(mix(self.seed, PURPOSE_ACC, worker as u64, 0))
+    }
+
+    /// The `redundancy` distinct workers assigned to `task`, in pick
+    /// order (rejection sampling over the hash stream — each attempt is
+    /// hashed by `(task, attempt)`, duplicates skipped).
+    pub fn task_workers(&self, task: usize) -> Vec<u32> {
+        let mut chosen: Vec<u32> = Vec::with_capacity(self.redundancy);
+        let mut attempt = 0u64;
+        while chosen.len() < self.redundancy {
+            let w = (mix(self.seed, PURPOSE_PICK, task as u64, attempt)
+                % self.num_workers as u64) as u32;
+            attempt += 1;
+            if !chosen.contains(&w) {
+                chosen.push(w);
+            }
+        }
+        chosen
+    }
+
+    /// The records of one task, in emission order — the subrange-replay
+    /// primitive behind shard rebuilds.
+    pub fn task_records(&self, task: usize) -> Vec<(u32, u32, u8)> {
+        let truth = self.truth(task);
+        self.task_workers(task)
+            .into_iter()
+            .map(|w| {
+                let u = unit(mix(self.seed, PURPOSE_ANS, task as u64, w as u64));
+                let label = if u < self.worker_accuracy(w as usize) {
+                    truth
+                } else {
+                    // Uniform over the other ℓ − 1 labels, driven by the
+                    // remaining hash bits.
+                    let r = (mix(self.seed, PURPOSE_ANS ^ 0xff, task as u64, w as u64)
+                        % (self.num_choices as u64 - 1)) as u8;
+                    if r >= truth {
+                        r + 1
+                    } else {
+                        r
+                    }
+                };
+                (task as u32, w, label)
+            })
+            .collect()
+    }
+
+    /// The full task-major record stream: `(task, worker, label)` with
+    /// tasks ascending — the canonical order the sharded substrate's
+    /// bit-identity guarantee is anchored to.
+    pub fn records(&self) -> impl Iterator<Item = (u32, u32, u8)> + '_ {
+        (0..self.num_tasks).flat_map(move |task| self.task_records(task))
+    }
+
+    /// Materialise the stream as a [`Dataset`] (tests and small-scale
+    /// cross-checks only — this is exactly the allocation the streaming
+    /// path exists to avoid).
+    pub fn to_dataset(&self, name: &str) -> Dataset {
+        let mut b = DatasetBuilder::new(
+            name.to_string(),
+            TaskType::SingleChoice {
+                choices: self.num_choices,
+            },
+            self.num_tasks,
+            self.num_workers,
+        );
+        for (task, worker, label) in self.records() {
+            b.add_label(task as usize, worker as usize, label)
+                .expect("stream sim produced valid label");
+        }
+        for task in 0..self.num_tasks {
+            b.set_truth_label(task, self.truth(task))
+                .expect("stream sim produced valid truth");
+        }
+        b.build()
+    }
+}
+
 /// Draw latent worker parameters from a behaviour model.
 fn draw_worker_params<R: Rng + ?Sized>(rng: &mut R, model: &WorkerModel) -> WorkerParams {
     match model {
@@ -718,6 +912,65 @@ mod tests {
             acc < 0.45,
             "gold-task per-answer accuracy {acc} should be near 0.3"
         );
+    }
+
+    #[test]
+    fn stream_sim_is_seed_stable_and_task_major() {
+        let sim = StreamSim::new(42, 200, 37, 3, 4);
+        let a: Vec<(u32, u32, u8)> = sim.records().collect();
+        let b: Vec<(u32, u32, u8)> = StreamSim::new(42, 200, 37, 3, 4).records().collect();
+        assert_eq!(a, b, "same seed, same stream");
+        assert_eq!(a.len(), sim.num_answers());
+        // Task-major, tasks ascending, redundancy distinct workers each.
+        let mut at = 0usize;
+        for task in 0..200u32 {
+            let chunk = &a[at..at + 4];
+            assert!(chunk.iter().all(|r| r.0 == task));
+            let mut ws: Vec<u32> = chunk.iter().map(|r| r.1).collect();
+            ws.sort_unstable();
+            ws.dedup();
+            assert_eq!(ws.len(), 4, "task {task} workers not distinct");
+            at += 4;
+        }
+        // A different seed moves the stream.
+        let c: Vec<(u32, u32, u8)> = StreamSim::new(43, 200, 37, 3, 4).records().collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stream_sim_subrange_replay_matches_full_stream() {
+        // The dirty-shard rebuild path regenerates single tasks; they
+        // must be byte-identical to the corresponding slice of the full
+        // stream.
+        let sim = StreamSim::new(7, 100, 23, 4, 3);
+        let full: Vec<(u32, u32, u8)> = sim.records().collect();
+        for task in [0usize, 13, 57, 99] {
+            assert_eq!(
+                sim.task_records(task),
+                full[task * 3..(task + 1) * 3].to_vec(),
+                "task {task}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_sim_answers_track_latent_accuracy() {
+        // Aggregate per-answer accuracy must sit near the mean of the
+        // latent accuracy range [0.55, 0.95] (≈0.75).
+        let sim = StreamSim::new(3, 5000, 50, 2, 3);
+        let mut correct = 0usize;
+        for (task, _, label) in sim.records() {
+            if label == sim.truth(task as usize) {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / sim.num_answers() as f64;
+        assert!((0.68..0.82).contains(&acc), "aggregate accuracy {acc}");
+        // And the dataset round-trip preserves counts and truths.
+        let d = sim.to_dataset("stream");
+        assert_eq!(d.num_answers(), sim.num_answers());
+        assert_eq!(d.num_truths(), 5000);
+        assert_eq!(d.max_task_degree(), 3);
     }
 
     #[test]

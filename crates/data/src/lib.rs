@@ -38,7 +38,7 @@ pub mod toy;
 pub use assignment::{collect, AssignmentStrategy, CollectionRun, StreamBatch, StreamSession};
 pub use builder::DatasetBuilder;
 pub use error::DataError;
-pub use generator::{CrowdSimulator, HardTaskMode, SimulatorConfig, WorkerModel};
+pub use generator::{CrowdSimulator, HardTaskMode, SimulatorConfig, StreamSim, WorkerModel};
 pub use golden::{bootstrap_qualification, GoldenSplit, QualificationResult};
 pub use model::{Answer, AnswerRecord, Dataset, TaskType};
 pub use redundancy::subsample_redundancy;

@@ -103,6 +103,11 @@ pub struct Dataset {
     /// Ground truth per task; `None` where unknown (S_Rel and S_Adult
     /// publish truth only for a subset of tasks).
     truths: Vec<Option<Answer>>,
+    /// Cached `max_i |W_i|` — computed once at build so sweep planners
+    /// and shard sizers don't re-scan the adjacency per call.
+    max_task_degree: usize,
+    /// Cached `|V|/n` (0 for the empty-task-universe degenerate case).
+    redundancy: f64,
 }
 
 impl Dataset {
@@ -122,6 +127,12 @@ impl Dataset {
             by_task[r.task].push(idx as u32);
             by_worker[r.worker].push(idx as u32);
         }
+        let max_task_degree = by_task.iter().map(|t| t.len()).max().unwrap_or(0);
+        let redundancy = if num_tasks == 0 {
+            0.0
+        } else {
+            records.len() as f64 / num_tasks as f64
+        };
         Self {
             name,
             task_type,
@@ -131,6 +142,8 @@ impl Dataset {
             by_task,
             by_worker,
             truths,
+            max_task_degree,
+            redundancy,
         }
     }
 
@@ -165,12 +178,9 @@ impl Dataset {
     }
 
     /// Average answers per task, the paper's `|V|/n` (Table 5).
+    /// Cached at build time — O(1).
     pub fn redundancy(&self) -> f64 {
-        if self.num_tasks == 0 {
-            0.0
-        } else {
-            self.records.len() as f64 / self.num_tasks as f64
-        }
+        self.redundancy
     }
 
     /// The full answer log.
@@ -205,9 +215,9 @@ impl Dataset {
     /// The largest `|W_i|` over all tasks — the true upper bound of a
     /// redundancy sweep's x-axis. On ragged logs this exceeds the
     /// *rounded mean* redundancy ([`Dataset::redundancy`]), which would
-    /// silently truncate the axis.
+    /// silently truncate the axis. Cached at build time — O(1).
     pub fn max_task_degree(&self) -> usize {
-        self.by_task.iter().map(|t| t.len()).max().unwrap_or(0)
+        self.max_task_degree
     }
 
     /// Ground truth of task `i`, if known.
@@ -323,6 +333,23 @@ mod tests {
         // Degenerate: a dataset with no answers.
         let empty = DatasetBuilder::new("e", TaskType::DecisionMaking, 2, 1).build();
         assert_eq!(empty.max_task_degree(), 0);
+    }
+
+    #[test]
+    fn cached_degree_stats_pinned_on_ragged_log() {
+        // The cached values must equal the scan-on-demand results they
+        // replaced: degrees 2/1/1 → max 2, |V|/n = 4/3; and derived
+        // copies must refresh (with_records) or preserve (with_truths)
+        // them correctly.
+        let d = tiny();
+        assert_eq!(d.max_task_degree(), 2);
+        assert!((d.redundancy() - 4.0 / 3.0).abs() < 1e-15);
+        let sub = d.with_records(d.records()[..1].to_vec());
+        assert_eq!(sub.max_task_degree(), 1);
+        assert!((sub.redundancy() - 1.0 / 3.0).abs() < 1e-15);
+        let blanked = d.with_truths(vec![None; 3]);
+        assert_eq!(blanked.max_task_degree(), 2);
+        assert!((blanked.redundancy() - 4.0 / 3.0).abs() < 1e-15);
     }
 
     #[test]

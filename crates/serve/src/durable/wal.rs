@@ -235,6 +235,7 @@ pub(crate) fn encode_config(e: &mut Enc, config: &StreamConfig) {
             }
         }
     }
+    e.u64(config.shard_count as u64);
 }
 
 pub(crate) fn decode_config(d: &mut Dec<'_>) -> Option<StreamConfig> {
@@ -286,6 +287,7 @@ pub(crate) fn decode_config(d: &mut Dec<'_>) -> Option<StreamConfig> {
         }
         _ => return None,
     };
+    let shard_count = usize::try_from(d.u64()?).ok()?.max(1);
     Some(StreamConfig {
         method,
         task_type,
@@ -300,6 +302,7 @@ pub(crate) fn decode_config(d: &mut Dec<'_>) -> Option<StreamConfig> {
             threads,
             warm_start: None,
         },
+        shard_count,
     })
 }
 
@@ -702,11 +705,13 @@ mod tests {
         cfg.options.seed = 99;
         cfg.options.threads = Some(2);
         cfg.options.quality_init = QualityInit::Qualification(vec![Some(0.9), None, Some(0.4)]);
+        cfg = cfg.with_shards(6);
         let mut e = Enc::new();
         encode_config(&mut e, &cfg);
         let mut d = Dec::new(&e.0);
         let back = decode_config(&mut d).expect("decodes");
         assert!(d.finished());
+        assert_eq!(back.shard_count, 6);
         assert_eq!(back.method, cfg.method);
         assert_eq!(back.task_type, cfg.task_type);
         assert_eq!(back.num_tasks, cfg.num_tasks);

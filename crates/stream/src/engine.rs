@@ -2,6 +2,7 @@
 //! truth estimates out.
 
 use crowd_core::methods::{Ds, Glad, Lfc, Mv, Zc};
+use crowd_core::views::ShardedView;
 use crowd_core::{InferenceOptions, InferenceResult, Method, WarmStart, WorkerQuality};
 use crowd_data::{Answer, AnswerRecord, TaskType};
 
@@ -65,6 +66,14 @@ pub struct StreamConfig {
     /// the engine and overwritten; `golden` is not supported and
     /// ignored).
     pub options: InferenceOptions,
+    /// Task-range shards the session converges over. `1` (the default)
+    /// keeps the legacy flat-view path; above that the engine maintains a
+    /// [`ShardedView`] and routes converges through the per-shard EM
+    /// entry points (`Ds::infer_sharded` &c.; `Mv` through the flatten
+    /// shim), rebuilding only the shards whose task ranges received
+    /// answers since the previous converge. Results are invariant in
+    /// this knob (see `tests` and `crowd_core::views::sharded`).
+    pub shard_count: usize,
 }
 
 impl StreamConfig {
@@ -76,7 +85,14 @@ impl StreamConfig {
             num_tasks,
             num_workers,
             options: InferenceOptions::default(),
+            shard_count: 1,
         }
+    }
+
+    /// Converge over `shard_count` task-range shards (clamped to ≥ 1).
+    pub fn with_shards(mut self, shard_count: usize) -> Self {
+        self.shard_count = shard_count.max(1);
+        self
     }
 }
 
@@ -225,6 +241,16 @@ impl SeenSet {
     }
 }
 
+/// The incrementally maintained sharded view (`shard_count > 1` only):
+/// `records[..synced]` of the engine's answer log are reflected in
+/// `view`; a sync rebuilds exactly the shards whose task ranges appear
+/// in the unsynced suffix (the warm-resume dirty-shard rule).
+#[derive(Debug)]
+struct ShardedState {
+    view: ShardedView,
+    synced: usize,
+}
+
 /// Incremental truth inference over a live answer stream.
 ///
 /// Feed answers with [`push`](Self::push)/[`push_batch`](Self::push_batch)
@@ -239,6 +265,7 @@ impl SeenSet {
 pub struct StreamEngine {
     config: StreamConfig,
     view: DeltaCat,
+    sharded: Option<ShardedState>,
     /// Duplicate guard keyed by `task * m + worker`.
     seen: SeenSet,
     warm: Option<WarmStart>,
@@ -273,6 +300,7 @@ impl StreamEngine {
         let (n, m) = (config.num_tasks, config.num_workers);
         Ok(Self {
             view: DeltaCat::new(n, m, choices as usize),
+            sharded: None,
             seen: SeenSet::new(n, m),
             warm: None,
             converges: 0,
@@ -582,6 +610,69 @@ impl StreamEngine {
         }
     }
 
+    /// Bring the sharded view up to date with the answer log now
+    /// (converge does this lazily). Returns the number of shard rebuilds
+    /// performed: `0` for an unsharded session or a clean view, the full
+    /// shard count on the first build, and exactly the number of
+    /// **dirty** shards — ranges that received answers since the last
+    /// sync — on a warm resume. Exposed so benchmarks and tests can
+    /// separate shard maintenance from re-convergence cost.
+    pub fn sync_shards(&mut self) -> usize {
+        if self.config.shard_count <= 1 {
+            return 0;
+        }
+        let records = self.view.records();
+        match &mut self.sharded {
+            None => {
+                let view = ShardedView::from_records(
+                    self.config.num_tasks,
+                    self.config.num_workers,
+                    self.view.num_choices(),
+                    self.config.shard_count,
+                    records.iter().copied(),
+                    vec![None; self.config.num_tasks],
+                );
+                let rebuilt = view.num_shards();
+                self.sharded = Some(ShardedState {
+                    view,
+                    synced: records.len(),
+                });
+                rebuilt
+            }
+            Some(state) => {
+                if state.synced == records.len() {
+                    return 0;
+                }
+                let mut dirty = vec![false; state.view.num_shards()];
+                for &(task, _, _) in &records[state.synced..] {
+                    dirty[state.view.shard_for_task(task as usize)] = true;
+                }
+                // A rebuild replaces a shard wholesale, so each dirty
+                // shard needs its *full* record set: one pass over the
+                // log buckets them (cheaper than rebuilding every shard,
+                // which also pays the counting-sort and canonicalisation
+                // work on clean ranges).
+                let mut buckets: Vec<Vec<(u32, u32, u8)>> =
+                    vec![Vec::new(); state.view.num_shards()];
+                for &r in records {
+                    let s = state.view.shard_for_task(r.0 as usize);
+                    if dirty[s] {
+                        buckets[s].push(r);
+                    }
+                }
+                let mut rebuilt = 0usize;
+                for (s, bucket) in buckets.into_iter().enumerate() {
+                    if dirty[s] {
+                        state.view.rebuild_shard(s, &bucket);
+                        rebuilt += 1;
+                    }
+                }
+                state.synced = records.len();
+                rebuilt
+            }
+        }
+    }
+
     fn run_capped(
         &mut self,
         warm: Option<WarmStart>,
@@ -595,19 +686,33 @@ impl StreamEngine {
             self.view.compact();
             self.compactions += 1;
         }
-        let cat = self.view.as_cat();
+        self.sync_shards();
         let was_warm = warm.is_some();
         let mut options = self.config.options.clone();
         options.golden = None;
         options.warm_start = warm;
         options.max_iterations = max_iterations;
-        let result = match self.config.method {
-            Method::Ds => Ds.infer_view(cat, &options)?,
-            Method::Lfc => Lfc::default().infer_view(cat, &options)?,
-            Method::Zc => Zc::default().infer_view(cat, &options)?,
-            Method::Glad => Glad::default().infer_view(cat, &options)?,
-            Method::Mv => Mv.infer_view(cat, &options)?,
-            _ => unreachable!("rejected in StreamEngine::new"),
+        let result = if let Some(state) = &self.sharded {
+            // The sharded EM paths; Mv has no native one and goes through
+            // the flatten compatibility shim.
+            match self.config.method {
+                Method::Ds => Ds.infer_sharded(&state.view, &options)?,
+                Method::Lfc => Lfc::default().infer_sharded(&state.view, &options)?,
+                Method::Zc => Zc::default().infer_sharded(&state.view, &options)?,
+                Method::Glad => Glad::default().infer_sharded(&state.view, &options)?,
+                Method::Mv => Mv.infer_view(&state.view.flatten(), &options)?,
+                _ => unreachable!("rejected in StreamEngine::new"),
+            }
+        } else {
+            let cat = self.view.as_cat();
+            match self.config.method {
+                Method::Ds => Ds.infer_view(cat, &options)?,
+                Method::Lfc => Lfc::default().infer_view(cat, &options)?,
+                Method::Zc => Zc::default().infer_view(cat, &options)?,
+                Method::Glad => Glad::default().infer_view(cat, &options)?,
+                Method::Mv => Mv.infer_view(cat, &options)?,
+                _ => unreachable!("rejected in StreamEngine::new"),
+            }
         };
         Ok(StreamReport {
             answers_seen: self.view.num_answers(),
@@ -1001,6 +1106,109 @@ mod tests {
                 break;
             }
         }
+    }
+
+    /// The dataset's records grouped by task — the arrival shape under
+    /// which the sharded converge is bit-identical to the legacy flat
+    /// path (see `crowd_core::views::sharded` for why task-grouped
+    /// arrival is the flat-equality condition).
+    fn task_grouped_records(d: &crowd_data::Dataset) -> Vec<AnswerRecord> {
+        let mut records = d.records().to_vec();
+        records.sort_by_key(|r| r.task);
+        records
+    }
+
+    #[test]
+    fn sharded_streaming_matches_legacy_on_task_grouped_streams() {
+        for method in [Method::Ds, Method::Zc, Method::Glad, Method::Mv] {
+            let d = PaperDataset::DProduct.generate(0.06, 31);
+            let cfg = decision_config(method, d.num_tasks(), d.num_workers());
+            let mut legacy = StreamEngine::new(cfg.clone()).unwrap();
+            let mut sharded = StreamEngine::new(cfg.with_shards(5)).unwrap();
+            let records = task_grouped_records(&d);
+            for chunk in records.chunks(records.len().div_ceil(3)) {
+                legacy.push_batch(chunk).unwrap();
+                sharded.push_batch(chunk).unwrap();
+                let a = legacy.converge().unwrap();
+                let b = sharded.converge().unwrap();
+                assert_eq!(a.result.truths, b.result.truths, "{method:?}");
+                assert_eq!(
+                    posterior_bits(&a.result.posteriors),
+                    posterior_bits(&b.result.posteriors),
+                    "{method:?}"
+                );
+                assert_eq!(a.result.iterations, b.result.iterations, "{method:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_converges_agree_across_shard_counts_on_any_arrival_order() {
+        // Arbitrary (non-task-grouped) arrival: the shard-count-
+        // invariance guarantee is unconditional even where flat equality
+        // is not, because every sharded run folds worker answers in the
+        // same canonical task-ascending order.
+        let d = PaperDataset::DProduct.generate(0.06, 43);
+        let cfg = decision_config(Method::Ds, d.num_tasks(), d.num_workers());
+        let mut engines: Vec<StreamEngine> = [2usize, 7, 16]
+            .iter()
+            .map(|&s| StreamEngine::new(cfg.clone().with_shards(s)).unwrap())
+            .collect();
+        let records = d.records();
+        for chunk in records.chunks(records.len().div_ceil(4)) {
+            let mut reports = Vec::new();
+            for e in &mut engines {
+                e.push_batch(chunk).unwrap();
+                reports.push(e.converge().unwrap());
+            }
+            for r in &reports[1..] {
+                assert_eq!(reports[0].result.truths, r.result.truths);
+                assert_eq!(
+                    posterior_bits(&reports[0].result.posteriors),
+                    posterior_bits(&r.result.posteriors)
+                );
+                assert_eq!(reports[0].result.iterations, r.result.iterations);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_resume_rebuilds_only_dirty_shards() {
+        let d = PaperDataset::DProduct.generate(0.06, 7);
+        let cfg = decision_config(Method::Ds, d.num_tasks(), d.num_workers()).with_shards(8);
+        let mut e = StreamEngine::new(cfg).unwrap();
+        let records = task_grouped_records(&d);
+        e.push_batch(&records[..records.len() - 4]).unwrap();
+        // First converge builds every shard.
+        assert_eq!(e.sync_shards(), 8);
+        e.converge().unwrap();
+        assert_eq!(e.sync_shards(), 0, "clean view needs no rebuilds");
+
+        // A tail batch touches only the task ranges it lands in: the
+        // task-grouped suffix holds at most 4 distinct (adjacent) tasks,
+        // which span at most 2 of the 8 shard ranges.
+        e.push_batch(&records[records.len() - 4..]).unwrap();
+        let rebuilt = e.sync_shards();
+        assert!(
+            (1..=2).contains(&rebuilt),
+            "expected a small dirty set, rebuilt {rebuilt} of 8 shards"
+        );
+
+        // And the resumed converge matches an engine fed everything in
+        // one go (same warm trajectory: replay the same schedule).
+        let mut reference =
+            StreamEngine::new(decision_config(Method::Ds, d.num_tasks(), d.num_workers()).with_shards(8))
+                .unwrap();
+        reference.push_batch(&records[..records.len() - 4]).unwrap();
+        reference.converge().unwrap();
+        reference.push_batch(&records[records.len() - 4..]).unwrap();
+        let a = e.converge().unwrap();
+        let b = reference.converge().unwrap();
+        assert_eq!(a.result.truths, b.result.truths);
+        assert_eq!(
+            posterior_bits(&a.result.posteriors),
+            posterior_bits(&b.result.posteriors)
+        );
     }
 
     #[test]
