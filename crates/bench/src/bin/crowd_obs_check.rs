@@ -24,7 +24,8 @@ use crowd_bench::json::{self, Json};
 use std::process::ExitCode;
 
 /// Counters the serve bench's workload cannot avoid incrementing.
-const EXPECT_SERVE_COUNTERS: [&str; 12] = [
+const EXPECT_SERVE_COUNTERS: [&str; 13] = [
+    "core.kernel.fused_rows_total",
     "core.pool.submits_total",
     "core.shard.dirty_rebuilds_total",
     "serve.ingest.answers_total",
@@ -40,7 +41,8 @@ const EXPECT_SERVE_COUNTERS: [&str; 12] = [
 ];
 
 /// Histograms likewise guaranteed non-empty by the serve bench.
-const EXPECT_SERVE_HISTOGRAMS: [&str; 9] = [
+const EXPECT_SERVE_HISTOGRAMS: [&str; 10] = [
+    "core.kernel.estep_seconds",
     "core.pool.dispatch_seconds",
     "core.shard.estep_seconds",
     "core.shard.reduce_seconds",

@@ -99,10 +99,7 @@ fn main() {
         // crowd model).
         let workers = (tasks / 20).max(50);
         let sim = StreamSim::new(11, tasks, workers, CHOICES, REDUNDANCY);
-        eprintln!(
-            "  n={tasks} (|W|={workers}, |V|={})",
-            sim.num_answers()
-        );
+        eprintln!("  n={tasks} (|W|={workers}, |V|={})", sim.num_answers());
         let mut truths_at_size: Option<Vec<Answer>> = None;
 
         for shards in SHARD_COUNTS {

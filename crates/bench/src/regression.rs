@@ -72,6 +72,10 @@ const KEY_FIELDS: [&str; 7] = [
 fn key_fields(schema: &str) -> &'static [&'static str] {
     match schema {
         "crowd-bench/kernels/v1" => &["op", "n"],
+        // v2 measures a backend matrix (std / fast-math-scalar /
+        // fast-math-avx2) in one artifact; the backend is row identity
+        // so each leg gates against its own baseline.
+        "crowd-bench/kernels/v2" => &["op", "n", "backend"],
         "crowd-bench/shard/v1" => &["tasks", "shards"],
         _ => &KEY_FIELDS,
     }
@@ -84,6 +88,12 @@ fn key_fields(schema: &str) -> &'static [&'static str] {
 fn extra_time_fields(schema: &str) -> &'static [&'static str] {
     match schema {
         "crowd-bench/serve/v1" => &["read_p99_seconds"],
+        // The SIMD rows finish a whole sweep in ~0.4 ms — under the
+        // absolute seconds floor, where the `seconds_min` gate can never
+        // fire. `ns_per_elem` carries the same measurement in units
+        // where the floor is inert (a fraction of a nanosecond), so the
+        // bounded relative check gates the fast rows too.
+        "crowd-bench/kernels/v2" => &["ns_per_elem"],
         _ => &[],
     }
 }
@@ -98,6 +108,7 @@ fn time_field(schema: &str) -> Option<&'static str> {
         // gate compares the repeat-minimum loop seconds so the absolute
         // noise floor (`min_time_delta`) keeps its units.
         "crowd-bench/kernels/v1" => Some("seconds_min"),
+        "crowd-bench/kernels/v2" => Some("seconds_min"),
         "crowd-bench/shard/v1" => Some("seconds_total"),
         _ => None,
     }
@@ -601,6 +612,64 @@ mod tests {
         assert!(cmp.regressions[0]
             .detail
             .contains("missing from the candidate"));
+    }
+
+    #[test]
+    fn kernels_v2_keys_by_backend_and_gates_ns_per_elem() {
+        let doc = |backend: &str, secs: f64, ns: f64, bound: bool| {
+            parse(&format!(
+                r#"{{"schema": "crowd-bench/kernels/v2", "scale": 1.0,
+                    "simd_transcendental_within_bound": {bound},
+                    "results": [
+                    {{"op": "exp_slice", "n": 262144, "backend": "{backend}", "lanes": 4,
+                      "seconds_min": {secs}, "ns_per_elem": {ns}}}
+                ]}}"#
+            ))
+            .unwrap()
+        };
+        // Same (op, n, backend): compared as one row.
+        let base = doc("fast-math-avx2", 0.0004, 1.5, true);
+        let cmp = compare(
+            &base,
+            &doc("fast-math-avx2", 0.00042, 1.6, true),
+            &Thresholds::default(),
+        )
+        .unwrap();
+        assert_eq!(cmp.rows_compared, 1);
+        assert!(cmp.passed());
+        // A SIMD row's sweep sits under the absolute seconds floor, so a
+        // 3× slowdown must still fail — via the ns_per_elem gate.
+        let cmp = compare(
+            &base,
+            &doc("fast-math-avx2", 0.0012, 4.5, true),
+            &Thresholds::default(),
+        )
+        .unwrap();
+        assert!(!cmp.passed());
+        assert!(cmp.regressions.iter().any(|r| r.field == "ns_per_elem"));
+        // Backend is row identity: the scalar leg cannot mask the AVX2
+        // baseline row.
+        let cmp = compare(
+            &base,
+            &doc("fast-math-scalar", 0.0004, 1.5, true),
+            &Thresholds::default(),
+        )
+        .unwrap();
+        assert!(!cmp.passed());
+        assert!(cmp.regressions[0].row.contains("backend=fast-math-avx2"));
+        assert!(cmp.regressions[0]
+            .detail
+            .contains("missing from the candidate"));
+        // The SIMD-budget headline gates true → false.
+        let cmp = compare(
+            &base,
+            &doc("fast-math-avx2", 0.0004, 1.5, false),
+            &Thresholds::default(),
+        )
+        .unwrap();
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions[0].row, "<top-level>");
+        assert_eq!(cmp.regressions[0].field, "simd_transcendental_within_bound");
     }
 
     #[test]

@@ -11,8 +11,7 @@
 //! symmetric smoothing count purely for numerical safety.
 
 use crowd_data::{Dataset, TaskType};
-use crowd_stats::kernels::{log_normalize, safe_ln_slice};
-use crowd_stats::{ConvergenceTracker, DMat};
+use crowd_stats::{fused_posterior_row, safe_ln_map_into, ConvergenceTracker, DMat};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -172,8 +171,6 @@ impl DsEngine {
         // answer, so the log-posterior sums are bit-identical.
         let mut log_conf = DMat::zeros(cat.m * l, l);
         let mut log_prior = vec![0.0f64; l];
-        // Scratch for the E-step's per-task log-posterior.
-        let mut logp = vec![0.0f64; l];
 
         // The fan-out budget: the caller's cap when given (harness-level
         // fan-outs pass 1 to avoid oversubscription), else the machine.
@@ -200,14 +197,7 @@ impl DsEngine {
         loop {
             if need_estep_first {
                 refresh_log_tables(&confusion, &class_prior, &mut log_conf, &mut log_prior);
-                e_step(
-                    cat,
-                    &log_conf,
-                    &log_prior,
-                    &mut post,
-                    &mut logp,
-                    estep_threads,
-                );
+                e_step(cat, &log_conf, &log_prior, &mut post, estep_threads);
                 need_estep_first = false;
             }
 
@@ -257,14 +247,7 @@ impl DsEngine {
 
             // E-step.
             refresh_log_tables(&confusion, &class_prior, &mut log_conf, &mut log_prior);
-            e_step(
-                cat,
-                &log_conf,
-                &log_prior,
-                &mut post,
-                &mut logp,
-                estep_threads,
-            );
+            e_step(cat, &log_conf, &log_prior, &mut post, estep_threads);
 
             // Track convergence on the flat confusion buffer — already in
             // the (worker, truth row, answer) order the nested
@@ -335,10 +318,7 @@ impl DsEngine {
         if let Some(warm) = &options.warm_start {
             if let Some(prev_post) = &warm.posteriors {
                 for (task, row) in prev_post.iter().enumerate().take(view.n) {
-                    if row.len() == l
-                        && view.golden()[task].is_none()
-                        && view.task_len(task) > 0
-                    {
+                    if row.len() == l && view.golden()[task].is_none() && view.task_len(task) > 0 {
                         post.row_mut(task).copy_from_slice(row);
                     }
                 }
@@ -490,58 +470,54 @@ impl DsEngine {
 
 /// Refresh the log-domain lookup tables from the current confusion
 /// matrices and class prior (once per iteration; the E-step then runs
-/// `ln`-free). One batched `safe_ln` sweep over each flat buffer —
-/// elementwise identical to the old per-cell `c.max(1e-12).ln()`.
+/// `ln`-free). The fused `safe_ln` map fills and logs each flat buffer
+/// in one cache-resident sweep — elementwise identical to the old
+/// per-cell `c.max(1e-12).ln()`.
 fn refresh_log_tables(
     confusion: &DMat,
     class_prior: &[f64],
     log_conf: &mut DMat,
     log_prior: &mut [f64],
 ) {
-    log_conf.data_mut().copy_from_slice(confusion.data());
-    safe_ln_slice(log_conf.data_mut());
-    log_prior.copy_from_slice(class_prior);
-    safe_ln_slice(log_prior);
+    let conf = confusion.data();
+    safe_ln_map_into(log_conf.data_mut(), |i| conf[i]);
+    safe_ln_map_into(log_prior, |i| class_prior[i]);
 }
 
 /// One E-step over the flat substrate: `post[t][j] ∝ prior[j] ·
 /// Π_w q^w[j][v_t^w]`, accumulated in log space from the precomputed
 /// tables and written back in place.
 ///
-/// With `threads == 1` (small instances) the serial sweep uses the
-/// caller's scratch buffer — zero heap allocation, zero transcendental
-/// calls in the answer loop. Above the size threshold the tasks fan out
-/// over the executor in disjoint row blocks; every task's row is computed
-/// by the same arithmetic, so the result is bit-identical either way.
-fn e_step(
-    cat: &Cat,
-    log_conf: &DMat,
-    log_prior: &[f64],
-    post: &mut DMat,
-    logp: &mut [f64],
-    threads: usize,
-) {
+/// Each task row is one [`fused_posterior_row`] call — prior init,
+/// strided table gather, log-sum-exp and normalize in a single pass,
+/// written directly into the posterior row (no scratch copy, zero heap
+/// allocation, zero transcendental calls in the answer loop). Above the
+/// size threshold the tasks fan out over the executor in disjoint row
+/// blocks; every task's row is computed by the same arithmetic, so the
+/// result is bit-identical either way.
+fn e_step(cat: &Cat, log_conf: &DMat, log_prior: &[f64], post: &mut DMat, threads: usize) {
     let l = cat.l;
     let stride = l * l;
+    let _timer = crate::methods::obs_kernel_estep_seconds().start_timer();
     if threads <= 1 {
         let lc = log_conf.data();
+        let mut fused_rows = 0u64;
         for task in 0..cat.n {
             if cat.golden[task].is_some() || cat.task_len(task) == 0 {
                 continue;
             }
-            logp.copy_from_slice(log_prior);
-            for &(worker, label) in cat.task_row(task) {
-                // Walk the worker's ℓ×ℓ block column `label` by stride —
-                // plain indexing, no per-answer slice construction.
-                let mut idx = worker as usize * stride + label as usize;
-                for lp in logp.iter_mut() {
-                    *lp += lc[idx];
-                    idx += l;
-                }
-            }
-            log_normalize(logp);
-            post.row_mut(task).copy_from_slice(logp);
+            fused_posterior_row(
+                post.row_mut(task),
+                log_prior,
+                lc,
+                // Walk the worker's ℓ×ℓ block column `label` by stride.
+                cat.task_row(task)
+                    .iter()
+                    .map(|&(worker, label)| worker as usize * stride + label as usize),
+            );
+            fused_rows += 1;
         }
+        crate::methods::obs_fused_rows().add(fused_rows);
     } else {
         let lc = log_conf.data();
         // ~4 chunks per thread balances uneven task degrees without a
@@ -553,23 +529,23 @@ fn e_step(
             tasks_per_chunk * l,
             |chunk_idx, rows| {
                 let first_task = chunk_idx * tasks_per_chunk;
-                let mut logp = vec![0.0f64; l];
+                let mut fused_rows = 0u64;
                 for (offset, row) in rows.chunks_mut(l).enumerate() {
                     let task = first_task + offset;
                     if cat.golden[task].is_some() || cat.task_len(task) == 0 {
                         continue;
                     }
-                    logp.copy_from_slice(log_prior);
-                    for &(worker, label) in cat.task_row(task) {
-                        let mut idx = worker as usize * stride + label as usize;
-                        for lp in logp.iter_mut() {
-                            *lp += lc[idx];
-                            idx += l;
-                        }
-                    }
-                    log_normalize(&mut logp);
-                    row.copy_from_slice(&logp);
+                    fused_posterior_row(
+                        row,
+                        log_prior,
+                        lc,
+                        cat.task_row(task)
+                            .iter()
+                            .map(|&(worker, label)| worker as usize * stride + label as usize),
+                    );
+                    fused_rows += 1;
                 }
+                crate::methods::obs_fused_rows().add(fused_rows);
             },
         );
     }
@@ -595,6 +571,7 @@ fn e_step_sharded(
     let stride = l * l;
     let lc = log_conf.data();
     let golden = view.golden();
+    let _timer = crate::methods::obs_kernel_estep_seconds().start_timer();
     {
         // Carve per-shard row blocks off the flat posterior buffer.
         let mut blocks: Vec<(usize, &mut [f64])> = Vec::with_capacity(view.num_shards());
@@ -611,24 +588,24 @@ fn e_step_sharded(
                 move || {
                     let timer = crate::views::obs_estep_seconds().start_timer();
                     let start = view.shard_tasks(s).start;
-                    let mut logp = vec![0.0f64; l];
+                    let mut fused_rows = 0u64;
                     for (local, row) in block.chunks_mut(l).enumerate() {
                         let task = start + local;
                         let answers = view.shard_task_row(s, local);
                         if golden[task].is_some() || answers.is_empty() {
                             continue;
                         }
-                        logp.copy_from_slice(log_prior);
-                        for &(worker, label) in answers {
-                            let mut idx = worker as usize * stride + label as usize;
-                            for lp in logp.iter_mut() {
-                                *lp += lc[idx];
-                                idx += l;
-                            }
-                        }
-                        log_normalize(&mut logp);
-                        row.copy_from_slice(&logp);
+                        fused_posterior_row(
+                            row,
+                            log_prior,
+                            lc,
+                            answers
+                                .iter()
+                                .map(|&(worker, label)| worker as usize * stride + label as usize),
+                        );
+                        fused_rows += 1;
                     }
+                    crate::methods::obs_fused_rows().add(fused_rows);
                     drop(timer);
                 }
             })

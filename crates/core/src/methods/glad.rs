@@ -10,8 +10,10 @@
 //! Table 6.
 
 use crowd_data::{Dataset, TaskType};
-use crowd_stats::kernels::{self, exp_slice, ln_slice, log_normalize, sigmoid_slice};
-use crowd_stats::ConvergenceTracker;
+use crowd_stats::kernels;
+use crowd_stats::{
+    exp_map_into, fused_two_term_row, ln_map_into, sigmoid_map_into, ConvergenceTracker,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -144,16 +146,17 @@ impl Glad {
         let mut log_beta = vec![0.0f64; cat.n];
 
         let mut post = cat.majority_posteriors();
-        // Pre-allocated scratch: per-task log-posterior, M-step gradients,
-        // the convergence parameter vector, the per-task difficulty table
-        // `beta`, and the answer-major batch buffers (`sig` holds every
-        // answer's σ(α_w·β_i); `lc`/`lw` the correct/wrong log terms).
-        // Batching runs over the *whole answer log* in task-major order —
-        // the CSR task rows are contiguous, so one cursor walks `sig` in
-        // step with the tasks — which keeps the kernel sweeps long even
-        // when individual tasks have only a handful of answers. The loop
-        // below allocates nothing per iteration.
-        let mut logp = vec![0.0f64; cat.l];
+        // Pre-allocated scratch: M-step gradients, the convergence
+        // parameter vector, the per-task difficulty table `beta`, and the
+        // answer-major batch buffers (`sig` holds every answer's
+        // σ(α_w·β_i); `lc`/`lw` the correct/wrong log terms). Batching
+        // runs over the *whole answer log* in task-major order, which
+        // keeps the kernel sweeps long even when individual tasks have
+        // only a handful of answers. The flat `answer_workers`/
+        // `answer_tasks` gather indices (built once — the task-major
+        // answer order never changes) let the σ∘(α·β) refresh run as one
+        // fused fill-and-squash pass. The loop below allocates nothing
+        // per iteration.
         let mut grad_alpha = vec![0.0f64; cat.m];
         let mut grad_logbeta = vec![0.0f64; cat.n];
         let mut beta = vec![0.0f64; cat.n];
@@ -161,63 +164,71 @@ impl Glad {
         let mut sig = vec![0.0f64; num_answers];
         let mut lc = vec![0.0f64; num_answers];
         let mut lw = vec![0.0f64; num_answers];
+        let mut answer_workers = Vec::with_capacity(num_answers);
+        let mut answer_tasks = Vec::with_capacity(num_answers);
+        for task in 0..cat.n {
+            for &(worker, _) in cat.task_row(task) {
+                answer_workers.push(worker);
+                answer_tasks.push(task as u32);
+            }
+        }
         let mut params: Vec<f64> = Vec::with_capacity(cat.m + cat.n);
         let mut tracker = ConvergenceTracker::new(options.tolerance, options.max_iterations);
 
-        // Fill `sig` with α_w·β_i for every answer (task-major) and run
-        // one batched sigmoid over the lot. Values are bit-identical to
+        // Fill `sig` with σ(α_w·β_i) for every answer (task-major) as one
+        // fused gather-multiply-sigmoid pass. Values are bit-identical to
         // the per-answer scalar `sigmoid(alpha[w] * beta)`.
-        fn fill_sigmoids(sig: &mut [f64], beta: &[f64], alpha: &[f64], cat: &Cat) {
-            let mut cursor = 0usize;
-            for (task, &b) in beta.iter().enumerate() {
-                let row = cat.task_row(task);
-                for (s, &(worker, _)) in sig[cursor..cursor + row.len()].iter_mut().zip(row) {
-                    *s = alpha[worker as usize] * b;
-                }
-                cursor += row.len();
-            }
-            sigmoid_slice(sig);
+        fn fill_sigmoids(
+            sig: &mut [f64],
+            beta: &[f64],
+            alpha: &[f64],
+            answer_workers: &[u32],
+            answer_tasks: &[u32],
+        ) {
+            sigmoid_map_into(sig, |i| {
+                alpha[answer_workers[i] as usize] * beta[answer_tasks[i] as usize]
+            });
         }
 
         loop {
             // E-step: Pr(z | answers, α, β). The difficulty table and
-            // every answer's correctness probability refresh as whole-log
-            // kernel sweeps (one exp batch, one sigmoid batch, two ln
-            // batches — 2 lns per answer instead of the ℓ the
-            // per-element form paid); the posterior accumulation is then
-            // a pure table walk. Elementwise identical to the scalar
-            // form.
-            beta.copy_from_slice(&log_beta);
-            exp_slice(&mut beta);
-            fill_sigmoids(&mut sig, &beta, &alpha, cat);
-            for ((s, c), w) in sig.iter().zip(lc.iter_mut()).zip(lw.iter_mut()) {
-                let p_correct = s.clamp(1e-9, 1.0 - 1e-9);
-                *c = p_correct;
-                *w = (1.0 - p_correct) / lm1;
-            }
-            ln_slice(&mut lc);
-            ln_slice(&mut lw);
-            let mut cursor = 0usize;
-            for task in 0..cat.n {
-                let row = cat.task_row(task);
-                let deg = row.len();
-                if cat.golden[task].is_some() || deg == 0 {
-                    cursor += deg;
-                    continue;
-                }
-                logp.fill(0.0);
-                for (&(_, label), (&lci, &lwi)) in row.iter().zip(
-                    lc[cursor..cursor + deg]
-                        .iter()
-                        .zip(&lw[cursor..cursor + deg]),
-                ) {
-                    for (z, lp) in logp.iter_mut().enumerate() {
-                        *lp += if z == label as usize { lci } else { lwi };
+            // every answer's correctness probability refresh as fused
+            // whole-log sweeps (one exp pass, one sigmoid pass, two ln
+            // passes — 2 lns per answer instead of the ℓ the per-element
+            // form paid); each posterior row is then one fused two-term
+            // accumulate + normalize. Elementwise identical to the
+            // scalar form.
+            exp_map_into(&mut beta, |i| log_beta[i]);
+            fill_sigmoids(&mut sig, &beta, &alpha, &answer_workers, &answer_tasks);
+            ln_map_into(&mut lc, |i| sig[i].clamp(1e-9, 1.0 - 1e-9));
+            ln_map_into(&mut lw, |i| (1.0 - sig[i].clamp(1e-9, 1.0 - 1e-9)) / lm1);
+            {
+                let _timer = crate::methods::obs_kernel_estep_seconds().start_timer();
+                let mut fused_rows = 0u64;
+                let mut cursor = 0usize;
+                for task in 0..cat.n {
+                    let row = cat.task_row(task);
+                    let deg = row.len();
+                    if cat.golden[task].is_some() || deg == 0 {
+                        cursor += deg;
+                        continue;
                     }
+                    let out = post.row_mut(task);
+                    out.fill(0.0);
+                    fused_two_term_row(
+                        out,
+                        row.iter()
+                            .zip(
+                                lc[cursor..cursor + deg]
+                                    .iter()
+                                    .zip(&lw[cursor..cursor + deg]),
+                            )
+                            .map(|(&(_, label), (&lci, &lwi))| (label as usize, lci, lwi)),
+                    );
+                    fused_rows += 1;
+                    cursor += deg;
                 }
-                cursor += deg;
-                log_normalize(&mut logp);
-                post.row_mut(task).copy_from_slice(&logp);
+                crate::methods::obs_fused_rows().add(fused_rows);
             }
             cat.clamp_golden(&mut post);
 
@@ -235,9 +246,8 @@ impl Glad {
             for _ in 0..self.gradient_steps {
                 grad_alpha.fill(0.0);
                 grad_logbeta.fill(0.0);
-                beta.copy_from_slice(&log_beta);
-                exp_slice(&mut beta);
-                fill_sigmoids(&mut sig, &beta, &alpha, cat);
+                exp_map_into(&mut beta, |i| log_beta[i]);
+                fill_sigmoids(&mut sig, &beta, &alpha, &answer_workers, &answer_tasks);
                 let mut cursor = 0usize;
                 for task in 0..cat.n {
                     let b = beta[task];
@@ -303,8 +313,6 @@ impl Glad {
         view: &crate::views::ShardedView,
         options: &InferenceOptions,
     ) -> Result<InferenceResult, InferenceError> {
-        use crate::views::ShardedView;
-
         if view.num_answers() == 0 {
             return Err(InferenceError::EmptyDataset);
         }
@@ -327,7 +335,6 @@ impl Glad {
         let mut log_beta = vec![0.0f64; view.n];
 
         let mut post = view.majority_posteriors();
-        let mut logp = vec![0.0f64; view.l];
         let mut grad_alpha = vec![0.0f64; view.m];
         let mut grad_logbeta = vec![0.0f64; view.n];
         let mut beta = vec![0.0f64; view.n];
@@ -335,43 +342,44 @@ impl Glad {
         let mut sig = vec![0.0f64; num_answers];
         let mut lc = vec![0.0f64; num_answers];
         let mut lw = vec![0.0f64; num_answers];
+        // Flat gather indices in the shard-concatenated task-major order
+        // (which *is* the flat task-major order), built once.
+        let mut answer_workers = Vec::with_capacity(num_answers);
+        let mut answer_tasks = Vec::with_capacity(num_answers);
+        for s in 0..view.num_shards() {
+            let range = view.shard_tasks(s);
+            for task in range.clone() {
+                for &(worker, _) in view.shard_task_row(s, task - range.start) {
+                    answer_workers.push(worker);
+                    answer_tasks.push(task as u32);
+                }
+            }
+        }
         let mut params: Vec<f64> = Vec::with_capacity(view.m + view.n);
         let mut tracker = ConvergenceTracker::new(options.tolerance, options.max_iterations);
 
-        // Same α_w·β_i fill as the flat path, walked shard-by-shard: the
-        // cursor for shard `s` starts at its global entry offset, and the
-        // concatenation of shard task rows *is* the flat task-major
-        // order.
-        fn fill_sigmoids(sig: &mut [f64], beta: &[f64], alpha: &[f64], view: &ShardedView) {
-            for s in 0..view.num_shards() {
-                let mut cursor = view.shard_entry_offset(s);
-                let range = view.shard_tasks(s);
-                for task in range.clone() {
-                    let b = beta[task];
-                    let row = view.shard_task_row(s, task - range.start);
-                    for (sv, &(worker, _)) in sig[cursor..cursor + row.len()].iter_mut().zip(row)
-                    {
-                        *sv = alpha[worker as usize] * b;
-                    }
-                    cursor += row.len();
-                }
-            }
-            sigmoid_slice(sig);
+        // Same fused σ(α_w·β_i) refresh as the flat path.
+        fn fill_sigmoids(
+            sig: &mut [f64],
+            beta: &[f64],
+            alpha: &[f64],
+            answer_workers: &[u32],
+            answer_tasks: &[u32],
+        ) {
+            sigmoid_map_into(sig, |i| {
+                alpha[answer_workers[i] as usize] * beta[answer_tasks[i] as usize]
+            });
         }
 
         loop {
-            beta.copy_from_slice(&log_beta);
-            exp_slice(&mut beta);
-            fill_sigmoids(&mut sig, &beta, &alpha, view);
-            for ((s, c), w) in sig.iter().zip(lc.iter_mut()).zip(lw.iter_mut()) {
-                let p_correct = s.clamp(1e-9, 1.0 - 1e-9);
-                *c = p_correct;
-                *w = (1.0 - p_correct) / lm1;
-            }
-            ln_slice(&mut lc);
-            ln_slice(&mut lw);
+            exp_map_into(&mut beta, |i| log_beta[i]);
+            fill_sigmoids(&mut sig, &beta, &alpha, &answer_workers, &answer_tasks);
+            ln_map_into(&mut lc, |i| sig[i].clamp(1e-9, 1.0 - 1e-9));
+            ln_map_into(&mut lw, |i| (1.0 - sig[i].clamp(1e-9, 1.0 - 1e-9)) / lm1);
             {
                 let _timer = crate::views::obs_estep_seconds().start_timer();
+                let _ktimer = crate::methods::obs_kernel_estep_seconds().start_timer();
+                let mut fused_rows = 0u64;
                 for s in 0..view.num_shards() {
                     let mut cursor = view.shard_entry_offset(s);
                     let range = view.shard_tasks(s);
@@ -382,21 +390,23 @@ impl Glad {
                             cursor += deg;
                             continue;
                         }
-                        logp.fill(0.0);
-                        for (&(_, label), (&lci, &lwi)) in row.iter().zip(
-                            lc[cursor..cursor + deg]
-                                .iter()
-                                .zip(&lw[cursor..cursor + deg]),
-                        ) {
-                            for (z, lp) in logp.iter_mut().enumerate() {
-                                *lp += if z == label as usize { lci } else { lwi };
-                            }
-                        }
+                        let out = post.row_mut(task);
+                        out.fill(0.0);
+                        fused_two_term_row(
+                            out,
+                            row.iter()
+                                .zip(
+                                    lc[cursor..cursor + deg]
+                                        .iter()
+                                        .zip(&lw[cursor..cursor + deg]),
+                                )
+                                .map(|(&(_, label), (&lci, &lwi))| (label as usize, lci, lwi)),
+                        );
+                        fused_rows += 1;
                         cursor += deg;
-                        log_normalize(&mut logp);
-                        post.row_mut(task).copy_from_slice(&logp);
                     }
                 }
+                crate::methods::obs_fused_rows().add(fused_rows);
             }
             view.clamp_golden(&mut post);
 
@@ -405,9 +415,8 @@ impl Glad {
                 for _ in 0..self.gradient_steps {
                     grad_alpha.fill(0.0);
                     grad_logbeta.fill(0.0);
-                    beta.copy_from_slice(&log_beta);
-                    exp_slice(&mut beta);
-                    fill_sigmoids(&mut sig, &beta, &alpha, view);
+                    exp_map_into(&mut beta, |i| log_beta[i]);
+                    fill_sigmoids(&mut sig, &beta, &alpha, &answer_workers, &answer_tasks);
                     for s in 0..view.num_shards() {
                         let mut cursor = view.shard_entry_offset(s);
                         let range = view.shard_tasks(s);
@@ -434,7 +443,8 @@ impl Glad {
                         alpha[w] = alpha[w].clamp(-8.0, 8.0);
                     }
                     for (t, g) in grad_logbeta.iter().enumerate() {
-                        log_beta[t] += self.learning_rate * (g - self.prior_precision * log_beta[t]);
+                        log_beta[t] +=
+                            self.learning_rate * (g - self.prior_precision * log_beta[t]);
                         log_beta[t] = log_beta[t].clamp(-4.0, 4.0);
                     }
                 }

@@ -22,7 +22,7 @@
 //!    minimax conditional entropy" follow-up).
 
 use crowd_data::{Dataset, TaskType};
-use crowd_stats::kernels::{self, log_normalize, log_sum_exp};
+use crowd_stats::kernels::{self, log_normalize, log_normalize_rows_flat, log_sum_exp_rows_flat};
 use crowd_stats::{ConvergenceTracker, DMat};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -105,8 +105,7 @@ impl TruthInference for Minimax {
         }
         let mut grad_tau = DMat::zeros(cat.n, l);
         let mut grad_sigma = DMat::zeros(cat.m * l, l);
-        // Scratch for one model row π_iw^j(·) and one posterior row.
-        let mut lp_buf = vec![0.0f64; l];
+        // Scratch for one posterior row (dynamic-width fallback).
         let mut logp = vec![0.0f64; l];
         // Per-task list of the truth hypotheses with non-negligible
         // posterior mass, as `(j, q_i(j))` in ascending-`j` order. The
@@ -117,6 +116,15 @@ impl TruthInference for Minimax {
         // unchanged.
         let mut active: Vec<(u8, f64)> = Vec::with_capacity(cat.n * l);
         let mut active_off: Vec<usize> = vec![0; cat.n + 1];
+        // Flat batch of ℓ-wide model rows (one per (answer, hypothesis)
+        // pair) and their log-sum-exps: the hot passes gather many rows
+        // into this scratch and softmax/lse them with one batched
+        // kernel call instead of one dispatch per row. Sized once for
+        // the largest flush ([`ROW_BLOCK`] rows, or one task's worth if
+        // a task alone exceeds the block).
+        let max_task_len = (0..cat.n).map(|t| cat.task_len(t)).max().unwrap_or(0);
+        let mut row_buf: Vec<f64> = vec![0.0; ROW_BLOCK.max(l * max_task_len) * l];
+        let mut lse_buf: Vec<f64> = vec![0.0; l * max_task_len];
 
         let mut post = cat.majority_posteriors();
         let mut tracker = ConvergenceTracker::new(options.tolerance, options.max_iterations);
@@ -138,6 +146,8 @@ impl TruthInference for Minimax {
             active_off: &mut active_off,
             task_deg: &task_deg,
             worker_deg: &worker_deg,
+            row_buf: &mut row_buf,
+            lse_buf: &mut lse_buf,
         };
         loop {
             // Rebuild the active-hypothesis lists under the current
@@ -172,8 +182,8 @@ impl TruthInference for Minimax {
                     truth_update::<4>(&cat, &mut st);
                 }
                 _ => {
-                    dual_ascent_dyn(self, &cat, &mut st, &mut lp_buf);
-                    truth_update_dyn(&cat, &mut st, &mut lp_buf, &mut logp);
+                    dual_ascent_dyn(self, &cat, &mut st);
+                    truth_update_dyn(&cat, &mut st, &mut logp);
                 }
             }
             cat.clamp_golden(st.post);
@@ -217,40 +227,15 @@ struct State<'a> {
     active_off: &'a mut [usize],
     task_deg: &'a [f64],
     worker_deg: &'a [f64],
+    row_buf: &'a mut Vec<f64>,
+    lse_buf: &'a mut Vec<f64>,
 }
 
-/// Softmax over a fixed-width row, in exactly the operation order of
-/// [`kernels::log_normalize`] (the [`lse_fixed`] reduction, then a
-/// per-element `exp`, with degenerate rows spread uniformly) —
-/// bit-identical output, no slice bounds checks.
-#[inline(always)]
-fn softmax_fixed<const L: usize>(xs: &mut [f64; L]) {
-    let lse = lse_fixed(xs);
-    if !lse.is_finite() {
-        xs.fill(1.0 / L as f64);
-        return;
-    }
-    for x in xs.iter_mut() {
-        *x = kernels::exp(*x - lse);
-    }
-}
-
-/// Fixed-width [`kernels::log_sum_exp`], same operation order.
-#[inline(always)]
-fn lse_fixed<const L: usize>(xs: &[f64; L]) -> f64 {
-    let mut max = f64::NEG_INFINITY;
-    for &x in xs.iter() {
-        max = max.max(x);
-    }
-    if !max.is_finite() {
-        return max;
-    }
-    let mut sum = 0.0;
-    for &x in xs.iter() {
-        sum += if x == max { 1.0 } else { kernels::exp(x - max) };
-    }
-    max + kernels::ln(sum)
-}
+/// Rows gathered per batched-softmax flush in the specialised hot
+/// passes. Large enough to amortise the kernel dispatch and make the
+/// sub-vector remainder negligible, small enough to stay L1-resident
+/// (512 rows × 4 lanes × 8 B = 16 KB).
+const ROW_BLOCK: usize = 512;
 
 /// The regularised multiplier updates after one gradient accumulation
 /// (cold relative to the accumulation itself, so kept dynamic and
@@ -283,42 +268,92 @@ fn update_multipliers(mm: &Minimax, cat: &Cat, st: &mut State) {
 /// specialised by ℓ: model rows are `[f64; L]` stack arrays and every
 /// row borrow is a checked-once fixed-width conversion. Arithmetic and
 /// evaluation order match [`dual_ascent_dyn`] exactly.
+///
+/// Per task, the (answer, hypothesis) model rows are gathered into one
+/// flat batch and softmaxed with a single
+/// [`log_normalize_rows_flat`] call — the values and the gradient
+/// accumulation order are exactly those of the old softmax-per-pair
+/// loop, but the kernel dispatch (and under `fast-math-avx2` the
+/// whole `#[target_feature]` region, with the per-row `ln` vectorised
+/// across rows) is paid once per task instead of once per pair.
 fn dual_ascent<const L: usize>(mm: &Minimax, cat: &Cat, st: &mut State) {
     for _ in 0..mm.gradient_steps {
         st.grad_tau.fill(0.0);
         st.grad_sigma.fill(0.0);
 
-        for task in 0..cat.n {
-            let acts = &st.active[st.active_off[task]..st.active_off[task + 1]];
-            let tau_row: &[f64; L] = st.tau.row(task).try_into().expect("row width ℓ");
-            let gt_row: &mut [f64; L] = st.grad_tau.row_mut(task).try_into().expect("row width ℓ");
-            for &(worker, label) in cat.task_row(task) {
-                let base = worker as usize * L;
-                for &(j, qj) in acts.iter() {
-                    // Model distribution for this (i, w, j).
-                    let sig_row: &[f64; L] = st
-                        .sigma
-                        .row(base + j as usize)
-                        .try_into()
-                        .expect("row width ℓ");
-                    let mut lp = [0.0f64; L];
-                    for k in 0..L {
-                        lp[k] = tau_row[k] + sig_row[k];
-                    }
-                    softmax_fixed(&mut lp);
-                    let gs_row: &mut [f64; L] = st
-                        .grad_sigma
-                        .row_mut(base + j as usize)
-                        .try_into()
-                        .expect("row width ℓ");
-                    for k in 0..L {
-                        let obs = if k == label as usize { 1.0 } else { 0.0 };
-                        let diff = qj * (obs - lp[k]);
-                        gt_row[k] += diff;
-                        gs_row[k] += diff;
+        // Tasks are processed in blocks whose model rows fill
+        // [`ROW_BLOCK`] (the scratch was sized in `infer`): one batched
+        // softmax per block amortises the kernel dispatch over ~hundreds
+        // of rows and leaves at most 3 sub-vector remainder rows per
+        // flush instead of per task.
+        let mut start = 0;
+        while start < cat.n {
+            let mut rows = 0usize;
+            let mut end = start;
+            while end < cat.n {
+                let need = (st.active_off[end + 1] - st.active_off[end]) * cat.task_len(end);
+                if rows > 0 && rows + need > ROW_BLOCK {
+                    break;
+                }
+                rows += need;
+                end += 1;
+            }
+
+            let mut out = st.row_buf[..rows * L].chunks_exact_mut(L);
+            for task in start..end {
+                let acts = &st.active[st.active_off[task]..st.active_off[task + 1]];
+                let tau_row: &[f64; L] = st.tau.row(task).try_into().expect("row width ℓ");
+                for &(worker, _) in cat.task_row(task) {
+                    let base = worker as usize * L;
+                    for &(j, _) in acts.iter() {
+                        // Model distribution for this (i, w, j).
+                        let sig_row: &[f64; L] = st
+                            .sigma
+                            .row(base + j as usize)
+                            .try_into()
+                            .expect("row width ℓ");
+                        let row: &mut [f64; L] = out
+                            .next()
+                            .expect("scratch row")
+                            .try_into()
+                            .expect("width ℓ");
+                        for k in 0..L {
+                            row[k] = tau_row[k] + sig_row[k];
+                        }
                     }
                 }
             }
+            log_normalize_rows_flat(L, &mut st.row_buf[..rows * L]); // now probabilities
+
+            let mut lps = st.row_buf[..rows * L].chunks_exact(L);
+            for task in start..end {
+                let acts = &st.active[st.active_off[task]..st.active_off[task + 1]];
+                let gt_row: &mut [f64; L] =
+                    st.grad_tau.row_mut(task).try_into().expect("row width ℓ");
+                for &(worker, label) in cat.task_row(task) {
+                    let base = worker as usize * L;
+                    for &(j, qj) in acts.iter() {
+                        let lp: &[f64; L] = lps
+                            .next()
+                            .expect("one row per (answer, hypothesis) pair")
+                            .try_into()
+                            .expect("row width ℓ");
+                        let gs_row: &mut [f64; L] = st
+                            .grad_sigma
+                            .row_mut(base + j as usize)
+                            .try_into()
+                            .expect("row width ℓ");
+                        for k in 0..L {
+                            let obs = if k == label as usize { 1.0 } else { 0.0 };
+                            let diff = qj * (obs - lp[k]);
+                            gt_row[k] += diff;
+                            gs_row[k] += diff;
+                        }
+                    }
+                }
+            }
+
+            start = end;
         }
 
         update_multipliers(mm, cat, st);
@@ -327,7 +362,7 @@ fn dual_ascent<const L: usize>(mm: &Minimax, cat: &Cat, st: &mut State) {
 
 /// Dynamic-width fallback for [`dual_ascent`] (ℓ outside the
 /// specialised range): same operations, same order, slice-based.
-fn dual_ascent_dyn(mm: &Minimax, cat: &Cat, st: &mut State, lp_buf: &mut [f64]) {
+fn dual_ascent_dyn(mm: &Minimax, cat: &Cat, st: &mut State) {
     let l = st.tau.cols();
     for _ in 0..mm.gradient_steps {
         st.grad_tau.fill(0.0);
@@ -335,18 +370,32 @@ fn dual_ascent_dyn(mm: &Minimax, cat: &Cat, st: &mut State, lp_buf: &mut [f64]) 
 
         for task in 0..cat.n {
             let acts = &st.active[st.active_off[task]..st.active_off[task + 1]];
+            let answers = cat.task_row(task);
+            if acts.is_empty() || answers.is_empty() {
+                continue;
+            }
             let tau_row = st.tau.row(task);
+            st.row_buf.clear();
+            st.row_buf.reserve(answers.len() * acts.len() * l);
+            for &(worker, _) in answers {
+                let base = worker as usize * l;
+                for &(j, _) in acts.iter() {
+                    let sig_row = st.sigma.row(base + j as usize);
+                    for (&t, &s) in tau_row.iter().zip(sig_row) {
+                        st.row_buf.push(t + s);
+                    }
+                }
+            }
+            log_normalize_rows_flat(l, st.row_buf); // now probabilities
+
             let gt_row = st.grad_tau.row_mut(task);
-            for &(worker, label) in cat.task_row(task) {
+            let mut rows = st.row_buf.chunks_exact(l);
+            for &(worker, label) in answers {
                 let base = worker as usize * l;
                 for &(j, qj) in acts.iter() {
-                    let sig_row = st.sigma.row(base + j as usize);
-                    for (lp, (&t, &s)) in lp_buf.iter_mut().zip(tau_row.iter().zip(sig_row)) {
-                        *lp = t + s;
-                    }
-                    log_normalize(lp_buf); // now probabilities
+                    let lp = rows.next().expect("one row per (answer, hypothesis) pair");
                     let gs_row = st.grad_sigma.row_mut(base + j as usize);
-                    for (k, ((&p, gt), gs)) in lp_buf
+                    for (k, ((&p, gt), gs)) in lp
                         .iter()
                         .zip(gt_row.iter_mut())
                         .zip(gs_row.iter_mut())
@@ -371,25 +420,45 @@ fn dual_ascent_dyn(mm: &Minimax, cat: &Cat, st: &mut State, lp_buf: &mut [f64]) 
 /// element — the same values the full row-normalise produced, minus
 /// ℓ−1 unused `exp`s and `ln`s per row.
 fn truth_update<const L: usize>(cat: &Cat, st: &mut State) {
+    let _timer = crate::methods::obs_kernel_estep_seconds().start_timer();
+    let mut fused_rows = 0u64;
     for task in 0..cat.n {
         if cat.golden[task].is_some() || cat.task_len(task) == 0 {
             continue;
         }
-        let mut logp = [0.0f64; L];
+        fused_rows += 1;
+        let answers = cat.task_row(task);
         let tau_row: &[f64; L] = st.tau.row(task).try_into().expect("row width ℓ");
-        for &(worker, label) in cat.task_row(task) {
+        // Gather the ℓ model rows of every answer into one flat batch
+        // and log-sum-exp them in a single kernel call; only the
+        // answered label's probability is read out afterwards. The
+        // scratch was sized in `infer` for the largest task.
+        let rows = answers.len() * L;
+        let mut out = st.row_buf[..rows * L].chunks_exact_mut(L);
+        for &(worker, _) in answers {
             let base = worker as usize * L;
-            for (j, lp) in logp.iter_mut().enumerate() {
+            for j in 0..L {
                 let sig_row: &[f64; L] = st.sigma.row(base + j).try_into().expect("row width ℓ");
-                let mut buf = [0.0f64; L];
+                let row: &mut [f64; L] = out
+                    .next()
+                    .expect("scratch row")
+                    .try_into()
+                    .expect("width ℓ");
                 for k in 0..L {
-                    buf[k] = tau_row[k] + sig_row[k];
+                    row[k] = tau_row[k] + sig_row[k];
                 }
-                let lse = lse_fixed(&buf);
+            }
+        }
+        log_sum_exp_rows_flat(L, &st.row_buf[..rows * L], &mut st.lse_buf[..rows]);
+
+        let mut logp = [0.0f64; L];
+        for (r, &(_, label)) in answers.iter().enumerate() {
+            for (j, lp) in logp.iter_mut().enumerate() {
+                let lse = st.lse_buf[r * L + j];
                 // Mirror log_normalize's degenerate-input branch
                 // (all -inf → uniform mass).
                 let p = if lse.is_finite() {
-                    kernels::exp(buf[label as usize] - lse)
+                    kernels::exp(st.row_buf[(r * L + j) * L + label as usize] - lse)
                 } else {
                     1.0 / L as f64
                 };
@@ -399,27 +468,42 @@ fn truth_update<const L: usize>(cat: &Cat, st: &mut State) {
         log_normalize(&mut logp);
         st.post.row_mut(task).copy_from_slice(&logp);
     }
+    crate::methods::obs_fused_rows().add(fused_rows);
 }
 
 /// Dynamic-width fallback for [`truth_update`].
-fn truth_update_dyn(cat: &Cat, st: &mut State, lp_buf: &mut [f64], logp: &mut [f64]) {
+fn truth_update_dyn(cat: &Cat, st: &mut State, logp: &mut [f64]) {
+    let _timer = crate::methods::obs_kernel_estep_seconds().start_timer();
+    let mut fused_rows = 0u64;
     let l = st.tau.cols();
     for task in 0..cat.n {
         if cat.golden[task].is_some() || cat.task_len(task) == 0 {
             continue;
         }
-        logp.fill(0.0);
+        fused_rows += 1;
+        let answers = cat.task_row(task);
         let tau_row = st.tau.row(task);
-        for &(worker, label) in cat.task_row(task) {
-            let worker = worker as usize;
-            for (j, lp) in logp.iter_mut().enumerate() {
-                let sig_row = st.sigma.row(worker * l + j);
-                for (b, (&t, &s)) in lp_buf.iter_mut().zip(tau_row.iter().zip(sig_row)) {
-                    *b = t + s;
+        st.row_buf.clear();
+        st.row_buf.reserve(answers.len() * l * l);
+        for &(worker, _) in answers {
+            let base = worker as usize * l;
+            for j in 0..l {
+                let sig_row = st.sigma.row(base + j);
+                for (&t, &s) in tau_row.iter().zip(sig_row) {
+                    st.row_buf.push(t + s);
                 }
-                let lse = log_sum_exp(lp_buf);
+            }
+        }
+        st.lse_buf.clear();
+        st.lse_buf.resize(answers.len() * l, 0.0);
+        log_sum_exp_rows_flat(l, st.row_buf, st.lse_buf);
+
+        logp.fill(0.0);
+        for (r, &(_, label)) in answers.iter().enumerate() {
+            for (j, lp) in logp.iter_mut().enumerate() {
+                let lse = st.lse_buf[r * l + j];
                 let p = if lse.is_finite() {
-                    kernels::exp(lp_buf[label as usize] - lse)
+                    kernels::exp(st.row_buf[(r * l + j) * l + label as usize] - lse)
                 } else {
                     1.0 / l as f64
                 };
@@ -429,6 +513,7 @@ fn truth_update_dyn(cat: &Cat, st: &mut State, lp_buf: &mut [f64], logp: &mut [f
         log_normalize(logp);
         st.post.row_mut(task).copy_from_slice(logp);
     }
+    crate::methods::obs_fused_rows().add(fused_rows);
 }
 
 #[cfg(test)]

@@ -13,9 +13,8 @@
 //!   `E[ln π_jk] = ψ(α̂_jk) − ψ(Σ_k α̂_jk)`.
 
 use crowd_data::{Dataset, TaskType};
-use crowd_stats::kernels::{ln_slice, log_normalize};
 use crowd_stats::special::digamma;
-use crowd_stats::ConvergenceTracker;
+use crowd_stats::{fused_posterior_row, fused_two_term_row, ln_map_into, ConvergenceTracker};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -78,36 +77,30 @@ impl TruthInference for ViMf {
         // Initial posteriors: majority vote, possibly sharpened by
         // qualification-test accuracies via one weighted-vote pass.
         let mut post = cat.majority_posteriors();
-        let mut logp = vec![0.0f64; l];
         if let crate::framework::QualityInit::Qualification(_) = &options.quality_init {
             let acc = initial_accuracy(options, cat.m, 0.7);
-            // Per-worker correct/wrong log terms, tabulated once with
-            // two batched ln sweeps (elementwise identical to the old
+            // Per-worker correct/wrong log terms, tabulated once as two
+            // fused fill-and-ln maps (elementwise identical to the old
             // per-answer `p.max(1e-9).ln()`), instead of ℓ `ln`s per
             // answer.
-            let mut ln_correct: Vec<f64> = acc.iter().map(|&a| a.max(1e-9)).collect();
-            let mut ln_wrong: Vec<f64> = acc
-                .iter()
-                .map(|&a| ((1.0 - a) / (l - 1) as f64).max(1e-9))
-                .collect();
-            ln_slice(&mut ln_correct);
-            ln_slice(&mut ln_wrong);
+            let mut ln_correct = vec![0.0f64; cat.m];
+            let mut ln_wrong = vec![0.0f64; cat.m];
+            ln_map_into(&mut ln_correct, |w| acc[w].max(1e-9));
+            ln_map_into(&mut ln_wrong, |w| {
+                ((1.0 - acc[w]) / (l - 1) as f64).max(1e-9)
+            });
             for task in 0..cat.n {
                 if cat.golden[task].is_some() || cat.task_len(task) == 0 {
                     continue;
                 }
-                logp.fill(0.0);
-                for (worker, label) in cat.task(task) {
-                    for (z, lp) in logp.iter_mut().enumerate() {
-                        *lp += if z == label as usize {
-                            ln_correct[worker]
-                        } else {
-                            ln_wrong[worker]
-                        };
-                    }
-                }
-                log_normalize(&mut logp);
-                post.row_mut(task).copy_from_slice(&logp);
+                let row = post.row_mut(task);
+                row.fill(0.0);
+                fused_two_term_row(
+                    row,
+                    cat.task(task).map(|(worker, label)| {
+                        (label as usize, ln_correct[worker], ln_wrong[worker])
+                    }),
+                );
             }
             cat.clamp_golden(&mut post);
         }
@@ -118,6 +111,7 @@ impl TruthInference for ViMf {
         // place — the loop below allocates nothing per iteration.
         let mut alpha_hat = crowd_stats::DMat::zeros(cat.m * l, l);
         let mut eln = crowd_stats::DMat::zeros(cat.m * l, l);
+        let zero_prior = vec![0.0f64; l];
         let mut tracker = ConvergenceTracker::new(options.tolerance, options.max_iterations);
 
         loop {
@@ -147,26 +141,31 @@ impl TruthInference for ViMf {
                 }
             }
 
-            // Update q(z_i): pure table additions against `eln`, walking
-            // each worker's ℓ×ℓ block column `label` by stride (the same
-            // access pattern as the D&S E-step), then one kernel
-            // log-normalise per posterior row.
+            // Update q(z_i): one fused posterior-row pass per task —
+            // zero init, table gather against `eln` walking each
+            // worker's ℓ×ℓ block column `label` by stride (the same
+            // access pattern as the D&S E-step), log-sum-exp and
+            // normalize, written straight into the posterior row.
             let el = eln.data();
             let stride = l * l;
-            for task in 0..cat.n {
-                if cat.golden[task].is_some() || cat.task_len(task) == 0 {
-                    continue;
-                }
-                logp.fill(0.0);
-                for &(worker, label) in cat.task_row(task) {
-                    let mut idx = worker as usize * stride + label as usize;
-                    for lp in logp.iter_mut() {
-                        *lp += el[idx];
-                        idx += l;
+            {
+                let _timer = crate::methods::obs_kernel_estep_seconds().start_timer();
+                let mut fused_rows = 0u64;
+                for task in 0..cat.n {
+                    if cat.golden[task].is_some() || cat.task_len(task) == 0 {
+                        continue;
                     }
+                    fused_posterior_row(
+                        post.row_mut(task),
+                        &zero_prior,
+                        el,
+                        cat.task_row(task)
+                            .iter()
+                            .map(|&(worker, label)| worker as usize * stride + label as usize),
+                    );
+                    fused_rows += 1;
                 }
-                log_normalize(&mut logp);
-                post.row_mut(task).copy_from_slice(&logp);
+                crate::methods::obs_fused_rows().add(fused_rows);
             }
             cat.clamp_golden(&mut post);
 

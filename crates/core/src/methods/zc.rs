@@ -11,8 +11,7 @@
 //! matching the paper's §6.3.2–6.3.3 method lists.
 
 use crowd_data::{Dataset, TaskType};
-use crowd_stats::kernels::{log_normalize, safe_ln_slice};
-use crowd_stats::ConvergenceTracker;
+use crowd_stats::{fused_two_term_row, safe_ln_map_into, ConvergenceTracker};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -99,42 +98,43 @@ impl Zc {
             }
         }
         let mut post = cat.majority_posteriors();
-        // Pre-allocated scratch, including per-worker log tables
-        // refreshed once per iteration (2m `ln` calls instead of |V|·ℓ):
-        // exactly the `p.max(1e-12).ln()` terms the per-answer form
-        // computes, so the posterior sums are bit-identical. The loop
-        // below allocates nothing per iteration.
-        let mut logp = vec![0.0f64; cat.l];
+        // Per-worker log tables refreshed once per iteration (2m `ln`
+        // calls instead of |V|·ℓ): exactly the `p.max(1e-12).ln()` terms
+        // the per-answer form computes, so the posterior sums are
+        // bit-identical. The loop below allocates nothing per iteration.
         let mut ln_correct = vec![0.0f64; cat.m];
         let mut ln_wrong = vec![0.0f64; cat.m];
         let mut tracker = ConvergenceTracker::new(options.tolerance, options.max_iterations);
 
         loop {
             // E-step: posterior over each task's truth under current q.
-            // The per-worker log tables refresh as two batched safe_ln
-            // sweeps (elementwise identical to the scalar clamp idiom).
-            for w in 0..cat.m {
-                ln_correct[w] = quality[w];
-                ln_wrong[w] = (1.0 - quality[w]) / lm1;
-            }
-            safe_ln_slice(&mut ln_correct);
-            safe_ln_slice(&mut ln_wrong);
-            for task in 0..cat.n {
-                if cat.golden[task].is_some() {
-                    continue; // stays clamped
-                }
-                if cat.task_len(task) == 0 {
-                    continue; // stays uniform
-                }
-                logp.fill(0.0);
-                for (worker, label) in cat.task(task) {
-                    let (lc, lw) = (ln_correct[worker], ln_wrong[worker]);
-                    for (z, lp) in logp.iter_mut().enumerate() {
-                        *lp += if z == label as usize { lc } else { lw };
+            // The per-worker log tables refresh as two fused
+            // fill-and-safe_ln maps (elementwise identical to the scalar
+            // clamp idiom); each task row is one fused two-term
+            // accumulate + normalize written straight into the posterior.
+            safe_ln_map_into(&mut ln_correct, |w| quality[w]);
+            safe_ln_map_into(&mut ln_wrong, |w| (1.0 - quality[w]) / lm1);
+            {
+                let _timer = crate::methods::obs_kernel_estep_seconds().start_timer();
+                let mut fused_rows = 0u64;
+                for task in 0..cat.n {
+                    if cat.golden[task].is_some() {
+                        continue; // stays clamped
                     }
+                    if cat.task_len(task) == 0 {
+                        continue; // stays uniform
+                    }
+                    let row = post.row_mut(task);
+                    row.fill(0.0);
+                    fused_two_term_row(
+                        row,
+                        cat.task(task).map(|(worker, label)| {
+                            (label as usize, ln_correct[worker], ln_wrong[worker])
+                        }),
+                    );
+                    fused_rows += 1;
                 }
-                log_normalize(&mut logp);
-                post.row_mut(task).copy_from_slice(&logp);
+                crate::methods::obs_fused_rows().add(fused_rows);
             }
             cat.clamp_golden(&mut post);
 
@@ -222,8 +222,7 @@ impl Zc {
             let l = view.l;
             let golden = view.golden();
             {
-                let mut blocks: Vec<(usize, &mut [f64])> =
-                    Vec::with_capacity(view.num_shards());
+                let mut blocks: Vec<(usize, &mut [f64])> = Vec::with_capacity(view.num_shards());
                 let mut rest: &mut [f64] = post.data_mut();
                 for s in 0..view.num_shards() {
                     let range = view.shard_tasks(s);
@@ -235,27 +234,29 @@ impl Zc {
                     .into_iter()
                     .map(|(s, block)| {
                         move || {
-                            let _timer =
-                                crate::views::obs_estep_seconds().start_timer();
+                            let _timer = crate::views::obs_estep_seconds().start_timer();
                             let start = view.shard_tasks(s).start;
-                            let mut logp = vec![0.0f64; l];
+                            let mut fused_rows = 0u64;
                             for (local, row) in block.chunks_mut(l).enumerate() {
                                 let task = start + local;
                                 let answers = view.shard_task_row(s, local);
                                 if golden[task].is_some() || answers.is_empty() {
                                     continue;
                                 }
-                                logp.fill(0.0);
-                                for &(worker, label) in answers {
-                                    let (lc, lw) =
-                                        (ln_correct[worker as usize], ln_wrong[worker as usize]);
-                                    for (z, lp) in logp.iter_mut().enumerate() {
-                                        *lp += if z == label as usize { lc } else { lw };
-                                    }
-                                }
-                                log_normalize(&mut logp);
-                                row.copy_from_slice(&logp);
+                                row.fill(0.0);
+                                fused_two_term_row(
+                                    row,
+                                    answers.iter().map(|&(worker, label)| {
+                                        (
+                                            label as usize,
+                                            ln_correct[worker as usize],
+                                            ln_wrong[worker as usize],
+                                        )
+                                    }),
+                                );
+                                fused_rows += 1;
                             }
+                            crate::methods::obs_fused_rows().add(fused_rows);
                         }
                     })
                     .collect();
@@ -265,13 +266,12 @@ impl Zc {
         }
 
         loop {
-            for w in 0..view.m {
-                ln_correct[w] = quality[w];
-                ln_wrong[w] = (1.0 - quality[w]) / lm1;
+            safe_ln_map_into(&mut ln_correct, |w| quality[w]);
+            safe_ln_map_into(&mut ln_wrong, |w| (1.0 - quality[w]) / lm1);
+            {
+                let _timer = crate::methods::obs_kernel_estep_seconds().start_timer();
+                e_step_sharded(view, &ln_correct, &ln_wrong, &mut post, estep_threads);
             }
-            safe_ln_slice(&mut ln_correct);
-            safe_ln_slice(&mut ln_wrong);
-            e_step_sharded(view, &ln_correct, &ln_wrong, &mut post, estep_threads);
 
             // M-step: per-worker continuation fold, shards ascending.
             {

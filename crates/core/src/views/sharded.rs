@@ -147,8 +147,7 @@ impl ShardedView {
             .windows(2)
             .map(|w| {
                 let (start, end) = (w[0], w[1]);
-                let counts: Vec<u32> =
-                    (start..end).map(|t| cat.task_len(t) as u32).collect();
+                let counts: Vec<u32> = (start..end).map(|t| cat.task_len(t) as u32).collect();
                 let task_adj = Csr::from_triples_counted(
                     &counts,
                     (start..end).flat_map(|t| {
@@ -198,10 +197,8 @@ impl ShardedView {
         let starts = shard_starts(n, shard_count);
         let num_shards = starts.len() - 1;
         let mut buffers: Vec<Vec<(u32, u32, u8)>> = vec![Vec::new(); num_shards];
-        let mut counts: Vec<Vec<u32>> = starts
-            .windows(2)
-            .map(|w| vec![0u32; w[1] - w[0]])
-            .collect();
+        let mut counts: Vec<Vec<u32>> =
+            starts.windows(2).map(|w| vec![0u32; w[1] - w[0]]).collect();
         for (task, worker, label) in records {
             let (t, w) = (task as usize, worker as usize);
             assert!(t < n, "record task {t} ≥ {n}");
@@ -266,8 +263,16 @@ impl ShardedView {
                 (start..end).contains(&t),
                 "record task {t} outside shard {shard} range {start}..{end}"
             );
-            assert!((worker as usize) < self.m, "record worker {worker} ≥ {}", self.m);
-            assert!((label as usize) < self.l, "record label {label} ≥ {}", self.l);
+            assert!(
+                (worker as usize) < self.m,
+                "record worker {worker} ≥ {}",
+                self.m
+            );
+            assert!(
+                (label as usize) < self.l,
+                "record label {label} ≥ {}",
+                self.l
+            );
             counts[t - start] += 1;
         }
         let task_adj = Csr::from_triples_counted(
@@ -441,7 +446,14 @@ impl ShardedView {
                 })
             }),
         );
-        Cat::from_parts(self.n, self.m, self.l, task_adj, worker_adj, self.golden.clone())
+        Cat::from_parts(
+            self.n,
+            self.m,
+            self.l,
+            task_adj,
+            worker_adj,
+            self.golden.clone(),
+        )
     }
 }
 

@@ -68,9 +68,11 @@ fn quality_bits(r: &InferenceResult) -> Vec<u64> {
         .iter()
         .flat_map(|q| match q {
             WorkerQuality::Probability(p) => vec![p.to_bits()],
-            WorkerQuality::Confusion(m) => {
-                m.iter().flatten().map(|c| c.to_bits()).collect::<Vec<u64>>()
-            }
+            WorkerQuality::Confusion(m) => m
+                .iter()
+                .flatten()
+                .map(|c| c.to_bits())
+                .collect::<Vec<u64>>(),
             WorkerQuality::Unmodeled => vec![],
             other => panic!("unexpected quality kind {other:?}"),
         })
@@ -111,12 +113,7 @@ fn check_method(
         for shards in shard_counts(cat.n) {
             let view = ShardedView::from_cat(&cat, shards);
             let sharded = sharded_run(&view, &options);
-            assert_identical(
-                &format!("{name}/{dataset_name}"),
-                shards,
-                &flat,
-                &sharded,
-            );
+            assert_identical(&format!("{name}/{dataset_name}"), shards, &flat, &sharded);
         }
     }
 }

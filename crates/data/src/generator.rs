@@ -496,7 +496,9 @@ fn splitmix64(mut x: u64) -> u64 {
 
 /// Hash a purpose tag plus up to three coordinates into a u64.
 fn mix(seed: u64, purpose: u64, a: u64, b: u64) -> u64 {
-    splitmix64(seed ^ splitmix64(purpose ^ splitmix64(a).wrapping_add(b.wrapping_mul(0x9e3779b97f4a7c15))))
+    splitmix64(
+        seed ^ splitmix64(purpose ^ splitmix64(a).wrapping_add(b.wrapping_mul(0x9e3779b97f4a7c15))),
+    )
 }
 
 /// Map a hash to a uniform f64 in `[0, 1)` (top 53 bits).
@@ -606,8 +608,8 @@ impl StreamSim {
         let mut chosen: Vec<u32> = Vec::with_capacity(self.redundancy);
         let mut attempt = 0u64;
         while chosen.len() < self.redundancy {
-            let w = (mix(self.seed, PURPOSE_PICK, task as u64, attempt)
-                % self.num_workers as u64) as u32;
+            let w = (mix(self.seed, PURPOSE_PICK, task as u64, attempt) % self.num_workers as u64)
+                as u32;
             attempt += 1;
             if !chosen.contains(&w) {
                 chosen.push(w);

@@ -318,7 +318,9 @@ impl CrowdServe {
                 detail: format!("cannot create durability dir {}: {e}", dur.dir.display()),
             })?;
         }
-        let shards = (0..config.shards).map(|i| Arc::new(Shard::new(i))).collect();
+        let shards = (0..config.shards)
+            .map(|i| Arc::new(Shard::new(i)))
+            .collect();
         Ok(Self {
             pool: WorkerPool::new(config.shards),
             shards,
@@ -631,7 +633,9 @@ impl CrowdServe {
         obs::ingest_batches().inc();
         obs::ingest_answers().add(records.len() as u64);
         obs::ingest_queued().add(records.len() as i64);
-        shard.queued_answers.fetch_add(records.len(), Ordering::SeqCst);
+        shard
+            .queued_answers
+            .fetch_add(records.len(), Ordering::SeqCst);
         q.queued_answers += records.len();
         q.queue.push_back(Envelope {
             session: session.raw(),

@@ -243,7 +243,8 @@ impl Shard {
         let envelopes: Vec<Envelope> = {
             let mut q = lock(&self.ingest);
             obs::ingest_queued().add(-(q.queued_answers as i64));
-            self.queued_answers.fetch_sub(q.queued_answers, Ordering::SeqCst);
+            self.queued_answers
+                .fetch_sub(q.queued_answers, Ordering::SeqCst);
             q.queued_answers = 0;
             q.queue.drain(..).collect()
         };
@@ -386,7 +387,9 @@ impl Shard {
         // Each slot is re-locked briefly; the drain gate keeps the state
         // it captured from moving under us.
         for &raw in &touched {
-            let Some(cell) = self.truth(raw) else { continue };
+            let Some(cell) = self.truth(raw) else {
+                continue;
+            };
             let Some(slot) = self.slot(raw) else { continue };
             let slot = lock(&slot);
             publish_session(&cell, &slot, SessionId::from_raw(raw), self.index, None);
@@ -582,12 +585,14 @@ pub(crate) fn publish_session(
     state_override: Option<SnapshotState>,
 ) {
     cell.publish_with(|prior, epoch| {
-        let state = state_override.clone().unwrap_or_else(|| match &slot.poisoned {
-            Some(reason) => SnapshotState::SnapshotStale {
-                reason: reason.clone(),
-            },
-            None => SnapshotState::Live,
-        });
+        let state = state_override
+            .clone()
+            .unwrap_or_else(|| match &slot.poisoned {
+                Some(reason) => SnapshotState::SnapshotStale {
+                    reason: reason.clone(),
+                },
+                None => SnapshotState::Live,
+            });
         let summary = slot.engine.summary();
         TruthSnapshot {
             session,

@@ -478,7 +478,11 @@ mod tests {
         assert_eq!(drops.load(Ordering::SeqCst), 100);
         assert_eq!(cell.read().epoch, 101);
         drop(cell);
-        assert_eq!(drops.load(Ordering::SeqCst), 101, "cell drop frees the rest");
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            101,
+            "cell drop frees the rest"
+        );
     }
 
     #[test]
@@ -505,7 +509,11 @@ mod tests {
             epoch: e,
             drops: Arc::clone(&drops),
         });
-        assert_eq!(drops.load(Ordering::SeqCst), 2, "both retirees freed once idle");
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            2,
+            "both retirees freed once idle"
+        );
     }
 
     #[test]
@@ -513,7 +521,11 @@ mod tests {
         let cell: Published<u64> = Published::new(0, |e| e);
         let slot = cell.register_slot();
         slot.stamp.store(cell.epoch(), SeqCst); // simulate a concurrent read
-        assert_eq!(*cell.read_with(&slot), 1, "fallback still returns the value");
+        assert_eq!(
+            *cell.read_with(&slot),
+            1,
+            "fallback still returns the value"
+        );
         slot.stamp.store(0, SeqCst);
     }
 

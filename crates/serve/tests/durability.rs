@@ -242,10 +242,7 @@ fn kill_at_every_frame_boundary_recovers_bit_identically() {
                 let tick = serve.drain_tick();
                 assert!(tick.errors.is_empty(), "{:?}", tick.errors);
             }
-            assert_eq!(
-                plur_of(&serve, sid),
-                *reference.plur.last().unwrap()
-            );
+            assert_eq!(plur_of(&serve, sid), *reference.plur.last().unwrap());
             let report = report_of(&serve, sid).expect("converged");
             assert_eq!(
                 report.result.truths, reference.truths,
@@ -472,10 +469,7 @@ fn intact_snapshot_fast_path_is_bit_identical_to_full_replay() {
         plur_of(&slow, sid),
         "snapshot path ≡ replay path"
     );
-    assert_eq!(
-        plur_of(&fast, sid),
-        *reference.plur.last().unwrap()
-    );
+    assert_eq!(plur_of(&fast, sid), *reference.plur.last().unwrap());
     for serve in [&fast, &slow] {
         let report = report_of(serve, sid).expect("converge 5 replayed");
         assert_eq!(report.result.truths, reference.truths);

@@ -7,28 +7,43 @@
 //! a [`DMat`]), written so the element loops have constant trip counts
 //! and no data-dependent branches — the shape LLVM autovectorises.
 //!
-//! Two backends, selected at compile time:
+//! Three backends — one compile-time fork, one runtime fork:
 //!
-//! - **default**: every lane calls the platform `f64::exp`/`f64::ln`.
-//!   Results are **bit-identical** to the scalar code the methods used
-//!   before (the kernels only batch, never reassociate: elementwise ops
-//!   are applied element by element, and the [`log_sum_exp`] reduction
-//!   keeps the exact left-to-right summation order). The equivalence
-//!   fixtures (`crowd-core/tests/fixtures/equivalence.tsv`) pin this.
-//! - **`fast-math` feature**: a self-contained polynomial
-//!   implementation of `exp`/`ln` (fdlibm-style Cody–Waite range
-//!   reduction, see [`fast`]) with a documented error bound of
-//!   **≤ 4 ULP** against the correctly-rounded result (the observed
-//!   bound in the property tests is ≤ 2 ULP; 4 is the pinned contract).
-//!   The polynomial core is straight-line arithmetic, so the 4-lane
-//!   loops vectorise fully instead of calling out to libm per element.
-//!   Under this feature the fixtures are compared with per-method
-//!   tolerances instead of bit equality.
+//! - **default (`std`)**: every lane calls the platform
+//!   `f64::exp`/`f64::ln`. Results are **bit-identical** to the scalar
+//!   code the methods used before (the kernels only batch, never
+//!   reassociate: elementwise ops are applied element by element, and
+//!   the [`log_sum_exp`] reduction keeps the exact left-to-right
+//!   summation order). The equivalence fixtures
+//!   (`crowd-core/tests/fixtures/equivalence.tsv`) pin this.
+//! - **`fast-math` feature, scalar leg (`fast-math-scalar`)**: a
+//!   self-contained polynomial implementation of `exp`/`ln`
+//!   (fdlibm-style Cody–Waite range reduction, see [`fast`]) with a
+//!   documented error bound of **≤ 4 ULP** against the
+//!   correctly-rounded result (the observed bound in the property tests
+//!   is ≤ 2 ULP; 4 is the pinned contract). Under this feature the
+//!   fixtures are compared with per-method tolerances instead of bit
+//!   equality.
+//! - **`fast-math` feature, vector leg (`fast-math-avx2`)**: the same
+//!   polynomial evaluated four lanes at a time with explicit AVX2
+//!   intrinsics (see [`simd`]), selected by one-time runtime feature
+//!   detection (`avx2 && fma`, vetoed by `CROWD_FORCE_SCALAR` in the
+//!   environment). The vector cores are **bit-identical to the scalar
+//!   polynomial**, so which leg ran is unobservable in the output and
+//!   the `fast-math` fixture tolerances hold on every CPU.
+//!
+//! [`backend_name`]/[`lanes_active`] report which leg the dispatchers
+//! take, for bench artifacts and tests.
 //!
 //! Tail handling: slices are processed in chunks of [`LANES`] with a
 //! scalar remainder loop; lengths 0..=3 take only the remainder path.
 //! Empty slices are no-ops ([`log_sum_exp`] of an empty slice is
 //! `-inf`, the sum of zero terms, as before).
+//!
+//! The [`fused`] submodule builds single-pass row kernels (gather +
+//! accumulate + log-sum-exp + normalize, `ln`/`sigmoid`-of-computed
+//! pipelines) on top of the same dispatchers, so E-step data is touched
+//! once per iteration instead of once per op.
 
 use crate::dmat::DMat;
 
@@ -42,6 +57,64 @@ pub const SAFE_LN_EPS: f64 = 1e-12;
 /// register (and two NEON/SSE2 registers); the chunked loops below have
 /// this constant trip count so the compiler unrolls or vectorises them.
 pub const LANES: usize = 4;
+
+#[cfg(target_arch = "x86_64")]
+pub mod simd;
+
+/// Stub for non-x86_64 targets: the vector leg never exists and the
+/// dispatchers always take the scalar path.
+#[cfg(not(target_arch = "x86_64"))]
+pub mod simd {
+    //! Non-x86_64 stub of the AVX2 backend (always inactive).
+
+    /// Always `false` off x86_64.
+    pub fn avx2_available() -> bool {
+        false
+    }
+
+    /// Always `false` off x86_64.
+    pub fn avx2_active() -> bool {
+        false
+    }
+
+    /// No-op off x86_64.
+    #[doc(hidden)]
+    pub fn force_scalar(_on: bool) {}
+}
+
+pub mod fused;
+
+pub use simd::force_scalar;
+
+/// Name of the leg the slice dispatchers take right now: `"std"`
+/// (default build), `"fast-math-scalar"` (polynomial, no vector unit),
+/// or `"fast-math-avx2"` (polynomial, AVX2 lanes). Recorded per row in
+/// the kernels bench artifact.
+pub fn backend_name() -> &'static str {
+    #[cfg(not(feature = "fast-math"))]
+    {
+        "std"
+    }
+    #[cfg(feature = "fast-math")]
+    {
+        if simd::avx2_active() {
+            "fast-math-avx2"
+        } else {
+            "fast-math-scalar"
+        }
+    }
+}
+
+/// Vector width of the active leg: 4 under `fast-math-avx2`, 1 for
+/// both scalar legs (the 4-lane chunking of the scalar loops is a code
+/// shape, not a hardware width).
+pub fn lanes_active() -> usize {
+    if cfg!(feature = "fast-math") && simd::avx2_active() {
+        LANES
+    } else {
+        1
+    }
+}
 
 /// Scalar `exp` routed through the active backend (`std` by default,
 /// the polynomial core under `fast-math`). Use this instead of
@@ -106,11 +179,23 @@ fn map_lanes(xs: &mut [f64], f: impl Fn(f64) -> f64) {
 
 /// `x[i] ← exp(x[i])` in place.
 pub fn exp_slice(xs: &mut [f64]) {
+    #[cfg(all(feature = "fast-math", target_arch = "x86_64"))]
+    if simd::avx2_active() {
+        // SAFETY: detection verified avx2+fma.
+        unsafe { simd::exp_slice_avx2(xs) };
+        return;
+    }
     map_lanes(xs, exp);
 }
 
 /// `x[i] ← ln(x[i])` in place.
 pub fn ln_slice(xs: &mut [f64]) {
+    #[cfg(all(feature = "fast-math", target_arch = "x86_64"))]
+    if simd::avx2_active() {
+        // SAFETY: detection verified avx2+fma.
+        unsafe { simd::ln_slice_avx2(xs) };
+        return;
+    }
     map_lanes(xs, ln);
 }
 
@@ -118,6 +203,12 @@ pub fn ln_slice(xs: &mut [f64]) {
 /// [`safe_ln`], used to refresh whole log-domain confusion tables in
 /// one sweep.
 pub fn safe_ln_slice(xs: &mut [f64]) {
+    #[cfg(all(feature = "fast-math", target_arch = "x86_64"))]
+    if simd::avx2_active() {
+        // SAFETY: detection verified avx2+fma.
+        unsafe { simd::safe_ln_slice_avx2(xs, SAFE_LN_EPS) };
+        return;
+    }
     map_lanes(xs, safe_ln);
 }
 
@@ -127,6 +218,12 @@ pub fn safe_ln_slice(xs: &mut [f64]) {
 /// evaluate `exp(−|x|)` and differ only in the final select, which is
 /// branch-free here.
 pub fn sigmoid_slice(xs: &mut [f64]) {
+    #[cfg(all(feature = "fast-math", target_arch = "x86_64"))]
+    if simd::avx2_active() {
+        // SAFETY: detection verified avx2+fma.
+        unsafe { simd::sigmoid_slice_avx2(xs) };
+        return;
+    }
     map_lanes(xs, |x| {
         let e = exp(-x.abs());
         if x >= 0.0 {
@@ -147,6 +244,20 @@ pub fn sigmoid_slice(xs: &mut [f64]) {
 /// skipped; this changes no bit of the sum.
 #[inline]
 pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    #[cfg(all(feature = "fast-math", target_arch = "x86_64"))]
+    if xs.len() == LANES && simd::avx2_active() {
+        let row: &[f64; LANES] = xs.try_into().expect("length checked");
+        // SAFETY: detection verified avx2+fma.
+        if let Some(lse) = unsafe { simd::log_sum_exp4(row) } {
+            return lse;
+        }
+    }
+    log_sum_exp_scalar(xs)
+}
+
+/// The scalar [`log_sum_exp`] body — also the vector paths' fallback.
+#[inline]
+pub(crate) fn log_sum_exp_scalar(xs: &[f64]) -> f64 {
     let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     if !max.is_finite() {
         return max; // empty, or all -inf
@@ -160,10 +271,26 @@ pub fn log_sum_exp(xs: &[f64]) -> f64 {
 
 /// Convert a log-probability vector into a normalized probability
 /// vector in place, stably. Degenerate input (all `-inf`, or an empty
-/// slice) spreads mass uniformly.
+/// slice) spreads mass uniformly. The ℓ = 4 posterior shape takes an
+/// in-register vector path under `fast-math-avx2` (bit-identical to
+/// the scalar leg; see [`simd::log_normalize4`]).
 #[inline]
 pub fn log_normalize(xs: &mut [f64]) {
-    let lse = log_sum_exp(xs);
+    #[cfg(all(feature = "fast-math", target_arch = "x86_64"))]
+    if xs.len() == LANES && simd::avx2_active() {
+        let row: &mut [f64; LANES] = xs.try_into().expect("length checked");
+        // SAFETY: detection verified avx2+fma.
+        if unsafe { simd::log_normalize4(row) } {
+            return;
+        }
+    }
+    log_normalize_scalar(xs)
+}
+
+/// The scalar [`log_normalize`] body — also the fallback the vector
+/// paths demote to, so it must never re-enter the dispatcher.
+pub(crate) fn log_normalize_scalar(xs: &mut [f64]) {
+    let lse = log_sum_exp_scalar(xs);
     if !lse.is_finite() {
         let uniform = 1.0 / xs.len().max(1) as f64;
         xs.iter_mut().for_each(|x| *x = uniform);
@@ -173,11 +300,99 @@ pub fn log_normalize(xs: &mut [f64]) {
 }
 
 /// [`log_normalize`] applied to every row of a matrix — the whole-
-/// posterior form of the E-step's final step. Rows are contiguous in
-/// the flat buffer, so this is one linear sweep.
+/// posterior form of the E-step's final step.
+///
+/// The per-row `log_sum_exp` temporaries are hoisted into stack blocks
+/// ([`fused::log_normalize_rows_blocked`]) so the matrix is swept in
+/// two linear passes (row statistics, then `exp(x − lse)`) instead of
+/// three passes per row — this is where the old per-row form paid ~2×
+/// the cost of its parts. ℓ = 4 matrices take the in-register row path
+/// instead.
 pub fn log_normalize_rows(m: &mut DMat) {
-    for i in 0..m.rows() {
-        log_normalize(m.row_mut(i));
+    if m.rows() == 0 || m.cols() == 0 {
+        return;
+    }
+    let cols = m.cols();
+    #[cfg(all(feature = "fast-math", target_arch = "x86_64"))]
+    if cols <= LANES && simd::avx2_active() {
+        log_normalize_rows_flat(cols, m.data_mut());
+        return;
+    }
+    fused::log_normalize_rows_blocked(cols, m.data_mut());
+}
+
+/// [`log_normalize`] applied to each `cols`-wide row of a packed flat
+/// buffer — bit-identical to calling it row by row, but narrow rows
+/// (`cols ≤ 4`, the posterior shapes) batch four rows per vector
+/// iteration under `fast-math-avx2`
+/// ([`simd::log_normalize_rows_packed`]): one dispatch for the whole
+/// buffer, and the per-row `ln` vectorises **across** rows. This is
+/// the kernel for hot loops that softmax many tiny rows (Minimax's
+/// dual ascent normalises one ℓ-wide model row per (answer,
+/// hypothesis) pair).
+///
+/// # Panics
+/// Panics if `data.len()` is not a multiple of `cols` (`cols == 0`
+/// requires an empty buffer).
+pub fn log_normalize_rows_flat(cols: usize, data: &mut [f64]) {
+    if data.is_empty() {
+        return;
+    }
+    assert!(
+        cols != 0 && data.len().is_multiple_of(cols),
+        "flat buffer of {} elements is not rows of width {cols}",
+        data.len()
+    );
+    #[cfg(all(feature = "fast-math", target_arch = "x86_64"))]
+    if cols <= LANES && simd::avx2_active() {
+        // SAFETY: detection verified avx2+fma; length checked above.
+        unsafe {
+            match cols {
+                1 => simd::log_normalize_rows_packed::<1>(data),
+                2 => simd::log_normalize_rows_packed::<2>(data),
+                3 => simd::log_normalize_rows_packed::<3>(data),
+                _ => simd::log_normalize_rows_packed::<4>(data),
+            }
+        }
+        return;
+    }
+    for row in data.chunks_exact_mut(cols) {
+        log_normalize_scalar(row);
+    }
+}
+
+/// [`log_sum_exp`] of each `cols`-wide row of a packed flat buffer,
+/// written to `out` — bit-identical to the per-row call, batched like
+/// [`log_normalize_rows_flat`] under `fast-math-avx2`.
+///
+/// # Panics
+/// Panics if `data.len()` is not a multiple of `cols` or `out` is not
+/// exactly one element per row.
+pub fn log_sum_exp_rows_flat(cols: usize, data: &[f64], out: &mut [f64]) {
+    if data.is_empty() && out.is_empty() {
+        return;
+    }
+    assert!(
+        cols != 0 && data.len().is_multiple_of(cols) && out.len() == data.len() / cols,
+        "flat buffer of {} elements / out of {} is not rows of width {cols}",
+        data.len(),
+        out.len()
+    );
+    #[cfg(all(feature = "fast-math", target_arch = "x86_64"))]
+    if cols <= LANES && simd::avx2_active() {
+        // SAFETY: detection verified avx2+fma; lengths checked above.
+        unsafe {
+            match cols {
+                1 => simd::log_sum_exp_rows_packed::<1>(data, out),
+                2 => simd::log_sum_exp_rows_packed::<2>(data, out),
+                3 => simd::log_sum_exp_rows_packed::<3>(data, out),
+                _ => simd::log_sum_exp_rows_packed::<4>(data, out),
+            }
+        }
+        return;
+    }
+    for (row, o) in data.chunks_exact(cols).zip(out.iter_mut()) {
+        *o = log_sum_exp_scalar(row);
     }
 }
 
@@ -194,6 +409,29 @@ pub fn weighted_log_dot(weights: &[f64], xs: &[f64]) -> f64 {
         xs.len(),
         "weighted_log_dot operand length mismatch"
     );
+    #[cfg(all(feature = "fast-math", target_arch = "x86_64"))]
+    if simd::avx2_active() {
+        let mut acc = 0.0f64;
+        let mut i = 0;
+        'vector: {
+            while i + LANES <= xs.len() {
+                let w: &[f64; LANES] = weights[i..i + LANES].try_into().expect("len");
+                let x: &[f64; LANES] = xs[i..i + LANES].try_into().expect("len");
+                // SAFETY: detection verified avx2+fma.
+                match unsafe { simd::weighted_log_dot4(w, x, SAFE_LN_EPS, acc) } {
+                    Some(next) => acc = next,
+                    // A lane outside the ln window (+∞ input): redo
+                    // the whole thing scalar — rare and bit-identical.
+                    None => break 'vector,
+                }
+                i += LANES;
+            }
+            for (w, x) in weights[i..].iter().zip(&xs[i..]) {
+                acc += w * safe_ln(*x);
+            }
+            return acc;
+        }
+    }
     weights.iter().zip(xs).map(|(&w, &x)| w * safe_ln(x)).sum()
 }
 
@@ -235,14 +473,34 @@ pub fn ulp_diff(a: f64, b: f64) -> u64 {
 /// property tests can compare both backends from one build.
 pub mod fast {
     // All constants are the canonical fdlibm bit patterns, spelled as
-    // bits so a mistyped decimal digit cannot silently cost ULPs.
-    const LN2_HI: f64 = f64::from_bits(0x3FE62E42FEE00000); // 6.93147180369123816490e-1
-    const LN2_LO: f64 = f64::from_bits(0x3DEA39EF35793C76); // 1.90821492927058770002e-10
-    const INV_LN2: f64 = f64::from_bits(0x3FF71547652B82FE); // 1.44269504088896338700e0
+    // bits so a mistyped decimal digit cannot silently cost ULPs. They
+    // are `pub(crate)` because the AVX2 lanes in [`super::simd`]
+    // evaluate the *same* polynomials — one source of truth keeps the
+    // two legs bit-identical.
+    pub(crate) const LN2_HI: f64 = f64::from_bits(0x3FE62E42FEE00000); // 6.93147180369123816490e-1
+    pub(crate) const LN2_LO: f64 = f64::from_bits(0x3DEA39EF35793C76); // 1.90821492927058770002e-10
+    pub(crate) const INV_LN2: f64 = f64::from_bits(0x3FF71547652B82FE); // 1.44269504088896338700e0
+    pub(crate) const P1: f64 = f64::from_bits(0x3FC555555555553E); // 1.66666666666666019037e-1
+    pub(crate) const P2: f64 = f64::from_bits(0xBF66C16C16BEBD93); // -2.77777777770155933842e-3
+    pub(crate) const P3: f64 = f64::from_bits(0x3F11566AAF25DE2C); // 6.61375632143793436117e-5
+    pub(crate) const P4: f64 = f64::from_bits(0xBEBBBD41C5D26BF1); // -1.65339022054652515390e-6
+    pub(crate) const P5: f64 = f64::from_bits(0x3E66376972BEA4D0); // 4.13813679705723846039e-8
+    pub(crate) const LG1: f64 = f64::from_bits(0x3FE5555555555593); // 6.666666666666735130e-1
+    pub(crate) const LG2: f64 = f64::from_bits(0x3FD999999997FA04); // 3.999999999940941908e-1
+    pub(crate) const LG3: f64 = f64::from_bits(0x3FD2492494229359); // 2.857142874366239149e-1
+    pub(crate) const LG4: f64 = f64::from_bits(0x3FCC71C51D8E78AF); // 2.222219843214978396e-1
+    pub(crate) const LG5: f64 = f64::from_bits(0x3FC7466496CB03DE); // 1.818357216161805012e-1
+    pub(crate) const LG6: f64 = f64::from_bits(0x3FC39A09D078C69F); // 1.531383769920937332e-1
+    pub(crate) const LG7: f64 = f64::from_bits(0x3FC2F112DF3E5244); // 1.479819860511658591e-1
 
     /// `exp(x)` via `x = k·ln2 + r`, `|r| ≤ ln2/2`, and the fdlibm
     /// degree-5 rational core `exp(r) = 1 + r·c/(2−c)` with
     /// `c = r − r²·P(r²)`.
+    ///
+    /// `k` is rounded ties-to-even so this leg agrees bit-for-bit with
+    /// the AVX2 lanes (`_mm256_round_pd` rounds halves to even; either
+    /// `k` at an exact tie is a valid reduction within the ≤4-ULP
+    /// contract, but the legs must pick the same one).
     pub fn exp(x: f64) -> f64 {
         if x.is_nan() {
             return f64::NAN;
@@ -253,12 +511,7 @@ pub mod fast {
         if x < -745.133_219_101_941_2 {
             return 0.0; // underflows past the smallest subnormal
         }
-        const P1: f64 = f64::from_bits(0x3FC555555555553E); // 1.66666666666666019037e-1
-        const P2: f64 = f64::from_bits(0xBF66C16C16BEBD93); // -2.77777777770155933842e-3
-        const P3: f64 = f64::from_bits(0x3F11566AAF25DE2C); // 6.61375632143793436117e-5
-        const P4: f64 = f64::from_bits(0xBEBBBD41C5D26BF1); // -1.65339022054652515390e-6
-        const P5: f64 = f64::from_bits(0x3E66376972BEA4D0); // 4.13813679705723846039e-8
-        let k = (INV_LN2 * x).round();
+        let k = (INV_LN2 * x).round_ties_even();
         let hi = x - k * LN2_HI;
         let lo = k * LN2_LO;
         let r = hi - lo;
@@ -300,14 +553,7 @@ pub mod fast {
         if x.is_infinite() {
             return f64::INFINITY;
         }
-        const LG1: f64 = f64::from_bits(0x3FE5555555555593); // 6.666666666666735130e-1
-        const LG2: f64 = f64::from_bits(0x3FD999999997FA04); // 3.999999999940941908e-1
-        const LG3: f64 = f64::from_bits(0x3FD2492494229359); // 2.857142874366239149e-1
-        const LG4: f64 = f64::from_bits(0x3FCC71C51D8E78AF); // 2.222219843214978396e-1
-        const LG5: f64 = f64::from_bits(0x3FC7466496CB03DE); // 1.818357216161805012e-1
-        const LG6: f64 = f64::from_bits(0x3FC39A09D078C69F); // 1.531383769920937332e-1
-        const LG7: f64 = f64::from_bits(0x3FC2F112DF3E5244); // 1.479819860511658591e-1
-                                                             // Normalise subnormals so the exponent extraction below is exact.
+        // Normalise subnormals so the exponent extraction below is exact.
         let (x, sub_adjust) = if x < f64::MIN_POSITIVE {
             (x * f64::from_bits((54 + 1023) << 52), -54.0)
         } else {

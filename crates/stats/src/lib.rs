@@ -34,9 +34,13 @@ pub use dist::{
 };
 pub use dmat::DMat;
 pub use histogram::Histogram;
+pub use kernels::fused::{
+    exp_map_into, fused_posterior_row, fused_two_term_row, ln_map_into, safe_ln_map_into,
+    sigmoid_map_into,
+};
 pub use kernels::{
-    exp_slice, ln_slice, log_normalize_rows, safe_ln, safe_ln_eps, safe_ln_slice, sigmoid_slice,
-    weighted_log_dot,
+    backend_name, exp_slice, lanes_active, ln_slice, log_normalize_rows, safe_ln, safe_ln_eps,
+    safe_ln_slice, sigmoid_slice, weighted_log_dot,
 };
 pub use special::{
     digamma, erf, erfc, inc_beta, inc_gamma_p, inc_gamma_q, ln_beta, ln_gamma, trigamma,

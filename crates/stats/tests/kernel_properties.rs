@@ -173,6 +173,133 @@ proptest! {
     }
 }
 
+/// SIMD-vs-scalar leg equivalence: the AVX2 slice drivers must be
+/// **bit-identical** (0 ULP) to the dispatcher's scalar polynomial leg
+/// on every input — dispatch may never change results. The exhaustive
+/// test walks every alignment offset of the slice start (the drivers
+/// use unaligned loads; a 64-byte window of element offsets covers
+/// every 32-byte-alignment phase) crossed with every length through
+/// two 16-wide chunks, both 4-wide tail shapes, and the scalar
+/// remainder, over inputs that mix in-window values with the screen's
+/// demotion triggers (NaN, ±∞, ±700-magnitudes, subnormals, zeros) so
+/// whole-chunk scalar demotion is exercised mid-slice. Compiled only
+/// into fast-math x86_64 builds and skipped at runtime when the vector
+/// leg is unavailable (no AVX2+FMA, or `CROWD_FORCE_SCALAR` vetoed it).
+#[cfg(all(feature = "fast-math", target_arch = "x86_64"))]
+mod simd_vs_scalar {
+    use super::*;
+    use crowd_stats::kernels::simd;
+
+    /// The dispatcher's scalar legs, replicated per element (the lane
+    /// shape of `map_lanes` is unobservable for elementwise ops).
+    fn scalar_leg(op: &str, xs: &mut [f64]) {
+        for x in xs.iter_mut() {
+            *x = match op {
+                "exp" => kernels::exp(*x),
+                "ln" => kernels::ln(*x),
+                "safe_ln" => kernels::safe_ln(*x),
+                "sigmoid" => {
+                    let e = kernels::exp(-x.abs());
+                    if *x >= 0.0 {
+                        1.0 / (1.0 + e)
+                    } else {
+                        e / (1.0 + e)
+                    }
+                }
+                _ => unreachable!(),
+            };
+        }
+    }
+
+    fn simd_leg(op: &str, xs: &mut [f64]) {
+        // SAFETY: callers check `avx2_available()` first.
+        unsafe {
+            match op {
+                "exp" => simd::exp_slice_avx2(xs),
+                "ln" => simd::ln_slice_avx2(xs),
+                "safe_ln" => simd::safe_ln_slice_avx2(xs, 1e-12),
+                "sigmoid" => simd::sigmoid_slice_avx2(xs),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    /// Value pool mixing the vector cores' domain with every demotion
+    /// class; period 13 is coprime to the 16/4 chunk widths, so chunks
+    /// see every rotation of the pattern as offset and length vary.
+    const POOL: [f64; 13] = [
+        -0.5,
+        27.3,
+        -699.9,
+        700.0, // outside the exp window, inside ln's
+        709.5,
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        0.0,
+        -0.0,
+        1e-320, // subnormal
+        f64::MIN_POSITIVE,
+        1.0,
+    ];
+
+    #[test]
+    fn every_offset_and_tail_length_is_bit_identical() {
+        if !simd::avx2_available() {
+            eprintln!("skipping: AVX2 leg unavailable");
+            return;
+        }
+        for op in ["exp", "ln", "safe_ln", "sigmoid"] {
+            for offset in 0..8 {
+                for len in 0..=40 {
+                    let buf: Vec<f64> = (0..offset + len + 8)
+                        .map(|i| POOL[i % POOL.len()])
+                        .collect();
+                    let mut got = buf.clone();
+                    let mut want = buf.clone();
+                    simd_leg(op, &mut got[offset..offset + len]);
+                    scalar_leg(op, &mut want[offset..offset + len]);
+                    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                        assert_eq!(
+                            g.to_bits(),
+                            w.to_bits(),
+                            "{op} offset {offset} len {len} elem {i}: \
+                             simd {g:e} vs scalar {w:e}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Random adversarial slices long enough to hit the 16-wide
+        /// body several times: the two legs agree to the bit.
+        #[test]
+        fn random_slices_are_bit_identical(xs in proptest::collection::vec(adversarial(), 0..80)) {
+            if !simd::avx2_available() {
+                return Ok(());
+            }
+            for op in ["exp", "ln", "safe_ln", "sigmoid"] {
+                let mut got = xs.clone();
+                let mut want = xs.clone();
+                simd_leg(op, &mut got);
+                scalar_leg(op, &mut want);
+                for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                    prop_assert_eq!(
+                        g.to_bits(),
+                        w.to_bits(),
+                        "{} elem {} of {:e}: simd {:e} vs scalar {:e}",
+                        op, i, xs[i], g, w
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn empty_and_degenerate_slices() {
     // Empty slices are no-ops / identities.

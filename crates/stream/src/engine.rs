@@ -1196,9 +1196,10 @@ mod tests {
 
         // And the resumed converge matches an engine fed everything in
         // one go (same warm trajectory: replay the same schedule).
-        let mut reference =
-            StreamEngine::new(decision_config(Method::Ds, d.num_tasks(), d.num_workers()).with_shards(8))
-                .unwrap();
+        let mut reference = StreamEngine::new(
+            decision_config(Method::Ds, d.num_tasks(), d.num_workers()).with_shards(8),
+        )
+        .unwrap();
         reference.push_batch(&records[..records.len() - 4]).unwrap();
         reference.converge().unwrap();
         reference.push_batch(&records[records.len() - 4..]).unwrap();
